@@ -1,0 +1,131 @@
+// Shared scaffolding for the bench binaries.
+//
+// Every bench reproduces one table/figure of the paper and prints a
+// paper-style text table plus a short commentary comparing the measured
+// shape against the published numbers. BenchPipeline bundles the standard
+// analysis stack (expansion -> graphs -> simulator -> model -> objective)
+// for one (program, device) pair.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kf.hpp"
+
+namespace kf::bench {
+
+/// KF_BENCH_SCALE=small shrinks search budgets for smoke runs.
+inline bool small_scale() {
+  const char* v = std::getenv("KF_BENCH_SCALE");
+  return v != nullptr && std::string(v) == "small";
+}
+
+struct BenchPipeline {
+  Program original;
+  ExpansionResult expansion;
+  DeviceSpec device;
+  TimingSimulator sim;
+  LegalityChecker checker;
+  ProposedModel model;
+  Objective objective;
+
+  BenchPipeline(Program program, DeviceSpec dev)
+      : original(std::move(program)),
+        expansion(expand_arrays(original)),
+        device(std::move(dev)),
+        sim(device),
+        checker(expansion.program, device),
+        model(device),
+        objective(checker, model, sim) {}
+
+  SearchResult search(const HggaConfig& config) { return Hgga(objective, config).run(); }
+
+  SearchResult search(int population, int max_generations, int stall,
+                      std::uint64_t seed = 0x5eed) {
+    HggaConfig config;
+    config.population = population;
+    config.max_generations = max_generations;
+    config.stall_generations = stall;
+    config.seed = seed;
+    return search(config);
+  }
+
+  /// Simulated runtime of the program under `plan`.
+  double measured_time(const FusionPlan& plan) {
+    const FusedProgram fused = apply_fusion(checker, plan);
+    double total = 0.0;
+    for (const LaunchDescriptor& d : fused.launches) {
+      total += sim.run(expansion.program, d).time_s;
+    }
+    return total;
+  }
+
+  double baseline_time() { return sim.program_time(expansion.program); }
+};
+
+/// Fig. 7/8 style report: per-new-kernel measured / projected / original
+/// sum on K20X, in increasing measured order, with the unproductive count.
+inline void report_app_new_kernels(Program program, int population,
+                                   int max_generations, std::uint64_t seed) {
+  BenchPipeline pipe(std::move(program), DeviceSpec::k20x());
+  HggaConfig config;
+  config.population = population;
+  config.max_generations = max_generations;
+  config.stall_generations = std::max(40, max_generations / 4);
+  config.seed = seed;
+  const SearchResult result = pipe.search(config);
+
+  std::cout << "\nBest solution: " << result.best.fused_kernel_count() << " of "
+            << pipe.expansion.program.num_kernels() << " kernels fused into "
+            << result.best.fused_group_count() << " new kernels ("
+            << result.best.num_groups() << " launches total)\n\n";
+
+  const FusedProgram fused = apply_fusion(pipe.checker, result.best);
+  struct Row {
+    std::string name;
+    std::size_t members;
+    double measured, projected, original;
+  };
+  std::vector<Row> rows;
+  int unproductive = 0;
+  for (const LaunchDescriptor& d : fused.launches) {
+    if (!d.is_fused()) continue;
+    Row r;
+    r.name = strprintf("F%zu", rows.size() + 1);
+    r.members = d.members.size();
+    r.measured = pipe.sim.run(pipe.expansion.program, d).time_s;
+    r.projected = pipe.model.project(pipe.expansion.program, d).time_s;
+    r.original = pipe.sim.original_sum(pipe.expansion.program, d.members);
+    if (r.measured >= r.original) ++unproductive;
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.measured < b.measured; });
+
+  TextTable table({"new kernel", "members", "measured", "projected",
+                   "original sum", "speedup"});
+  RunningStats err;
+  for (const Row& r : rows) {
+    table.add(r.name, static_cast<long>(r.members), human_time(r.measured),
+              human_time(r.projected), human_time(r.original),
+              fixed(r.original / r.measured, 2) + "x");
+    err.add(std::abs(r.projected / r.measured - 1.0));
+  }
+  std::cout << table;
+  std::cout << "\n" << unproductive << " of " << rows.size()
+            << " new kernels are unproductive (measured >= original sum); "
+            << "mean |projection error| " << fixed(100 * err.mean(), 1) << "%\n";
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n==================================================================\n"
+            << title << "\n"
+            << "(reproduces " << paper_ref << ")\n"
+            << "==================================================================\n";
+}
+
+}  // namespace kf::bench

@@ -1,0 +1,72 @@
+// Fig. 3 / §IV — the motivating example: kernels A..E fused into X = {A, B}
+// (complex fusion with a recomputed halo) and Y = {C, D, E} (simple
+// fusion), with the three projection models' verdicts on Kernel Y.
+//
+// Paper numbers on K20X: original sum of C+D+E 519 us, fused Y measured
+// 554 us (a slowdown!), Roofline projected 336 us, simple model 410 us,
+// proposed model 564 us. We reproduce the *ordering*: Roofline < simple <
+// original sum < proposed, with the proposed model alone rejecting the
+// fusion; and X remaining profitable.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace kf;
+  bench::print_header("Fig. 3 / §IV: Motivating example (kernels A-E -> X, Y)",
+                      "paper Fig. 3 and the §IV model comparison");
+
+  const Program program = motivating_example();
+  const DeviceSpec device = DeviceSpec::k20x();
+  const TimingSimulator sim(device);
+  const LegalityChecker checker(program, device);
+  const FusedKernelBuilder builder(program);
+  const RooflineModel roofline(device);
+  const SimpleModel simple(program, sim);
+  const ProposedModel literal(device,
+                              {.formulation = ProposedModel::Formulation::PaperLiteral});
+  const ProposedModel calibrated(device);
+
+  // Per-original-kernel runtimes.
+  TextTable originals({"kernel", "measured", "GMEM traffic"});
+  for (KernelId k = 0; k < program.num_kernels(); ++k) {
+    const SimResult r = sim.run_original(program, k);
+    originals.add(program.kernel(k).name, human_time(r.time_s),
+                  human_bytes(r.traffic.gmem_total()));
+  }
+  std::cout << "\nOriginal kernels:\n" << originals;
+
+  TextTable fusions({"new kernel", "type", "orig sum", "measured", "roofline",
+                     "simple", "proposed(lit)", "proposed(cal)", "verdict"});
+  struct Case {
+    const char* name;
+    std::vector<std::string> members;
+  };
+  const Case cases[] = {{"Kernel X", {"Kern_A", "Kern_B"}},
+                        {"Kernel Y", {"Kern_C", "Kern_D", "Kern_E"}}};
+  for (const Case& c : cases) {
+    std::vector<KernelId> members;
+    for (const auto& n : c.members) members.push_back(program.find_kernel(n));
+    const LaunchDescriptor d = builder.build(members);
+    const double measured = sim.run(program, d).time_s;
+    double orig_sum = 0;
+    for (KernelId k : members) orig_sum += sim.run_original(program, k).time_s;
+    const double t_roof = roofline.project(program, d).time_s;
+    const double t_simple = simple.project(program, d).time_s;
+    const double t_lit = literal.project(program, d).time_s;
+    const double t_cal = calibrated.project(program, d).time_s;
+    fusions.add(c.name, d.recompute_halo ? "complex (halo)" : "simple", human_time(orig_sum),
+                human_time(measured), human_time(t_roof), human_time(t_simple),
+                human_time(t_lit), human_time(t_cal),
+                t_cal < orig_sum ? "fuse" : "reject");
+  }
+  std::cout << "\nFusions and model projections:\n" << fusions;
+
+  std::cout <<
+      "\nPaper (K20X, Kernel Y): orig sum 519 us, measured 554 us,\n"
+      "Roofline 336 us, simple 410 us, proposed 564 us -> only the proposed\n"
+      "model rejects the fusion, and the measurement proves it right.\n"
+      "Check the same shape above: roofline < simple < orig sum <\n"
+      "proposed(cal) ~ measured for Kernel Y (register pressure from the\n"
+      "division-heavy C/D/E kernels), while Kernel X stays profitable and\n"
+      "is correctly accepted.\n";
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig. 8 — measured, projected, and original-sum runtime of the new
+// kernels in HOMME on K20X, in increasing order of execution time.
+//
+// Paper shape: 22 of 43 kernels fuse into 9 new kernels; 1 of the 9 is
+// unproductive.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace kf;
+  const bool small = bench::small_scale();
+  bench::print_header("Fig. 8: New-kernel runtimes in HOMME (K20X)",
+                      "paper Fig. 8 and §VI-D.2");
+  bench::report_app_new_kernels(homme(), 100, small ? 120 : 500, 0xf16 + 8);
+  std::cout << "\nPaper: 22/43 kernels -> 9 new kernels, 1 unproductive.\n";
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Micro-benchmarks of the pipeline's hot components (google-benchmark):
+// the per-call costs behind Table VI's "9.51 minutes for 5.4e6
+// evaluations" claim — legality checks, descriptor construction, traffic
+// accounting, the three projection models, one HGGA generation, and the
+// functional block executor's throughput.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace kf;
+
+const Program& suite_program() {
+  static const Program program = [] {
+    TestSuiteConfig cfg;
+    cfg.kernels = 40;
+    cfg.arrays = 80;
+    cfg.thread_load = 8;
+    cfg.seed = 0xbeef;
+    cfg.grid = GridDims{512, 256, 32};
+    return make_testsuite_program(cfg);
+  }();
+  return program;
+}
+
+struct Stack {
+  DeviceSpec device = DeviceSpec::k20x();
+  TimingSimulator sim{device};
+  LegalityChecker checker;
+  FusedKernelBuilder builder;
+  ProposedModel model{device};
+
+  Stack() : checker(suite_program(), device), builder(suite_program()) {}
+};
+
+Stack& stack() {
+  static Stack s;
+  return s;
+}
+
+std::vector<KernelId> sample_group() {
+  // A mid-sized legal-ish group from the sharing graph.
+  const SharingGraph& sharing = stack().checker.sharing();
+  std::vector<KernelId> group{0};
+  for (KernelId n : sharing.neighbours(0)) {
+    group.push_back(n);
+    if (group.size() == 4) break;
+  }
+  return group;
+}
+
+void BM_GroupLegality(benchmark::State& state) {
+  const auto group = sample_group();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack().checker.check_group(group));
+  }
+}
+BENCHMARK(BM_GroupLegality);
+
+void BM_DescriptorBuild(benchmark::State& state) {
+  const auto group = sample_group();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack().builder.build(group));
+  }
+}
+BENCHMARK(BM_DescriptorBuild);
+
+void BM_TrafficModel(benchmark::State& state) {
+  const LaunchDescriptor d = stack().builder.build(sample_group());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_traffic(suite_program(), d));
+  }
+}
+BENCHMARK(BM_TrafficModel);
+
+void BM_ProposedProjection(benchmark::State& state) {
+  const LaunchDescriptor d = stack().builder.build(sample_group());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack().model.project(suite_program(), d));
+  }
+}
+BENCHMARK(BM_ProposedProjection);
+
+void BM_TimingSimulation(benchmark::State& state) {
+  const LaunchDescriptor d = stack().builder.build(sample_group());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack().sim.run(suite_program(), d));
+  }
+}
+BENCHMARK(BM_TimingSimulation);
+
+void BM_ObjectivePlanCost(benchmark::State& state) {
+  const Objective objective(stack().checker, stack().model, stack().sim);
+  Rng rng(1);
+  const FusionPlan plan = random_legal_plan(stack().checker, rng, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(objective.plan_cost(plan));
+  }
+}
+BENCHMARK(BM_ObjectivePlanCost);
+
+void BM_HggaGeneration(benchmark::State& state) {
+  const Objective objective(stack().checker, stack().model, stack().sim);
+  for (auto _ : state) {
+    HggaConfig cfg;
+    cfg.population = 30;
+    cfg.max_generations = 1;
+    cfg.stall_generations = 1;
+    cfg.seed = 42;
+    Hgga search(objective, cfg);
+    benchmark::DoNotOptimize(search.run());
+  }
+}
+BENCHMARK(BM_HggaGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_BlockExecutorLaunch(benchmark::State& state) {
+  static const Program program = motivating_example(GridDims{128, 64, 8});
+  static GridSet grids(program);
+  const BlockExecutor exec(program);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.run_launch(grids, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * program.grid().total_sites());
+}
+BENCHMARK(BM_BlockExecutorLaunch)->Unit(benchmark::kMillisecond);
+
+void BM_ReferenceExecutorKernel(benchmark::State& state) {
+  static const Program program = motivating_example(GridDims{128, 64, 8});
+  static GridSet grids(program);
+  const ReferenceExecutor exec(program);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.run_kernel(grids, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * program.grid().total_sites());
+}
+BENCHMARK(BM_ReferenceExecutorKernel)->Unit(benchmark::kMillisecond);
+
+void BM_DependencyGraphBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DependencyGraph::build(suite_program()));
+  }
+}
+BENCHMARK(BM_DependencyGraphBuild);
+
+void BM_ExecutionOrderBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecutionOrderGraph::build(suite_program()));
+  }
+}
+BENCHMARK(BM_ExecutionOrderBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

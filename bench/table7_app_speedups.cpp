@@ -1,0 +1,46 @@
+// Table VII — whole-application speedups after kernel fusion.
+//
+//   paper:            K40     K20X
+//   SCALE-LES        1.35x   1.32x     (problem size 1280x32x32)
+//   HOMME            1.20x   1.18x     (dycore kernels only)
+#include "bench_common.hpp"
+
+int main() {
+  using namespace kf;
+  const bool small = bench::small_scale();
+  bench::print_header("Table VII: SCALE-LES and HOMME speedups after kernel fusion",
+                      "paper Table VII");
+
+  TextTable table({"Application", "Device", "before", "after", "speedup", "paper"});
+  struct Case {
+    const char* name;
+    Program program;
+    double paper_k40;
+    double paper_k20x;
+  };
+  Case cases[] = {{"SCALE-LES", scale_les(), 1.35, 1.32},
+                  {"HOMME", homme(), 1.20, 1.18}};
+
+  for (Case& c : cases) {
+    for (const DeviceSpec& device : {DeviceSpec::k40(), DeviceSpec::k20x()}) {
+      bench::BenchPipeline pipe(c.program, device);
+      HggaConfig cfg;
+      cfg.population = 100;
+      cfg.max_generations = small ? 150 : 600;
+      cfg.stall_generations = small ? 50 : 150;
+      cfg.seed = 0x7ab1e7;
+      const SearchResult result = pipe.search(cfg);
+      const double before = pipe.baseline_time();
+      const double after = pipe.measured_time(result.best);
+      const double paper = device.name == "K40" ? c.paper_k40 : c.paper_k20x;
+      table.add(c.name, device.name, human_time(before), human_time(after),
+                fixed(before / after, 2) + "x", fixed(paper, 2) + "x");
+    }
+  }
+  std::cout << table;
+  std::cout << "\nShape checks (paper Table VII): SCALE-LES gains more than\n"
+               "HOMME (denser reuse, Table I); K40 edges out K20X (more SMXs\n"
+               "and bandwidth headroom). Absolute factors should land near\n"
+               "the paper's 1.2x-1.35x band.\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "apps/cloverleaf.hpp"
+
+namespace kf {
+
+Program cloverleaf(GridDims grid, LaunchConfig launch) {
+  Program program("cloverleaf_step", grid, launch);
+
+  const ArrayId density0 = program.add_array("density0");
+  const ArrayId energy0 = program.add_array("energy0");
+  const ArrayId pressure = program.add_array("pressure");
+  const ArrayId soundspeed = program.add_array("soundspeed");
+  const ArrayId viscosity = program.add_array("viscosity");
+  const ArrayId xvel0 = program.add_array("xvel0");
+  const ArrayId yvel0 = program.add_array("yvel0");
+  const ArrayId xvel1 = program.add_array("xvel1");
+  const ArrayId yvel1 = program.add_array("yvel1");
+  const ArrayId vol_flux_x = program.add_array("vol_flux_x");
+  const ArrayId vol_flux_y = program.add_array("vol_flux_y");
+  const ArrayId mass_flux_x = program.add_array("mass_flux_x");
+  const ArrayId mass_flux_y = program.add_array("mass_flux_y");
+  const ArrayId pre_vol = program.add_array("pre_vol");
+  const ArrayId density1 = program.add_array("density1");
+  const ArrayId energy1 = program.add_array("energy1");
+  const ArrayId dt_field = program.add_array("dt_field");
+
+  const Offset c{0, 0, 0};
+  const Offset xm{-1, 0, 0};
+  const Offset xp{1, 0, 0};
+  const Offset ym{0, -1, 0};
+  const Offset yp{0, 1, 0};
+
+  auto ld = [](ArrayId a, Offset o) { return Expr::load(a, o); };
+  auto k = [](double v) { return Expr::constant(v); };
+
+  auto add = [&](const char* name, std::vector<StencilStatement> body, int regs) {
+    KernelInfo kern;
+    kern.name = name;
+    kern.body = std::move(body);
+    kern.derive_metadata_from_body();
+    kern.regs_per_thread = regs;
+    kern.addr_regs = 10;
+    program.add_kernel(std::move(kern));
+  };
+
+  // 1. Equation of state: p = (gamma-1) * rho * e; c_s^2 ~ gamma * p / rho.
+  add("ideal_gas",
+      {{pressure, k(0.4) * ld(density0, c) * ld(energy0, c)},
+       {soundspeed, k(1.4) * (k(0.4) * ld(density0, c) * ld(energy0, c)) /
+                        ld(density0, c)}},
+      24);
+
+  // 2. Artificial viscosity from velocity gradients and pressure curvature.
+  add("viscosity_kernel",
+      {{viscosity,
+        k(0.1) * ((ld(xvel0, xp) - ld(xvel0, c)) * (ld(xvel0, xp) - ld(xvel0, c)) +
+                  (ld(yvel0, yp) - ld(yvel0, c)) * (ld(yvel0, yp) - ld(yvel0, c))) *
+            (ld(pressure, c) + k(0.25) * (ld(pressure, xm) + ld(pressure, xp) +
+                                          ld(pressure, ym) + ld(pressure, yp)))}},
+      42);
+
+  // 3. Timestep control field (reduction input).
+  add("calc_dt",
+      {{dt_field, Expr::min(ld(soundspeed, c) + ld(viscosity, c),
+                            Expr::max(ld(xvel0, c), ld(yvel0, c)) + k(0.5))}},
+      22);
+
+  // 4. Cell volume change from the velocity field (PdV predictor).
+  add("pdv_predict",
+      {{pre_vol, k(1.0) + k(0.01) * ((ld(xvel0, xp) - ld(xvel0, c)) +
+                                     (ld(yvel0, yp) - ld(yvel0, c)))}},
+      26);
+
+  // 5. PdV update of density and energy.
+  add("pdv_update",
+      {{density1, ld(density0, c) * ld(pre_vol, c)},
+       {energy1, ld(energy0, c) -
+                     k(0.01) * ld(pressure, c) * (ld(pre_vol, c) - k(1.0))}},
+      30);
+
+  // 6/7. Acceleration by pressure + viscosity gradients.
+  add("accelerate_x",
+      {{xvel1, ld(xvel0, c) - k(0.02) * ((ld(pressure, c) - ld(pressure, xm)) +
+                                         (ld(viscosity, c) - ld(viscosity, xm)))}},
+      30);
+  add("accelerate_y",
+      {{yvel1, ld(yvel0, c) - k(0.02) * ((ld(pressure, c) - ld(pressure, ym)) +
+                                         (ld(viscosity, c) - ld(viscosity, ym)))}},
+      30);
+
+  // 8/9. Volume fluxes on cell faces.
+  add("flux_calc_x",
+      {{vol_flux_x, k(0.25) * (ld(xvel0, c) + ld(xvel0, xm) + ld(xvel1, c) +
+                               ld(xvel1, xm))}},
+      24);
+  add("flux_calc_y",
+      {{vol_flux_y, k(0.25) * (ld(yvel0, c) + ld(yvel0, ym) + ld(yvel1, c) +
+                               ld(yvel1, ym))}},
+      24);
+
+  // 10/11. Donor-cell mass fluxes.
+  add("advec_mass_x",
+      {{mass_flux_x, ld(vol_flux_x, c) * (k(0.5) * (ld(density1, c) + ld(density1, xm)))}},
+      28);
+  add("advec_mass_y",
+      {{mass_flux_y, ld(vol_flux_y, c) * (k(0.5) * (ld(density1, c) + ld(density1, ym)))}},
+      28);
+
+  // 12/13. Advection updates rewrite the step inputs (expandable arrays).
+  add("advec_cell_density",
+      {{density0, ld(density1, c) + k(0.01) * ((ld(mass_flux_x, c) - ld(mass_flux_x, xp)) +
+                                               (ld(mass_flux_y, c) - ld(mass_flux_y, yp)))}},
+      34);
+  add("advec_cell_energy",
+      {{energy0, ld(energy1, c) + k(0.01) * ((ld(mass_flux_x, c) - ld(mass_flux_x, xp)) *
+                                                 ld(energy1, xm) +
+                                             (ld(mass_flux_y, c) - ld(mass_flux_y, yp)) *
+                                                 ld(energy1, ym))}},
+      38);
+
+  // 14. Velocity reset for the next step (also expandable rewrites).
+  add("reset_field",
+      {{xvel0, ld(xvel1, c)}, {yvel0, ld(yvel1, c)}}, 18);
+
+  // 15/16. Start of the next step: pressure/soundspeed/viscosity get their
+  // second write generation — genuine expandable read-write arrays.
+  add("ideal_gas_next",
+      {{pressure, k(0.4) * ld(density0, c) * ld(energy0, c)},
+       {soundspeed, k(1.4) * (k(0.4) * ld(density0, c) * ld(energy0, c)) /
+                        ld(density0, c)}},
+      24);
+  add("viscosity_next",
+      {{viscosity,
+        k(0.1) * ((ld(xvel0, xp) - ld(xvel0, c)) * (ld(xvel0, xp) - ld(xvel0, c)) +
+                  (ld(yvel0, yp) - ld(yvel0, c)) * (ld(yvel0, yp) - ld(yvel0, c))) *
+            (ld(pressure, c) + k(0.25) * (ld(pressure, xm) + ld(pressure, xp) +
+                                          ld(pressure, ym) + ld(pressure, yp)))}},
+      42);
+
+  program.validate();
+  return program;
+}
+
+}  // namespace kf

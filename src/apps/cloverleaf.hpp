@@ -1,0 +1,19 @@
+// A concrete CloverLeaf-style hydrodynamics step (paper §VI-B.1).
+//
+// Fourteen kernels of one Lagrangian-Eulerian timestep of the compressible
+// Euler equations on a 2D Cartesian grid (nz = 1), with executable bodies:
+// equation of state, viscosity, timestep reduction, PdV, acceleration,
+// volume/mass fluxes, cell advection and field reset. The reset kernels
+// rewrite the step's input fields, giving the program genuine expandable
+// read-write arrays. The standard problem size is 960^2 cells (the paper's
+// 962^2 without the halo shell).
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace kf {
+
+Program cloverleaf(GridDims grid = GridDims{960, 960, 1},
+                   LaunchConfig launch = LaunchConfig{32, 4});
+
+}  // namespace kf

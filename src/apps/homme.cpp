@@ -1,0 +1,33 @@
+#include "apps/homme.hpp"
+
+#include "apps/synthetic.hpp"
+
+namespace kf {
+
+Program homme(GridDims grid, LaunchConfig launch) {
+  SyntheticSpec spec;
+  spec.name = "homme";
+  spec.kernels = 43;
+  spec.arrays = 27;
+  spec.grid = grid;
+  spec.launch = launch;
+  spec.seed = 0x40113e;
+  // Sparser sharing than SCALE-LES and stronger producer chains: the
+  // spectral-element dycore passes state linearly through its stages, so
+  // less traffic is reducible (~21%, Table I).
+  spec.reuse_bias = 0.40;
+  spec.producer_bias = 0.5;
+  spec.producer_window = 6;
+  spec.expandable = 4;
+  spec.rewrite_accumulate_prob = 0.25;
+  spec.phases = 10;
+  spec.thread_load = 8;
+  spec.center_read_fraction = 0.45;
+  spec.regs_base = 38;
+  spec.regs_per_load = 3;
+  spec.min_inputs = 2;
+  spec.max_inputs = 3;
+  return build_synthetic(spec);
+}
+
+}  // namespace kf

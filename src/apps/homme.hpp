@@ -1,0 +1,21 @@
+// CAM-HOMME dynamical-core model (paper §VI-B.2).
+//
+// Statistical model of the GPU-ported HOMME dynamical core: 43 kernels
+// over 27 arrays (Table I), with a sparser sharing structure than
+// SCALE-LES — the paper reports only ~21% reducible traffic and a smaller
+// best fusion (22 of 43 kernels into 9).
+//
+// The paper quotes a 4x26x101 spectral-element problem (np=4, 26 levels,
+// 101 elements); as a flat finite-difference grid that is degenerate, so
+// the model uses an equivalent-site-count grid of 208x32x26 (~173k sites,
+// matching nelem*np^2 columns x nlev levels). Documented in DESIGN.md.
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace kf {
+
+Program homme(GridDims grid = GridDims{208, 32, 26},
+              LaunchConfig launch = LaunchConfig{32, 4});
+
+}  // namespace kf

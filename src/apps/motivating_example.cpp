@@ -1,0 +1,113 @@
+#include "apps/motivating_example.hpp"
+
+#include "util/error.hpp"
+
+namespace kf {
+
+Program motivating_example(GridDims grid, LaunchConfig launch) {
+  Program program("fig3_motivating_example", grid, launch);
+
+  const ArrayId A = program.add_array("A");
+  const ArrayId B = program.add_array("B");
+  const ArrayId C = program.add_array("C");
+  const ArrayId D = program.add_array("D");
+  const ArrayId Mx = program.add_array("Mx");
+  const ArrayId Mn = program.add_array("Mn");
+  const ArrayId R = program.add_array("R");
+  const ArrayId T = program.add_array("T");
+  const ArrayId V = program.add_array("V");
+  const ArrayId W = program.add_array("W");
+  const ArrayId P = program.add_array("P");
+  const ArrayId Q = program.add_array("Q");
+  const ArrayId U = program.add_array("U");
+
+  const double dtr = 0.25;
+  const Offset c{0, 0, 0};
+  const Offset xm{-1, 0, 0};
+  const Offset ym{0, -1, 0};
+  const Offset xym{-1, -1, 0};
+
+  auto ld = [](ArrayId a, Offset o) { return Expr::load(a, o); };
+  auto k = [](double v) { return Expr::constant(v); };
+
+  // Listing 1 — Kern_A: A = B + C;  D = dtr*(A + A(-1,0) + A(0,-1) + A(-1,-1))
+  {
+    KernelInfo kern;
+    kern.name = "Kern_A";
+    kern.body.push_back({A, ld(B, c) + ld(C, c)});
+    kern.body.push_back(
+        {D, k(dtr) * (ld(A, c) + ld(A, xm) + ld(A, ym) + ld(A, xym))});
+    kern.derive_metadata_from_body();
+    kern.regs_per_thread = 40;
+    kern.addr_regs = 10;
+    program.add_kernel(std::move(kern));
+  }
+
+  // Listing 2 — Kern_B: Mx/Mn from backward differences of A.
+  {
+    KernelInfo kern;
+    kern.name = "Kern_B";
+    kern.body.push_back({Mx, k(dtr) * ((ld(A, xm) - ld(A, c)) + (ld(A, ym) - ld(A, c)) +
+                                       (ld(A, xym) - ld(A, c)))});
+    kern.body.push_back({Mn, k(dtr) * ((ld(A, c) - ld(A, xm)) + (ld(A, c) - ld(A, ym)) +
+                                       (ld(A, c) - ld(A, xym)))});
+    kern.derive_metadata_from_body();
+    kern.regs_per_thread = 48;
+    kern.addr_regs = 10;
+    program.add_kernel(std::move(kern));
+  }
+
+  // Listing 3 — Kern_C: R = T(-1,0) + T + T(0,-1);  W = min(V(-1,0), V)
+  {
+    KernelInfo kern;
+    kern.name = "Kern_C";
+    kern.body.push_back({R, ld(T, xm) + ld(T, c) + ld(T, ym)});
+    kern.body.push_back({W, Expr::min(ld(V, xm), ld(V, c))});
+    kern.derive_metadata_from_body();
+    kern.regs_per_thread = 120;
+    kern.addr_regs = 10;
+    program.add_kernel(std::move(kern));
+  }
+
+  // Listing 4 — Kern_D: P = (Q(-1,0)*Q(0,-1)/Q) + (Q/Q(-1,0)*Q(0,-1))
+  {
+    KernelInfo kern;
+    kern.name = "Kern_D";
+    kern.body.push_back({P, (ld(Q, xm) * ld(Q, ym) / ld(Q, c)) +
+                                (ld(Q, c) / ld(Q, xm) * ld(Q, ym))});
+    kern.derive_metadata_from_body();
+    kern.regs_per_thread = 110;
+    kern.addr_regs = 10;
+    program.add_kernel(std::move(kern));
+  }
+
+  // Listing 5 — Kern_E:
+  // U = (T(-1,0)+T+T(0,-1)) - (Q*(Q(-1,0)-Q(0,-1))) * (V(-1,0)/V)
+  {
+    KernelInfo kern;
+    kern.name = "Kern_E";
+    kern.body.push_back({U, (ld(T, xm) + ld(T, c) + ld(T, ym)) -
+                                (ld(Q, c) * (ld(Q, xm) - ld(Q, ym))) *
+                                    (ld(V, xm) / ld(V, c))});
+    kern.derive_metadata_from_body();
+    kern.regs_per_thread = 140;
+    kern.addr_regs = 10;
+    program.add_kernel(std::move(kern));
+  }
+
+  program.validate();
+  return program;
+}
+
+FusionPlan motivating_plan(const Program& program) {
+  const KernelId a = program.find_kernel("Kern_A");
+  const KernelId b = program.find_kernel("Kern_B");
+  const KernelId c = program.find_kernel("Kern_C");
+  const KernelId d = program.find_kernel("Kern_D");
+  const KernelId e = program.find_kernel("Kern_E");
+  KF_REQUIRE(a >= 0 && b >= 0 && c >= 0 && d >= 0 && e >= 0,
+             "program is not the motivating example");
+  return FusionPlan::from_groups(program.num_kernels(), {{a, b}, {c, d, e}});
+}
+
+}  // namespace kf

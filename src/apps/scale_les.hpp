@@ -1,0 +1,30 @@
+// SCALE-LES models (paper §II-B.1, §VI-B.2).
+//
+// Two levels of fidelity:
+//
+//  * scale_les_rk18() — the 18-kernel 3rd-order Runge-Kutta routine of
+//    Figs. 1-2, hand-built with executable bodies: velocity diagnostics,
+//    pressure/potential-temperature, flux kernels writing the expandable
+//    QFLX/SFLX arrays twice (K_8 -> K_10 and K_12 -> K_14 in the paper's
+//    numbering), tendency kernels and RK updates.
+//
+//  * scale_les() — the full dynamical core's statistical model: 142 kernels
+//    over 64 arrays (Table I), generated synthetically with the dependency
+//    shape tuned so that the reducible-traffic bound lands near the paper's
+//    41%. Metadata-only (no bodies): exactly what the search and the
+//    projection model consume.
+//
+// The paper's single-node problem size 1280x32x32 is used for both.
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace kf {
+
+Program scale_les_rk18(GridDims grid = GridDims{1280, 32, 32},
+                       LaunchConfig launch = LaunchConfig{32, 4});
+
+Program scale_les(GridDims grid = GridDims{1280, 32, 32},
+                  LaunchConfig launch = LaunchConfig{32, 4});
+
+}  // namespace kf

@@ -1,0 +1,128 @@
+#include "apps/shallow_water.hpp"
+
+namespace kf {
+
+Program shallow_water(GridDims grid, LaunchConfig launch) {
+  Program program("shallow_water_step", grid, launch);
+
+  const ArrayId h = program.add_array("h");
+  const ArrayId hu = program.add_array("hu");
+  const ArrayId hv = program.add_array("hv");
+  const ArrayId bed = program.add_array("bed");      // bathymetry, read-only
+  const ArrayId fh_x = program.add_array("fh_x");    // fluxes (expandable: 2 stages)
+  const ArrayId fh_y = program.add_array("fh_y");
+  const ArrayId fu_x = program.add_array("fu_x");
+  const ArrayId fu_y = program.add_array("fu_y");
+  const ArrayId fv_x = program.add_array("fv_x");
+  const ArrayId fv_y = program.add_array("fv_y");
+  const ArrayId src_u = program.add_array("src_u");
+  const ArrayId src_v = program.add_array("src_v");
+  const ArrayId h1 = program.add_array("h1");        // stage-1 state
+  const ArrayId hu1 = program.add_array("hu1");
+  const ArrayId hv1 = program.add_array("hv1");
+  const ArrayId speed = program.add_array("speed");  // diagnostic, write-only
+
+  const double dt = 0.01;
+  const double g = 9.81;
+  const double cf = 0.002;
+  const Offset c{0, 0, 0};
+  const Offset xm{-1, 0, 0};
+  const Offset xp{1, 0, 0};
+  const Offset ym{0, -1, 0};
+  const Offset yp{0, 1, 0};
+
+  auto ld = [](ArrayId a, Offset o) { return Expr::load(a, o); };
+  auto k = [](double v) { return Expr::constant(v); };
+
+  auto add = [&](const char* name, std::vector<StencilStatement> body, int regs) {
+    KernelInfo kern;
+    kern.name = name;
+    kern.body = std::move(body);
+    kern.derive_metadata_from_body();
+    kern.regs_per_thread = regs;
+    kern.addr_regs = 10;
+    program.add_kernel(std::move(kern));
+  };
+
+  // Face fluxes use an upwind-flavoured average of the two adjacent cells.
+  auto flux_x = [&](ArrayId q) {
+    return k(0.5) * (ld(q, c) + ld(q, xm)) -
+           k(0.1) * (ld(q, c) - ld(q, xm));
+  };
+  auto flux_y = [&](ArrayId q) {
+    return k(0.5) * (ld(q, c) + ld(q, ym)) -
+           k(0.1) * (ld(q, c) - ld(q, ym));
+  };
+
+  // ---- stage 1: fluxes of the current state ----
+  add("swe_fh_x", {{fh_x, flux_x(hu)}}, 26);
+  add("swe_fh_y", {{fh_y, flux_y(hv)}}, 26);
+  add("swe_fu_x",
+      {{fu_x, flux_x(hu) * flux_x(hu) / (k(0.5) * (ld(h, c) + ld(h, xm))) +
+                  k(0.5 * g) * (k(0.5) * (ld(h, c) + ld(h, xm))) *
+                      (k(0.5) * (ld(h, c) + ld(h, xm)))}},
+      44);
+  add("swe_fu_y", {{fu_y, flux_y(hu) * flux_y(hv) / (k(0.5) * (ld(h, c) + ld(h, ym)))}},
+      40);
+  add("swe_fv_x", {{fv_x, flux_x(hv) * flux_x(hu) / (k(0.5) * (ld(h, c) + ld(h, xm)))}},
+      40);
+  add("swe_fv_y",
+      {{fv_y, flux_y(hv) * flux_y(hv) / (k(0.5) * (ld(h, c) + ld(h, ym))) +
+                  k(0.5 * g) * (k(0.5) * (ld(h, c) + ld(h, ym))) *
+                      (k(0.5) * (ld(h, c) + ld(h, ym)))}},
+      44);
+
+  // ---- sources: bed slope + friction ----
+  add("swe_src_u",
+      {{src_u, k(-g) * ld(h, c) * (ld(bed, xp) - ld(bed, xm)) * k(0.5) -
+                   k(cf) * ld(hu, c)}},
+      30);
+  add("swe_src_v",
+      {{src_v, k(-g) * ld(h, c) * (ld(bed, yp) - ld(bed, ym)) * k(0.5) -
+                   k(cf) * ld(hv, c)}},
+      30);
+
+  // ---- stage-1 update into the provisional state ----
+  add("swe_update1_h",
+      {{h1, ld(h, c) - k(dt) * ((ld(fh_x, xp) - ld(fh_x, c)) +
+                                (ld(fh_y, yp) - ld(fh_y, c)))}},
+      34);
+  add("swe_update1_hu",
+      {{hu1, ld(hu, c) - k(dt) * ((ld(fu_x, xp) - ld(fu_x, c)) +
+                                  (ld(fu_y, yp) - ld(fu_y, c)) - ld(src_u, c))}},
+      36);
+  add("swe_update1_hv",
+      {{hv1, ld(hv, c) - k(dt) * ((ld(fv_x, xp) - ld(fv_x, c)) +
+                                  (ld(fv_y, yp) - ld(fv_y, c)) - ld(src_v, c))}},
+      36);
+
+  // ---- stage 2: recompute the h fluxes from the provisional state
+  //      (second write generation of fh_x / fh_y -> expandable) ----
+  add("swe_fh_x_2", {{fh_x, k(0.5) * (ld(hu1, c) + ld(hu1, xm)) -
+                               k(0.1) * (ld(hu1, c) - ld(hu1, xm))}},
+      26);
+  add("swe_fh_y_2", {{fh_y, k(0.5) * (ld(hv1, c) + ld(hv1, ym)) -
+                               k(0.1) * (ld(hv1, c) - ld(hv1, ym))}},
+      26);
+
+  // ---- final update averages the stages (rewrites the prognostics) ----
+  add("swe_update2_h",
+      {{h, k(0.5) * (ld(h, c) + ld(h1, c)) -
+               k(0.5 * dt) * ((ld(fh_x, xp) - ld(fh_x, c)) +
+                              (ld(fh_y, yp) - ld(fh_y, c)))}},
+      34);
+  add("swe_update2_hu",
+      {{hu, k(0.5) * (ld(hu, c) + ld(hu1, c)) + k(0.5 * dt) * ld(src_u, c)}}, 28);
+  add("swe_update2_hv",
+      {{hv, k(0.5) * (ld(hv, c) + ld(hv1, c)) + k(0.5 * dt) * ld(src_v, c)}}, 28);
+
+  // ---- diagnostic ----
+  add("swe_speed",
+      {{speed, (ld(hu, c) * ld(hu, c) + ld(hv, c) * ld(hv, c)) / (ld(h, c) * ld(h, c))}},
+      24);
+
+  program.validate();
+  return program;
+}
+
+}  // namespace kf

@@ -1,0 +1,21 @@
+// A 2D shallow-water equations (SWE) solver step — a second hand-written,
+// fully executable workload alongside CloverLeaf.
+//
+// One two-stage Runge-Kutta step of the conservative SWE on a Cartesian
+// grid: height h and momenta hu, hv; per stage: face fluxes in x and y for
+// all three fields (donor-cell style), a bed-friction source, and the
+// update. The second stage rewrites the stage-1 flux arrays, making them
+// genuine expandable read-write arrays, and the final update rewrites the
+// prognostic fields. 17 kernels over 16 arrays with dense, realistic
+// sharing — a good stress case for complex fusions (every flux kernel's
+// output is consumed at offset by the update).
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace kf {
+
+Program shallow_water(GridDims grid = GridDims{512, 512, 1},
+                      LaunchConfig launch = LaunchConfig{32, 4});
+
+}  // namespace kf

@@ -1,0 +1,193 @@
+#include "apps/synthetic.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace kf {
+namespace {
+
+/// Builds a WeightedSum-style expression over the chosen loads.
+Expr body_expr(Rng& rng, const std::vector<std::pair<ArrayId, StencilPattern>>& reads) {
+  Expr acc;
+  bool first = true;
+  for (const auto& [array, pattern] : reads) {
+    for (const Offset& o : pattern.offsets()) {
+      const double coef = 0.125 + 0.5 * rng.next_double();
+      Expr term = Expr::constant(coef) * Expr::load(array, o);
+      acc = first ? term : (rng.next_bool(0.1) ? Expr::max(acc, term) : acc + term);
+      first = false;
+    }
+  }
+  if (first) acc = Expr::constant(1.0);
+  return acc;
+}
+
+}  // namespace
+
+Program build_synthetic(const SyntheticSpec& spec) {
+  KF_REQUIRE(spec.kernels >= 1, "need at least one kernel");
+  KF_REQUIRE(spec.arrays >= 2, "need at least two arrays");
+  KF_REQUIRE(spec.min_inputs >= 1 && spec.max_inputs >= spec.min_inputs,
+             "bad input count range");
+
+  Rng rng(spec.seed);
+  Program program(spec.name, spec.grid, spec.launch);
+
+  for (int a = 0; a < spec.arrays; ++a) {
+    program.add_array(strprintf("arr_%03d", a));
+  }
+
+  // Array bookkeeping.
+  std::vector<ArrayId> untouched;
+  for (ArrayId a = 0; a < spec.arrays; ++a) untouched.push_back(a);
+  rng.shuffle(untouched);
+  std::vector<ArrayId> touched;          // any prior use
+  std::vector<ArrayId> recent_writes;    // RAW sources, newest last
+  std::vector<ArrayId> written_once;     // candidates for expandable rewrites
+  int expandable_budget = spec.expandable;
+
+  auto draw_fresh = [&]() -> ArrayId {
+    if (untouched.empty()) return kInvalidArray;
+    const ArrayId a = untouched.back();
+    untouched.pop_back();
+    touched.push_back(a);
+    return a;
+  };
+  auto note_touch = [&](ArrayId a) {
+    if (std::find(touched.begin(), touched.end(), a) == touched.end()) {
+      touched.push_back(a);
+    }
+  };
+
+  KF_REQUIRE(spec.phases >= 1, "need at least one phase");
+  for (int ki = 0; ki < spec.kernels; ++ki) {
+    KernelInfo kernel;
+    kernel.name = strprintf("k_%03d", ki);
+    kernel.phase = ki * spec.phases / spec.kernels;
+
+    // ---- inputs ----
+    const int num_inputs =
+        static_cast<int>(rng.next_int(spec.min_inputs, spec.max_inputs));
+    std::set<ArrayId> used;
+    std::vector<std::pair<ArrayId, StencilPattern>> reads;
+    for (int i = 0; i < num_inputs; ++i) {
+      ArrayId a = kInvalidArray;
+      if (!recent_writes.empty() && rng.next_bool(spec.producer_bias)) {
+        const std::size_t window =
+            std::min<std::size_t>(recent_writes.size(),
+                                  static_cast<std::size_t>(spec.producer_window));
+        a = recent_writes[recent_writes.size() - 1 - rng.next_below(window)];
+      } else if (!touched.empty() && rng.next_bool(spec.reuse_bias)) {
+        a = touched[rng.next_below(touched.size())];
+      } else {
+        a = draw_fresh();
+        if (a == kInvalidArray && !touched.empty()) {
+          a = touched[rng.next_below(touched.size())];
+        }
+      }
+      if (a == kInvalidArray || used.contains(a)) continue;
+      used.insert(a);
+      note_touch(a);
+      StencilPattern pattern =
+          rng.next_bool(spec.center_read_fraction)
+              ? StencilPattern::point()
+              : StencilPattern::with_thread_load(
+                    std::max<int>(2, spec.thread_load +
+                                         static_cast<int>(rng.next_int(-1, 1))));
+      reads.emplace_back(a, std::move(pattern));
+    }
+    if (reads.empty()) {
+      // Guarantee at least one input.
+      ArrayId a = touched.empty() ? draw_fresh() : touched[rng.next_below(touched.size())];
+      KF_CHECK(a != kInvalidArray, "array pool exhausted with nothing touched");
+      used.insert(a);
+      note_touch(a);
+      reads.emplace_back(a, StencilPattern::with_thread_load(spec.thread_load));
+    }
+
+    // ---- output ----
+    ArrayId out = kInvalidArray;
+    const bool try_expandable = expandable_budget > 0 && !written_once.empty() &&
+                                rng.next_bool(0.25);
+    if (try_expandable) {
+      // Rewrite a previously written array -> expandable read-write class.
+      for (int attempt = 0; attempt < 4 && out == kInvalidArray; ++attempt) {
+        const ArrayId candidate = written_once[rng.next_below(written_once.size())];
+        if (!used.contains(candidate)) out = candidate;
+      }
+      if (out != kInvalidArray) --expandable_budget;
+    }
+    bool accumulate = false;
+    if (out == kInvalidArray) out = draw_fresh();
+    if (out == kInvalidArray) {
+      // Pool exhausted: accumulate into a touched array. A read-modify-
+      // write depends on the previous contents, so it cannot be relaxed by
+      // array expansion — exactly how a small array budget tightens the
+      // order of execution (the paper's Fig. 9 low-array-count effect).
+      for (int attempt = 0; attempt < 16 && out == kInvalidArray; ++attempt) {
+        const ArrayId candidate = touched[rng.next_below(touched.size())];
+        if (!used.contains(candidate)) out = candidate;
+      }
+      KF_CHECK(out != kInvalidArray, "could not pick an output array");
+      accumulate = rng.next_bool(spec.rewrite_accumulate_prob);
+    }
+    note_touch(out);
+    recent_writes.push_back(out);
+    if (std::find(written_once.begin(), written_once.end(), out) ==
+        written_once.end()) {
+      written_once.push_back(out);
+    }
+
+    // ---- metadata ----
+    int load_points = 0;
+    for (const auto& [array, pattern] : reads) {
+      ArrayAccess acc;
+      acc.array = array;
+      acc.mode = AccessMode::Read;
+      acc.pattern = pattern;
+      acc.flops = 2.0 * pattern.size();
+      kernel.accesses.push_back(std::move(acc));
+      load_points += pattern.size();
+    }
+    {
+      ArrayAccess acc;
+      acc.array = out;
+      acc.mode = accumulate ? AccessMode::ReadWrite : AccessMode::Write;
+      acc.pattern = StencilPattern::point();
+      acc.flops = accumulate ? 2.0 : 1.0;
+      kernel.accesses.push_back(std::move(acc));
+    }
+    kernel.flops_per_site = 2.0 * load_points + 1.0;
+    kernel.regs_per_thread = std::min(
+        180, spec.regs_base + spec.regs_per_load * load_points +
+                 static_cast<int>(rng.next_int(0, 6)));
+    kernel.addr_regs = 8 + static_cast<int>(rng.next_int(0, 4));
+
+    // ---- body ----
+    if (spec.with_bodies) {
+      StencilStatement stmt;
+      stmt.out = out;
+      stmt.expr = accumulate
+                      ? Expr::constant(0.5) * Expr::load(out) + body_expr(rng, reads)
+                      : body_expr(rng, reads);
+      kernel.body.push_back(std::move(stmt));
+      kernel.derive_metadata_from_body();
+      // derive_metadata_from_body resets regs/flops context; re-apply the
+      // register model (flops_per_site now reflects the actual expression).
+      kernel.regs_per_thread = std::min(
+          180, spec.regs_base + spec.regs_per_load * load_points +
+                   static_cast<int>(rng.next_int(0, 6)));
+    }
+
+    program.add_kernel(std::move(kernel));
+  }
+
+  program.validate();
+  return program;
+}
+
+}  // namespace kf

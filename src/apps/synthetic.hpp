@@ -1,0 +1,70 @@
+// Synthetic stencil-program generator.
+//
+// The paper's subjects — weather-model routines and the CloverLeaf-derived
+// test suite — share one statistical shape: a long kernel sequence over a
+// pool of grid arrays, with read-only physics inputs, producer/consumer
+// (RAW) chains, shared multi-reader arrays, and a few arrays rewritten by
+// several kernels (the expandable class). build_synthetic() draws programs
+// from that family under a seeded RNG; all app models (Table I zoo,
+// SCALE-LES, HOMME) and the Table V test suite are specific parameter
+// points of it. Small configurations can carry executable bodies so the
+// stencil engine can validate fusions end-to-end.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/program.hpp"
+
+namespace kf {
+
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  int kernels = 20;
+  int arrays = 40;
+  GridDims grid{256, 256, 32};
+  LaunchConfig launch{32, 4};
+  std::uint64_t seed = 42;
+
+  // ---- dependency-structure shape ----
+  /// Probability an input is drawn from recently *written* arrays
+  /// (creates RAW chains and order-of-execution constraints).
+  double producer_bias = 0.35;
+  /// Probability an input reuses an already-touched array (creates sharing
+  /// sets); otherwise a fresh array is drawn from the pool.
+  double reuse_bias = 0.75;
+  /// Window of recent writes that producer-biased inputs draw from.
+  int producer_window = 12;
+  int min_inputs = 2;
+  int max_inputs = 4;
+  /// Number of arrays that receive a second (or later) write generation —
+  /// the expandable read-write class.
+  int expandable = 3;
+  /// When the array pool is exhausted, a kernel's output reuses an array;
+  /// with this probability the reuse is an *accumulation* (read-modify-
+  /// write, unexpandable, serialising) rather than a pure overwrite
+  /// (expandable). Real codes mix both.
+  double rewrite_accumulate_prob = 0.5;
+  /// Program phases separated by host-transfer/communication barriers
+  /// (§II-C): kernels are split into this many contiguous chunks that can
+  /// never fuse across the boundary. Weather models synchronise (halo
+  /// exchange, I/O) between dynamical-core stages, so real apps have
+  /// several of these.
+  int phases = 1;
+
+  // ---- per-kernel characteristics ----
+  /// Target thread load of shared-array reads (Table V attribute).
+  int thread_load = 6;
+  /// Fraction of reads that are center-only (pass-through style).
+  double center_read_fraction = 0.35;
+  int regs_base = 22;
+  int regs_per_load = 2;
+
+  /// Generate executable bodies (WeightedSum/Min/Mul statements matching
+  /// the access patterns). Keep grids small when enabled.
+  bool with_bodies = false;
+};
+
+/// Deterministic for a given spec. The result passes Program::validate().
+Program build_synthetic(const SyntheticSpec& spec);
+
+}  // namespace kf

@@ -1,0 +1,60 @@
+#include "apps/testsuite.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace kf {
+
+Program make_testsuite_program(const TestSuiteConfig& config) {
+  SyntheticSpec spec;
+  spec.name = "cloverleaf_suite_" + testsuite_id(config);
+  spec.kernels = config.kernels;
+  spec.arrays = config.arrays;
+  spec.grid = config.grid;
+  spec.launch = config.launch;
+  spec.with_bodies = config.with_bodies;
+
+  // Seed mixes the attribute tuple so every benchmark is distinct but
+  // reproducible.
+  std::uint64_t seed = config.seed;
+  for (std::uint64_t v : {static_cast<std::uint64_t>(config.kernels),
+                          static_cast<std::uint64_t>(config.arrays),
+                          static_cast<std::uint64_t>(config.data_copies),
+                          static_cast<std::uint64_t>(config.sharing_set_size),
+                          static_cast<std::uint64_t>(config.thread_load),
+                          static_cast<std::uint64_t>(config.kinship)}) {
+    seed = mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL));
+  }
+  spec.seed = seed;
+
+  // ---- map Table V attributes onto the generator's shape parameters ----
+  spec.expandable = config.data_copies;
+  spec.rewrite_accumulate_prob = 0.7;
+  spec.thread_load = config.thread_load;
+
+  // Sharing-set cardinality: each kernel reads 2..4 arrays; the chance a
+  // read reuses a touched array controls how many kernels pile onto one
+  // array. |K(D)| ~ 1 + kernels*reads*reuse/arrays; solve for reuse_bias.
+  const double avg_reads = 0.5 * (spec.min_inputs + spec.max_inputs);
+  const double wanted = static_cast<double>(config.sharing_set_size - 1);
+  const double reuse = wanted * config.arrays /
+                       (static_cast<double>(config.kernels) * avg_reads);
+  spec.reuse_bias = std::clamp(reuse, 0.15, 0.95);
+
+  // Kinship: deeper producer chains come from a higher producer bias and a
+  // tighter window.
+  spec.producer_bias = std::clamp(0.12 * config.kinship, 0.15, 0.6);
+  spec.producer_window = std::max(4, 24 / config.kinship);
+
+  return build_synthetic(spec);
+}
+
+std::string testsuite_id(const TestSuiteConfig& config) {
+  return strprintf("k%d_a%d_c%d_s%d_t%d_kin%d", config.kernels, config.arrays,
+                   config.data_copies, config.sharing_set_size, config.thread_load,
+                   config.kinship);
+}
+
+}  // namespace kf

@@ -1,0 +1,54 @@
+// The CloverLeaf-derived test suite (paper Table V).
+//
+// A controlled family of benchmarks sweeping the attributes the paper
+// identifies as the performance-relevant dimensions of the fusion problem:
+//
+//   attribute          min  max  step
+//   #kernels            10  100    10
+//   #arrays             20  200    20
+//   #data copies         2   10     2   (expandable-array rewrites)
+//   sharing-set size     2    8     2
+//   avg thread load      4   12     4
+//   kinship              2    5     1
+//
+// Each benchmark is a deterministic SyntheticSpec instantiation seeded from
+// its attribute tuple.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+
+namespace kf {
+
+struct TestSuiteConfig {
+  int kernels = 20;
+  int arrays = 40;
+  int data_copies = 4;      ///< expandable-array rewrite count
+  int sharing_set_size = 4; ///< target |K(D)| for shared arrays
+  int thread_load = 8;      ///< average ThrLD of shared reads
+  int kinship = 3;          ///< target producer-chain depth
+  std::uint64_t seed = 1;
+  GridDims grid{512, 512, 32};
+  LaunchConfig launch{32, 4};
+  bool with_bodies = false;
+};
+
+/// Table V attribute bounds (for sweep drivers).
+struct TestSuiteRanges {
+  static constexpr int kernels_min = 10, kernels_max = 100, kernels_step = 10;
+  static constexpr int arrays_min = 20, arrays_max = 200, arrays_step = 20;
+  static constexpr int copies_min = 2, copies_max = 10, copies_step = 2;
+  static constexpr int sharing_min = 2, sharing_max = 8, sharing_step = 2;
+  static constexpr int load_min = 4, load_max = 12, load_step = 4;
+  static constexpr int kinship_min = 2, kinship_max = 5, kinship_step = 1;
+};
+
+/// Builds one benchmark of the suite.
+Program make_testsuite_program(const TestSuiteConfig& config);
+
+/// Short id string like "k20_a40_c4_s4_t8_kin3" (for report rows).
+std::string testsuite_id(const TestSuiteConfig& config);
+
+}  // namespace kf

@@ -1,0 +1,89 @@
+#include "apps/weather_zoo.hpp"
+
+#include "apps/homme.hpp"
+#include "apps/scale_les.hpp"
+#include "apps/synthetic.hpp"
+
+namespace kf {
+namespace {
+
+SyntheticSpec base_spec(const char* name, int kernels, int arrays, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = name;
+  spec.kernels = kernels;
+  spec.arrays = arrays;
+  spec.grid = GridDims{512, 64, 40};
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace
+
+Program wrf() {
+  // WRF: large kernel count, moderate sharing, long time-split chains -> 24%.
+  SyntheticSpec spec = base_spec("wrf", 122, 46, 0x13f2a7);
+  spec.reuse_bias = 0.40;
+  spec.producer_bias = 0.32;
+  spec.producer_window = 8;
+  spec.expandable = 6;
+  spec.rewrite_accumulate_prob = 0.22;
+  spec.phases = 14;
+  spec.thread_load = 6;
+  spec.center_read_fraction = 0.40;
+  return build_synthetic(spec);
+}
+
+Program asuca() {
+  // ASUCA: already heavily hand-fused GPU port; little sharing left -> 17%.
+  SyntheticSpec spec = base_spec("asuca", 115, 58, 0xa57ca);
+  spec.reuse_bias = 0.20;
+  spec.producer_bias = 0.30;
+  spec.producer_window = 5;
+  spec.expandable = 3;
+  spec.rewrite_accumulate_prob = 0.3;
+  spec.phases = 20;
+  spec.thread_load = 5;
+  spec.center_read_fraction = 0.50;
+  return build_synthetic(spec);
+}
+
+Program mitgcm() {
+  // MITgcm: ocean dycore, few arrays shared across many kernels -> 22%.
+  SyntheticSpec spec = base_spec("mitgcm", 94, 31, 0x3179c3);
+  spec.reuse_bias = 0.38;
+  spec.producer_bias = 0.36;
+  spec.producer_window = 7;
+  spec.expandable = 4;
+  spec.rewrite_accumulate_prob = 0.25;
+  spec.phases = 14;
+  spec.thread_load = 6;
+  spec.center_read_fraction = 0.42;
+  return build_synthetic(spec);
+}
+
+Program cosmo() {
+  // COSMO: compact dycore with dense array reuse -> 38%.
+  SyntheticSpec spec = base_spec("cosmo", 35, 24, 0xc05310);
+  spec.reuse_bias = 0.62;
+  spec.producer_bias = 0.33;
+  spec.producer_window = 10;
+  spec.expandable = 4;
+  spec.rewrite_accumulate_prob = 0.05;
+  spec.phases = 3;
+  spec.thread_load = 7;
+  spec.center_read_fraction = 0.30;
+  return build_synthetic(spec);
+}
+
+std::vector<WeatherAppEntry> weather_zoo() {
+  std::vector<WeatherAppEntry> zoo;
+  zoo.push_back({"SCALE-LES", scale_les(), 41.0});
+  zoo.push_back({"WRF", wrf(), 24.0});
+  zoo.push_back({"ASUCA", asuca(), 17.0});
+  zoo.push_back({"MITgcm", mitgcm(), 22.0});
+  zoo.push_back({"HOMME", homme(), 21.0});
+  zoo.push_back({"COSMO", cosmo(), 38.0});
+  return zoo;
+}
+
+}  // namespace kf

@@ -1,0 +1,202 @@
+#include "fusion/fused_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "gpu/device_spec.hpp"
+#include "util/error.hpp"
+
+namespace kf {
+
+FusedKernelBuilder::FusedKernelBuilder(const Program& program, FusionCostParams params)
+    : program_(program), params_(params) {
+  KF_REQUIRE(params_.secondary_reg_fraction >= 0.0 && params_.secondary_reg_fraction <= 1.0,
+             "secondary_reg_fraction out of range");
+}
+
+LaunchDescriptor FusedKernelBuilder::build(std::span<const KernelId> group) const {
+  KF_REQUIRE(!group.empty(), "cannot build a descriptor for an empty group");
+  std::vector<KernelId> members(group.begin(), group.end());
+  std::sort(members.begin(), members.end());  // invocation order
+  if (members.size() == 1) return descriptor_for_original(program_, members[0]);
+
+  LaunchDescriptor d;
+  d.members = members;
+  {
+    std::ostringstream os;
+    os << "F[";
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i) os << '+';
+      os << program_.kernel(members[i]).name;
+    }
+    os << ']';
+    d.name = os.str();
+  }
+
+  // ---- pivot arrays: arrays touched by >= 2 members ----
+  std::map<ArrayId, int> touches;
+  for (KernelId k : members) {
+    for (const ArrayAccess& acc : program_.kernel(k).accesses) {
+      ++touches[acc.array];
+    }
+  }
+  for (const auto& [array, count] : touches) {
+    if (count >= 2) d.pivot_arrays.push_back(array);
+  }
+
+  // §II-C: offload program-wide read-only shared arrays to the read-only
+  // (texture) cache, widest tiles first, while the cache budget lasts —
+  // each offload frees a full SMEM tile.
+  if (params_.rocache_bytes != 0) {
+    const long budget = params_.rocache_bytes < 0
+                            ? DeviceSpec::k20x().readonly_cache_per_smx
+                            : params_.rocache_bytes;
+    long used = 0;
+    std::vector<ArrayId> keep;
+    for (ArrayId a : d.pivot_arrays) {
+      bool eligible = program_.array(a).readonly_cache_eligible;
+      for (KernelId k = 0; eligible && k < program_.num_kernels(); ++k) {
+        eligible = !program_.kernel(k).writes(a);
+      }
+      const long tile_bytes =
+          static_cast<long>(program_.launch().threads_per_block() *
+                            halo_area_factor(program_.launch(), 1)) *
+          program_.array(a).elem_bytes;
+      if (eligible && used + tile_bytes <= budget) {
+        d.rocache_arrays.push_back(a);
+        used += tile_bytes;
+      } else {
+        keep.push_back(a);
+      }
+    }
+    d.pivot_arrays = std::move(keep);
+  }
+
+  // ---- complex-fusion analysis ----
+  // For each pivot, find producer members and consumer members after them.
+  // An offset (radius > 0) read of a produced pivot forces a barrier and a
+  // recomputed halo; a center-only read is passed through SMEM/registers
+  // with a barrier but no halo.
+  std::set<ArrayId> produced;
+  std::set<KernelId> halo_computers;  // members whose work is redone on halo sites
+  int sync_boundaries = 0;
+  int consumer_halo = 0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const KernelInfo& kernel = program_.kernel(members[i]);
+    bool needs_sync_before = false;
+    for (const ArrayAccess& acc : kernel.accesses) {
+      if (acc.is_read() && produced.contains(acc.array)) {
+        needs_sync_before = true;
+        const int r = acc.pattern.horizontal_radius();
+        if (r > 0) {
+          consumer_halo = std::max(consumer_halo, r);
+          // Every earlier producer of this array must recompute halo sites.
+          for (std::size_t j = 0; j < i; ++j) {
+            if (program_.kernel(members[j]).writes(acc.array)) {
+              halo_computers.insert(members[j]);
+            }
+          }
+        }
+      }
+    }
+    if (needs_sync_before) ++sync_boundaries;
+    for (const ArrayAccess& acc : kernel.accesses) {
+      if (acc.is_write() &&
+          std::find(d.pivot_arrays.begin(), d.pivot_arrays.end(), acc.array) !=
+              d.pivot_arrays.end()) {
+        produced.insert(acc.array);
+      }
+    }
+  }
+  d.recompute_halo = consumer_halo > 0;
+
+  // ---- staging halo radius ----
+  // Pivot tiles are staged wide enough for the widest read of any pivot by
+  // any member, plus the recompute radius when halo sites must themselves
+  // be produced from staged inputs.
+  int stage_radius = 0;
+  for (KernelId k : members) {
+    for (const ArrayAccess& acc : program_.kernel(k).accesses) {
+      if (acc.is_read() && d.is_staged(acc.array)) {
+        stage_radius = std::max(stage_radius, acc.pattern.horizontal_radius());
+      }
+    }
+  }
+  d.halo_radius = stage_radius + (d.recompute_halo ? consumer_halo : 0);
+
+  // ---- barriers per k-iteration ----
+  const bool stages_inputs = !d.pivot_arrays.empty();
+  d.barriers = (stages_inputs ? 1 : 0) + sync_boundaries;
+
+  // ---- SMEM footprint ----
+  const LaunchConfig& launch = program_.launch();
+  const long tile_elems = static_cast<long>(
+      (launch.block_x + 2L * d.halo_radius + 1) *  // +1: bank-conflict padding column
+      (launch.block_y + 2L * d.halo_radius));
+  long smem = 0;
+  for (ArrayId a : d.pivot_arrays) {
+    smem += tile_elems * program_.array(a).elem_bytes;
+  }
+  // Non-pivot high-thread-load arrays still need a private staging tile;
+  // segments run sequentially, so one scratch buffer sized for the largest
+  // such tile is shared.
+  long scratch = 0;
+  for (KernelId k : members) {
+    const KernelInfo& kernel = program_.kernel(k);
+    if (!kernel.smem_in_original) continue;
+    for (const ArrayAccess& acc : kernel.accesses) {
+      if (!acc.is_read() || acc.pattern.thread_load() <= 1) continue;
+      if (d.is_staged(acc.array)) continue;
+      const int r = acc.pattern.horizontal_radius();
+      const long elems = static_cast<long>((launch.block_x + 2L * r + 1) *
+                                           (launch.block_y + 2L * r));
+      scratch = std::max(scratch, elems * program_.array(acc.array).elem_bytes);
+    }
+  }
+  d.smem_per_block_bytes = smem + scratch;
+
+  // ---- register estimate ----
+  int max_regs = 0;
+  int sum_secondary = 0;
+  int max_addr = 0;
+  for (KernelId k : members) {
+    const KernelInfo& kernel = program_.kernel(k);
+    max_regs = std::max(max_regs, kernel.regs_per_thread);
+    max_addr = std::max(max_addr, kernel.addr_regs);
+    sum_secondary += std::max(0, kernel.regs_per_thread - kernel.addr_regs);
+  }
+  // The largest member's allocation is the floor; other members leak a
+  // fraction of their live values past the barriers.
+  const int largest_payload = max_regs;  // includes its own addr regs
+  sum_secondary -= std::max(0, max_regs - max_addr);
+  const long halo_pts = halo_points(launch, d.halo_radius);
+  const int h_th = d.recompute_halo
+                       ? static_cast<int>((halo_pts + launch.threads_per_block() - 1) /
+                                          launch.threads_per_block())
+                       : 0;
+  d.regs_per_thread =
+      largest_payload +
+      static_cast<int>(std::ceil(params_.secondary_reg_fraction * sum_secondary)) +
+      params_.regs_per_pivot * static_cast<int>(d.pivot_arrays.size()) +
+      params_.fused_addr_regs + h_th;
+
+  // ---- FLOPs ----
+  double flops = 0.0;
+  for (KernelId k : members) flops += program_.kernel(k).flops_per_site;
+  double halo_flops = 0.0;
+  if (d.recompute_halo) {
+    const double halo_fraction = static_cast<double>(halo_points(launch, consumer_halo)) /
+                                 launch.threads_per_block();
+    for (KernelId k : halo_computers) {
+      halo_flops += program_.kernel(k).flops_per_site * halo_fraction;
+    }
+  }
+  d.flops_per_site = flops + halo_flops;
+  d.halo_flops_per_site = halo_flops;
+  return d;
+}
+
+}  // namespace kf

@@ -1,0 +1,54 @@
+// Construction of new-kernel launch descriptors from groups.
+//
+// Given a group of original kernels, FusedKernelBuilder derives what the
+// generated CUDA kernel would look like resource-wise: the kernel pivot
+// (shared arrays staged in SMEM), whether the fusion is simple or complex
+// (§II-D — internal producer->consumer precedences force barriers, and
+// offset reads of produced arrays force halo *recomputation* by
+// specialised warps), the SMEM footprint including bank-conflict padding,
+// an estimated register demand, and the FLOP aggregate including halo
+// overhead. The estimate models nvcc's behaviour with a handful of
+// explicit parameters (FusionCostParams) rather than hidden constants.
+#pragma once
+
+#include <span>
+
+#include "gpu/launch_descriptor.hpp"
+#include "ir/program.hpp"
+
+namespace kf {
+
+/// Knobs modelling the code generator / compiler behaviour for new kernels.
+struct FusionCostParams {
+  /// Fraction of a secondary member's non-address registers that stay live
+  /// when its code is appended to another kernel (register reuse across
+  /// segments is imperfect; cf. the paper's RegFac discussion).
+  double secondary_reg_fraction = 0.30;
+  /// Extra registers per pivot array (SMEM base pointers + staging).
+  int regs_per_pivot = 2;
+  /// Extra address registers for the combined index arithmetic.
+  int fused_addr_regs = 4;
+  /// Read-only-cache budget per SMX for offloading program-wide read-only
+  /// shared arrays (§II-C). Set to 0 to disable the optimisation; a
+  /// negative value means "use the target device's capacity" (the
+  /// LegalityChecker fills it in).
+  long rocache_bytes = -1;
+};
+
+class FusedKernelBuilder {
+ public:
+  explicit FusedKernelBuilder(const Program& program, FusionCostParams params = FusionCostParams());
+
+  /// Builds the descriptor for one group (members need not be sorted;
+  /// they are processed in invocation order). A singleton group returns
+  /// descriptor_for_original().
+  LaunchDescriptor build(std::span<const KernelId> group) const;
+
+  const FusionCostParams& params() const noexcept { return params_; }
+
+ private:
+  const Program& program_;
+  FusionCostParams params_;
+};
+
+}  // namespace kf

@@ -1,0 +1,209 @@
+#include "fusion/fusion_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace kf {
+
+FusionPlan::FusionPlan(int num_kernels) : num_kernels_(num_kernels) {
+  KF_REQUIRE(num_kernels >= 0, "negative kernel count");
+  groups_.reserve(static_cast<std::size_t>(num_kernels));
+  owner_.resize(static_cast<std::size_t>(num_kernels));
+  for (KernelId k = 0; k < num_kernels; ++k) {
+    groups_.push_back({k});
+    owner_[static_cast<std::size_t>(k)] = k;
+  }
+}
+
+FusionPlan FusionPlan::from_groups(int num_kernels,
+                                   std::vector<std::vector<KernelId>> groups) {
+  FusionPlan plan;
+  plan.num_kernels_ = num_kernels;
+  plan.groups_ = std::move(groups);
+  plan.groups_.erase(
+      std::remove_if(plan.groups_.begin(), plan.groups_.end(),
+                     [](const auto& g) { return g.empty(); }),
+      plan.groups_.end());
+  std::vector<char> seen(static_cast<std::size_t>(num_kernels), 0);
+  int total = 0;
+  for (const auto& g : plan.groups_) {
+    for (KernelId k : g) {
+      KF_REQUIRE(k >= 0 && k < num_kernels, "kernel id " << k << " out of range");
+      KF_REQUIRE(!seen[static_cast<std::size_t>(k)],
+                 "kernel " << k << " appears in two groups");
+      seen[static_cast<std::size_t>(k)] = 1;
+      ++total;
+    }
+  }
+  KF_REQUIRE(total == num_kernels,
+             "groups cover " << total << " kernels, expected " << num_kernels);
+  plan.rebuild_owners();
+  return plan;
+}
+
+void FusionPlan::rebuild_owners() {
+  owner_.assign(static_cast<std::size_t>(num_kernels_), -1);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (KernelId k : groups_[g]) {
+      owner_[static_cast<std::size_t>(k)] = static_cast<int>(g);
+    }
+  }
+}
+
+void FusionPlan::check_group_index(int g) const {
+  KF_REQUIRE(g >= 0 && g < num_groups(), "group index " << g << " out of range");
+}
+
+std::span<const KernelId> FusionPlan::group(int g) const {
+  check_group_index(g);
+  return groups_[static_cast<std::size_t>(g)];
+}
+
+int FusionPlan::group_of(KernelId k) const {
+  KF_REQUIRE(k >= 0 && k < num_kernels_, "kernel id " << k << " out of range");
+  return owner_[static_cast<std::size_t>(k)];
+}
+
+int FusionPlan::fused_group_count() const noexcept {
+  int count = 0;
+  for (const auto& g : groups_) count += g.size() >= 2 ? 1 : 0;
+  return count;
+}
+
+int FusionPlan::fused_kernel_count() const noexcept {
+  int count = 0;
+  for (const auto& g : groups_) count += g.size() >= 2 ? static_cast<int>(g.size()) : 0;
+  return count;
+}
+
+int FusionPlan::merge_groups(int a, int b) {
+  check_group_index(a);
+  check_group_index(b);
+  KF_REQUIRE(a != b, "cannot merge a group with itself");
+  if (a > b) std::swap(a, b);
+  auto& ga = groups_[static_cast<std::size_t>(a)];
+  auto& gb = groups_[static_cast<std::size_t>(b)];
+  ga.insert(ga.end(), gb.begin(), gb.end());
+  std::sort(ga.begin(), ga.end());
+  groups_.erase(groups_.begin() + b);
+  rebuild_owners();
+  return a;
+}
+
+void FusionPlan::move_kernel(KernelId k, int g) {
+  check_group_index(g);
+  const int from = group_of(k);
+  if (from == g) return;
+  auto& src = groups_[static_cast<std::size_t>(from)];
+  src.erase(std::remove(src.begin(), src.end(), k), src.end());
+  groups_[static_cast<std::size_t>(g)].push_back(k);
+  std::sort(groups_[static_cast<std::size_t>(g)].begin(),
+            groups_[static_cast<std::size_t>(g)].end());
+  if (src.empty()) groups_.erase(groups_.begin() + from);
+  rebuild_owners();
+}
+
+int FusionPlan::isolate_kernel(KernelId k) {
+  const int from = group_of(k);
+  if (groups_[static_cast<std::size_t>(from)].size() == 1) return from;
+  auto& src = groups_[static_cast<std::size_t>(from)];
+  src.erase(std::remove(src.begin(), src.end(), k), src.end());
+  groups_.push_back({k});
+  rebuild_owners();
+  return num_groups() - 1;
+}
+
+void FusionPlan::split_group(int g) {
+  check_group_index(g);
+  std::vector<KernelId> members = groups_[static_cast<std::size_t>(g)];
+  if (members.size() <= 1) return;
+  groups_.erase(groups_.begin() + g);
+  for (KernelId k : members) groups_.push_back({k});
+  rebuild_owners();
+}
+
+void FusionPlan::canonicalize() {
+  for (auto& g : groups_) std::sort(g.begin(), g.end());
+  std::sort(groups_.begin(), groups_.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  rebuild_owners();
+}
+
+std::uint64_t FusionPlan::fingerprint() const {
+  // Order-insensitive: combine per-group hashes with XOR; group hash mixes
+  // sorted member ids sequentially.
+  std::uint64_t acc = 0x5bd1e995u ^ static_cast<std::uint64_t>(num_kernels_);
+  for (const auto& g : groups_) {
+    std::vector<KernelId> sorted = g;
+    std::sort(sorted.begin(), sorted.end());
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (KernelId k : sorted) h = mix64(h ^ (static_cast<std::uint64_t>(k) + 0x100));
+    acc ^= h;
+  }
+  return acc;
+}
+
+std::string FusionPlan::to_string() const {
+  FusionPlan canon = *this;
+  canon.canonicalize();
+  std::ostringstream os;
+  for (std::size_t g = 0; g < canon.groups_.size(); ++g) {
+    if (g) os << ' ';
+    os << '{';
+    for (std::size_t i = 0; i < canon.groups_[g].size(); ++i) {
+      if (i) os << ',';
+      os << canon.groups_[g][i];
+    }
+    os << '}';
+  }
+  return os.str();
+}
+
+FusionPlan FusionPlan::parse(int num_kernels, const std::string& text) {
+  std::vector<std::vector<KernelId>> groups;
+  std::vector<KernelId> current;
+  bool in_group = false;
+  std::string number;
+  auto flush_number = [&] {
+    if (number.empty()) return;
+    KF_REQUIRE(in_group, "number outside a group in plan text");
+    current.push_back(static_cast<KernelId>(std::stol(number)));
+    number.clear();
+  };
+  for (char c : text) {
+    if (c == '{') {
+      KF_REQUIRE(!in_group, "nested '{' in plan text");
+      in_group = true;
+      current.clear();
+    } else if (c == '}') {
+      KF_REQUIRE(in_group, "stray '}' in plan text");
+      flush_number();
+      groups.push_back(current);
+      in_group = false;
+    } else if (c == ',' ) {
+      flush_number();
+    } else if (c >= '0' && c <= '9') {
+      number += c;
+    } else if (c == ' ' || c == '\n' || c == '\t') {
+      flush_number();
+    } else {
+      KF_REQUIRE(false, "unexpected character '" << c << "' in plan text");
+    }
+  }
+  KF_REQUIRE(!in_group, "unterminated group in plan text");
+  return from_groups(num_kernels, std::move(groups));
+}
+
+bool operator==(const FusionPlan& a, const FusionPlan& b) {
+  if (a.num_kernels_ != b.num_kernels_) return false;
+  FusionPlan ca = a;
+  FusionPlan cb = b;
+  ca.canonicalize();
+  cb.canonicalize();
+  return ca.groups_ == cb.groups_;
+}
+
+}  // namespace kf

@@ -1,0 +1,83 @@
+// FusionPlan — a partition of the program's kernels into new kernels.
+//
+// The solution representation of the optimization problem in Fig. 4: every
+// original kernel belongs to exactly one group; a group of size one is an
+// unfused original kernel, larger groups become new kernels. The class
+// maintains the partition invariant under the editing operations the HGGA's
+// operators use (merge / move / split), and provides a canonical form and a
+// fingerprint so populations can deduplicate and memoise solutions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/ids.hpp"
+
+namespace kf {
+
+class FusionPlan {
+ public:
+  FusionPlan() = default;
+
+  /// The identity plan: every kernel in its own group.
+  explicit FusionPlan(int num_kernels);
+
+  /// Builds from explicit groups; throws unless they form a partition of
+  /// [0, num_kernels).
+  static FusionPlan from_groups(int num_kernels, std::vector<std::vector<KernelId>> groups);
+
+  int num_kernels() const noexcept { return num_kernels_; }
+  int num_groups() const noexcept { return static_cast<int>(groups_.size()); }
+
+  const std::vector<std::vector<KernelId>>& groups() const noexcept { return groups_; }
+  std::span<const KernelId> group(int g) const;
+
+  int group_of(KernelId k) const;
+
+  /// Groups with at least two members (new kernels after transformation).
+  int fused_group_count() const noexcept;
+  /// Kernels living in groups of size >= 2.
+  int fused_kernel_count() const noexcept;
+
+  // ---- editing (all preserve the partition invariant) ----
+
+  /// Merges group b into group a (a != b); returns the surviving group index.
+  int merge_groups(int a, int b);
+
+  /// Moves kernel k into group g (removing it from its current group;
+  /// empty groups are erased).
+  void move_kernel(KernelId k, int g);
+
+  /// Extracts kernel k into a fresh singleton group; returns its index.
+  int isolate_kernel(KernelId k);
+
+  /// Splits group g back into singletons.
+  void split_group(int g);
+
+  /// Sorts members within groups and groups by first member id.
+  void canonicalize();
+
+  /// Order-insensitive 64-bit fingerprint of the partition.
+  std::uint64_t fingerprint() const;
+
+  std::string to_string() const;
+
+  /// Parses the to_string() format ("{0,1} {2} {3,4,5}"); inverse of
+  /// to_string up to canonical order. Throws on malformed input or when
+  /// the groups do not partition [0, num_kernels).
+  static FusionPlan parse(int num_kernels, const std::string& text);
+
+  friend bool operator==(const FusionPlan& a, const FusionPlan& b);
+
+ private:
+  int num_kernels_ = 0;
+  std::vector<std::vector<KernelId>> groups_;
+  std::vector<int> owner_;  // kernel -> group index
+
+  void rebuild_owners();
+  void check_group_index(int g) const;
+};
+
+}  // namespace kf

@@ -1,0 +1,135 @@
+#include "fusion/legality.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace kf {
+
+const char* to_string(LegalityVerdict verdict) noexcept {
+  switch (verdict) {
+    case LegalityVerdict::Ok:
+      return "ok";
+    case LegalityVerdict::PhaseMismatch:
+      return "phase-mismatch";
+    case LegalityVerdict::NotConnected:
+      return "not-connected";
+    case LegalityVerdict::NotConvex:
+      return "not-convex";
+    case LegalityVerdict::SmemOverflow:
+      return "smem-overflow";
+    case LegalityVerdict::RegOverflow:
+      return "register-overflow";
+    case LegalityVerdict::Unschedulable:
+      return "unschedulable-plan";
+  }
+  return "?";
+}
+
+LegalityChecker::LegalityChecker(const Program& program, DeviceSpec device,
+                                 FusionCostParams params)
+    : program_(program),
+      device_(std::move(device)),
+      exec_(ExecutionOrderGraph::build(program)),
+      sharing_(SharingGraph::build(program)),
+      builder_(program,
+               [&] {
+                 if (params.rocache_bytes < 0) {
+                   params.rocache_bytes = device_.readonly_cache_per_smx;
+                 }
+                 return params;
+               }()) {}
+
+LegalityVerdict LegalityChecker::check_group(std::span<const KernelId> group) const {
+  KF_REQUIRE(!group.empty(), "empty group");
+  if (group.size() == 1) return LegalityVerdict::Ok;
+
+  // §II-C: host-transfer / communication boundaries are fusion barriers.
+  const int phase = program_.kernel(group[0]).phase;
+  for (KernelId k : group) {
+    if (program_.kernel(k).phase != phase) return LegalityVerdict::PhaseMismatch;
+  }
+
+  // (1.5) kinship: cheap adjacency BFS.
+  if (!sharing_.group_connected(group)) return LegalityVerdict::NotConnected;
+
+  // (1.3) convexity under the precedence DAG.
+  if (!exec_.group_is_convex(group)) return LegalityVerdict::NotConvex;
+
+  // (1.6)/(1.7): resource footprint of the would-be generated kernel.
+  const LaunchDescriptor d = builder_.build(group);
+  if (d.regs_per_thread > device_.max_regs_per_thread) {
+    return LegalityVerdict::RegOverflow;
+  }
+  if (d.smem_per_block_bytes > device_.smem_per_smx) {
+    return LegalityVerdict::SmemOverflow;
+  }
+  return LegalityVerdict::Ok;
+}
+
+std::vector<int> LegalityChecker::cyclic_groups(const FusionPlan& plan) const {
+  // Kahn's algorithm over the condensation; whatever cannot be peeled off
+  // sits on a cycle.
+  const int ng = plan.num_groups();
+  std::vector<std::vector<int>> succ(static_cast<std::size_t>(ng));
+  std::vector<int> indegree(static_cast<std::size_t>(ng), 0);
+  const Dag& kernel_dag = exec_.dag();
+  for (KernelId u = 0; u < kernel_dag.size(); ++u) {
+    const int gu = plan.group_of(u);
+    for (int v : kernel_dag.successors(u)) {
+      const int gv = plan.group_of(static_cast<KernelId>(v));
+      if (gu == gv) continue;
+      auto& s = succ[static_cast<std::size_t>(gu)];
+      if (std::find(s.begin(), s.end(), gv) == s.end()) {
+        s.push_back(gv);
+        ++indegree[static_cast<std::size_t>(gv)];
+      }
+    }
+  }
+  std::vector<int> ready;
+  for (int g = 0; g < ng; ++g) {
+    if (indegree[static_cast<std::size_t>(g)] == 0) ready.push_back(g);
+  }
+  int peeled = 0;
+  while (!ready.empty()) {
+    const int g = ready.back();
+    ready.pop_back();
+    ++peeled;
+    for (int v : succ[static_cast<std::size_t>(g)]) {
+      if (--indegree[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+    }
+  }
+  std::vector<int> stuck;
+  if (peeled < ng) {
+    for (int g = 0; g < ng; ++g) {
+      if (indegree[static_cast<std::size_t>(g)] > 0) stuck.push_back(g);
+    }
+  }
+  return stuck;
+}
+
+bool LegalityChecker::plan_is_schedulable(const FusionPlan& plan) const {
+  return cyclic_groups(plan).empty();
+}
+
+bool LegalityChecker::plan_is_legal(const FusionPlan& plan) const {
+  return check_plan(plan) == LegalityVerdict::Ok;
+}
+
+LegalityVerdict LegalityChecker::check_plan(const FusionPlan& plan,
+                                            int* violating_group) const {
+  KF_REQUIRE(plan.num_kernels() == program_.num_kernels(),
+             "plan does not match program");
+  for (int g = 0; g < plan.num_groups(); ++g) {
+    const LegalityVerdict v = check_group(plan.group(g));
+    if (v != LegalityVerdict::Ok) {
+      if (violating_group != nullptr) *violating_group = g;
+      return v;
+    }
+  }
+  if (violating_group != nullptr) *violating_group = -1;
+  if (!plan_is_schedulable(plan)) return LegalityVerdict::Unschedulable;
+  return LegalityVerdict::Ok;
+}
+
+}  // namespace kf

@@ -1,0 +1,89 @@
+// Fusion legality — the constraint system of Fig. 4.
+//
+// A group (candidate new kernel) is legal iff
+//   (1.3)  it is convex under the execution-order DAG (all kernels on any
+//          internal dependence path are members), which also guarantees the
+//          fused program still has a valid topological order;
+//   (1.5)  its members are connected through arrays they share (degree of
+//          kinship > 0 via in-group chains);
+//   (1.6)  the generated kernel's SMEM footprint fits the device;
+//   (1.7)  its register demand per thread stays within R_Max.
+// Constraints (1.2)/(1.4) — each kernel fused exactly once — are structural
+// invariants of FusionPlan. Constraint (1.1) — profitability vs. the
+// original sum — is the search objective's job, not legality.
+//
+// Checks are ordered cheapest-first and stop at the first violation (the
+// paper's active-constraint pruning).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "fusion/fused_kernel.hpp"
+#include "fusion/fusion_plan.hpp"
+#include "graph/execution_order.hpp"
+#include "graph/sharing.hpp"
+#include "gpu/device_spec.hpp"
+
+namespace kf {
+
+enum class LegalityVerdict {
+  Ok,
+  PhaseMismatch,  ///< crosses a host-transfer/communication barrier (§II-C)
+  NotConnected,   ///< kinship constraint (1.5)
+  NotConvex,      ///< path-closure constraint (1.3)
+  SmemOverflow,   ///< capacity constraint (1.6)
+  RegOverflow,    ///< register constraint (1.7)
+  Unschedulable,  ///< group-contracted precedence graph has a cycle
+};
+
+const char* to_string(LegalityVerdict verdict) noexcept;
+
+class LegalityChecker {
+ public:
+  /// Builds the execution-order and sharing graphs for `program` (which
+  /// must outlive the checker). Pass the already-expanded program when
+  /// expandable-array relaxation is wanted.
+  LegalityChecker(const Program& program, DeviceSpec device,
+                  FusionCostParams params = FusionCostParams());
+
+  const Program& program() const noexcept { return program_; }
+  const DeviceSpec& device() const noexcept { return device_; }
+  const ExecutionOrderGraph& execution_order() const noexcept { return exec_; }
+  const SharingGraph& sharing() const noexcept { return sharing_; }
+  const FusedKernelBuilder& builder() const noexcept { return builder_; }
+
+  /// Full check of one group, cheapest constraint first.
+  LegalityVerdict check_group(std::span<const KernelId> group) const;
+
+  bool group_is_legal(std::span<const KernelId> group) const {
+    return check_group(group) == LegalityVerdict::Ok;
+  }
+
+  /// Plan-level constraint: per-group convexity does *not* guarantee that
+  /// the contracted (group-level) precedence graph is acyclic — two convex,
+  /// mutually independent groups can still order-constrain each other both
+  /// ways through kernels outside the pair. A plan is schedulable iff the
+  /// condensation is a DAG, which is exactly what the transformer needs to
+  /// emit a valid launch order.
+  bool plan_is_schedulable(const FusionPlan& plan) const;
+
+  /// Group indices stuck on condensation cycles (empty iff schedulable).
+  std::vector<int> cyclic_groups(const FusionPlan& plan) const;
+
+  /// All groups legal *and* the plan schedulable?
+  bool plan_is_legal(const FusionPlan& plan) const;
+
+  /// First violating group's verdict (Ok when legal), with its index in
+  /// *violating_group when non-null (-1 for the plan-level Unschedulable).
+  LegalityVerdict check_plan(const FusionPlan& plan, int* violating_group = nullptr) const;
+
+ private:
+  const Program& program_;
+  DeviceSpec device_;
+  ExecutionOrderGraph exec_;
+  SharingGraph sharing_;
+  FusedKernelBuilder builder_;
+};
+
+}  // namespace kf

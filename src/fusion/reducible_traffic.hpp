@@ -1,0 +1,28 @@
+// Reducible-traffic bound (paper Table I, third column).
+//
+// The maximum fusion that does not invalidate the order of execution gives
+// an upper bound on how much GMEM traffic kernel fusion can remove. We
+// compute it by greedily merging groups along sharing edges — ignoring all
+// resource limits (a device with unbounded SMEM/registers) but honouring
+// convexity and kinship — and comparing fused traffic with the original
+// program's traffic.
+#pragma once
+
+#include "fusion/fusion_plan.hpp"
+#include "ir/program.hpp"
+
+namespace kf {
+
+struct ReducibleTrafficReport {
+  double original_bytes = 0.0;   ///< GMEM traffic of the unfused program
+  double fused_bytes = 0.0;      ///< GMEM traffic under maximal legal fusion
+  double reducible_fraction = 0.0;  ///< 1 - fused/original
+  FusionPlan max_plan;           ///< the maximal legal plan found
+};
+
+/// `expand` applies the expandable-array relaxation first (the paper's
+/// Table I numbers assume it). The returned plan refers to the (possibly
+/// expanded) program's kernel ids, which match the input's 1:1.
+ReducibleTrafficReport reducible_traffic(const Program& program, bool expand = true);
+
+}  // namespace kf

@@ -1,0 +1,117 @@
+#include "fusion/transformer.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/dag.hpp"
+#include "util/error.hpp"
+
+namespace kf {
+namespace {
+
+/// Merged access metadata for a group: external reads (arrays read before
+/// any in-group write), writes, and combined patterns/FLOPs.
+std::vector<ArrayAccess> merge_accesses(const Program& program,
+                                        std::span<const KernelId> members) {
+  struct Merged {
+    bool external_read = false;
+    bool written = false;
+    StencilPattern read_pattern;
+    double flops = 0.0;
+  };
+  std::map<ArrayId, Merged> merged;
+  for (KernelId k : members) {
+    for (const ArrayAccess& acc : program.kernel(k).accesses) {
+      Merged& m = merged[acc.array];
+      if (acc.is_read()) {
+        // Reads of values produced by an earlier member (or by the member
+        // itself) stay internal — served from SMEM, not new-kernel reads.
+        if (!m.written && !acc.reads_own_product) {
+          m.external_read = true;
+          m.read_pattern = m.read_pattern.merged_with(acc.pattern);
+        }
+      }
+      m.flops += acc.flops;
+      if (acc.is_write()) m.written = true;
+    }
+  }
+  std::vector<ArrayAccess> out;
+  for (const auto& [array, m] : merged) {
+    ArrayAccess acc;
+    acc.array = array;
+    acc.flops = m.flops;
+    if (m.external_read && m.written) {
+      acc.mode = AccessMode::ReadWrite;
+      acc.pattern = m.read_pattern;
+    } else if (m.written) {
+      acc.mode = AccessMode::Write;
+      acc.pattern = StencilPattern::point();
+    } else {
+      acc.mode = AccessMode::Read;
+      acc.pattern = m.read_pattern;
+    }
+    out.push_back(std::move(acc));
+  }
+  return out;
+}
+
+}  // namespace
+
+FusedProgram apply_fusion(const LegalityChecker& checker, const FusionPlan& plan,
+                          bool allow_resource_overflow) {
+  const Program& program = checker.program();
+  KF_REQUIRE(plan.num_kernels() == program.num_kernels(),
+             "plan does not match program");
+  {
+    int bad = -1;
+    const LegalityVerdict v = checker.check_plan(plan, &bad);
+    const bool resource_only =
+        v == LegalityVerdict::SmemOverflow || v == LegalityVerdict::RegOverflow;
+    KF_REQUIRE(v == LegalityVerdict::Ok || (allow_resource_overflow && resource_only),
+               "plan is illegal: group " << bad << " is " << to_string(v));
+  }
+
+  // Condense the precedence DAG over groups and order the new kernels
+  // topologically (contracting convex groups of a DAG yields a DAG).
+  Dag condensed(plan.num_groups());
+  const Dag& kernel_dag = checker.execution_order().dag();
+  for (KernelId u = 0; u < kernel_dag.size(); ++u) {
+    for (int v : kernel_dag.successors(u)) {
+      const int gu = plan.group_of(u);
+      const int gv = plan.group_of(static_cast<KernelId>(v));
+      if (gu != gv) condensed.add_edge(gu, gv);
+    }
+  }
+  const std::vector<int> order = condensed.topological_order();
+
+  FusedProgram out;
+  out.program = Program(program.name() + "+fused", program.grid(), program.launch());
+  for (const ArrayInfo& a : program.arrays()) out.program.add_array(a);
+
+  FusedKernelBuilder builder(program, checker.builder().params());
+  for (int g : order) {
+    std::vector<KernelId> members(plan.group(g).begin(), plan.group(g).end());
+    std::sort(members.begin(), members.end());
+    LaunchDescriptor d = builder.build(members);
+
+    KernelInfo merged;
+    merged.name = d.name;
+    merged.accesses = merge_accesses(program, members);
+    merged.regs_per_thread = d.regs_per_thread;
+    merged.flops_per_site = d.flops_per_site;
+    merged.addr_regs = program.kernel(members.front()).addr_regs;
+    merged.phase = program.kernel(members.front()).phase;
+    merged.smem_in_original = true;
+    for (KernelId k : members) {
+      const KernelInfo& src = program.kernel(k);
+      merged.body.insert(merged.body.end(), src.body.begin(), src.body.end());
+    }
+    out.program.add_kernel(std::move(merged));
+    out.launches.push_back(std::move(d));
+    out.members.push_back(std::move(members));
+  }
+  out.program.validate();
+  return out;
+}
+
+}  // namespace kf

@@ -1,0 +1,37 @@
+// Fusion transformer — applies a FusionPlan to a Program.
+//
+// The paper applied fusions by hand from the search result; this module is
+// the automated equivalent at the IR level: it emits a new Program whose
+// kernels are the plan's groups, invoked in a topological order of the
+// condensed precedence DAG. Bodies (when present) are concatenated in
+// member invocation order, so the fused program can be executed by the
+// stencil engine and checked for functional equivalence against the
+// original. Alongside the program it returns the LaunchDescriptors the
+// timing simulator uses to cost each new kernel.
+#pragma once
+
+#include <vector>
+
+#include "fusion/fused_kernel.hpp"
+#include "fusion/fusion_plan.hpp"
+#include "fusion/legality.hpp"
+
+namespace kf {
+
+struct FusedProgram {
+  Program program;                          ///< new kernels, topologically ordered
+  std::vector<LaunchDescriptor> launches;   ///< one per new kernel, same order
+  /// members[j] lists the original kernel ids fused into new kernel j.
+  std::vector<std::vector<KernelId>> members;
+
+  int num_new_kernels() const noexcept { return static_cast<int>(launches.size()); }
+};
+
+/// Applies `plan` to the checker's program. Throws PreconditionError if the
+/// plan is illegal (convexity/connectivity are required; resource overflows
+/// are allowed through when `allow_resource_overflow` — useful for studying
+/// what the hardware does to infeasible fusions).
+FusedProgram apply_fusion(const LegalityChecker& checker, const FusionPlan& plan,
+                          bool allow_resource_overflow = false);
+
+}  // namespace kf

@@ -1,0 +1,77 @@
+#include "gpu/bank_conflicts.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace kf {
+namespace {
+
+/// Max lanes of one warp hitting the same bank for a row-major tile of
+/// `row_elems` elements per row, accessed row-wise (lane -> (tx, ty)).
+int row_conflict_degree(const DeviceSpec& device, int row_elems, int elem_bytes,
+                        int block_x) {
+  std::vector<int> lanes_per_bank(static_cast<std::size_t>(device.smem_banks), 0);
+  const int words_per_elem = std::max(1, elem_bytes / device.bank_width_bytes);
+  for (int lane = 0; lane < device.warp_size; ++lane) {
+    const int tx = lane % block_x;
+    const int ty = lane / block_x;
+    const long elem_index = static_cast<long>(ty) * row_elems + tx;
+    const long word = elem_index * words_per_elem;
+    const int bank = static_cast<int>(word % device.smem_banks);
+    ++lanes_per_bank[static_cast<std::size_t>(bank)];
+  }
+  return *std::max_element(lanes_per_bank.begin(), lanes_per_bank.end());
+}
+
+/// Column-wise access (specialised halo warps walk a tile column:
+/// consecutive lanes are `row_elems` elements apart) — the classic case the
+/// +1-column padding exists for.
+int column_conflict_degree(const DeviceSpec& device, int row_elems, int elem_bytes,
+                           int tile_height) {
+  std::vector<int> lanes_per_bank(static_cast<std::size_t>(device.smem_banks), 0);
+  const int words_per_elem = std::max(1, elem_bytes / device.bank_width_bytes);
+  const int lanes = std::min(device.warp_size, tile_height);
+  for (int lane = 0; lane < lanes; ++lane) {
+    const long word = static_cast<long>(lane) * row_elems * words_per_elem;
+    const int bank = static_cast<int>(word % device.smem_banks);
+    ++lanes_per_bank[static_cast<std::size_t>(bank)];
+  }
+  return *std::max_element(lanes_per_bank.begin(), lanes_per_bank.end());
+}
+
+int conflict_degree(const DeviceSpec& device, int row_elems, int elem_bytes,
+                    int block_x, int tile_height) {
+  return std::max(row_conflict_degree(device, row_elems, elem_bytes, block_x),
+                  column_conflict_degree(device, row_elems, elem_bytes, tile_height));
+}
+
+}  // namespace
+
+BankConflictAnalysis analyze_bank_conflicts(const DeviceSpec& device, int tile_width,
+                                            int tile_height, int elem_bytes,
+                                            int block_x) {
+  KF_REQUIRE(tile_width > 0 && tile_height > 0, "tile dims must be positive");
+  KF_REQUIRE(block_x > 0, "block_x must be positive");
+  KF_REQUIRE(elem_bytes == 4 || elem_bytes == 8, "elem_bytes must be 4 or 8");
+
+  BankConflictAnalysis out;
+  out.degree_unpadded =
+      conflict_degree(device, tile_width, elem_bytes, block_x, tile_height);
+  out.degree_padded =
+      conflict_degree(device, tile_width + 1, elem_bytes, block_x, tile_height);
+  out.padding_bytes = static_cast<long>(tile_height) * elem_bytes;
+  return out;
+}
+
+long conflict_padding_reserve(const DeviceSpec& device, long used_bytes) noexcept {
+  return used_bytes / device.smem_banks;
+}
+
+double conflict_slowdown(const BankConflictAnalysis& analysis, bool pad_possible) noexcept {
+  const int degree = pad_possible ? analysis.degree_padded : analysis.degree_unpadded;
+  return static_cast<double>(std::max(1, degree));
+}
+
+}  // namespace kf

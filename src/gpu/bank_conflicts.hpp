@@ -1,0 +1,39 @@
+// Shared-memory bank-conflict modelling (paper Eq. 7's B_conf term).
+//
+// SMEM tiles are stored row-major with width = block_x + 2*halo. A warp's
+// lanes walk consecutive tx values (wrapping into the next row when
+// block_x < 32); the conflict degree is the maximum number of lanes that
+// land in the same bank on one access. Padding the tile row by one element
+// (the classic +1 column) breaks power-of-two strides; Eq. 7 reserves
+// capacity/banks bytes (1/32 on Kepler at 8-byte granularity) for exactly
+// this padding. When a kernel is driven so close to the SMEM capacity that
+// the padding cannot be added, the erratic conflicts the paper describes
+// appear — modelled here as the unpadded conflict degree.
+#pragma once
+
+#include "gpu/device_spec.hpp"
+
+namespace kf {
+
+struct BankConflictAnalysis {
+  int degree_unpadded = 1;  ///< max lanes per bank without padding (1 = none)
+  int degree_padded = 1;    ///< with +1 element row padding
+  long padding_bytes = 0;   ///< SMEM bytes the padding costs per tile
+};
+
+/// Analyses a 2D tile of `tile_width` x `tile_height` elements of
+/// `elem_bytes`, accessed by warps of a block_x-wide thread block.
+BankConflictAnalysis analyze_bank_conflicts(const DeviceSpec& device, int tile_width,
+                                            int tile_height, int elem_bytes,
+                                            int block_x);
+
+/// Eq. 7 padding reserve: bytes that must stay free out of `used_bytes` of
+/// SMEM so tiles can be padded (capacity/banks granularity).
+long conflict_padding_reserve(const DeviceSpec& device, long used_bytes) noexcept;
+
+/// Effective slowdown multiplier (>= 1.0) on SMEM throughput for a launch
+/// whose tiles could not be padded (pad_possible == false) or could
+/// (pad_possible == true).
+double conflict_slowdown(const BankConflictAnalysis& analysis, bool pad_possible) noexcept;
+
+}  // namespace kf

@@ -1,0 +1,65 @@
+#include "gpu/device_spec.hpp"
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace kf {
+
+DeviceSpec DeviceSpec::k20x() {
+  DeviceSpec d;
+  d.name = "K20X";
+  d.num_smx = 14;
+  d.regs_per_smx = 65536;
+  d.smem_per_smx = 48 * 1024;
+  d.peak_gflops = 1310.0;
+  d.gmem_bw_gbs = 202.0;
+  d.max_blocks_per_smx = 16;
+  d.bank_width_bytes = 8;
+  d.clock_ghz = 0.732;
+  d.gmem_latency_cycles = 300.0;
+  d.reg_reuse_factor = 0.85;
+  d.regs_spill_to_l2 = false;
+  return d;
+}
+
+DeviceSpec DeviceSpec::k40() {
+  DeviceSpec d = k20x();
+  d.name = "K40";
+  d.num_smx = 15;
+  d.peak_gflops = 1430.0;
+  d.gmem_bw_gbs = 214.0;
+  d.clock_ghz = 0.745;
+  return d;
+}
+
+DeviceSpec DeviceSpec::gtx750ti() {
+  DeviceSpec d;
+  d.name = "GTX750Ti";
+  d.num_smx = 5;
+  d.regs_per_smx = 65536;
+  // Maxwell: L1 functionality moved to the texture cache, SMEM grew to 64 KB.
+  d.smem_per_smx = 64 * 1024;
+  d.readonly_cache_per_smx = 24 * 1024;  // unified tex/L1 path, smaller budget
+  d.peak_gflops = 1380.0;  // single precision (§IV: DP abnormal balance avoided)
+  d.gmem_bw_gbs = 69.0;
+  d.max_blocks_per_smx = 32;  // doubled active blocks vs. Kepler
+  d.bank_width_bytes = 4;
+  d.clock_ghz = 1.02;
+  d.gmem_latency_cycles = 280.0;
+  d.reg_reuse_factor = 0.88;  // slight RegFac improvement observed on Maxwell
+  d.smem_overlap_penalty = 0.10;  // reduced instruction latencies (§VI-F)
+  d.regs_spill_to_l2 = true;
+  d.spill_penalty = 1.25;  // spilling to L2 hurts more than Kepler's L1 spills
+  d.barrier_cycles = 32.0;  // reduced instruction latencies (§VI-F)
+  return d;
+}
+
+DeviceSpec DeviceSpec::with_smem_capacity(long bytes) const {
+  KF_REQUIRE(bytes > 0, "SMEM capacity must be positive");
+  DeviceSpec d = *this;
+  d.smem_per_smx = bytes;
+  d.name = strprintf("%s+SMEM%ldKB", name.c_str(), bytes / 1024);
+  return d;
+}
+
+}  // namespace kf

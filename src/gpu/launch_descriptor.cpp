@@ -1,0 +1,63 @@
+#include "gpu/launch_descriptor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace kf {
+
+bool LaunchDescriptor::is_pivot(ArrayId array) const noexcept {
+  return std::find(pivot_arrays.begin(), pivot_arrays.end(), array) !=
+         pivot_arrays.end();
+}
+
+bool LaunchDescriptor::is_rocache(ArrayId array) const noexcept {
+  return std::find(rocache_arrays.begin(), rocache_arrays.end(), array) !=
+         rocache_arrays.end();
+}
+
+double halo_area_factor(const LaunchConfig& launch, int radius) noexcept {
+  const double bx = launch.block_x;
+  const double by = launch.block_y;
+  return ((bx + 2.0 * radius) * (by + 2.0 * radius)) / (bx * by);
+}
+
+long halo_points(const LaunchConfig& launch, int radius) noexcept {
+  const long bx = launch.block_x;
+  const long by = launch.block_y;
+  return (bx + 2L * radius) * (by + 2L * radius) - bx * by;
+}
+
+LaunchDescriptor descriptor_for_original(const Program& program, KernelId k) {
+  const KernelInfo& kernel = program.kernel(k);
+  LaunchDescriptor d;
+  d.name = kernel.name;
+  d.members = {k};
+  d.regs_per_thread = kernel.regs_per_thread;
+  d.flops_per_site = kernel.flops_per_site;
+
+  if (kernel.smem_in_original) {
+    // The original implementations stage every array read by more than one
+    // thread of the block through SMEM (paper §VI-B.2); halo cells are
+    // *loaded* from GMEM, not recomputed.
+    for (const ArrayAccess& acc : kernel.accesses) {
+      if (acc.is_read() && acc.pattern.thread_load() > 1) {
+        d.pivot_arrays.push_back(acc.array);
+        d.halo_radius = std::max(d.halo_radius, acc.pattern.horizontal_radius());
+      }
+    }
+    if (!d.pivot_arrays.empty()) d.barriers = 1;  // staging barrier
+  }
+
+  long smem = 0;
+  for (ArrayId a : d.pivot_arrays) {
+    const double tile =
+        program.launch().threads_per_block() * halo_area_factor(program.launch(),
+                                                                d.halo_radius);
+    smem += static_cast<long>(tile) * program.array(a).elem_bytes;
+  }
+  d.smem_per_block_bytes = smem;
+  return d;
+}
+
+}  // namespace kf

@@ -1,0 +1,65 @@
+// LaunchDescriptor — what actually gets launched on the (simulated) device.
+//
+// A descriptor describes one kernel launch: either an original kernel
+// (single member) or a new kernel aggregating several original kernels.
+// It is deliberately *representation-free*: members, pivot arrays, halo
+// behaviour and the resource footprint — exactly the information a code
+// generator would need, and everything the timing simulator consumes.
+// kf_fusion builds descriptors for fused groups; descriptor_for_original()
+// models the paper's "rigorously optimised" original kernels (high
+// thread-load arrays staged through SMEM, halo cells *loaded* from GMEM).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace kf {
+
+struct LaunchDescriptor {
+  std::string name;
+  std::vector<KernelId> members;      ///< original kernels, invocation order
+
+  /// Arrays staged in SMEM and reused across member code segments
+  /// (the kernel pivot F^Pivot for fused kernels; the privately staged
+  /// high-thread-load arrays for originals).
+  std::vector<ArrayId> pivot_arrays;
+
+  /// Shared arrays served through the read-only (texture) cache instead of
+  /// SMEM (§II-C): reused like pivots but consuming no SMEM capacity.
+  /// Only program-wide read-only arrays flagged readonly_cache_eligible
+  /// are placed here.
+  std::vector<ArrayId> rocache_arrays;
+
+  int halo_radius = 0;        ///< staging halo width for pivot tiles
+  bool recompute_halo = false;  ///< complex fusion: specialised warps recompute
+                                ///< halo cells instead of loading results
+  int barriers = 0;           ///< __syncthreads per k-iteration
+
+  int regs_per_thread = 32;
+  long smem_per_block_bytes = 0;
+
+  double flops_per_site = 0.0;  ///< aggregate, incl. halo recompute overhead
+  double halo_flops_per_site = 0.0;  ///< portion of the above from halo work
+
+  bool is_fused() const noexcept { return members.size() > 1; }
+  bool is_pivot(ArrayId array) const noexcept;
+  bool is_rocache(ArrayId array) const noexcept;
+  /// Pivot or read-only-cache resident: the array is reused on-chip.
+  bool is_staged(ArrayId array) const noexcept {
+    return is_pivot(array) || is_rocache(array);
+  }
+};
+
+/// Fraction of extra sites a block touches when staging with halo radius r:
+/// ((bx+2r)(by+2r)) / (bx*by).
+double halo_area_factor(const LaunchConfig& launch, int radius) noexcept;
+
+/// Halo points per block for radius r (the paper's Hal, in stencil sites).
+long halo_points(const LaunchConfig& launch, int radius) noexcept;
+
+/// Descriptor modelling the original (pre-fusion) implementation of kernel k.
+LaunchDescriptor descriptor_for_original(const Program& program, KernelId k);
+
+}  // namespace kf

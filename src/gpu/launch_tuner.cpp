@@ -1,0 +1,42 @@
+#include "gpu/launch_tuner.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace kf {
+
+std::vector<LaunchConfig> default_launch_candidates() {
+  return {
+      {32, 1}, {32, 2}, {32, 4}, {32, 8}, {32, 16},
+      {64, 1}, {64, 2}, {64, 4}, {64, 8},
+      {128, 1}, {128, 2}, {128, 4},
+      {256, 1}, {256, 2},
+  };
+}
+
+LaunchTunerResult tune_launch_config(const Program& program, const DeviceSpec& device,
+                                     std::vector<LaunchConfig> candidates) {
+  if (candidates.empty()) candidates = default_launch_candidates();
+  KF_REQUIRE(!candidates.empty(), "no launch candidates");
+
+  const TimingSimulator sim(device);
+  LaunchTunerResult result;
+  result.best_time_s = std::numeric_limits<double>::infinity();
+
+  for (const LaunchConfig& candidate : candidates) {
+    if (candidate.threads_per_block() > device.max_threads_per_block) continue;
+    Program variant = program;
+    variant.set_launch(candidate);
+    const double time = sim.program_time(variant);
+    result.sweep.emplace_back(candidate, time);
+    if (time < result.best_time_s) {
+      result.best_time_s = time;
+      result.best = candidate;
+    }
+  }
+  KF_CHECK(!result.sweep.empty(), "every candidate exceeded device limits");
+  return result;
+}
+
+}  // namespace kf

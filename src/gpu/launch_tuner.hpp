@@ -1,0 +1,36 @@
+// Launch-configuration autotuner.
+//
+// The paper fixes one launch configuration across all kernels (§II-C) and
+// notes the block-size trade-off for complex fusions: larger blocks mean
+// proportionally less redundant halo work but more SMEM per block. This
+// tuner makes the choice empirical: it sweeps candidate block shapes,
+// simulates the whole program under each, and returns the best. Works on
+// original programs (pre-fusion) — tune first, then search — or on any
+// program whose kernels' metadata is launch-independent (patterns and
+// register counts are; halo factors and traffic are recomputed per shape).
+#pragma once
+
+#include <vector>
+
+#include "gpu/timing_simulator.hpp"
+
+namespace kf {
+
+struct LaunchTunerResult {
+  LaunchConfig best;
+  double best_time_s = 0.0;
+  /// Every evaluated (config, simulated program time) pair, sweep order.
+  std::vector<std::pair<LaunchConfig, double>> sweep;
+};
+
+/// Reasonable Kepler/Maxwell block shapes: full-warp rows from 32x1 up to
+/// 32x16, plus a few wide variants. All are coalescing-friendly.
+std::vector<LaunchConfig> default_launch_candidates();
+
+/// Simulates `program` under each candidate and picks the fastest. The
+/// program itself is not modified; apply the winner with
+/// Program::set_launch.
+LaunchTunerResult tune_launch_config(const Program& program, const DeviceSpec& device,
+                                     std::vector<LaunchConfig> candidates = {});
+
+}  // namespace kf

@@ -1,0 +1,81 @@
+#include "gpu/occupancy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace kf {
+
+const char* to_string(OccupancyLimiter limiter) noexcept {
+  switch (limiter) {
+    case OccupancyLimiter::Blocks:
+      return "blocks";
+    case OccupancyLimiter::Registers:
+      return "registers";
+    case OccupancyLimiter::SharedMemory:
+      return "shared-memory";
+    case OccupancyLimiter::Threads:
+      return "threads";
+    case OccupancyLimiter::Infeasible:
+      return "infeasible";
+  }
+  return "?";
+}
+
+Occupancy compute_occupancy(const DeviceSpec& device, int threads_per_block,
+                            int regs_per_thread, long smem_per_block_bytes) {
+  KF_REQUIRE(threads_per_block > 0, "threads_per_block must be positive");
+  KF_REQUIRE(regs_per_thread > 0, "regs_per_thread must be positive");
+  KF_REQUIRE(smem_per_block_bytes >= 0, "smem_per_block must be non-negative");
+
+  Occupancy occ;
+  if (threads_per_block > device.max_threads_per_block ||
+      regs_per_thread > device.max_regs_per_thread ||
+      smem_per_block_bytes > device.smem_per_smx) {
+    occ.limiter = OccupancyLimiter::Infeasible;
+    return occ;
+  }
+
+  // Register allocation is rounded up to the device granularity.
+  const int g = device.reg_alloc_granularity;
+  const long regs_rounded = (static_cast<long>(regs_per_thread) + g - 1) / g * g;
+  const long regs_per_block = regs_rounded * threads_per_block;
+
+  const int by_blocks = device.max_blocks_per_smx;
+  const int by_threads = device.max_threads_per_smx / threads_per_block;
+  const int by_regs = static_cast<int>(device.regs_per_smx / regs_per_block);
+  const int by_smem =
+      smem_per_block_bytes == 0
+          ? device.max_blocks_per_smx
+          : static_cast<int>(device.smem_per_smx / smem_per_block_bytes);
+
+  occ.blocks_per_smx = std::min({by_blocks, by_threads, by_regs, by_smem});
+  if (occ.blocks_per_smx <= 0) {
+    occ.blocks_per_smx = 0;
+    occ.limiter = by_regs <= 0 ? OccupancyLimiter::Registers
+                 : by_smem <= 0 ? OccupancyLimiter::SharedMemory
+                                : OccupancyLimiter::Threads;
+    return occ;
+  }
+  // Ties report the architectural limit first (blocks, then threads) so
+  // "unconstrained" kernels read as block-limited, matching CUDA occupancy
+  // calculator conventions.
+  if (occ.blocks_per_smx == by_blocks) {
+    occ.limiter = OccupancyLimiter::Blocks;
+  } else if (occ.blocks_per_smx == by_threads) {
+    occ.limiter = OccupancyLimiter::Threads;
+  } else if (occ.blocks_per_smx == by_regs) {
+    occ.limiter = OccupancyLimiter::Registers;
+  } else {
+    occ.limiter = OccupancyLimiter::SharedMemory;
+  }
+
+  occ.active_threads = occ.blocks_per_smx * threads_per_block;
+  occ.active_warps =
+      occ.blocks_per_smx * ((threads_per_block + device.warp_size - 1) / device.warp_size);
+  occ.fraction =
+      static_cast<double>(occ.active_warps) / device.max_warps_per_smx();
+  return occ;
+}
+
+}  // namespace kf

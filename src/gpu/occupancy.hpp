@@ -1,0 +1,33 @@
+// CUDA-style occupancy calculation.
+//
+// Active blocks per SMX are limited by whichever resource runs out first:
+// the block-count ceiling, registers, shared memory, or the thread budget.
+// Occupancy drives the timing simulator's latency-hiding term and mirrors
+// the mechanism the paper's projection model captures through Blocks_SMX.
+#pragma once
+
+#include "gpu/device_spec.hpp"
+
+namespace kf {
+
+enum class OccupancyLimiter { Blocks, Registers, SharedMemory, Threads, Infeasible };
+
+const char* to_string(OccupancyLimiter limiter) noexcept;
+
+struct Occupancy {
+  int blocks_per_smx = 0;
+  int active_threads = 0;  ///< per SMX
+  int active_warps = 0;    ///< per SMX
+  double fraction = 0.0;   ///< active_warps / max_warps
+  OccupancyLimiter limiter = OccupancyLimiter::Blocks;
+
+  bool feasible() const noexcept { return blocks_per_smx > 0; }
+};
+
+/// Computes occupancy for a kernel with the given per-block footprint.
+/// A kernel that exceeds a hard per-block limit (threads, registers/thread,
+/// SMEM/block) is Infeasible with zero blocks.
+Occupancy compute_occupancy(const DeviceSpec& device, int threads_per_block,
+                            int regs_per_thread, long smem_per_block_bytes);
+
+}  // namespace kf

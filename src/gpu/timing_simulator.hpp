@@ -1,0 +1,85 @@
+// Timing simulator — the reproduction's stand-in for "measured" runtimes.
+//
+// The simulator is an analytical machine model of a Kepler/Maxwell-class
+// GPU executing a memory-bound stencil launch. It composes mechanisms the
+// projection model of §IV only bounds:
+//
+//   time = max(mem, compute, smem) + barriers + launch overhead
+//
+//   * mem:      GMEM traffic over an *achieved* bandwidth — peak scaled by
+//               a Little's-law latency-hiding factor of the active warps
+//               (occupancy lost to registers/SMEM directly shows up here);
+//   * compute:  aggregate FLOPs (incl. halo recompute) over derated peak,
+//               with its own latency-hiding requirement;
+//   * smem:     on-chip traffic over SMEM bandwidth, scaled by the bank-
+//               conflict degree when tiles cannot be padded;
+//   * barriers: per-k-iteration __syncthreads cost across block waves;
+//   * spills:   register demand beyond R_Max is spilled (to L1 on Kepler,
+//               more expensively to L2 on Maxwell).
+//
+// A small deterministic "measurement jitter" (hash of device + launch) is
+// applied so measured-vs-projected comparisons behave like real data while
+// staying exactly reproducible.
+#pragma once
+
+#include <span>
+
+#include "gpu/bank_conflicts.hpp"
+#include "gpu/device_spec.hpp"
+#include "gpu/launch_descriptor.hpp"
+#include "gpu/occupancy.hpp"
+#include "gpu/traffic_model.hpp"
+
+namespace kf {
+
+struct SimResult {
+  bool launchable = true;      ///< false: exceeds hard per-block limits
+  double time_s = 0.0;
+
+  // components
+  double mem_time_s = 0.0;
+  double compute_time_s = 0.0;
+  double smem_time_s = 0.0;
+  double barrier_time_s = 0.0;
+  double launch_time_s = 0.0;
+
+  // diagnostics
+  Occupancy occupancy;
+  TrafficBreakdown traffic;
+  double flops = 0.0;
+  double latency_hiding = 1.0;   ///< 0..1 fraction of peak BW reachable
+  double achieved_bw_gbs = 0.0;
+  double conflict_factor = 1.0;
+  bool spilled = false;
+};
+
+class TimingSimulator {
+ public:
+  struct Options {
+    double noise_amplitude = 0.02;  ///< +-2% deterministic jitter
+    double flop_efficiency = 0.65;  ///< stencil derate of theoretical peak
+  };
+
+  explicit TimingSimulator(DeviceSpec device) : TimingSimulator(std::move(device), Options()) {}
+  TimingSimulator(DeviceSpec device, Options options);
+
+  const DeviceSpec& device() const noexcept { return device_; }
+
+  SimResult run(const Program& program, const LaunchDescriptor& launch) const;
+
+  SimResult run_original(const Program& program, KernelId kernel) const;
+
+  /// Sum of run_original() times over `members` — the paper's original sum.
+  double original_sum(const Program& program, std::span<const KernelId> members) const;
+
+  /// Sum of run_original() times over the whole program.
+  double program_time(const Program& program) const;
+
+ private:
+  DeviceSpec device_;
+  Options options_;
+
+  double noise_factor(const LaunchDescriptor& launch) const;
+};
+
+}  // namespace kf

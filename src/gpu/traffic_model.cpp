@@ -1,0 +1,75 @@
+#include "gpu/traffic_model.hpp"
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace kf {
+
+TrafficBreakdown compute_traffic(const Program& program, const LaunchDescriptor& launch) {
+  KF_REQUIRE(!launch.members.empty(), "launch descriptor has no members");
+  TrafficBreakdown t;
+  const double sites = static_cast<double>(program.grid().total_sites());
+  const double pivot_halo = halo_area_factor(program.launch(), launch.halo_radius);
+
+  // Pivot arrays currently resident in SMEM (loaded or produced in-group).
+  std::set<ArrayId> resident;
+
+  for (KernelId k : launch.members) {
+    const KernelInfo& kernel = program.kernel(k);
+    for (const ArrayAccess& acc : kernel.accesses) {
+      const double elem = program.array(acc.array).elem_bytes;
+      if (acc.is_read()) {
+        const double use_bytes = sites * elem * acc.pattern.thread_load();
+        if (launch.is_staged(acc.array)) {
+          if (resident.contains(acc.array) || acc.reads_own_product) {
+            // Reuse across segments, or the kernel's own freshly-produced
+            // values (born in SMEM) — either way, no GMEM read.
+            t.smem_bytes += use_bytes;
+            resident.insert(acc.array);
+          } else {
+            const double tile_bytes = sites * elem * pivot_halo;
+            t.load_bytes += tile_bytes;
+            t.halo_bytes += tile_bytes - sites * elem;
+            t.smem_bytes += use_bytes;
+            resident.insert(acc.array);
+          }
+        } else if (acc.pattern.thread_load() > 1 && kernel.smem_in_original) {
+          // Privately staged, original-kernel style: tile + own halo.
+          const double own_halo =
+              halo_area_factor(program.launch(), acc.pattern.horizontal_radius());
+          const double tile_bytes = sites * elem * own_halo;
+          t.load_bytes += tile_bytes;
+          t.halo_bytes += tile_bytes - sites * elem;
+          t.smem_bytes += use_bytes;
+        } else {
+          // Streaming read: every offset dereference hits GMEM/L1 once.
+          t.load_bytes += use_bytes;
+        }
+      }
+      if (acc.is_write()) {
+        t.store_bytes += sites * elem;
+        if (launch.is_staged(acc.array)) {
+          // Produced into SMEM: later members of this group read it there.
+          t.smem_bytes += sites * elem;
+          resident.insert(acc.array);
+        }
+      }
+    }
+  }
+  return t;
+}
+
+TrafficBreakdown program_traffic(const Program& program) {
+  TrafficBreakdown total;
+  for (KernelId k = 0; k < program.num_kernels(); ++k) {
+    const TrafficBreakdown t = compute_traffic(program, descriptor_for_original(program, k));
+    total.load_bytes += t.load_bytes;
+    total.store_bytes += t.store_bytes;
+    total.halo_bytes += t.halo_bytes;
+    total.smem_bytes += t.smem_bytes;
+  }
+  return total;
+}
+
+}  // namespace kf

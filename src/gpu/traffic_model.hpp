@@ -1,0 +1,45 @@
+// Off-chip (GMEM) and on-chip (SMEM) traffic accounting.
+//
+// This is the byte-level ground truth behind both the timing simulator and
+// the paper's Fusion Efficiency metric: how many bytes a launch moves
+// to/from GMEM, and how many element accesses are served by SMEM instead.
+//
+// Rules (per full grid pass, coalesced accesses assumed — §II-C):
+//  * A write stores N*elem bytes (halo cells live only in SMEM, cf. Fig. 3:
+//    only interior sites are stored).
+//  * A read of a *pivot* array costs one tile load including the staging
+//    halo the first time the group touches it; subsequent member reads are
+//    served from SMEM. A pivot produced by an earlier member of the same
+//    group is born in SMEM and never loaded.
+//  * A read of a non-pivot array behaves like an original kernel's read:
+//    staged privately when more than one thread needs each element
+//    (tile + its own halo), a plain streaming load otherwise.
+#pragma once
+
+#include "gpu/launch_descriptor.hpp"
+#include "ir/program.hpp"
+
+namespace kf {
+
+struct TrafficBreakdown {
+  double load_bytes = 0.0;   ///< GMEM reads (includes halo_bytes)
+  double store_bytes = 0.0;  ///< GMEM writes
+  double halo_bytes = 0.0;   ///< portion of loads caused by halo staging
+  double smem_bytes = 0.0;   ///< element traffic served by shared memory
+
+  double gmem_total() const noexcept { return load_bytes + store_bytes; }
+
+  /// Loads + stores expressed in element operations (for the FE metric's
+  /// LD/ST counts) given a uniform element size.
+  double gmem_ops(int elem_bytes) const noexcept {
+    return gmem_total() / elem_bytes;
+  }
+};
+
+/// Traffic of one launch (original or fused).
+TrafficBreakdown compute_traffic(const Program& program, const LaunchDescriptor& launch);
+
+/// Sum of original-kernel traffic over the whole program.
+TrafficBreakdown program_traffic(const Program& program);
+
+}  // namespace kf

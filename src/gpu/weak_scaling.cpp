@@ -1,0 +1,91 @@
+#include "gpu/weak_scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace kf {
+
+NetworkSpec NetworkSpec::tsubame2() {
+  NetworkSpec n;
+  n.name = "Tsubame2.5 IB-QDRx2";
+  n.bandwidth_gbs = 8.0;  // dual-rail QDR, effective
+  n.latency_s = 1.7e-6;
+  n.overlap = 0.9;
+  return n;
+}
+
+double halo_exchange_bytes(const Program& program, int nodes) {
+  KF_REQUIRE(nodes >= 1, "need at least one node");
+  if (nodes == 1) return 0.0;
+
+  // ~square 2D decomposition of the horizontal plane.
+  const int px = static_cast<int>(std::round(std::sqrt(static_cast<double>(nodes))));
+  const int py = (nodes + px - 1) / px;
+  const double local_nx = static_cast<double>(program.grid().nx) /* weak scaling:
+      per-node extent stays the program's grid */;
+  const double local_ny = static_cast<double>(program.grid().ny);
+  const double nz = static_cast<double>(program.grid().nz);
+
+  double bytes = 0.0;
+  for (ArrayId a = 0; a < program.num_arrays(); ++a) {
+    // Communicated arrays: written somewhere and read with a horizontal
+    // offset somewhere (their halos go stale every step).
+    bool written = false;
+    int radius = 0;
+    for (const KernelInfo& k : program.kernels()) {
+      const ArrayAccess* acc = k.find_access(a);
+      if (acc == nullptr) continue;
+      written = written || acc->is_write();
+      if (acc->is_read()) radius = std::max(radius, acc->pattern.horizontal_radius());
+    }
+    if (!written || radius == 0) continue;
+    // Two faces per decomposed dimension, halo ring `radius` deep.
+    double ring = 0.0;
+    if (px > 1) ring += 2.0 * radius * local_ny * nz;
+    if (py > 1) ring += 2.0 * radius * local_nx * nz;
+    bytes += ring * program.array(a).elem_bytes;
+  }
+  return bytes;
+}
+
+WeakScalingProjection project_weak_scaling(const Program& program, double compute_s,
+                                           const NetworkSpec& network,
+                                           const std::vector<int>& node_counts) {
+  KF_REQUIRE(compute_s > 0.0, "compute time must be positive");
+  KF_REQUIRE(!node_counts.empty(), "need at least one node count");
+
+  WeakScalingProjection projection;
+  double base_step = 0.0;
+  for (int nodes : node_counts) {
+    WeakScalingPoint point;
+    point.nodes = nodes;
+    point.compute_s = compute_s;  // weak scaling: per-node work constant
+    const double bytes = halo_exchange_bytes(program, nodes);
+    const int neighbours = nodes == 1 ? 0 : 4;
+    point.comm_s = bytes / (network.bandwidth_gbs * 1e9) +
+                   neighbours * network.latency_s;
+    point.step_s = std::max(compute_s, point.comm_s) +
+                   (1.0 - network.overlap) * point.comm_s;
+    if (base_step == 0.0) base_step = point.step_s;
+    point.efficiency = base_step / point.step_s;
+    projection.points.push_back(point);
+  }
+  return projection;
+}
+
+double WeakScalingProjection::speedup_retention(const WeakScalingProjection& before,
+                                                const WeakScalingProjection& after) {
+  KF_REQUIRE(!before.points.empty() && before.points.size() == after.points.size(),
+             "projections must cover the same node counts");
+  const WeakScalingPoint& b1 = before.points.front();
+  const WeakScalingPoint& a1 = after.points.front();
+  const WeakScalingPoint& bn = before.points.back();
+  const WeakScalingPoint& an = after.points.back();
+  const double single_node_speedup = b1.step_s / a1.step_s;
+  const double multi_node_speedup = bn.step_s / an.step_s;
+  return multi_node_speedup / single_node_speedup;
+}
+
+}  // namespace kf

@@ -1,0 +1,64 @@
+// Weak-scaling projection (paper §VI-A, §VI-E.2).
+//
+// The paper evaluates on one node and argues the speedup carries over:
+// "stencil-based scientific applications widely favor weak scaling …
+// a decrease in runtime for a single node would yield almost the same
+// decrease in runtime when using multiple nodes (assuming overlapped
+// computation and communication)". This module makes the assumption
+// checkable: a per-step multi-node time model
+//
+//   T_step(n) = max(T_compute, T_comm(n)) + (1 - overlap) * T_comm(n)
+//
+// with halo-exchange communication derived from the decomposition surface
+// (2D horizontal decomposition of the grid, one halo ring of every
+// communicated array per step) and a latency/bandwidth network. Fusion
+// shrinks T_compute but not T_comm, so the carried-over speedup erodes
+// once communication stops hiding — exactly where, is what the bench
+// reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace kf {
+
+struct NetworkSpec {
+  std::string name = "IB-QDR";
+  double bandwidth_gbs = 4.0;     ///< per-node effective link bandwidth
+  double latency_s = 2.0e-6;      ///< per-message latency
+  double overlap = 0.9;           ///< fraction of comm hidden behind compute
+  static NetworkSpec tsubame2();  ///< the paper's testbed interconnect
+};
+
+struct WeakScalingPoint {
+  int nodes = 1;
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double step_s = 0.0;
+  /// Parallel efficiency vs. the single-node step time.
+  double efficiency = 0.0;
+};
+
+struct WeakScalingProjection {
+  std::vector<WeakScalingPoint> points;
+
+  /// Speedup(before)/speedup(after) retention at the largest node count:
+  /// 1.0 means the single-node speedup fully carries over.
+  static double speedup_retention(const WeakScalingProjection& before,
+                                  const WeakScalingProjection& after);
+};
+
+/// Bytes one node exchanges per step: one halo ring (width = the widest
+/// horizontal stencil radius) of every array that is both read with offsets
+/// and written somewhere in the program, on a ~square 2D decomposition.
+double halo_exchange_bytes(const Program& program, int nodes);
+
+/// Projects per-step times for `node_counts`, holding the per-node grid
+/// fixed (weak scaling) with `compute_s` the simulated single-node time.
+WeakScalingProjection project_weak_scaling(const Program& program, double compute_s,
+                                           const NetworkSpec& network,
+                                           const std::vector<int>& node_counts);
+
+}  // namespace kf

@@ -1,0 +1,154 @@
+#include "graph/array_expansion.hpp"
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace kf {
+
+ArrayId ExpansionResult::final_version(ArrayId original) const {
+  KF_REQUIRE(original >= 0 && original < static_cast<ArrayId>(versions.size()),
+             "array id out of range");
+  return versions[static_cast<std::size_t>(original)].back();
+}
+
+namespace {
+
+/// A potential split site: kernel `writer` pure-overwrites `array` whose
+/// current version already has a writer. `benefit` counts the WAR/WAW
+/// precedence edges the redundant array would remove.
+struct SplitSite {
+  KernelId writer = kInvalidKernel;
+  ArrayId array = kInvalidArray;
+  int benefit = 0;
+  double bytes = 0.0;
+};
+
+std::vector<SplitSite> enumerate_split_sites(const Program& program) {
+  const int na = program.num_arrays();
+  std::vector<KernelId> last_writer(static_cast<std::size_t>(na), kInvalidKernel);
+  std::vector<int> readers_since(static_cast<std::size_t>(na), 0);
+  std::vector<SplitSite> sites;
+  for (KernelId k = 0; k < program.num_kernels(); ++k) {
+    for (const ArrayAccess& acc : program.kernel(k).accesses) {
+      const auto ai = static_cast<std::size_t>(acc.array);
+      if (acc.is_read() && !acc.reads_own_product) ++readers_since[ai];
+      if (acc.mode == AccessMode::Write) {
+        if (last_writer[ai] != kInvalidKernel) {
+          SplitSite site;
+          site.writer = k;
+          site.array = acc.array;
+          site.benefit = readers_since[ai] + 1;  // WARs + the WAW
+          site.bytes = program.array_bytes(acc.array);
+          sites.push_back(site);
+        }
+        last_writer[ai] = k;
+        readers_since[ai] = 0;
+      } else if (acc.mode == AccessMode::ReadWrite) {
+        last_writer[ai] = k;
+      }
+    }
+  }
+  return sites;
+}
+
+/// Core versioning pass. `allowed` (when non-null) restricts splitting to
+/// the given (writer, array) sites.
+ExpansionResult expand_arrays_impl(const Program& program,
+                                   const std::set<std::pair<KernelId, ArrayId>>* allowed) {
+  program.validate();
+
+  ExpansionResult result;
+  Program out(program.name(), program.grid(), program.launch());
+  const int na = program.num_arrays();
+
+  result.versions.resize(static_cast<std::size_t>(na));
+  for (ArrayId a = 0; a < na; ++a) {
+    const ArrayId id = out.add_array(program.array(a));
+    KF_CHECK(id == a, "array ids must be stable under copy");
+    result.versions[static_cast<std::size_t>(a)] = {a};
+  }
+
+  // Per original array: current version id and whether that version has a
+  // writer already.
+  std::vector<ArrayId> current(static_cast<std::size_t>(na));
+  std::vector<int> writer_count(static_cast<std::size_t>(na), 0);
+  for (ArrayId a = 0; a < na; ++a) current[static_cast<std::size_t>(a)] = a;
+
+  // Map from any version id back to its original array (extended as
+  // versions are created). Only original ids appear in input accesses.
+  auto version_map = [&](ArrayId original) { return current[static_cast<std::size_t>(original)]; };
+
+  for (KernelId k = 0; k < program.num_kernels(); ++k) {
+    const KernelInfo& kin = program.kernel(k);
+
+    // Pass 1: pure overwrites of an already-written array open a new
+    // version (the "redundant array").
+    for (const ArrayAccess& acc : kin.accesses) {
+      if (acc.mode != AccessMode::Write) continue;
+      if (allowed != nullptr && !allowed->contains({k, acc.array})) continue;
+      const auto orig = static_cast<std::size_t>(acc.array);
+      if (writer_count[orig] > 0) {
+        ArrayInfo info = program.array(acc.array);
+        const int generation =
+            static_cast<int>(result.versions[orig].size()) + 1;
+        info.name = strprintf("%s@%d", info.name.c_str(), generation);
+        const ArrayId fresh = out.add_array(std::move(info));
+        result.versions[orig].push_back(fresh);
+        current[orig] = fresh;
+        writer_count[orig] = 0;
+        ++result.arrays_added;
+        result.extra_bytes += program.array_bytes(acc.array);
+      }
+    }
+
+    // Pass 2: remap the kernel's accesses and body to current versions.
+    KernelInfo copy = kin;
+    for (ArrayAccess& acc : copy.accesses) {
+      const ArrayId original = acc.array;  // input accesses use original ids
+      acc.array = version_map(original);
+      if (acc.is_write()) ++writer_count[static_cast<std::size_t>(original)];
+    }
+    for (StencilStatement& stmt : copy.body) {
+      stmt.out = version_map(stmt.out);
+      stmt.expr = stmt.expr.with_remapped_arrays(
+          [&](ArrayId a) { return version_map(a); });
+    }
+    out.add_kernel(std::move(copy));
+  }
+
+  out.validate();
+  result.program = std::move(out);
+  return result;
+}
+
+}  // namespace
+
+ExpansionResult expand_arrays(const Program& program) {
+  return expand_arrays_impl(program, nullptr);
+}
+
+ExpansionResult expand_arrays(const Program& program, double budget_bytes) {
+  if (budget_bytes < 0.0) return expand_arrays(program);
+
+  // Rank candidate splits by precedence edges removed per byte, then admit
+  // greedily under the budget.
+  std::vector<SplitSite> sites = enumerate_split_sites(program);
+  std::sort(sites.begin(), sites.end(), [](const SplitSite& a, const SplitSite& b) {
+    return static_cast<double>(a.benefit) / a.bytes >
+           static_cast<double>(b.benefit) / b.bytes;
+  });
+  std::set<std::pair<KernelId, ArrayId>> allowed;
+  double spent = 0.0;
+  for (const SplitSite& site : sites) {
+    if (spent + site.bytes > budget_bytes) continue;
+    spent += site.bytes;
+    allowed.insert({site.writer, site.array});
+  }
+  return expand_arrays_impl(program, &allowed);
+}
+
+}  // namespace kf

@@ -1,0 +1,48 @@
+// Expandable-array relaxation (paper §II-B.1c).
+//
+// An "expandable read-write" array has several writer kernels: each write
+// generation imposes WAR/WAW precedences that needlessly serialise kernels
+// (e.g. QFLX in Fig. 1, written by K_8 then rewritten by K_12). The paper
+// relaxes these precedences by introducing redundant arrays — one per write
+// generation — at the cost of extra device memory. This is SSA-style
+// versioning at kernel granularity: a pure overwrite of an array whose
+// current version already has a writer starts a fresh version; subsequent
+// readers bind to the newest version.
+//
+// ReadWrite (accumulating) accesses depend on the previous contents and are
+// never split. Kernel bodies, when present, are remapped alongside the
+// access metadata so functional validation still works on the expanded
+// program.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace kf {
+
+struct ExpansionResult {
+  Program program;           ///< the relaxed program
+  int arrays_added = 0;      ///< number of redundant versions introduced
+  double extra_bytes = 0.0;  ///< device memory cost of the redundancy
+
+  /// versions[original_array] lists that array's versions in creation
+  /// order; the front is the original id, the back holds the final value.
+  std::vector<std::vector<ArrayId>> versions;
+
+  /// Final version of an original array (identity if never split).
+  ArrayId final_version(ArrayId original) const;
+};
+
+/// Applies the relaxation. The input program is not modified.
+ExpansionResult expand_arrays(const Program& program);
+
+/// Budgeted variant: redundant arrays cost device memory ("at the expense
+/// of extra memory capacity", §II-B.1c), and real deployments cap it.
+/// Split sites are ranked by precedence edges removed per byte and applied
+/// greedily until `budget_bytes` is exhausted. A negative budget means
+/// unlimited (equivalent to expand_arrays(program)).
+ExpansionResult expand_arrays(const Program& program, double budget_bytes);
+
+}  // namespace kf

@@ -1,0 +1,172 @@
+#include "graph/dependency_graph.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace kf {
+
+const char* to_string(ArrayUsage usage) noexcept {
+  switch (usage) {
+    case ArrayUsage::ReadOnly:
+      return "read-only";
+    case ArrayUsage::WriteOnly:
+      return "write-only";
+    case ArrayUsage::ReadWrite:
+      return "read-write";
+    case ArrayUsage::ExpandableReadWrite:
+      return "expandable read-write";
+  }
+  return "?";
+}
+
+const char* to_string(DepKind kind) noexcept {
+  switch (kind) {
+    case DepKind::RAW:
+      return "RAW";
+    case DepKind::WAR:
+      return "WAR";
+    case DepKind::WAW:
+      return "WAW";
+  }
+  return "?";
+}
+
+int mark_readonly_arrays(Program& program) {
+  int flagged = 0;
+  for (ArrayId a = 0; a < program.num_arrays(); ++a) {
+    bool written = false;
+    for (KernelId k = 0; !written && k < program.num_kernels(); ++k) {
+      written = program.kernel(k).writes(a);
+    }
+    if (!written && !program.array(a).readonly_cache_eligible) {
+      program.array(a).readonly_cache_eligible = true;
+      ++flagged;
+    }
+  }
+  return flagged;
+}
+
+DependencyGraph DependencyGraph::build(const Program& program) {
+  program.validate();
+  DependencyGraph g;
+  g.num_kernels_ = program.num_kernels();
+  const int na = program.num_arrays();
+  g.usage_.assign(static_cast<std::size_t>(na), ArrayUsage::ReadOnly);
+  g.writers_.assign(static_cast<std::size_t>(na), {});
+  g.readers_.assign(static_cast<std::size_t>(na), {});
+
+  for (KernelId k = 0; k < program.num_kernels(); ++k) {
+    for (const ArrayAccess& acc : program.kernel(k).accesses) {
+      if (acc.is_write()) g.writers_[static_cast<std::size_t>(acc.array)].push_back(k);
+      if (acc.is_read()) g.readers_[static_cast<std::size_t>(acc.array)].push_back(k);
+    }
+  }
+
+  for (ArrayId a = 0; a < na; ++a) {
+    const auto& w = g.writers_[static_cast<std::size_t>(a)];
+    const auto& r = g.readers_[static_cast<std::size_t>(a)];
+    ArrayUsage u;
+    if (w.empty()) {
+      u = ArrayUsage::ReadOnly;
+    } else if (r.empty()) {
+      u = ArrayUsage::WriteOnly;
+    } else if (w.size() > 1) {
+      u = ArrayUsage::ExpandableReadWrite;
+    } else {
+      u = ArrayUsage::ReadWrite;
+    }
+    g.usage_[static_cast<std::size_t>(a)] = u;
+  }
+
+  // Walk invocation order tracking, per array, the last writer and the
+  // readers since that write; emit RAW / WAR / WAW edges.
+  std::vector<KernelId> last_writer(static_cast<std::size_t>(na), kInvalidKernel);
+  std::vector<std::vector<KernelId>> readers_since(static_cast<std::size_t>(na));
+  for (KernelId k = 0; k < program.num_kernels(); ++k) {
+    for (const ArrayAccess& acc : program.kernel(k).accesses) {
+      const auto ai = static_cast<std::size_t>(acc.array);
+      if (acc.is_read() && !acc.reads_own_product) {
+        // reads_own_product accesses consume the kernel's own values, so
+        // they induce no RAW edge from the previous writer.
+        if (last_writer[ai] != kInvalidKernel && last_writer[ai] != k) {
+          g.edges_.push_back({last_writer[ai], k, acc.array, DepKind::RAW});
+        }
+        readers_since[ai].push_back(k);
+      }
+      if (acc.is_write()) {
+        if (last_writer[ai] != kInvalidKernel && last_writer[ai] != k) {
+          g.edges_.push_back({last_writer[ai], k, acc.array, DepKind::WAW});
+        }
+        for (KernelId reader : readers_since[ai]) {
+          if (reader != k) g.edges_.push_back({reader, k, acc.array, DepKind::WAR});
+        }
+        last_writer[ai] = k;
+        readers_since[ai].clear();
+        // A ReadWrite access reads the value it just produced context for;
+        // record the kernel as a reader of its own generation so a later
+        // writer still orders after it.
+        if (acc.mode == AccessMode::ReadWrite) readers_since[ai].push_back(k);
+      }
+    }
+  }
+  return g;
+}
+
+ArrayUsage DependencyGraph::usage(ArrayId array) const {
+  KF_REQUIRE(array >= 0 && array < num_arrays(), "array id out of range");
+  return usage_[static_cast<std::size_t>(array)];
+}
+
+const std::vector<KernelId>& DependencyGraph::writers(ArrayId array) const {
+  KF_REQUIRE(array >= 0 && array < num_arrays(), "array id out of range");
+  return writers_[static_cast<std::size_t>(array)];
+}
+
+const std::vector<KernelId>& DependencyGraph::readers(ArrayId array) const {
+  KF_REQUIRE(array >= 0 && array < num_arrays(), "array id out of range");
+  return readers_[static_cast<std::size_t>(array)];
+}
+
+std::vector<int> DependencyGraph::usage_histogram() const {
+  std::vector<int> hist(4, 0);
+  for (ArrayUsage u : usage_) ++hist[static_cast<std::size_t>(u)];
+  return hist;
+}
+
+std::string DependencyGraph::to_dot(const Program& program) const {
+  std::ostringstream os;
+  os << "digraph dependency {\n  rankdir=TB;\n";
+  for (KernelId k = 0; k < program.num_kernels(); ++k) {
+    os << "  k" << k << " [shape=circle,label=\"" << program.kernel(k).name << "\"];\n";
+  }
+  for (ArrayId a = 0; a < program.num_arrays(); ++a) {
+    const char* color = nullptr;
+    switch (usage(a)) {
+      case ArrayUsage::ReadOnly:
+        color = "red";
+        break;
+      case ArrayUsage::ReadWrite:
+        color = "yellow";
+        break;
+      case ArrayUsage::ExpandableReadWrite:
+        color = "blue";
+        break;
+      case ArrayUsage::WriteOnly:
+        color = "green";
+        break;
+    }
+    os << "  a" << a << " [shape=diamond,style=filled,fillcolor=" << color
+       << ",label=\"" << program.array(a).name << "\"];\n";
+  }
+  for (KernelId k = 0; k < program.num_kernels(); ++k) {
+    for (const ArrayAccess& acc : program.kernel(k).accesses) {
+      if (acc.is_read()) os << "  a" << acc.array << " -> k" << k << ";\n";
+      if (acc.is_write()) os << "  k" << k << " -> a" << acc.array << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace kf

@@ -1,0 +1,75 @@
+// Data dependency graph (paper Fig. 1).
+//
+// A bipartite view of the program: kernels touch arrays; edge direction
+// encodes intent (array -> kernel: read; kernel -> array: write). From the
+// invocation order and these touches we classify every array into the
+// paper's four usage classes and materialise kernel-to-kernel dependence
+// edges (RAW / WAR / WAW) that the execution-order graph consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace kf {
+
+/// §II-B.1: the four ways arrays are touched over a program's lifetime.
+enum class ArrayUsage {
+  ReadOnly,            ///< never written — freely reusable
+  WriteOnly,           ///< never read — not reusable
+  ReadWrite,           ///< one writer generation, later read
+  ExpandableReadWrite  ///< several writer kernels — relaxable by versioning
+};
+
+const char* to_string(ArrayUsage usage) noexcept;
+
+enum class DepKind { RAW, WAR, WAW };
+
+const char* to_string(DepKind kind) noexcept;
+
+struct DependencyEdge {
+  KernelId from = kInvalidKernel;  ///< must execute before `to`
+  KernelId to = kInvalidKernel;
+  ArrayId array = kInvalidArray;   ///< array inducing the dependence
+  DepKind kind = DepKind::RAW;
+};
+
+/// Flags every program-wide read-only array as readonly_cache_eligible
+/// (§II-C: such arrays may be served by Kepler's 48 KB read-only cache
+/// instead of SMEM). Returns the number of arrays flagged.
+int mark_readonly_arrays(Program& program);
+
+class DependencyGraph {
+ public:
+  /// Analyzes the program (validate()d first).
+  static DependencyGraph build(const Program& program);
+
+  ArrayUsage usage(ArrayId array) const;
+
+  /// Kernels writing `array`, in invocation order.
+  const std::vector<KernelId>& writers(ArrayId array) const;
+  /// Kernels reading `array`, in invocation order.
+  const std::vector<KernelId>& readers(ArrayId array) const;
+
+  const std::vector<DependencyEdge>& edges() const noexcept { return edges_; }
+
+  int num_kernels() const noexcept { return num_kernels_; }
+  int num_arrays() const noexcept { return static_cast<int>(usage_.size()); }
+
+  /// Count of arrays in each usage class, indexed by ArrayUsage.
+  std::vector<int> usage_histogram() const;
+
+  /// Graphviz rendering in the style of Fig. 1 (kernels as circles, arrays
+  /// as diamonds coloured by usage class).
+  std::string to_dot(const Program& program) const;
+
+ private:
+  int num_kernels_ = 0;
+  std::vector<ArrayUsage> usage_;
+  std::vector<std::vector<KernelId>> writers_;
+  std::vector<std::vector<KernelId>> readers_;
+  std::vector<DependencyEdge> edges_;
+};
+
+}  // namespace kf

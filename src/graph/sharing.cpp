@@ -1,0 +1,127 @@
+#include "graph/sharing.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace kf {
+
+SharingGraph SharingGraph::build(const Program& program) {
+  SharingGraph g;
+  const auto nk = static_cast<std::size_t>(program.num_kernels());
+  const auto na = static_cast<std::size_t>(program.num_arrays());
+  g.adj_.assign(nk, {});
+  g.array_kernels_.assign(na, {});
+
+  for (KernelId k = 0; k < program.num_kernels(); ++k) {
+    for (const ArrayAccess& acc : program.kernel(k).accesses) {
+      g.array_kernels_[static_cast<std::size_t>(acc.array)].push_back(k);
+    }
+  }
+  std::vector<std::set<KernelId>> adj_sets(nk);
+  for (const auto& ks : g.array_kernels_) {
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      for (std::size_t j = i + 1; j < ks.size(); ++j) {
+        adj_sets[static_cast<std::size_t>(ks[i])].insert(ks[j]);
+        adj_sets[static_cast<std::size_t>(ks[j])].insert(ks[i]);
+      }
+    }
+  }
+  for (std::size_t k = 0; k < nk; ++k) {
+    g.adj_[k].assign(adj_sets[k].begin(), adj_sets[k].end());
+  }
+  return g;
+}
+
+const std::vector<KernelId>& SharingGraph::sharing_set(ArrayId array) const {
+  KF_REQUIRE(array >= 0 && array < static_cast<ArrayId>(array_kernels_.size()),
+             "array id out of range");
+  return array_kernels_[static_cast<std::size_t>(array)];
+}
+
+std::vector<ArrayId> SharingGraph::shared_arrays() const {
+  std::vector<ArrayId> out;
+  for (std::size_t a = 0; a < array_kernels_.size(); ++a) {
+    if (array_kernels_[a].size() >= 2) out.push_back(static_cast<ArrayId>(a));
+  }
+  return out;
+}
+
+std::vector<ArrayId> SharingGraph::shared_within(std::span<const KernelId> group) const {
+  std::vector<char> in_group(adj_.size(), 0);
+  for (KernelId k : group) in_group[static_cast<std::size_t>(k)] = 1;
+  std::vector<ArrayId> out;
+  for (std::size_t a = 0; a < array_kernels_.size(); ++a) {
+    int touches = 0;
+    for (KernelId k : array_kernels_[a]) {
+      if (in_group[static_cast<std::size_t>(k)] && ++touches >= 2) break;
+    }
+    if (touches >= 2) out.push_back(static_cast<ArrayId>(a));
+  }
+  return out;
+}
+
+bool SharingGraph::direct_share(KernelId a, KernelId b) const {
+  KF_REQUIRE(a >= 0 && a < num_kernels() && b >= 0 && b < num_kernels(),
+             "kernel id out of range");
+  const auto& n = adj_[static_cast<std::size_t>(a)];
+  return std::find(n.begin(), n.end(), b) != n.end();
+}
+
+int SharingGraph::kinship(KernelId a, KernelId b) const {
+  KF_REQUIRE(a >= 0 && a < num_kernels() && b >= 0 && b < num_kernels(),
+             "kernel id out of range");
+  if (a == b) return 0;
+  // BFS shortest chain in the sharing graph.
+  std::vector<int> dist(adj_.size(), -1);
+  std::queue<KernelId> frontier;
+  dist[static_cast<std::size_t>(a)] = 0;
+  frontier.push(a);
+  while (!frontier.empty()) {
+    const KernelId u = frontier.front();
+    frontier.pop();
+    for (KernelId v : adj_[static_cast<std::size_t>(u)]) {
+      if (dist[static_cast<std::size_t>(v)] == -1) {
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        if (v == b) return dist[static_cast<std::size_t>(v)];
+        frontier.push(v);
+      }
+    }
+  }
+  return 0;  // disconnected
+}
+
+bool SharingGraph::group_connected(std::span<const KernelId> group) const {
+  if (group.size() <= 1) return true;
+  std::vector<char> in_group(adj_.size(), 0);
+  for (KernelId k : group) {
+    KF_REQUIRE(k >= 0 && k < num_kernels(), "kernel id " << k << " out of range");
+    in_group[static_cast<std::size_t>(k)] = 1;
+  }
+  std::vector<char> seen(adj_.size(), 0);
+  std::queue<KernelId> frontier;
+  frontier.push(group[0]);
+  seen[static_cast<std::size_t>(group[0])] = 1;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const KernelId u = frontier.front();
+    frontier.pop();
+    for (KernelId v : adj_[static_cast<std::size_t>(u)]) {
+      if (in_group[static_cast<std::size_t>(v)] && !seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        ++reached;
+        frontier.push(v);
+      }
+    }
+  }
+  return reached == group.size();
+}
+
+const std::vector<KernelId>& SharingGraph::neighbours(KernelId k) const {
+  KF_REQUIRE(k >= 0 && k < num_kernels(), "kernel id out of range");
+  return adj_[static_cast<std::size_t>(k)];
+}
+
+}  // namespace kf

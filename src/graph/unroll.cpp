@@ -1,0 +1,35 @@
+#include "graph/unroll.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace kf {
+
+Program unroll_timesteps(const Program& program, int steps) {
+  KF_REQUIRE(steps >= 1, "steps must be positive");
+  program.validate();
+
+  int phases_per_step = 0;
+  for (const KernelInfo& k : program.kernels()) {
+    phases_per_step = std::max(phases_per_step, k.phase + 1);
+  }
+
+  Program out(program.name() + strprintf("+x%d", steps), program.grid(),
+              program.launch());
+  for (const ArrayInfo& a : program.arrays()) out.add_array(a);
+
+  for (int step = 0; step < steps; ++step) {
+    for (const KernelInfo& kernel : program.kernels()) {
+      KernelInfo copy = kernel;
+      if (step > 0) copy.name = strprintf("%s@s%d", kernel.name.c_str(), step + 1);
+      copy.phase = kernel.phase + step * phases_per_step;
+      out.add_kernel(std::move(copy));
+    }
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace kf

@@ -1,0 +1,23 @@
+// Timestep unrolling — the paper's multiple-call-site extension (§II-C).
+//
+// The method assumes every original kernel has a single call site; the
+// paper proposes handling repeated invocations "as if they are invocations
+// of different kernels" (the expandable-array idea applied to kernels).
+// unroll_timesteps() materialises that: it clones the whole kernel sequence
+// `steps` times (the body of a time loop), suffixing kernel names with the
+// step index. Arrays are shared across steps — later steps read what
+// earlier steps wrote, and rewrites become further expandable generations.
+// Each step lands in its own phase block: a real time loop synchronises
+// (halo exchange, I/O) between iterations, so fusion never crosses the
+// step boundary.
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace kf {
+
+/// Program with the kernel sequence repeated `steps` times. Step s's
+/// kernels are named "<name>@s<s>" (s >= 2) and placed in fresh phases.
+Program unroll_timesteps(const Program& program, int steps);
+
+}  // namespace kf

@@ -1,0 +1,191 @@
+#include "ir/expression.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace kf {
+
+bool is_arithmetic(ExprKind kind) noexcept {
+  return kind != ExprKind::Constant && kind != ExprKind::Load;
+}
+
+Expr::Expr() = default;
+
+Expr Expr::constant(double value) {
+  Expr e;
+  Node n;
+  n.kind = ExprKind::Constant;
+  n.value = value;
+  e.nodes_.push_back(n);
+  return e;
+}
+
+Expr Expr::load(ArrayId array, Offset offset) {
+  KF_REQUIRE(array != kInvalidArray, "Expr::load requires a valid array id");
+  Expr e;
+  Node n;
+  n.kind = ExprKind::Load;
+  n.array = array;
+  n.offset = offset;
+  e.nodes_.push_back(n);
+  return e;
+}
+
+Expr Expr::binary(ExprKind kind, const Expr& lhs, const Expr& rhs) {
+  KF_REQUIRE(is_arithmetic(kind), "Expr::binary requires an arithmetic kind");
+  KF_REQUIRE(!lhs.empty() && !rhs.empty(), "Expr::binary requires non-empty operands");
+  Expr e;
+  e.nodes_ = lhs.nodes_;
+  const int lhs_root = static_cast<int>(e.nodes_.size()) - 1;
+  const int base = static_cast<int>(e.nodes_.size());
+  for (Node n : rhs.nodes_) {
+    if (n.lhs >= 0) n.lhs += base;
+    if (n.rhs >= 0) n.rhs += base;
+    e.nodes_.push_back(n);
+  }
+  const int rhs_root = static_cast<int>(e.nodes_.size()) - 1;
+  Node top;
+  top.kind = kind;
+  top.lhs = lhs_root;
+  top.rhs = rhs_root;
+  e.nodes_.push_back(top);
+  return e;
+}
+
+double Expr::eval(const LoadFn& load) const {
+  if (nodes_.empty()) return 0.0;
+  return eval_node(static_cast<int>(nodes_.size()) - 1, load);
+}
+
+double Expr::eval_node(int index, const LoadFn& load) const {
+  const Node& n = nodes_[static_cast<std::size_t>(index)];
+  switch (n.kind) {
+    case ExprKind::Constant:
+      return n.value;
+    case ExprKind::Load:
+      return load(n.array, n.offset);
+    case ExprKind::Add:
+      return eval_node(n.lhs, load) + eval_node(n.rhs, load);
+    case ExprKind::Sub:
+      return eval_node(n.lhs, load) - eval_node(n.rhs, load);
+    case ExprKind::Mul:
+      return eval_node(n.lhs, load) * eval_node(n.rhs, load);
+    case ExprKind::Div:
+      return eval_node(n.lhs, load) / eval_node(n.rhs, load);
+    case ExprKind::Min:
+      return std::min(eval_node(n.lhs, load), eval_node(n.rhs, load));
+    case ExprKind::Max:
+      return std::max(eval_node(n.lhs, load), eval_node(n.rhs, load));
+  }
+  KF_CHECK(false, "unreachable expression kind");
+  return 0.0;
+}
+
+int Expr::flops() const noexcept {
+  int count = 0;
+  for (const Node& n : nodes_) {
+    if (is_arithmetic(n.kind)) ++count;
+  }
+  return count;
+}
+
+std::vector<std::pair<ArrayId, Offset>> Expr::loads() const {
+  std::vector<std::pair<ArrayId, Offset>> out;
+  for (const Node& n : nodes_) {
+    if (n.kind == ExprKind::Load) out.emplace_back(n.array, n.offset);
+  }
+  return out;
+}
+
+StencilPattern Expr::pattern_for(ArrayId array) const {
+  std::vector<Offset> offsets;
+  for (const Node& n : nodes_) {
+    if (n.kind == ExprKind::Load && n.array == array) offsets.push_back(n.offset);
+  }
+  return StencilPattern(std::move(offsets));
+}
+
+Expr Expr::with_remapped_arrays(const std::function<ArrayId(ArrayId)>& map) const {
+  Expr out = *this;
+  for (Node& n : out.nodes_) {
+    if (n.kind == ExprKind::Load) n.array = map(n.array);
+  }
+  return out;
+}
+
+std::string Expr::to_string() const {
+  if (nodes_.empty()) return "0";
+  return node_to_string(static_cast<int>(nodes_.size()) - 1);
+}
+
+namespace {
+
+std::string render_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  const std::string s = os.str();
+  // Ensure a floating literal (avoid emitting "2" for 2.0).
+  return s.find_first_of(".eE") == std::string::npos ? s + ".0" : s;
+}
+
+}  // namespace
+
+std::string Expr::render(const RenderFn& render_load) const {
+  if (nodes_.empty()) return "0.0";
+  // Recursive lambda over node indices.
+  const std::function<std::string(int)> walk = [&](int index) -> std::string {
+    const Node& n = nodes_[static_cast<std::size_t>(index)];
+    switch (n.kind) {
+      case ExprKind::Constant:
+        return render_double(n.value);
+      case ExprKind::Load:
+        return render_load(n.array, n.offset);
+      case ExprKind::Min:
+        return "fmin(" + walk(n.lhs) + ", " + walk(n.rhs) + ")";
+      case ExprKind::Max:
+        return "fmax(" + walk(n.lhs) + ", " + walk(n.rhs) + ")";
+      default: {
+        const char op = n.kind == ExprKind::Add   ? '+'
+                        : n.kind == ExprKind::Sub ? '-'
+                        : n.kind == ExprKind::Mul ? '*'
+                                                  : '/';
+        return "(" + walk(n.lhs) + " " + op + " " + walk(n.rhs) + ")";
+      }
+    }
+  };
+  return walk(static_cast<int>(nodes_.size()) - 1);
+}
+
+std::string Expr::node_to_string(int index) const {
+  const Node& n = nodes_[static_cast<std::size_t>(index)];
+  std::ostringstream os;
+  switch (n.kind) {
+    case ExprKind::Constant:
+      os << n.value;
+      break;
+    case ExprKind::Load:
+      os << "a" << n.array << "(" << n.offset.dx << "," << n.offset.dy << ","
+         << n.offset.dz << ")";
+      break;
+    case ExprKind::Min:
+    case ExprKind::Max:
+      os << (n.kind == ExprKind::Min ? "min(" : "max(") << node_to_string(n.lhs)
+         << ", " << node_to_string(n.rhs) << ")";
+      break;
+    default: {
+      const char op = n.kind == ExprKind::Add   ? '+'
+                      : n.kind == ExprKind::Sub ? '-'
+                      : n.kind == ExprKind::Mul ? '*'
+                                                : '/';
+      os << "(" << node_to_string(n.lhs) << " " << op << " " << node_to_string(n.rhs)
+         << ")";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace kf

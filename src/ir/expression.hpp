@@ -1,0 +1,92 @@
+// Executable stencil expressions.
+//
+// Kernels that participate in functional validation carry a body of
+// StencilStatements; each statement writes one array element per grid site,
+// computed by an Expr tree over constants and neighbour loads. The tree is
+// plain data: the stencil engine (kf_stencil) interprets it, the IR derives
+// access metadata (patterns, FLOP counts) from it, and the GPU simulator
+// never needs it — mirroring the paper's "codeless" projection model, which
+// consumes only the metadata.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/ids.hpp"
+#include "ir/stencil_pattern.hpp"
+
+namespace kf {
+
+enum class ExprKind { Constant, Load, Add, Sub, Mul, Div, Min, Max };
+
+/// True for the arithmetic node kinds (everything but Constant/Load).
+bool is_arithmetic(ExprKind kind) noexcept;
+
+class Expr {
+ public:
+  /// A default-constructed Expr evaluates to 0.0.
+  Expr();
+
+  static Expr constant(double value);
+  static Expr load(ArrayId array, Offset offset = {});
+
+  static Expr binary(ExprKind kind, const Expr& lhs, const Expr& rhs);
+
+  friend Expr operator+(const Expr& a, const Expr& b) { return binary(ExprKind::Add, a, b); }
+  friend Expr operator-(const Expr& a, const Expr& b) { return binary(ExprKind::Sub, a, b); }
+  friend Expr operator*(const Expr& a, const Expr& b) { return binary(ExprKind::Mul, a, b); }
+  friend Expr operator/(const Expr& a, const Expr& b) { return binary(ExprKind::Div, a, b); }
+  static Expr min(const Expr& a, const Expr& b) { return binary(ExprKind::Min, a, b); }
+  static Expr max(const Expr& a, const Expr& b) { return binary(ExprKind::Max, a, b); }
+
+  /// Callback resolving a load: (array, offset) -> value at the current site.
+  using LoadFn = std::function<double(ArrayId, const Offset&)>;
+
+  double eval(const LoadFn& load) const;
+
+  /// Number of arithmetic operations in the tree (the paper's FLOP count).
+  int flops() const noexcept;
+
+  /// All (array, offset) loads in the tree, in deterministic order.
+  std::vector<std::pair<ArrayId, Offset>> loads() const;
+
+  /// Offsets with which `array` is loaded (deduplicated).
+  StencilPattern pattern_for(ArrayId array) const;
+
+  /// Copy of the tree with every load's array id passed through `map`.
+  Expr with_remapped_arrays(const std::function<ArrayId(ArrayId)>& map) const;
+
+  std::string to_string() const;
+
+  /// Renders the tree as C-like source, resolving each load through
+  /// `render_load` (used by the CUDA emitter).
+  using RenderFn = std::function<std::string(ArrayId, const Offset&)>;
+  std::string render(const RenderFn& render_load) const;
+
+  bool empty() const noexcept { return nodes_.empty(); }
+
+ private:
+  struct Node {
+    ExprKind kind = ExprKind::Constant;
+    double value = 0.0;          // Constant
+    ArrayId array = kInvalidArray;  // Load
+    Offset offset;               // Load
+    int lhs = -1;                // binary ops: child node indices
+    int rhs = -1;
+  };
+
+  // Flat postorder storage; the root is the last node.
+  std::vector<Node> nodes_;
+
+  double eval_node(int index, const LoadFn& load) const;
+  std::string node_to_string(int index) const;
+};
+
+/// One assignment `out[i,j,k] = expr` executed at every interior grid site.
+struct StencilStatement {
+  ArrayId out = kInvalidArray;
+  Expr expr;
+};
+
+}  // namespace kf

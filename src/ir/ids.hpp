@@ -1,0 +1,18 @@
+// Integer identifiers for IR entities.
+//
+// Kernels and arrays are stored in flat vectors inside kf::Program; the ids
+// are indices into those vectors. Programs in this domain are small (at most
+// a few hundred kernels), so 32-bit ids are ample.
+#pragma once
+
+#include <cstdint>
+
+namespace kf {
+
+using KernelId = std::int32_t;
+using ArrayId = std::int32_t;
+
+inline constexpr KernelId kInvalidKernel = -1;
+inline constexpr ArrayId kInvalidArray = -1;
+
+}  // namespace kf

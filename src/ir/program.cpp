@@ -1,0 +1,155 @@
+#include "ir/program.hpp"
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace kf {
+
+Program::Program(std::string name, GridDims grid, LaunchConfig launch)
+    : name_(std::move(name)), grid_(grid), launch_(launch) {
+  KF_REQUIRE(grid_.nx > 0 && grid_.ny > 0 && grid_.nz > 0, "grid dims must be positive");
+  set_launch(launch);
+}
+
+void Program::set_launch(const LaunchConfig& launch) {
+  KF_REQUIRE(launch.block_x > 0 && launch.block_y > 0, "block dims must be positive");
+  KF_REQUIRE(launch.threads_per_block() <= 1024,
+             "threads per block " << launch.threads_per_block() << " exceeds 1024");
+  launch_ = launch;
+}
+
+ArrayId Program::add_array(ArrayInfo info) {
+  KF_REQUIRE(!info.name.empty(), "array needs a name");
+  KF_REQUIRE(info.elem_bytes == 4 || info.elem_bytes == 8,
+             "array '" << info.name << "': elem_bytes must be 4 or 8");
+  KF_REQUIRE(find_array(info.name) == kInvalidArray,
+             "duplicate array name '" << info.name << "'");
+  arrays_.push_back(std::move(info));
+  return static_cast<ArrayId>(arrays_.size() - 1);
+}
+
+ArrayId Program::add_array(std::string name, int elem_bytes) {
+  ArrayInfo info;
+  info.name = std::move(name);
+  info.elem_bytes = elem_bytes;
+  return add_array(std::move(info));
+}
+
+KernelId Program::add_kernel(KernelInfo info) {
+  KF_REQUIRE(!info.name.empty(), "kernel needs a name");
+  KF_REQUIRE(find_kernel(info.name) == kInvalidKernel,
+             "duplicate kernel name '" << info.name << "'");
+  kernels_.push_back(std::move(info));
+  return static_cast<KernelId>(kernels_.size() - 1);
+}
+
+const ArrayInfo& Program::array(ArrayId id) const {
+  KF_REQUIRE(id >= 0 && id < num_arrays(), "array id " << id << " out of range");
+  return arrays_[static_cast<std::size_t>(id)];
+}
+
+ArrayInfo& Program::array(ArrayId id) {
+  KF_REQUIRE(id >= 0 && id < num_arrays(), "array id " << id << " out of range");
+  return arrays_[static_cast<std::size_t>(id)];
+}
+
+const KernelInfo& Program::kernel(KernelId id) const {
+  KF_REQUIRE(id >= 0 && id < num_kernels(), "kernel id " << id << " out of range");
+  return kernels_[static_cast<std::size_t>(id)];
+}
+
+KernelInfo& Program::kernel(KernelId id) {
+  KF_REQUIRE(id >= 0 && id < num_kernels(), "kernel id " << id << " out of range");
+  return kernels_[static_cast<std::size_t>(id)];
+}
+
+ArrayId Program::find_array(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < arrays_.size(); ++i) {
+    if (arrays_[i].name == name) return static_cast<ArrayId>(i);
+  }
+  return kInvalidArray;
+}
+
+KernelId Program::find_kernel(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    if (kernels_[i].name == name) return static_cast<KernelId>(i);
+  }
+  return kInvalidKernel;
+}
+
+long Program::blocks() const noexcept {
+  const long bx = (grid_.nx + launch_.block_x - 1) / launch_.block_x;
+  const long by = (grid_.ny + launch_.block_y - 1) / launch_.block_y;
+  return bx * by;
+}
+
+double Program::array_bytes(ArrayId id) const {
+  return static_cast<double>(grid_.total_sites()) * array(id).elem_bytes;
+}
+
+bool Program::fully_executable() const noexcept {
+  for (const auto& k : kernels_) {
+    if (k.body.empty()) return false;
+  }
+  return !kernels_.empty();
+}
+
+Program Program::with_precision(int elem_bytes) const {
+  KF_REQUIRE(elem_bytes == 4 || elem_bytes == 8, "elem_bytes must be 4 or 8");
+  Program copy = *this;
+  for (ArrayInfo& a : copy.arrays_) a.elem_bytes = elem_bytes;
+  return copy;
+}
+
+void Program::validate() const {
+  std::set<std::string> names;
+  for (const auto& a : arrays_) {
+    KF_REQUIRE(names.insert(a.name).second, "duplicate array name '" << a.name << "'");
+  }
+  names.clear();
+  for (std::size_t ki = 0; ki < kernels_.size(); ++ki) {
+    const KernelInfo& k = kernels_[ki];
+    KF_REQUIRE(names.insert(k.name).second, "duplicate kernel name '" << k.name << "'");
+    KF_REQUIRE(!k.accesses.empty(), "kernel '" << k.name << "' touches no arrays");
+    bool writes_something = false;
+    std::set<ArrayId> seen;
+    for (const auto& acc : k.accesses) {
+      KF_REQUIRE(acc.array >= 0 && acc.array < num_arrays(),
+                 "kernel '" << k.name << "' references array id " << acc.array
+                            << " out of range");
+      KF_REQUIRE(seen.insert(acc.array).second,
+                 "kernel '" << k.name << "' has duplicate access entries for array '"
+                            << array(acc.array).name << "'");
+      KF_REQUIRE(!acc.pattern.empty(),
+                 "kernel '" << k.name << "' has an empty access pattern");
+      if (acc.mode == AccessMode::Write) {
+        // SIMT ownership: a thread writes only its own site.
+        KF_REQUIRE(acc.pattern == StencilPattern::point(),
+                   "kernel '" << k.name << "' writes array '" << array(acc.array).name
+                              << "' with a non-center pattern");
+      }
+      writes_something = writes_something || acc.is_write();
+    }
+    KF_REQUIRE(writes_something, "kernel '" << k.name << "' writes no arrays");
+    KF_REQUIRE(k.regs_per_thread > 0, "kernel '" << k.name << "' has no registers");
+    // Bodies, when present, must reference valid arrays.
+    for (const auto& stmt : k.body) {
+      KF_REQUIRE(stmt.out >= 0 && stmt.out < num_arrays(),
+                 "kernel '" << k.name << "' body writes invalid array id " << stmt.out);
+      for (const auto& [array_id, offset] : stmt.expr.loads()) {
+        KF_REQUIRE(array_id >= 0 && array_id < num_arrays(),
+                   "kernel '" << k.name << "' body loads invalid array id " << array_id);
+        // A statement may read its own output only at the center: offset
+        // self-reads would make the grid-wide pass order-dependent.
+        KF_REQUIRE(array_id != stmt.out ||
+                       (offset.dx == 0 && offset.dy == 0 && offset.dz == 0),
+                   "kernel '" << k.name
+                              << "' statement reads its own output at a non-center offset");
+      }
+    }
+  }
+  KF_REQUIRE(!kernels_.empty(), "program has no kernels");
+}
+
+}  // namespace kf

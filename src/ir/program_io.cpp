@@ -1,0 +1,199 @@
+#include "ir/program_io.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace kf {
+namespace {
+
+std::string offsets_to_text(const StencilPattern& p) {
+  std::string out;
+  const auto& offs = p.offsets();
+  for (std::size_t i = 0; i < offs.size(); ++i) {
+    if (i) out += ';';
+    out += strprintf("(%d,%d,%d)", offs[i].dx, offs[i].dy, offs[i].dz);
+  }
+  return out;
+}
+
+StencilPattern offsets_from_text(std::string_view text, int line_no) {
+  std::vector<Offset> offs;
+  for (const std::string& part : split(text, ';')) {
+    const std::string_view t = trim(part);
+    if (t.empty()) continue;
+    Offset o;
+    if (std::sscanf(std::string(t).c_str(), "(%d,%d,%d)", &o.dx, &o.dy, &o.dz) != 3) {
+      throw RuntimeError(strprintf("line %d: bad offset '%s'", line_no,
+                                   std::string(t).c_str()));
+    }
+    offs.push_back(o);
+  }
+  if (offs.empty()) {
+    throw RuntimeError(strprintf("line %d: empty offset list", line_no));
+  }
+  return StencilPattern(std::move(offs));
+}
+
+AccessMode mode_from_text(std::string_view text, int line_no) {
+  if (text == "read") return AccessMode::Read;
+  if (text == "write") return AccessMode::Write;
+  if (text == "readwrite") return AccessMode::ReadWrite;
+  throw RuntimeError(strprintf("line %d: bad access mode '%s'", line_no,
+                               std::string(text).c_str()));
+}
+
+/// Parses "key=value" returning value; throws on mismatch.
+std::string expect_kv(std::string_view token, std::string_view key, int line_no) {
+  const auto eq = token.find('=');
+  if (eq == std::string_view::npos || token.substr(0, eq) != key) {
+    throw RuntimeError(strprintf("line %d: expected %s=..., got '%s'", line_no,
+                                 std::string(key).c_str(), std::string(token).c_str()));
+  }
+  return std::string(token.substr(eq + 1));
+}
+
+}  // namespace
+
+void write_text(std::ostream& os, const Program& program) {
+  os << "program " << program.name() << '\n';
+  os << "grid " << program.grid().nx << ' ' << program.grid().ny << ' '
+     << program.grid().nz << '\n';
+  os << "launch " << program.launch().block_x << ' ' << program.launch().block_y << '\n';
+  for (const ArrayInfo& a : program.arrays()) {
+    os << "array " << a.name << ' ' << a.elem_bytes;
+    if (a.readonly_cache_eligible) os << " rocache";
+    os << '\n';
+  }
+  for (const KernelInfo& k : program.kernels()) {
+    os << "kernel " << k.name << " regs=" << k.regs_per_thread
+       << " adrregs=" << k.addr_regs << " flops=" << k.flops_per_site
+       << " smem=" << (k.smem_in_original ? 1 : 0);
+    if (k.phase != 0) os << " phase=" << k.phase;
+    os << '\n';
+    for (const ArrayAccess& acc : k.accesses) {
+      os << "  access " << program.array(acc.array).name << ' ' << to_string(acc.mode)
+         << " flops=" << acc.flops << " offsets=" << offsets_to_text(acc.pattern);
+      if (acc.reads_own_product) os << " own=1";
+      os << '\n';
+    }
+    os << "end\n";
+  }
+}
+
+std::string to_text(const Program& program) {
+  std::ostringstream os;
+  write_text(os, program);
+  return os.str();
+}
+
+Program read_program(std::istream& is) {
+  std::string name = "program";
+  GridDims grid;
+  LaunchConfig launch;
+  Program program;
+  bool header_done = false;
+  KernelInfo current;
+  bool in_kernel = false;
+
+  auto flush_header = [&] {
+    if (!header_done) {
+      program = Program(name, grid, launch);
+      header_done = true;
+    }
+  };
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view t = trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    std::istringstream ls{std::string(t)};
+    std::string word;
+    ls >> word;
+    if (word == "program") {
+      ls >> name;
+    } else if (word == "grid") {
+      ls >> grid.nx >> grid.ny >> grid.nz;
+      if (!ls) throw RuntimeError(strprintf("line %d: bad grid line", line_no));
+    } else if (word == "launch") {
+      ls >> launch.block_x >> launch.block_y;
+      if (!ls) throw RuntimeError(strprintf("line %d: bad launch line", line_no));
+    } else if (word == "array") {
+      flush_header();
+      ArrayInfo info;
+      ls >> info.name >> info.elem_bytes;
+      if (!ls) throw RuntimeError(strprintf("line %d: bad array line", line_no));
+      std::string flag;
+      if (ls >> flag && flag == "rocache") info.readonly_cache_eligible = true;
+      program.add_array(std::move(info));
+    } else if (word == "kernel") {
+      flush_header();
+      if (in_kernel) throw RuntimeError(strprintf("line %d: nested kernel", line_no));
+      in_kernel = true;
+      current = KernelInfo{};
+      ls >> current.name;
+      std::string tok;
+      while (ls >> tok) {
+        if (starts_with(tok, "regs=")) {
+          current.regs_per_thread = std::stoi(expect_kv(tok, "regs", line_no));
+        } else if (starts_with(tok, "adrregs=")) {
+          current.addr_regs = std::stoi(expect_kv(tok, "adrregs", line_no));
+        } else if (starts_with(tok, "flops=")) {
+          current.flops_per_site = std::stod(expect_kv(tok, "flops", line_no));
+        } else if (starts_with(tok, "smem=")) {
+          current.smem_in_original = expect_kv(tok, "smem", line_no) != "0";
+        } else if (starts_with(tok, "phase=")) {
+          current.phase = std::stoi(expect_kv(tok, "phase", line_no));
+        } else {
+          throw RuntimeError(strprintf("line %d: unknown kernel attribute '%s'",
+                                       line_no, tok.c_str()));
+        }
+      }
+    } else if (word == "access") {
+      if (!in_kernel) throw RuntimeError(strprintf("line %d: access outside kernel", line_no));
+      std::string array_name;
+      std::string mode_text;
+      std::string flops_tok;
+      std::string offsets_tok;
+      ls >> array_name >> mode_text >> flops_tok >> offsets_tok;
+      if (!ls) throw RuntimeError(strprintf("line %d: bad access line", line_no));
+      const ArrayId id = program.find_array(array_name);
+      if (id == kInvalidArray) {
+        throw RuntimeError(strprintf("line %d: unknown array '%s'", line_no,
+                                     array_name.c_str()));
+      }
+      ArrayAccess acc;
+      acc.array = id;
+      acc.mode = mode_from_text(mode_text, line_no);
+      acc.flops = std::stod(expect_kv(flops_tok, "flops", line_no));
+      acc.pattern = offsets_from_text(expect_kv(offsets_tok, "offsets", line_no), line_no);
+      std::string own_tok;
+      if (ls >> own_tok) {
+        acc.reads_own_product = expect_kv(own_tok, "own", line_no) != "0";
+      }
+      current.accesses.push_back(std::move(acc));
+    } else if (word == "end") {
+      if (!in_kernel) throw RuntimeError(strprintf("line %d: stray end", line_no));
+      in_kernel = false;
+      program.add_kernel(std::move(current));
+      current = KernelInfo{};
+    } else {
+      throw RuntimeError(strprintf("line %d: unknown directive '%s'", line_no,
+                                   word.c_str()));
+    }
+  }
+  if (in_kernel) throw RuntimeError("unterminated kernel block at end of input");
+  flush_header();
+  program.validate();
+  return program;
+}
+
+Program parse_program(const std::string& text) {
+  std::istringstream is(text);
+  return read_program(is);
+}
+
+}  // namespace kf

@@ -1,0 +1,34 @@
+// Text (de)serialization of program metadata.
+//
+// The format captures everything the search and projection pipeline needs —
+// arrays, kernels, accesses, Table III metadata — but not executable bodies
+// (bodies exist only for functional validation and are defined in code).
+// It is line-oriented and diff-friendly so app models can be checked in as
+// fixtures and inspected by hand:
+//
+//   program rk3
+//   grid 1280 32 32
+//   launch 32 4
+//   array DENS 8
+//   kernel k_1 regs=40 adrregs=10 flops=12 smem=1
+//     access DENS read flops=6 offsets=(0,0,0);(-1,0,0)
+//     access MOMZ write flops=0 offsets=(0,0,0)
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace kf {
+
+std::string to_text(const Program& program);
+void write_text(std::ostream& os, const Program& program);
+
+/// Parses the textual form. Throws kf::RuntimeError with a line number on
+/// malformed input. The result is validate()d before returning.
+Program parse_program(const std::string& text);
+Program read_program(std::istream& is);
+
+}  // namespace kf

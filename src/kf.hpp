@@ -1,0 +1,72 @@
+// Umbrella header for the kernel-fusion library.
+//
+// Typical pipeline (see examples/quickstart.cpp):
+//
+//   Program program = ...;                       // describe kernels + arrays
+//   auto expanded = expand_arrays(program);      // relax expandable arrays
+//   DeviceSpec device = DeviceSpec::k20x();
+//   LegalityChecker checker(expanded.program, device);
+//   TimingSimulator simulator(device);
+//   ProposedModel model(device);
+//   Objective objective(checker, model, simulator);
+//   SearchResult result = Hgga(objective, HggaConfig{}).run();
+//   FusedProgram fused = apply_fusion(checker, result.best);
+//   // verify, measure, report…
+#pragma once
+
+#include "apps/cloverleaf.hpp"
+#include "apps/homme.hpp"
+#include "apps/motivating_example.hpp"
+#include "apps/scale_les.hpp"
+#include "apps/shallow_water.hpp"
+#include "apps/synthetic.hpp"
+#include "apps/testsuite.hpp"
+#include "apps/weather_zoo.hpp"
+#include "codegen/cuda_emitter.hpp"
+#include "fusion/fused_kernel.hpp"
+#include "fusion/fusion_plan.hpp"
+#include "fusion/legality.hpp"
+#include "fusion/reducible_traffic.hpp"
+#include "fusion/transformer.hpp"
+#include "graph/array_expansion.hpp"
+#include "graph/dag.hpp"
+#include "graph/dependency_graph.hpp"
+#include "graph/execution_order.hpp"
+#include "graph/sharing.hpp"
+#include "graph/unroll.hpp"
+#include "gpu/bank_conflicts.hpp"
+#include "gpu/device_spec.hpp"
+#include "gpu/event_sim.hpp"
+#include "gpu/launch_descriptor.hpp"
+#include "gpu/launch_tuner.hpp"
+#include "gpu/occupancy.hpp"
+#include "gpu/timing_simulator.hpp"
+#include "gpu/traffic_model.hpp"
+#include "gpu/weak_scaling.hpp"
+#include "ir/expression.hpp"
+#include "ir/ids.hpp"
+#include "ir/kernel_info.hpp"
+#include "ir/program.hpp"
+#include "ir/program_io.hpp"
+#include "ir/stencil_pattern.hpp"
+#include "model/projection.hpp"
+#include "model/proposed_model.hpp"
+#include "model/roofline_model.hpp"
+#include "model/simple_model.hpp"
+#include "search/annealing.hpp"
+#include "search/exhaustive.hpp"
+#include "search/greedy.hpp"
+#include "search/hgga.hpp"
+#include "search/objective.hpp"
+#include "search/population.hpp"
+#include "search/random_search.hpp"
+#include "stencil/block_executor.hpp"
+#include "stencil/equivalence.hpp"
+#include "stencil/grid.hpp"
+#include "stencil/reference_executor.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"

@@ -1,0 +1,15 @@
+#include "model/projection.hpp"
+
+#include <algorithm>
+
+namespace kf {
+
+int dominant_elem_bytes(const Program& program) noexcept {
+  int widest = 4;
+  for (const ArrayInfo& a : program.arrays()) {
+    widest = std::max(widest, a.elem_bytes);
+  }
+  return widest;
+}
+
+}  // namespace kf

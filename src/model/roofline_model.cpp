@@ -1,0 +1,47 @@
+#include "model/roofline_model.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace kf {
+
+RooflineModel::RooflineModel(DeviceSpec device) : device_(std::move(device)) {}
+
+Projection RooflineModel::project(const Program& program,
+                                  const LaunchDescriptor& launch) const {
+  // Compulsory traffic: every distinct array read by any member once,
+  // every distinct written array once.
+  std::set<ArrayId> reads;
+  std::set<ArrayId> writes;
+  std::set<ArrayId> produced;
+  for (KernelId k : launch.members) {
+    for (const ArrayAccess& acc : program.kernel(k).accesses) {
+      if (acc.is_read() && !produced.contains(acc.array) && !acc.reads_own_product) {
+        reads.insert(acc.array);
+      }
+      if (acc.is_write()) {
+        writes.insert(acc.array);
+        produced.insert(acc.array);
+      }
+    }
+  }
+  const double sites = static_cast<double>(program.grid().total_sites());
+  double bytes = 0.0;
+  for (ArrayId a : reads) bytes += sites * program.array(a).elem_bytes;
+  for (ArrayId a : writes) bytes += sites * program.array(a).elem_bytes;
+
+  double flops = 0.0;
+  for (KernelId k : launch.members) flops += program.kernel(k).flops_per_site;
+  flops *= sites;
+
+  Projection p;
+  const double mem_time = bytes / (device_.gmem_bw_gbs * 1e9);
+  const double compute_time = flops / (device_.peak_gflops * 1e9);
+  p.time_s = std::max(mem_time, compute_time);
+  const double intensity = flops / bytes;
+  p.p_membound_gflops =
+      std::min(device_.peak_gflops, intensity * device_.gmem_bw_gbs);
+  return p;
+}
+
+}  // namespace kf

@@ -1,0 +1,28 @@
+// Roofline projection (Williams et al.), the paper's first baseline model.
+//
+// Projects runtime as the larger of the compute roof and the bandwidth
+// roof, assuming *perfect* on-chip reuse: each distinct input array is read
+// from GMEM once and each output written once. It knows nothing about
+// occupancy, register pressure, SMEM capacity or bank conflicts — which is
+// precisely why the paper shows it admits false-positive fusions.
+#pragma once
+
+#include "model/projection.hpp"
+
+namespace kf {
+
+class RooflineModel final : public ProjectionModel {
+ public:
+  explicit RooflineModel(DeviceSpec device);
+
+  const std::string& name() const noexcept override { return name_; }
+
+  Projection project(const Program& program,
+                     const LaunchDescriptor& launch) const override;
+
+ private:
+  DeviceSpec device_;
+  std::string name_ = "roofline";
+};
+
+}  // namespace kf

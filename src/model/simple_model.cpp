@@ -1,0 +1,40 @@
+#include "model/simple_model.hpp"
+
+#include "gpu/traffic_model.hpp"
+#include "util/error.hpp"
+
+namespace kf {
+
+SimpleModel::SimpleModel(const Program& program, const TimingSimulator& simulator) {
+  double total_bytes = 0.0;
+  double total_time = 0.0;
+  for (KernelId k = 0; k < program.num_kernels(); ++k) {
+    const SimResult r = simulator.run_original(program, k);
+    original_time_s_.push_back(r.time_s);
+    original_bytes_.push_back(r.traffic.gmem_total());
+    total_bytes += r.traffic.gmem_total();
+    total_time += r.time_s;
+  }
+  KF_CHECK(total_time > 0.0, "program has zero measured time");
+  measured_bw_ = total_bytes / total_time;
+}
+
+Projection SimpleModel::project(const Program& program,
+                                const LaunchDescriptor& launch) const {
+  double original_sum = 0.0;
+  double original_bytes = 0.0;
+  for (KernelId k : launch.members) {
+    KF_REQUIRE(k >= 0 && k < static_cast<KernelId>(original_time_s_.size()),
+               "kernel id out of range for this model");
+    original_sum += original_time_s_[static_cast<std::size_t>(k)];
+    original_bytes += original_bytes_[static_cast<std::size_t>(k)];
+  }
+  const double fused_bytes = compute_traffic(program, launch).gmem_total();
+  const double saved_bytes = std::max(0.0, original_bytes - fused_bytes);
+
+  Projection p;
+  p.time_s = original_sum - saved_bytes / measured_bw_;
+  return p;
+}
+
+}  // namespace kf

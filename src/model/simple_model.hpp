@@ -1,0 +1,38 @@
+// The "simple model" baseline (§IV): empirical measurement of original
+// kernels, minus the time of the GMEM accesses that fusion makes redundant.
+//
+//   T_simple(F) = sum_i P(K_i) - saved_bytes / measured_BW
+//
+// where P(K_i) are measured original runtimes and measured_BW is the
+// aggregate effective bandwidth those originals achieved. Intuitively more
+// accurate than Roofline, but still blind to the *new* kernel's resource
+// pressure — the limitation the motivating example (Fig. 3) demonstrates.
+#pragma once
+
+#include <vector>
+
+#include "gpu/timing_simulator.hpp"
+#include "model/projection.hpp"
+
+namespace kf {
+
+class SimpleModel final : public ProjectionModel {
+ public:
+  /// "Measures" the original kernels of `program` with `simulator`
+  /// (the reproduction's stand-in for profiling on hardware). The program
+  /// must outlive the model.
+  SimpleModel(const Program& program, const TimingSimulator& simulator);
+
+  const std::string& name() const noexcept override { return name_; }
+
+  Projection project(const Program& program,
+                     const LaunchDescriptor& launch) const override;
+
+ private:
+  std::string name_ = "simple";
+  std::vector<double> original_time_s_;   // per kernel
+  std::vector<double> original_bytes_;    // per kernel
+  double measured_bw_ = 0.0;              // aggregate bytes / aggregate time
+};
+
+}  // namespace kf

@@ -1,0 +1,29 @@
+// Simulated-annealing baseline.
+//
+// A single-solution metaheuristic over the same legality-preserving move
+// set as the HGGA's mutations (merge sharing-connected groups / split a
+// group / move one kernel), with Metropolis acceptance and geometric
+// cooling. Included as a middle ground between greedy and the HGGA in the
+// solver ablation: it escapes local minima the greedy cannot, but lacks
+// the group-crossover recombination the paper credits for scalability.
+#pragma once
+
+#include "search/hgga.hpp"
+#include "search/objective.hpp"
+
+namespace kf {
+
+struct AnnealingConfig {
+  long iterations = 30'000;
+  /// Initial temperature as a fraction of the baseline plan cost.
+  double initial_temperature_fraction = 0.02;
+  /// Geometric cooling rate applied every `iterations / 100` steps.
+  double cooling = 0.93;
+  double init_aggressiveness = 0.5;
+  std::uint64_t seed = 0x5eed;
+};
+
+SearchResult annealing_search(const Objective& objective,
+                              AnnealingConfig config = AnnealingConfig());
+
+}  // namespace kf

@@ -1,0 +1,105 @@
+#include "search/exhaustive.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace kf {
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(const Objective& objective, const ExhaustiveConfig& config)
+      : objective_(objective),
+        checker_(objective.checker()),
+        config_(config),
+        n_(checker_.program().num_kernels()) {}
+
+  SearchResult run() {
+    Stopwatch watch;
+    groups_.clear();
+    best_cost_ = std::numeric_limits<double>::infinity();
+    partitions_ = 0;
+    recurse(0);
+    KF_CHECK(best_cost_ < std::numeric_limits<double>::infinity(),
+             "no legal partition found (identity should always be legal)");
+
+    SearchResult result;
+    result.best = FusionPlan::from_groups(n_, best_groups_);
+    result.best.canonicalize();
+    result.best_cost_s = best_cost_;
+    result.baseline_cost_s = objective_.baseline_cost();
+    result.evaluations = partitions_;
+    result.model_evaluations = objective_.model_evaluations();
+    result.runtime_s = watch.elapsed_s();
+    result.time_to_best_s = result.runtime_s;
+    return result;
+  }
+
+ private:
+  const Objective& objective_;
+  const LegalityChecker& checker_;
+  ExhaustiveConfig config_;
+  int n_;
+
+  std::vector<std::vector<KernelId>> groups_;
+  std::vector<std::vector<KernelId>> best_groups_;
+  double best_cost_ = 0.0;
+  long partitions_ = 0;
+
+  // No branch-and-bound here: a group's final cost can drop below the sum
+  // of its members' singleton times, so partial costs do not lower-bound
+  // completions. Legality of complete partitions prunes instead.
+  void recurse(KernelId next) {
+    if (next == n_) {
+      ++partitions_;
+      KF_CHECK(partitions_ <= config_.max_partitions,
+               "partition budget exhausted — problem too large for exhaustive search");
+      // Full legality on the complete partition.
+      for (const auto& g : groups_) {
+        if (g.size() >= 2 && !checker_.group_is_legal(g)) return;
+      }
+      if (!checker_.plan_is_schedulable(FusionPlan::from_groups(n_, groups_))) {
+        return;
+      }
+      double cost = 0.0;
+      for (const auto& g : groups_) cost += objective_.group_cost(g).cost_s;
+      if (cost < best_cost_) {
+        best_cost_ = cost;
+        best_groups_ = groups_;
+      }
+      return;
+    }
+    // Join an existing group. No kinship pruning here: a group that is
+    // disconnected now can still be bridged by a higher-indexed kernel
+    // added later (e.g. {C, D} bridged by E), so filtering on direct
+    // sharing would silently drop legal partitions. Connectivity is part
+    // of the full legality check on complete partitions.
+    // Index loop: deeper recursion pushes/pops trailing groups, so
+    // references into groups_ would dangle but indices below `count` stay
+    // valid.
+    const std::size_t count = groups_.size();
+    for (std::size_t gi = 0; gi < count; ++gi) {
+      groups_[gi].push_back(next);
+      recurse(next + 1);
+      groups_[gi].pop_back();
+    }
+    // Or start a fresh group.
+    groups_.push_back({next});
+    recurse(next + 1);
+    groups_.pop_back();
+  }
+};
+
+}  // namespace
+
+SearchResult exhaustive_search(const Objective& objective, ExhaustiveConfig config) {
+  const int n = objective.checker().program().num_kernels();
+  KF_REQUIRE(n <= config.max_kernels,
+             "exhaustive search limited to " << config.max_kernels << " kernels, got " << n);
+  Enumerator e(objective, config);
+  return e.run();
+}
+
+}  // namespace kf

@@ -1,0 +1,30 @@
+// Exhaustive search over all legal partitions.
+//
+// The deterministic ground truth the paper used to verify the HGGA on small
+// test-suite benchmarks (Fig. 5a). Enumerates *every* set partition by
+// recursive assignment ("restricted growth strings") and checks full
+// legality on complete partitions — no structural pruning, because neither
+// convexity nor connectivity is monotone under adding members (a
+// higher-indexed kernel can bridge or close a group). Practical up to ~12
+// kernels (Bell(12) = 4.2M partitions).
+#pragma once
+
+#include "search/objective.hpp"
+#include "search/hgga.hpp"
+
+namespace kf {
+
+struct ExhaustiveConfig {
+  int max_kernels = 12;          ///< refuse larger inputs
+  long max_partitions = 50'000'000;  ///< safety valve
+};
+
+/// Finds the optimal legal plan under the objective. Throws if the program
+/// exceeds the configured limits.
+SearchResult exhaustive_search(const Objective& objective,
+                               ExhaustiveConfig config = ExhaustiveConfig());
+
+/// Number of partitions enumerated by the last call's recursion
+/// (for reporting; exposed via the SearchResult's evaluations counter).
+
+}  // namespace kf

@@ -1,0 +1,63 @@
+#include "search/greedy.hpp"
+
+#include <algorithm>
+
+#include "util/stopwatch.hpp"
+
+namespace kf {
+
+SearchResult greedy_search(const Objective& objective) {
+  Stopwatch watch;
+  const LegalityChecker& checker = objective.checker();
+  const Program& program = checker.program();
+  FusionPlan plan(program.num_kernels());
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    double best_delta = -1e-15;
+    int best_a = -1;
+    int best_b = -1;
+    for (int a = 0; a < plan.num_groups(); ++a) {
+      for (int b = a + 1; b < plan.num_groups(); ++b) {
+        std::vector<KernelId> merged(plan.group(a).begin(), plan.group(a).end());
+        merged.insert(merged.end(), plan.group(b).begin(), plan.group(b).end());
+        std::sort(merged.begin(), merged.end());
+        if (!checker.group_is_legal(merged)) continue;
+        {
+          FusionPlan trial = plan;
+          trial.merge_groups(a, b);
+          if (!checker.plan_is_schedulable(trial)) continue;
+        }
+        const auto merged_cost = objective.group_cost(merged);
+        if (!merged_cost.profitable) continue;
+        const double delta = objective.group_cost(plan.group(a)).cost_s +
+                             objective.group_cost(plan.group(b)).cost_s -
+                             merged_cost.cost_s;
+        if (delta > best_delta) {
+          best_delta = delta;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_a >= 0) {
+      plan.merge_groups(best_a, best_b);
+      progress = true;
+    }
+  }
+
+  SearchResult result;
+  plan.canonicalize();
+  result.best = plan;
+  result.best_cost_s = objective.plan_cost(plan);
+  result.baseline_cost_s = objective.baseline_cost();
+  result.evaluations = objective.evaluations();
+  result.model_evaluations = objective.model_evaluations();
+  result.runtime_s = watch.elapsed_s();
+  result.time_to_best_s = result.runtime_s;
+  result.generations = 0;
+  return result;
+}
+
+}  // namespace kf

@@ -1,0 +1,17 @@
+// Greedy first-fit fusion baseline.
+//
+// The polynomial-time strawman §III-A discusses: repeatedly apply the legal
+// merge with the largest projected cost reduction until no merge improves.
+// Fast and often decent, but blind to non-local restructurings the HGGA's
+// group crossover discovers (bench/ablation_search_operators quantifies
+// the gap).
+#pragma once
+
+#include "search/hgga.hpp"
+#include "search/objective.hpp"
+
+namespace kf {
+
+SearchResult greedy_search(const Objective& objective);
+
+}  // namespace kf

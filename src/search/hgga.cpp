@@ -1,0 +1,363 @@
+#include "search/hgga.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "search/population.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace kf {
+
+std::string SearchResult::trace_csv() const {
+  std::ostringstream os;
+  os << "generation,best_cost_s,mean_cost_s,distinct_plans,mean_groups\n";
+  for (std::size_t g = 0; g < trace.size(); ++g) {
+    const GenerationStats& s = trace[g];
+    os << g << ',' << s.best_cost_s << ',' << s.mean_cost_s << ','
+       << s.distinct_plans << ',' << s.mean_groups << '\n';
+  }
+  return os.str();
+}
+
+int local_polish(const Objective& objective, FusionPlan& plan, double* cost_out) {
+  const LegalityChecker& checker = objective.checker();
+  int edits = 0;
+  double cost = objective.plan_cost(plan);
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    FusionPlan best_plan = plan;
+    double best_cost = cost;
+
+    auto consider = [&](FusionPlan&& candidate) {
+      const double c = objective.plan_cost(candidate);
+      if (c < best_cost - 1e-18) {
+        best_cost = c;
+        best_plan = std::move(candidate);
+      }
+    };
+
+    // merges
+    for (int a = 0; a < plan.num_groups(); ++a) {
+      for (int b = a + 1; b < plan.num_groups(); ++b) {
+        std::vector<KernelId> merged(plan.group(a).begin(), plan.group(a).end());
+        merged.insert(merged.end(), plan.group(b).begin(), plan.group(b).end());
+        std::sort(merged.begin(), merged.end());
+        if (!checker.group_is_legal(merged)) continue;
+        FusionPlan candidate = plan;
+        candidate.merge_groups(a, b);
+        if (!checker.plan_is_schedulable(candidate)) continue;
+        consider(std::move(candidate));
+      }
+    }
+    // moves (kernel to a sharing neighbour's group)
+    for (KernelId k = 0; k < plan.num_kernels(); ++k) {
+      for (KernelId n : checker.sharing().neighbours(k)) {
+        const int from = plan.group_of(k);
+        const int to = plan.group_of(n);
+        if (from == to) continue;
+        std::vector<KernelId> target(plan.group(to).begin(), plan.group(to).end());
+        target.push_back(k);
+        std::sort(target.begin(), target.end());
+        if (!checker.group_is_legal(target)) continue;
+        FusionPlan candidate = plan;
+        candidate.move_kernel(k, to);
+        if (repair_plan(checker, candidate) > 0 &&
+            !checker.plan_is_legal(candidate)) {
+          continue;
+        }
+        consider(std::move(candidate));
+      }
+    }
+    // splits
+    for (int g = 0; g < plan.num_groups(); ++g) {
+      if (plan.group(g).size() < 2) continue;
+      FusionPlan candidate = plan;
+      candidate.split_group(g);
+      consider(std::move(candidate));
+    }
+
+    if (best_cost < cost - 1e-18) {
+      plan = std::move(best_plan);
+      cost = best_cost;
+      ++edits;
+      improved = true;
+    }
+  }
+  if (cost_out != nullptr) *cost_out = cost;
+  return edits;
+}
+
+Hgga::Hgga(const Objective& objective, HggaConfig config)
+    : objective_(objective), config_(config) {
+  KF_REQUIRE(config_.population >= 4, "population too small");
+  KF_REQUIRE(config_.elites >= 0 && config_.elites < config_.population,
+             "elites out of range");
+  KF_REQUIRE(config_.tournament_size >= 1, "tournament size must be >= 1");
+}
+
+Hgga::Individual Hgga::make_random(Rng& rng) const {
+  Individual ind;
+  ind.plan = random_legal_plan(objective_.checker(), rng,
+                               rng.next_double(0.3, config_.init_aggressiveness));
+  ind.cost = objective_.plan_cost(ind.plan);
+  return ind;
+}
+
+const Hgga::Individual& Hgga::tournament(const std::vector<Individual>& pop,
+                                         Rng& rng) const {
+  const Individual* best = &pop[rng.next_below(pop.size())];
+  for (int t = 1; t < config_.tournament_size; ++t) {
+    const Individual& challenger = pop[rng.next_below(pop.size())];
+    if (challenger.cost < best->cost) best = &challenger;
+  }
+  return *best;
+}
+
+void Hgga::crossover(const Individual& a, const Individual& b, Individual& child,
+                     Rng& rng) const {
+  const LegalityChecker& checker = objective_.checker();
+  child.plan = a.plan;
+
+  // Select the crossing section: each fused group of b is injected with
+  // probability 1/2 (at least one when any exist).
+  std::vector<std::vector<KernelId>> injected;
+  std::vector<int> fused_groups;
+  for (int g = 0; g < b.plan.num_groups(); ++g) {
+    if (b.plan.group(g).size() >= 2) fused_groups.push_back(g);
+  }
+  if (!fused_groups.empty()) {
+    for (int g : fused_groups) {
+      if (rng.next_bool(0.5)) {
+        injected.emplace_back(b.plan.group(g).begin(), b.plan.group(g).end());
+      }
+    }
+    if (injected.empty()) {
+      const int g = fused_groups[rng.next_below(fused_groups.size())];
+      injected.emplace_back(b.plan.group(g).begin(), b.plan.group(g).end());
+    }
+  }
+
+  // Dissolve child groups that collide with the injected members, then
+  // rebuild: injected groups stay whole (group legality is group-local, so
+  // they remain legal); orphans re-insert best-fit-first.
+  std::vector<char> taken(static_cast<std::size_t>(child.plan.num_kernels()), 0);
+  for (const auto& g : injected) {
+    for (KernelId k : g) taken[static_cast<std::size_t>(k)] = 1;
+  }
+  std::vector<std::vector<KernelId>> groups;
+  std::vector<KernelId> orphans;
+  for (int g = 0; g < child.plan.num_groups(); ++g) {
+    const auto group = child.plan.group(g);
+    const bool collides = std::any_of(group.begin(), group.end(), [&](KernelId k) {
+      return taken[static_cast<std::size_t>(k)];
+    });
+    if (!collides) {
+      groups.emplace_back(group.begin(), group.end());
+    } else {
+      for (KernelId k : group) {
+        if (!taken[static_cast<std::size_t>(k)]) orphans.push_back(k);
+      }
+    }
+  }
+  for (const auto& g : injected) groups.push_back(g);
+
+  // Re-insert orphans: best legal host group by marginal cost, else singleton.
+  rng.shuffle(orphans);
+  for (KernelId k : orphans) {
+    int best_group = -1;
+    double best_delta = std::numeric_limits<double>::infinity();
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      std::vector<KernelId> candidate = groups[g];
+      candidate.push_back(k);
+      std::sort(candidate.begin(), candidate.end());
+      if (!checker.group_is_legal(candidate)) continue;
+      const double delta = objective_.group_cost(candidate).cost_s -
+                           objective_.group_cost(groups[g]).cost_s;
+      if (delta < best_delta) {
+        best_delta = delta;
+        best_group = static_cast<int>(g);
+      }
+    }
+    const double solo = objective_.original_time(k);
+    if (best_group >= 0 && best_delta < solo) {
+      groups[static_cast<std::size_t>(best_group)].push_back(k);
+      std::sort(groups[static_cast<std::size_t>(best_group)].begin(),
+                groups[static_cast<std::size_t>(best_group)].end());
+    } else {
+      groups.push_back({k});
+    }
+  }
+
+  child.plan = FusionPlan::from_groups(child.plan.num_kernels(), std::move(groups));
+  // Injected groups are individually legal, but their combination with the
+  // kept groups may be unschedulable; repair restores full legality.
+  repair_plan(checker, child.plan);
+}
+
+void Hgga::mutate(Individual& individual, Rng& rng) const {
+  const LegalityChecker& checker = objective_.checker();
+  FusionPlan& plan = individual.plan;
+
+  // merge two sharing-connected groups
+  if (rng.next_bool(config_.mutation_merge_rate) && plan.num_groups() >= 2) {
+    const KernelId k =
+        static_cast<KernelId>(rng.next_below(static_cast<std::uint64_t>(plan.num_kernels())));
+    const auto& neighbours = checker.sharing().neighbours(k);
+    if (!neighbours.empty()) {
+      const KernelId other = neighbours[rng.next_below(neighbours.size())];
+      const int ga = plan.group_of(k);
+      const int gb = plan.group_of(other);
+      if (ga != gb) {
+        std::vector<KernelId> merged(plan.group(ga).begin(), plan.group(ga).end());
+        merged.insert(merged.end(), plan.group(gb).begin(), plan.group(gb).end());
+        if (checker.group_is_legal(merged)) {
+          FusionPlan trial = plan;
+          trial.merge_groups(ga, gb);
+          if (checker.plan_is_schedulable(trial)) plan = std::move(trial);
+        }
+      }
+    }
+  }
+
+  // split a fused group into singletons
+  if (rng.next_bool(config_.mutation_split_rate)) {
+    std::vector<int> fused;
+    for (int g = 0; g < plan.num_groups(); ++g) {
+      if (plan.group(g).size() >= 2) fused.push_back(g);
+    }
+    if (!fused.empty()) plan.split_group(fused[rng.next_below(fused.size())]);
+  }
+
+  // move one kernel to a neighbouring group
+  if (rng.next_bool(config_.mutation_move_rate)) {
+    const KernelId k =
+        static_cast<KernelId>(rng.next_below(static_cast<std::uint64_t>(plan.num_kernels())));
+    const auto& neighbours = checker.sharing().neighbours(k);
+    if (!neighbours.empty()) {
+      const KernelId other = neighbours[rng.next_below(neighbours.size())];
+      const int from = plan.group_of(k);
+      const int to = plan.group_of(other);
+      if (from != to) {
+        std::vector<KernelId> target(plan.group(to).begin(), plan.group(to).end());
+        target.push_back(k);
+        std::sort(target.begin(), target.end());
+        if (checker.group_is_legal(target)) {
+          plan.move_kernel(k, to);
+          // Removing k may have broken the source group's convexity or
+          // connectivity; split it if so (split-repair).
+          repair_plan(checker, plan);
+        }
+      }
+    }
+  }
+}
+
+SearchResult Hgga::run() {
+  Stopwatch watch;
+  Rng master(config_.seed);
+
+  std::vector<Individual> population;
+  population.reserve(static_cast<std::size_t>(config_.population));
+  for (int i = 0; i < config_.population; ++i) {
+    Rng rng = master.split();
+    population.push_back(make_random(rng));
+  }
+
+  SearchResult result;
+  result.baseline_cost_s = objective_.baseline_cost();
+
+  auto best_of = [](const std::vector<Individual>& pop) {
+    return std::min_element(pop.begin(), pop.end(),
+                            [](const auto& a, const auto& b) { return a.cost < b.cost; });
+  };
+
+  Individual best = *best_of(population);
+  result.time_to_best_s = watch.elapsed_s();
+  int stall = 0;
+
+  for (int gen = 0; gen < config_.max_generations; ++gen) {
+    // --- produce offspring ---
+    std::vector<Individual> offspring;
+    offspring.reserve(static_cast<std::size_t>(config_.population));
+
+    // elites survive unchanged
+    std::vector<Individual> sorted = population;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.cost < b.cost; });
+    for (int e = 0; e < config_.elites; ++e) offspring.push_back(sorted[static_cast<std::size_t>(e)]);
+
+    while (static_cast<int>(offspring.size()) < config_.population) {
+      Rng rng = master.split();
+      Individual child;
+      if (rng.next_bool(config_.crossover_rate)) {
+        const Individual& a = tournament(population, rng);
+        const Individual& b = tournament(population, rng);
+        crossover(a, b, child, rng);
+      } else {
+        child.plan = tournament(population, rng).plan;
+      }
+      mutate(child, rng);
+      child.cost = -1.0;  // mark for evaluation
+      offspring.push_back(std::move(child));
+    }
+
+    // --- evaluate (parallel across the population) ---
+#pragma omp parallel for schedule(dynamic)
+    for (std::size_t i = 0; i < offspring.size(); ++i) {
+      if (offspring[i].cost < 0.0) {
+        offspring[i].cost = objective_.plan_cost(offspring[i].plan);
+      }
+    }
+
+    population = std::move(offspring);
+    const auto it = best_of(population);
+    if (it->cost < best.cost - 1e-15) {
+      best = *it;
+      result.time_to_best_s = watch.elapsed_s();
+      stall = 0;
+    } else {
+      ++stall;
+    }
+    result.history.push_back(best.cost);
+    {
+      GenerationStats stats;
+      stats.best_cost_s = best.cost;
+      double cost_sum = 0.0;
+      double group_sum = 0.0;
+      std::set<std::uint64_t> fingerprints;
+      for (const Individual& ind : population) {
+        cost_sum += ind.cost;
+        group_sum += ind.plan.num_groups();
+        fingerprints.insert(ind.plan.fingerprint());
+      }
+      stats.mean_cost_s = cost_sum / static_cast<double>(population.size());
+      stats.mean_groups = group_sum / static_cast<double>(population.size());
+      stats.distinct_plans = static_cast<int>(fingerprints.size());
+      result.trace.push_back(stats);
+    }
+    result.generations = gen + 1;
+    if (stall >= config_.stall_generations) break;
+  }
+
+  result.best = best.plan;
+  if (config_.local_polish) {
+    double polished_cost = best.cost;
+    if (local_polish(objective_, result.best, &polished_cost) > 0) {
+      best.cost = polished_cost;
+      result.time_to_best_s = watch.elapsed_s();
+    }
+  }
+  result.best.canonicalize();
+  result.best_cost_s = best.cost;
+  result.evaluations = objective_.evaluations();
+  result.model_evaluations = objective_.model_evaluations();
+  result.runtime_s = watch.elapsed_s();
+  return result;
+}
+
+}  // namespace kf

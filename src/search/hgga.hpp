@@ -1,0 +1,103 @@
+// The adapted Hybrid Grouping Genetic Algorithm (paper §III-C).
+//
+// Falkenauer's HGGA encodes *groups* as genes, so crossover and mutation
+// act on whole groups and never tear apart the meaningful building blocks
+// (here: sets of kernels whose fusion the projection model likes). The
+// paper's adaptation keeps every individual legal at all times — the
+// group-local legality checks (convexity, kinship, resources) run inside
+// the operators, implementing the "active constraint" pruning:
+//
+//  * crossover: inject a random selection of fused groups from one parent
+//    into a copy of the other; groups that collide are dissolved and their
+//    orphans re-inserted best-fit-first (legality-checked);
+//  * mutations: merge two sharing-connected groups / split a group /
+//    move one kernel between neighbouring groups (with split-repair);
+//  * selection: tournament; replacement: generational with elitism;
+//  * stop: no improvement of the best for `stall_generations` (the paper's
+//    criterion), or the generation cap.
+//
+// Fitness evaluation is OpenMP-parallel across the population (the paper
+// ran the solver with OpenMP on a Xeon X5670).
+#pragma once
+
+#include <vector>
+
+#include "fusion/fusion_plan.hpp"
+#include "search/objective.hpp"
+#include "util/rng.hpp"
+
+namespace kf {
+
+struct HggaConfig {
+  int population = 100;
+  int max_generations = 2000;
+  int stall_generations = 200;   ///< stop after this many flat generations
+  double crossover_rate = 0.7;
+  double mutation_merge_rate = 0.35;
+  double mutation_split_rate = 0.10;
+  double mutation_move_rate = 0.20;
+  int tournament_size = 3;
+  int elites = 4;
+  double init_aggressiveness = 0.8;
+  /// The "hybrid" in HGGA: steepest-descent local search (merge / move /
+  /// split neighbourhood) applied to the final best individual.
+  bool local_polish = true;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Per-generation telemetry (population statistics).
+struct GenerationStats {
+  double best_cost_s = 0.0;   ///< best-so-far, monotone
+  double mean_cost_s = 0.0;   ///< population mean this generation
+  int distinct_plans = 0;     ///< unique fingerprints (diversity)
+  double mean_groups = 0.0;   ///< average launch count across individuals
+};
+
+struct SearchResult {
+  FusionPlan best;
+  double best_cost_s = 0.0;
+  double baseline_cost_s = 0.0;    ///< no-fusion plan cost
+  int generations = 0;
+  long evaluations = 0;            ///< objective calls during this run
+  long model_evaluations = 0;      ///< cache misses (actual model runs)
+  double runtime_s = 0.0;
+  double time_to_best_s = 0.0;     ///< wall time when the best was first seen
+  std::vector<double> history;     ///< best cost per generation
+  std::vector<GenerationStats> trace;  ///< per-generation population stats
+
+  /// CSV of the convergence trace (generation, best, mean, diversity, groups).
+  std::string trace_csv() const;
+
+  double projected_speedup() const noexcept {
+    return best_cost_s > 0.0 ? baseline_cost_s / best_cost_s : 0.0;
+  }
+};
+
+/// Steepest-descent local search over the merge / move / split
+/// neighbourhood: applies the best strictly-improving legal edit until a
+/// local optimum is reached. Returns the number of edits applied.
+int local_polish(const Objective& objective, FusionPlan& plan, double* cost = nullptr);
+
+class Hgga {
+ public:
+  Hgga(const Objective& objective, HggaConfig config);
+
+  SearchResult run();
+
+ private:
+  struct Individual {
+    FusionPlan plan;
+    double cost = 0.0;
+  };
+
+  const Objective& objective_;
+  HggaConfig config_;
+
+  Individual make_random(Rng& rng) const;
+  void crossover(const Individual& a, const Individual& b, Individual& child,
+                 Rng& rng) const;
+  void mutate(Individual& individual, Rng& rng) const;
+  const Individual& tournament(const std::vector<Individual>& pop, Rng& rng) const;
+};
+
+}  // namespace kf

@@ -1,0 +1,104 @@
+#include "search/objective.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace kf {
+namespace {
+
+std::uint64_t group_fingerprint(std::span<const KernelId> group) {
+  std::vector<KernelId> sorted(group.begin(), group.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  for (KernelId k : sorted) h = mix64(h ^ (static_cast<std::uint64_t>(k) + 0x9e37));
+  return h;
+}
+
+}  // namespace
+
+Objective::Objective(const LegalityChecker& checker, const ProjectionModel& model,
+                     const TimingSimulator& simulator)
+    : Objective(checker, model, simulator, Options{}) {}
+
+Objective::Objective(const LegalityChecker& checker, const ProjectionModel& model,
+                     const TimingSimulator& simulator, Options options)
+    : checker_(checker), model_(model), simulator_(simulator), options_(options) {
+  KF_REQUIRE(options_.unprofitable_penalty >= 1.0,
+             "unprofitable penalty must be >= 1");
+  const Program& program = checker_.program();
+  original_times_.reserve(static_cast<std::size_t>(program.num_kernels()));
+  for (KernelId k = 0; k < program.num_kernels(); ++k) {
+    original_times_.push_back(simulator_.run_original(program, k).time_s);
+  }
+}
+
+double Objective::original_time(KernelId k) const {
+  KF_REQUIRE(k >= 0 && k < static_cast<KernelId>(original_times_.size()),
+             "kernel id out of range");
+  return original_times_[static_cast<std::size_t>(k)];
+}
+
+Objective::GroupCost Objective::compute_group_cost(std::span<const KernelId> group) const {
+  GroupCost out;
+  if (group.size() == 1) {
+    out.cost_s = original_time(group[0]);
+    return out;
+  }
+  double original_sum = 0.0;
+  for (KernelId k : group) original_sum += original_time(k);
+
+  const LaunchDescriptor d = checker_.builder().build(group);
+  const Projection projection = model_.project(checker_.program(), d);
+  if (!projection.feasible || projection.time_s >= original_sum) {
+    out.cost_s = original_sum * options_.unprofitable_penalty;
+    out.profitable = false;
+  } else {
+    out.cost_s = projection.time_s;
+  }
+  return out;
+}
+
+Objective::GroupCost Objective::group_cost(std::span<const KernelId> group) const {
+  KF_REQUIRE(!group.empty(), "empty group");
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  if (!options_.enable_cache) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return compute_group_cost(group);
+  }
+  const std::uint64_t key = group_fingerprint(group);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const GroupCost cost = compute_group_cost(group);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.emplace(key, cost);
+  }
+  return cost;
+}
+
+double Objective::plan_cost(const FusionPlan& plan) const {
+  double total = 0.0;
+  for (int g = 0; g < plan.num_groups(); ++g) {
+    total += group_cost(plan.group(g)).cost_s;
+  }
+  return total;
+}
+
+double Objective::baseline_cost() const {
+  double total = 0.0;
+  for (double t : original_times_) total += t;
+  return total;
+}
+
+void Objective::reset_counters() noexcept {
+  evaluations_.store(0);
+  misses_.store(0);
+}
+
+}  // namespace kf

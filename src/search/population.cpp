@@ -1,0 +1,80 @@
+#include "search/population.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace kf {
+
+FusionPlan random_legal_plan(const LegalityChecker& checker, Rng& rng,
+                             double aggressiveness) {
+  const Program& program = checker.program();
+  FusionPlan plan(program.num_kernels());
+
+  std::vector<KernelId> order(static_cast<std::size_t>(program.num_kernels()));
+  for (KernelId k = 0; k < program.num_kernels(); ++k) {
+    order[static_cast<std::size_t>(k)] = k;
+  }
+  rng.shuffle(order);
+
+  for (KernelId k : order) {
+    if (!rng.next_bool(aggressiveness)) continue;
+    const auto& neighbours = checker.sharing().neighbours(k);
+    if (neighbours.empty()) continue;
+    // Try a few random neighbours; accept the first merge that is both
+    // group-legal and keeps the plan schedulable.
+    const int attempts = std::min<int>(3, static_cast<int>(neighbours.size()));
+    for (int t = 0; t < attempts; ++t) {
+      const KernelId other = neighbours[rng.next_below(neighbours.size())];
+      const int ga = plan.group_of(k);
+      const int gb = plan.group_of(other);
+      if (ga == gb) continue;
+      std::vector<KernelId> merged(plan.group(ga).begin(), plan.group(ga).end());
+      merged.insert(merged.end(), plan.group(gb).begin(), plan.group(gb).end());
+      if (!checker.group_is_legal(merged)) continue;
+      FusionPlan trial = plan;
+      trial.merge_groups(ga, gb);
+      if (checker.plan_is_schedulable(trial)) {
+        plan = std::move(trial);
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+int repair_plan(const LegalityChecker& checker, FusionPlan& plan) {
+  int repaired = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int g = 0; g < plan.num_groups(); ++g) {
+      if (plan.group(g).size() >= 2 && !checker.group_is_legal(plan.group(g))) {
+        plan.split_group(g);
+        ++repaired;
+        changed = true;
+        break;  // indices shifted; rescan
+      }
+    }
+  }
+  // Plan-level: break condensation cycles by dissolving the largest fused
+  // group on a cycle until the plan is schedulable.
+  for (;;) {
+    const std::vector<int> stuck = checker.cyclic_groups(plan);
+    if (stuck.empty()) break;
+    int victim = -1;
+    std::size_t victim_size = 1;
+    for (int g : stuck) {
+      if (plan.group(g).size() > victim_size) {
+        victim_size = plan.group(g).size();
+        victim = g;
+      }
+    }
+    KF_CHECK(victim >= 0, "cycle of singleton groups cannot exist in a DAG");
+    plan.split_group(victim);
+    ++repaired;
+  }
+  return repaired;
+}
+
+}  // namespace kf

@@ -1,0 +1,25 @@
+// Population utilities shared by the evolutionary and baseline searches:
+// random legal plan generation and legality-preserving repair.
+#pragma once
+
+#include "fusion/legality.hpp"
+#include "fusion/fusion_plan.hpp"
+#include "util/rng.hpp"
+
+namespace kf {
+
+/// Generates a random *legal* plan by greedy randomized merging: kernels
+/// are visited in random order; each tries to join the group of a random
+/// sharing-graph neighbour, accepted when the merge stays legal. The
+/// aggressiveness parameter in [0, 1] is the per-kernel merge probability,
+/// so the generator covers everything from near-identity plans to
+/// near-maximal fusions.
+FusionPlan random_legal_plan(const LegalityChecker& checker, Rng& rng,
+                             double aggressiveness = 0.8);
+
+/// Ensures every group of `plan` is legal by splitting violating groups
+/// into singletons (singletons are always legal). Returns the number of
+/// groups split.
+int repair_plan(const LegalityChecker& checker, FusionPlan& plan);
+
+}  // namespace kf

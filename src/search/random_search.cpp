@@ -1,0 +1,36 @@
+#include "search/random_search.hpp"
+
+#include "search/population.hpp"
+#include "util/stopwatch.hpp"
+
+namespace kf {
+
+SearchResult random_search(const Objective& objective, RandomSearchConfig config) {
+  Stopwatch watch;
+  Rng rng(config.seed);
+
+  SearchResult result;
+  result.baseline_cost_s = objective.baseline_cost();
+  result.best = FusionPlan(objective.checker().program().num_kernels());
+  result.best_cost_s = objective.plan_cost(result.best);
+  result.time_to_best_s = 0.0;
+
+  for (long i = 0; i < config.samples; ++i) {
+    Rng stream = rng.split();
+    FusionPlan plan = random_legal_plan(objective.checker(), stream,
+                                        stream.next_double(0.2, config.aggressiveness));
+    const double cost = objective.plan_cost(plan);
+    if (cost < result.best_cost_s) {
+      result.best_cost_s = cost;
+      result.best = std::move(plan);
+      result.time_to_best_s = watch.elapsed_s();
+    }
+  }
+  result.best.canonicalize();
+  result.evaluations = objective.evaluations();
+  result.model_evaluations = objective.model_evaluations();
+  result.runtime_s = watch.elapsed_s();
+  return result;
+}
+
+}  // namespace kf

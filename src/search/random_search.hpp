@@ -1,0 +1,20 @@
+// Random restart baseline: sample random legal plans, keep the best.
+// Shares the HGGA's initial-population generator, so the comparison
+// isolates the value of the evolutionary operators.
+#pragma once
+
+#include "search/hgga.hpp"
+#include "search/objective.hpp"
+
+namespace kf {
+
+struct RandomSearchConfig {
+  long samples = 10'000;
+  double aggressiveness = 0.8;
+  std::uint64_t seed = 0x5eed;
+};
+
+SearchResult random_search(const Objective& objective,
+                           RandomSearchConfig config = RandomSearchConfig());
+
+}  // namespace kf

@@ -1,0 +1,243 @@
+#include "stencil/block_executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace kf {
+namespace {
+
+/// Per-block tile for one produced array: covers the block extent plus the
+/// extension, full z column, storing doubles. Cells outside the domain are
+/// never written (they mirror the global padding).
+class LocalTile {
+ public:
+  LocalTile(long i0, long j0, long bx, long by, int ext, const GridDims& dims)
+      : i0_(i0 - ext), j0_(j0 - ext), w_(bx + 2L * ext), h_(by + 2L * ext), nz_(dims.nz) {
+    data_.assign(static_cast<std::size_t>(w_ * h_ * nz_), 0.0);
+  }
+
+  bool covers(long i, long j) const noexcept {
+    return i >= i0_ && i < i0_ + w_ && j >= j0_ && j < j0_ + h_;
+  }
+
+  double& at(long i, long j, long k) noexcept {
+    return data_[static_cast<std::size_t>((k * h_ + (j - j0_)) * w_ + (i - i0_))];
+  }
+  double at(long i, long j, long k) const noexcept {
+    return data_[static_cast<std::size_t>((k * h_ + (j - j0_)) * w_ + (i - i0_))];
+  }
+
+ private:
+  long i0_, j0_, w_, h_, nz_;
+  std::vector<double> data_;
+};
+
+/// First-touch tracking for one array within one block: a real kernel
+/// stages each needed cell into SMEM (or L1) once per block; only that
+/// first fetch is a GMEM transaction, repeats are on-chip.
+class TouchMask {
+ public:
+  TouchMask(long i0, long j0, long bx, long by, int ext, const GridDims& dims)
+      : i0_(i0 - ext),
+        j0_(j0 - ext),
+        w_(bx + 2L * ext),
+        h_(by + 2L * ext),
+        nz_(dims.nz + 2L * ext),
+        k0_(-ext) {
+    seen_.assign(static_cast<std::size_t>(w_ * h_ * nz_), 0);
+  }
+
+  /// Returns true on the first touch of (i, j, k); false on repeats.
+  bool first_touch(long i, long j, long k) noexcept {
+    const std::size_t idx = static_cast<std::size_t>(
+        ((k - k0_) * h_ + (j - j0_)) * w_ + (i - i0_));
+    if (seen_[idx]) return false;
+    seen_[idx] = 1;
+    return true;
+  }
+
+ private:
+  long i0_, j0_, w_, h_, nz_, k0_;
+  std::vector<char> seen_;
+};
+
+}  // namespace
+
+BlockExecutor::BlockExecutor(const Program& program) : program_(program) {
+  KF_REQUIRE(program.fully_executable(),
+             "block execution requires bodies for every kernel");
+}
+
+std::vector<int> required_halo_extensions(std::span<const StencilStatement> body) {
+  std::vector<int> ext(body.size(), 0);
+  // Backward sweep: statement s must be valid out to the widest reach of
+  // any consumer of its output, plus that consumer's own extension.
+  for (std::size_t s = body.size(); s-- > 0;) {
+    for (std::size_t t = s + 1; t < body.size(); ++t) {
+      const StencilPattern reads = body[t].expr.pattern_for(body[s].out);
+      if (reads.empty()) continue;
+      int radius = 0;
+      for (const Offset& o : reads.offsets()) {
+        radius = std::max({radius, std::abs(o.dx), std::abs(o.dy)});
+      }
+      ext[s] = std::max(ext[s], ext[t] + radius);
+    }
+  }
+  return ext;
+}
+
+std::vector<int> BlockExecutor::required_extensions(KernelId kernel) const {
+  return required_halo_extensions(program_.kernel(kernel).body);
+}
+
+ExecCounters BlockExecutor::run_launch(GridSet& grids, KernelId kernel) const {
+  const KernelInfo& info = program_.kernel(kernel);
+  const GridDims& dims = program_.grid();
+  const LaunchConfig& launch = program_.launch();
+  const auto& body = info.body;
+  KF_REQUIRE(!body.empty(), "kernel '" << info.name << "' has no body");
+
+  const std::vector<int> ext = required_extensions(kernel);
+  const int max_ext = ext.empty() ? 0 : *std::max_element(ext.begin(), ext.end());
+
+  // Widest dereference any statement makes, for the first-touch masks.
+  int reach = max_ext;
+  for (const StencilStatement& stmt : body) {
+    for (const auto& [array, o] : stmt.expr.loads()) {
+      (void)array;
+      reach = std::max({reach, max_ext + std::abs(o.dx), max_ext + std::abs(o.dy),
+                        max_ext + std::abs(o.dz)});
+    }
+  }
+
+  // Which arrays are produced in this launch, and by which first statement.
+  std::map<ArrayId, std::size_t> first_writer;
+  for (std::size_t s = 0; s < body.size(); ++s) {
+    first_writer.try_emplace(body[s].out, s);
+  }
+
+  // Staging grids so all blocks observe the pre-launch state.
+  std::map<ArrayId, Grid3> staging;
+  for (const auto& [array, stmt] : first_writer) {
+    (void)stmt;
+    staging.emplace(array, grids.grid(array));
+  }
+
+  const long blocks_x = (dims.nx + launch.block_x - 1) / launch.block_x;
+  const long blocks_y = (dims.ny + launch.block_y - 1) / launch.block_y;
+  const long num_blocks = blocks_x * blocks_y;
+
+  ExecCounters total;
+
+#pragma omp parallel
+  {
+    ExecCounters local_counters;
+
+#pragma omp for schedule(static)
+    for (long block = 0; block < num_blocks; ++block) {
+      const long bi = block % blocks_x;
+      const long bj = block / blocks_x;
+      const long i0 = bi * launch.block_x;
+      const long j0 = bj * launch.block_y;
+      const long bx = std::min<long>(launch.block_x, dims.nx - i0);
+      const long by = std::min<long>(launch.block_y, dims.ny - j0);
+
+      // One local tile per produced array; an array becomes "live" (its
+      // tile readable) once a statement writing it has fully completed.
+      std::map<ArrayId, LocalTile> tiles;
+      std::map<ArrayId, bool> live;
+      for (const auto& [array, stmt] : first_writer) {
+        (void)stmt;
+        tiles.emplace(array, LocalTile(i0, j0, bx, by, max_ext, dims));
+        live.emplace(array, false);
+      }
+      // First-touch masks: a block fetches each needed global cell once
+      // (the staged-load semantics of the generated kernels); repeats are
+      // served on-chip.
+      std::map<ArrayId, TouchMask> touched;
+
+      for (std::size_t s = 0; s < body.size(); ++s) {
+        const StencilStatement& stmt = body[s];
+        LocalTile& out_tile = tiles.at(stmt.out);
+        const int e = ext[s];
+
+        const long lo_i = std::max<long>(0, i0 - e);
+        const long hi_i = std::min<long>(dims.nx, i0 + bx + e);
+        const long lo_j = std::max<long>(0, j0 - e);
+        const long hi_j = std::min<long>(dims.ny, j0 + by + e);
+
+        for (long k = 0; k < dims.nz; ++k) {
+          for (long j = lo_j; j < hi_j; ++j) {
+            for (long i = lo_i; i < hi_i; ++i) {
+              const double value = stmt.expr.eval([&](ArrayId a, const Offset& o) {
+                const long ri = i + o.dx;
+                const long rj = j + o.dy;
+                const long rk = k + o.dz;
+                // A produced array's tile serves reads of in-domain cells.
+                // Center self-reads during the array's *first* writing
+                // statement see the pre-launch state (tile not yet live);
+                // later they read the tile in-place, which still holds the
+                // previous statement's value because this sweep has not
+                // reached (ri, rj, rk) yet (offset self-reads are banned).
+                if (ri >= 0 && ri < dims.nx && rj >= 0 && rj < dims.ny && rk >= 0 &&
+                    rk < dims.nz) {
+                  const auto it = live.find(a);
+                  if (it != live.end() && it->second) {
+                    local_counters.smem_reads += 1.0;
+                    return tiles.at(a).at(ri, rj, rk);
+                  }
+                }
+                auto [it2, inserted] = touched.try_emplace(
+                    a, TouchMask(i0, j0, bx, by, reach, dims));
+                (void)inserted;
+                if (it2->second.first_touch(ri, rj, rk)) {
+                  local_counters.gmem_loads += 1.0;
+                } else {
+                  local_counters.smem_reads += 1.0;
+                }
+                return grids.grid(a).at(ri, rj, rk);
+              });
+              out_tile.at(i, j, k) = value;
+            }
+          }
+        }
+        live.at(stmt.out) = true;
+      }
+
+      // Flush block interiors into the staging grids.
+      for (auto& [array, tile] : tiles) {
+        Grid3& dst = staging.at(array);
+        for (long k = 0; k < dims.nz; ++k) {
+          for (long j = j0; j < j0 + by; ++j) {
+            for (long i = i0; i < i0 + bx; ++i) {
+              dst.at(i, j, k) = tile.at(i, j, k);
+              local_counters.gmem_stores += 1.0;
+            }
+          }
+        }
+      }
+    }
+
+#pragma omp critical(kf_block_executor_counters)
+    total += local_counters;
+  }
+
+  // Commit: the launch boundary is a global barrier.
+  for (auto& [array, grid] : staging) {
+    grids.grid(array) = std::move(grid);
+  }
+  return total;
+}
+
+ExecCounters BlockExecutor::run(GridSet& grids) const {
+  ExecCounters total;
+  for (KernelId k = 0; k < program_.num_kernels(); ++k) {
+    total += run_launch(grids, k);
+  }
+  return total;
+}
+
+}  // namespace kf

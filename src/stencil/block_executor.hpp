@@ -1,0 +1,60 @@
+// Block executor — CUDA-like tiled execution of (fused) kernels.
+//
+// Emulates how a generated fused kernel runs on the device: the horizontal
+// plane is tiled into thread blocks; arrays produced inside the launch live
+// in per-block local tiles (the emulated SMEM); consumer statements read
+// producers' values from those tiles; and because SMEM is incoherent across
+// blocks, producer statements are *recomputed on a halo extension* wide
+// enough for every downstream offset read — the paper's temporal-blocking
+// resolution with specialised warps (§II-D.2).
+//
+// Required halo widths are derived exactly, per statement, by a backward
+// sweep over the statement list (e_s = max over consumers t of e_t + r_t),
+// so the executor reproduces the reference semantics bit-for-bit — that is
+// the functional-correctness check for any fusion. Domain-edge blocks do
+// not recompute outside the domain interior: reads falling outside see the
+// untouched global padding, exactly as the reference does.
+//
+// Counters model device traffic at element granularity: reads of values
+// produced in-launch count as SMEM; first-touch and old-value reads count
+// as GMEM loads; interior flushes count as stores.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stencil/reference_executor.hpp"
+
+namespace kf {
+
+/// Per-statement halo extensions for a statement sequence: a backward
+/// sweep propagating every consumer's offset reach onto its producers
+/// (e_s = max over consumers t of e_t + r_t). Statement s must be computed
+/// on the block extended by extensions[s] cells for downstream offset
+/// reads to be satisfiable from on-chip data.
+std::vector<int> required_halo_extensions(std::span<const StencilStatement> body);
+
+class BlockExecutor {
+ public:
+  /// `program` is the (fused or original) program whose kernels carry
+  /// bodies; blocks are `launch().block_x x block_y` columns spanning nz.
+  explicit BlockExecutor(const Program& program);
+
+  /// Executes one launch (kernel) blockwise. All blocks observe the
+  /// pre-launch state; writes commit at the end (a kernel launch is a
+  /// global barrier).
+  ExecCounters run_launch(GridSet& grids, KernelId kernel) const;
+
+  /// Executes every launch in invocation order.
+  ExecCounters run(GridSet& grids) const;
+
+  /// The per-statement halo extensions the launch needs (index-aligned with
+  /// the kernel's body). Exposed for tests and for validating the cost
+  /// model's halo estimates.
+  std::vector<int> required_extensions(KernelId kernel) const;
+
+ private:
+  const Program& program_;
+};
+
+}  // namespace kf

@@ -1,0 +1,85 @@
+// 3D grids with halo padding — the data substrate for functional execution.
+//
+// A Grid3 spans the program grid (nx, ny, nz) plus a padding shell wide
+// enough for every stencil offset the program dereferences (the paper pads
+// arrays in the horizontal direction to avoid divergence; we pad all axes
+// so out-of-domain reads are well-defined and identical between the
+// original and fused executions).
+#pragma once
+
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace kf {
+
+class Grid3 {
+ public:
+  Grid3() = default;
+  Grid3(const GridDims& dims, int pad);
+
+  const GridDims& dims() const noexcept { return dims_; }
+  int pad() const noexcept { return pad_; }
+
+  /// Valid index range per axis: [-pad, n + pad).
+  double at(long i, long j, long k) const noexcept {
+    return data_[index(i, j, k)];
+  }
+  double& at(long i, long j, long k) noexcept { return data_[index(i, j, k)]; }
+
+  /// Fills every cell (padding included) with f(i, j, k) over the padded
+  /// index space.
+  template <typename F>
+  void fill(F&& f) {
+    for (long k = -pad_; k < dims_.nz + pad_; ++k) {
+      for (long j = -pad_; j < dims_.ny + pad_; ++j) {
+        for (long i = -pad_; i < dims_.nx + pad_; ++i) {
+          at(i, j, k) = f(i, j, k);
+        }
+      }
+    }
+  }
+
+  /// Max |a - b| over interior cells. Grids must have equal dims.
+  static double max_abs_diff(const Grid3& a, const Grid3& b);
+
+  std::size_t cell_count() const noexcept { return data_.size(); }
+
+ private:
+  GridDims dims_;
+  int pad_ = 0;
+  long sx_ = 0, sy_ = 0;  // strides
+  std::vector<double> data_;
+
+  std::size_t index(long i, long j, long k) const noexcept {
+    return static_cast<std::size_t>((k + pad_) * sy_ + (j + pad_) * sx_ + (i + pad_));
+  }
+};
+
+/// One grid per program array, plus the deterministic initial condition.
+class GridSet {
+ public:
+  /// Pads every grid by `extra_pad` beyond the program's widest offset.
+  explicit GridSet(const Program& program, int extra_pad = 2);
+
+  Grid3& grid(ArrayId a);
+  const Grid3& grid(ArrayId a) const;
+
+  int num_arrays() const noexcept { return static_cast<int>(grids_.size()); }
+  int pad() const noexcept { return pad_; }
+
+  /// Re-applies the deterministic initial condition: smooth, strictly
+  /// positive values (safe as divisors), distinct per array.
+  void reset();
+
+ private:
+  const Program& program_;
+  int pad_ = 0;
+  std::vector<Grid3> grids_;
+};
+
+/// Widest offset magnitude (any axis) dereferenced anywhere in the program,
+/// considering both access metadata and bodies.
+int max_offset_radius(const Program& program);
+
+}  // namespace kf

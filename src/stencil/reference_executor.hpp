@@ -1,0 +1,48 @@
+// Reference (sequential, grid-wide) execution semantics.
+//
+// Each StencilStatement is one grid-wide pass over the interior: the value
+// of every read is the state *before the pass began* for self-reads at the
+// center, and the fully-updated state of all earlier passes otherwise.
+// Kernels run in invocation order. This is the semantics the original
+// host-side kernel sequence has on a GPU (each kernel launch is a global
+// barrier), and it is the ground truth the fused block executor must
+// reproduce bit-for-bit.
+#pragma once
+
+#include "stencil/grid.hpp"
+
+namespace kf {
+
+/// Element-granular operation counters (for the Fusion Efficiency metric).
+struct ExecCounters {
+  double gmem_loads = 0.0;   ///< element reads from global arrays
+  double gmem_stores = 0.0;  ///< element writes to global arrays
+  double smem_reads = 0.0;   ///< element reads served by emulated SMEM
+
+  double gmem_ops() const noexcept { return gmem_loads + gmem_stores; }
+
+  ExecCounters& operator+=(const ExecCounters& other) noexcept {
+    gmem_loads += other.gmem_loads;
+    gmem_stores += other.gmem_stores;
+    smem_reads += other.smem_reads;
+    return *this;
+  }
+};
+
+class ReferenceExecutor {
+ public:
+  /// The program must be fully executable (bodies everywhere) and outlive
+  /// the executor.
+  explicit ReferenceExecutor(const Program& program);
+
+  /// Runs one kernel's statements as grid-wide passes.
+  ExecCounters run_kernel(GridSet& grids, KernelId kernel) const;
+
+  /// Runs the whole program in invocation order.
+  ExecCounters run(GridSet& grids) const;
+
+ private:
+  const Program& program_;
+};
+
+}  // namespace kf

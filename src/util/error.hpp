@@ -1,0 +1,61 @@
+// Error-handling helpers used across the kernel-fusion library.
+//
+// The library is exception-based: precondition violations throw
+// kf::PreconditionError (a logic error — the caller misused the API) and
+// runtime failures throw kf::RuntimeError. Both carry the source location
+// of the failed check so test failures point at the offending invariant.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace kf {
+
+/// Thrown when a caller violates a documented precondition (KF_REQUIRE).
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant fails at runtime (KF_CHECK).
+class RuntimeError : public std::runtime_error {
+ public:
+  explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+inline std::string format_check_message(const char* kind, const char* expr,
+                                        const char* file, int line,
+                                        const std::string& extra) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!extra.empty()) os << " — " << extra;
+  return os.str();
+}
+
+}  // namespace detail
+}  // namespace kf
+
+/// Validate a caller-facing precondition; throws kf::PreconditionError.
+#define KF_REQUIRE(cond, msg)                                                  \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::ostringstream kf_os_;                                               \
+      kf_os_ << msg; /* NOLINT */                                              \
+      throw ::kf::PreconditionError(::kf::detail::format_check_message(        \
+          "precondition", #cond, __FILE__, __LINE__, kf_os_.str()));           \
+    }                                                                          \
+  } while (false)
+
+/// Validate an internal invariant; throws kf::RuntimeError.
+#define KF_CHECK(cond, msg)                                                    \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::ostringstream kf_os_;                                               \
+      kf_os_ << msg; /* NOLINT */                                              \
+      throw ::kf::RuntimeError(::kf::detail::format_check_message(             \
+          "invariant", #cond, __FILE__, __LINE__, kf_os_.str()));              \
+    }                                                                          \
+  } while (false)

@@ -1,0 +1,12 @@
+// Stopwatch is header-only; this translation unit pins the library archive.
+#include "util/stopwatch.hpp"
+
+namespace kf {
+namespace {
+// Ensure the header compiles standalone.
+[[maybe_unused]] double probe() {
+  Stopwatch sw;
+  return sw.elapsed_s();
+}
+}  // namespace
+}  // namespace kf

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch used by the search heuristic and benches.
+#pragma once
+
+#include <chrono>
+
+namespace kf {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double elapsed_s() const noexcept {
+    const auto d = Clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+  double elapsed_ms() const noexcept { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kf

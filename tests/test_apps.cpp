@@ -1,0 +1,261 @@
+// Unit tests for kf_apps: the synthetic generator's statistical knobs, the
+// Table V test suite, and the application models' structural properties.
+#include <gtest/gtest.h>
+
+#include "apps/cloverleaf.hpp"
+#include "apps/homme.hpp"
+#include "apps/motivating_example.hpp"
+#include "apps/scale_les.hpp"
+#include "apps/shallow_water.hpp"
+#include "apps/synthetic.hpp"
+#include "apps/testsuite.hpp"
+#include "apps/weather_zoo.hpp"
+#include "fusion/transformer.hpp"
+#include "graph/array_expansion.hpp"
+#include "graph/dependency_graph.hpp"
+#include "model/proposed_model.hpp"
+#include "search/hgga.hpp"
+#include "stencil/equivalence.hpp"
+#include "graph/sharing.hpp"
+
+namespace kf {
+namespace {
+
+// ---------- synthetic generator ----------
+
+TEST(Synthetic, RespectsCounts) {
+  SyntheticSpec spec;
+  spec.kernels = 25;
+  spec.arrays = 50;
+  const Program p = build_synthetic(spec);
+  EXPECT_EQ(p.num_kernels(), 25);
+  EXPECT_EQ(p.num_arrays(), 50);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  SyntheticSpec spec;
+  spec.seed = 99;
+  const Program a = build_synthetic(spec);
+  const Program b = build_synthetic(spec);
+  ASSERT_EQ(a.num_kernels(), b.num_kernels());
+  for (KernelId k = 0; k < a.num_kernels(); ++k) {
+    EXPECT_EQ(a.kernel(k).accesses.size(), b.kernel(k).accesses.size());
+    EXPECT_EQ(a.kernel(k).regs_per_thread, b.kernel(k).regs_per_thread);
+  }
+}
+
+TEST(Synthetic, SeedChangesStructure) {
+  SyntheticSpec spec;
+  spec.seed = 1;
+  const Program a = build_synthetic(spec);
+  spec.seed = 2;
+  const Program b = build_synthetic(spec);
+  bool different = false;
+  for (KernelId k = 0; k < a.num_kernels() && !different; ++k) {
+    different = a.kernel(k).accesses.size() != b.kernel(k).accesses.size();
+    if (!different && !a.kernel(k).accesses.empty() &&
+        !b.kernel(k).accesses.empty()) {
+      different = a.kernel(k).accesses[0].array != b.kernel(k).accesses[0].array;
+    }
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(Synthetic, ExpandableBudgetCreatesMultiWriterArrays) {
+  SyntheticSpec spec;
+  spec.kernels = 40;
+  spec.arrays = 30;
+  spec.expandable = 6;
+  spec.seed = 5;
+  const Program p = build_synthetic(spec);
+  const DependencyGraph g = DependencyGraph::build(p);
+  const auto hist = g.usage_histogram();
+  EXPECT_GT(hist[static_cast<int>(ArrayUsage::ExpandableReadWrite)], 0);
+}
+
+TEST(Synthetic, ReuseBiasControlsSharing) {
+  SyntheticSpec lo;
+  lo.kernels = 40;
+  lo.arrays = 80;
+  lo.reuse_bias = 0.1;
+  lo.seed = 7;
+  SyntheticSpec hi = lo;
+  hi.reuse_bias = 0.95;
+  // High reuse concentrates accesses onto fewer arrays, so the *size* of
+  // sharing sets grows (not necessarily their count).
+  auto mean_cardinality = [](const Program& p) {
+    const SharingGraph g = SharingGraph::build(p);
+    double total = 0;
+    int count = 0;
+    for (ArrayId a : g.shared_arrays()) {
+      total += static_cast<double>(g.sharing_set(a).size());
+      ++count;
+    }
+    return count ? total / count : 0.0;
+  };
+  EXPECT_GT(mean_cardinality(build_synthetic(hi)), mean_cardinality(build_synthetic(lo)));
+}
+
+TEST(Synthetic, BodiesMatchMetadata) {
+  SyntheticSpec spec;
+  spec.kernels = 10;
+  spec.arrays = 16;
+  spec.with_bodies = true;
+  spec.grid = GridDims{32, 16, 4};
+  const Program p = build_synthetic(spec);
+  EXPECT_TRUE(p.fully_executable());
+  for (const KernelInfo& k : p.kernels()) {
+    // Accesses derived from the body: every read pattern appears in a load.
+    for (const ArrayAccess& acc : k.accesses) {
+      if (acc.is_read()) {
+        bool found = false;
+        for (const auto& stmt : k.body) {
+          found = found || !stmt.expr.pattern_for(acc.array).empty();
+        }
+        EXPECT_TRUE(found) << k.name;
+      }
+    }
+  }
+}
+
+// ---------- test suite (Table V) ----------
+
+TEST(TestSuite, IdStringEncodesAttributes) {
+  TestSuiteConfig cfg;
+  cfg.kernels = 30;
+  cfg.arrays = 60;
+  EXPECT_EQ(testsuite_id(cfg), "k30_a60_c4_s4_t8_kin3");
+}
+
+TEST(TestSuite, AttributeSweepProducesValidPrograms) {
+  for (int kernels = TestSuiteRanges::kernels_min; kernels <= 40;
+       kernels += TestSuiteRanges::kernels_step) {
+    TestSuiteConfig cfg;
+    cfg.kernels = kernels;
+    cfg.arrays = kernels * 2;
+    const Program p = make_testsuite_program(cfg);
+    EXPECT_EQ(p.num_kernels(), kernels);
+    EXPECT_NO_THROW(p.validate());
+  }
+}
+
+TEST(TestSuite, ThreadLoadAttributeReflected) {
+  TestSuiteConfig lo;
+  lo.thread_load = 4;
+  TestSuiteConfig hi;
+  hi.thread_load = 12;
+  const Program p_lo = make_testsuite_program(lo);
+  const Program p_hi = make_testsuite_program(hi);
+  auto avg_load = [](const Program& p) {
+    double total = 0;
+    int count = 0;
+    for (const KernelInfo& k : p.kernels()) {
+      for (const ArrayAccess& acc : k.accesses) {
+        if (acc.is_read() && acc.pattern.thread_load() > 1) {
+          total += acc.pattern.thread_load();
+          ++count;
+        }
+      }
+    }
+    return count ? total / count : 0.0;
+  };
+  EXPECT_GT(avg_load(p_hi), avg_load(p_lo) + 4);
+}
+
+// ---------- application models ----------
+
+TEST(Apps, MotivatingExampleShape) {
+  const Program p = motivating_example(GridDims{32, 16, 4});
+  EXPECT_EQ(p.num_kernels(), 5);
+  EXPECT_EQ(p.num_arrays(), 13);
+  EXPECT_TRUE(p.fully_executable());
+}
+
+TEST(Apps, CloverleafShape) {
+  const Program p = cloverleaf(GridDims{64, 64, 1});
+  EXPECT_EQ(p.num_kernels(), 16);
+  EXPECT_TRUE(p.fully_executable());
+  const DependencyGraph g = DependencyGraph::build(p);
+  const auto hist = g.usage_histogram();
+  // pressure/soundspeed/viscosity get second generations.
+  EXPECT_GE(hist[static_cast<int>(ArrayUsage::ExpandableReadWrite)], 3);
+}
+
+TEST(Apps, ScaleLesRk18Shape) {
+  const Program p = scale_les_rk18(GridDims{64, 16, 4});
+  EXPECT_EQ(p.num_kernels(), 18);
+  EXPECT_TRUE(p.fully_executable());
+  const DependencyGraph g = DependencyGraph::build(p);
+  // QFLX and SFLX are expandable (two write generations each).
+  EXPECT_EQ(g.usage(p.find_array("QFLX")), ArrayUsage::ExpandableReadWrite);
+  EXPECT_EQ(g.usage(p.find_array("SFLX")), ArrayUsage::ExpandableReadWrite);
+  EXPECT_EQ(g.writers(p.find_array("QFLX")).size(), 2u);
+}
+
+TEST(Apps, ScaleLesFullMatchesTableI) {
+  const Program p = scale_les();
+  EXPECT_EQ(p.num_kernels(), 142);
+  EXPECT_EQ(p.num_arrays(), 64);
+  EXPECT_EQ(p.grid().nx, 1280);
+}
+
+TEST(Apps, HommeMatchesTableI) {
+  const Program p = homme();
+  EXPECT_EQ(p.num_kernels(), 43);
+  EXPECT_EQ(p.num_arrays(), 27);
+}
+
+
+TEST(Apps, ShallowWaterShape) {
+  const Program p = shallow_water(GridDims{64, 64, 1});
+  EXPECT_EQ(p.num_kernels(), 17);
+  EXPECT_EQ(p.num_arrays(), 16);
+  EXPECT_TRUE(p.fully_executable());
+  const DependencyGraph g = DependencyGraph::build(p);
+  EXPECT_EQ(g.usage(p.find_array("fh_x")), ArrayUsage::ExpandableReadWrite);
+  EXPECT_EQ(g.usage(p.find_array("fh_y")), ArrayUsage::ExpandableReadWrite);
+  EXPECT_EQ(g.usage(p.find_array("bed")), ArrayUsage::ReadOnly);
+  EXPECT_EQ(g.usage(p.find_array("speed")), ArrayUsage::WriteOnly);
+}
+
+TEST(Apps, ShallowWaterFusionIsBitExact) {
+  const Program p = shallow_water(GridDims{48, 32, 1});
+  const ExpansionResult ex = expand_arrays(p);
+  const LegalityChecker checker(ex.program, DeviceSpec::k20x());
+  const TimingSimulator sim(DeviceSpec::k20x());
+  const ProposedModel model(DeviceSpec::k20x());
+  const Objective objective(checker, model, sim);
+  HggaConfig cfg;
+  cfg.population = 30;
+  cfg.max_generations = 80;
+  cfg.stall_generations = 25;
+  cfg.seed = 0x5e;
+  const SearchResult result = Hgga(objective, cfg).run();
+  EXPECT_LT(result.best_cost_s, result.baseline_cost_s);
+  const FusedProgram fused = apply_fusion(checker, result.best);
+  const EquivalenceReport report = verify_fusion(p, fused, &ex);
+  EXPECT_TRUE(report.equivalent) << "max diff " << report.max_abs_diff;
+}
+
+TEST(Apps, WeatherZooCountsMatchTableI) {
+  const auto zoo = weather_zoo();
+  ASSERT_EQ(zoo.size(), 6u);
+  struct Expected {
+    const char* name;
+    int kernels;
+    int arrays;
+  };
+  const Expected expected[] = {{"SCALE-LES", 142, 64}, {"WRF", 122, 46},
+                               {"ASUCA", 115, 58},     {"MITgcm", 94, 31},
+                               {"HOMME", 43, 27},      {"COSMO", 35, 24}};
+  for (std::size_t i = 0; i < zoo.size(); ++i) {
+    EXPECT_EQ(zoo[i].name, expected[i].name);
+    EXPECT_EQ(zoo[i].program.num_kernels(), expected[i].kernels) << zoo[i].name;
+    EXPECT_EQ(zoo[i].program.num_arrays(), expected[i].arrays) << zoo[i].name;
+    EXPECT_GT(zoo[i].paper_reducible_pct, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace kf

@@ -1,0 +1,152 @@
+// Unit tests for kf_codegen: structural validity of the emitted CUDA
+// source for originals, simple fusions, and complex fusions with halo
+// recomputation.
+#include <gtest/gtest.h>
+
+#include <regex>
+
+#include "apps/motivating_example.hpp"
+#include "apps/scale_les.hpp"
+#include "codegen/cuda_emitter.hpp"
+#include "fusion/transformer.hpp"
+#include "graph/array_expansion.hpp"
+#include "util/error.hpp"
+
+namespace kf {
+namespace {
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+bool braces_balanced(const std::string& source) {
+  int depth = 0;
+  for (char c : source) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0;
+}
+
+class CodegenTest : public ::testing::Test {
+ protected:
+  Program program_ = motivating_example(GridDims{64, 32, 8});
+  LegalityChecker checker_{program_, DeviceSpec::k20x()};
+  FusedProgram fused_ = apply_fusion(checker_, motivating_plan(program_));
+  CudaEmitter emitter_{program_};
+};
+
+TEST_F(CodegenTest, SanitizeIdentifier) {
+  EXPECT_EQ(sanitize_identifier("Kern_A"), "Kern_A");
+  EXPECT_EQ(sanitize_identifier("F[a+b]"), "F_a_b_");
+  EXPECT_EQ(sanitize_identifier("1bad"), "k1bad");
+  EXPECT_EQ(sanitize_identifier(""), "k");
+}
+
+TEST_F(CodegenTest, OriginalKernelEmits) {
+  const LaunchDescriptor d =
+      descriptor_for_original(program_, program_.find_kernel("Kern_D"));
+  const std::string src = emitter_.emit_kernel(d);
+  EXPECT_NE(src.find("__global__ void Kern_D("), std::string::npos);
+  EXPECT_NE(src.find("const double* __restrict__ Q"), std::string::npos);
+  EXPECT_NE(src.find("double* P"), std::string::npos);
+  EXPECT_NE(src.find("for (int k = 0; k < nz; ++k)"), std::string::npos);
+  EXPECT_TRUE(braces_balanced(src)) << src;
+}
+
+TEST_F(CodegenTest, ComplexFusionHasSharedTileAndBarrier) {
+  // Kernel X = {Kern_A, Kern_B}: A produced and consumed at offsets.
+  ASSERT_EQ(fused_.num_new_kernels(), 2);
+  const LaunchDescriptor& x =
+      fused_.launches[fused_.members[0].size() == 2 ? 0 : 1];
+  ASSERT_EQ(x.members.size(), 2u);
+  const std::string src = emitter_.emit_kernel(x);
+  EXPECT_NE(src.find("__shared__ double s_A["), std::string::npos);
+  EXPECT_GE(count_occurrences(src, "__syncthreads()"), 1);
+  // The halo-recompute loop covers an extended tile (extension 1 on the
+  // first statement -> 34x6 for a 32x4 block).
+  EXPECT_NE(src.find("t < 204"), std::string::npos) << src;  // 34*6
+  EXPECT_TRUE(braces_balanced(src));
+}
+
+TEST_F(CodegenTest, SimpleFusionStagesSharedInputs) {
+  const LaunchDescriptor& y =
+      fused_.launches[fused_.members[0].size() == 3 ? 0 : 1];
+  ASSERT_EQ(y.members.size(), 3u);
+  const std::string src = emitter_.emit_kernel(y);
+  // T, Q, V staged from GMEM.
+  EXPECT_NE(src.find("__shared__ double s_T["), std::string::npos);
+  EXPECT_NE(src.find("__shared__ double s_Q["), std::string::npos);
+  EXPECT_NE(src.find("__shared__ double s_V["), std::string::npos);
+  EXPECT_NE(src.find("cooperative staging"), std::string::npos);
+  // min/max render as fmin/fmax (Kern_C's W = min(...)).
+  EXPECT_NE(src.find("fmin("), std::string::npos);
+  EXPECT_TRUE(braces_balanced(src));
+}
+
+TEST_F(CodegenTest, ProgramEmissionContainsDriverInLaunchOrder) {
+  const std::string src = emitter_.emit_program(fused_);
+  EXPECT_NE(src.find("#include <cuda_runtime.h>"), std::string::npos);
+  EXPECT_NE(src.find("void kf_run_all(dim3 grid, dim3 block"), std::string::npos);
+  // One <<<grid, block>>> invocation per launch.
+  EXPECT_EQ(count_occurrences(src, "<<<grid, block>>>"), fused_.num_new_kernels());
+  // Kernel definitions precede the driver.
+  EXPECT_LT(src.find("__global__"), src.find("kf_run_all"));
+  EXPECT_TRUE(braces_balanced(src));
+}
+
+TEST_F(CodegenTest, SinglePrecisionOption) {
+  CudaEmitOptions opts;
+  opts.single_precision = true;
+  const CudaEmitter sp(program_, opts);
+  const std::string src =
+      sp.emit_kernel(descriptor_for_original(program_, program_.find_kernel("Kern_C")));
+  EXPECT_NE(src.find("const float* __restrict__"), std::string::npos);
+  EXPECT_EQ(src.find("double"), std::string::npos);
+}
+
+TEST_F(CodegenTest, MetadataOnlyKernelRejected) {
+  const Program meta = scale_les();  // no bodies
+  const CudaEmitter emitter(meta);
+  EXPECT_THROW(emitter.emit_kernel(descriptor_for_original(meta, 0)), PreconditionError);
+}
+
+TEST_F(CodegenTest, Rk18FusedProgramEmits) {
+  const Program rk = scale_les_rk18(GridDims{64, 32, 8});
+  const ExpansionResult expansion = expand_arrays(rk);
+  const LegalityChecker checker(expansion.program, DeviceSpec::k20x());
+  const KernelId k8 = expansion.program.find_kernel("k08_qflx_dens");
+  const KernelId k9 = expansion.program.find_kernel("k09_sflx_dens");
+  const KernelId k10 = expansion.program.find_kernel("k10_tend_dens");
+  std::vector<std::vector<KernelId>> groups{{k8, k9, k10}};
+  for (KernelId k = 0; k < expansion.program.num_kernels(); ++k) {
+    if (k != k8 && k != k9 && k != k10) groups.push_back({k});
+  }
+  const FusedProgram fused = apply_fusion(
+      checker, FusionPlan::from_groups(expansion.program.num_kernels(), groups));
+  const CudaEmitter emitter(expansion.program);
+  const std::string src = emitter.emit_program(fused);
+  EXPECT_EQ(count_occurrences(src, "__global__"), fused.num_new_kernels());
+  EXPECT_TRUE(braces_balanced(src));
+  // The expanded redundant array gets a sanitised name.
+  EXPECT_NE(src.find("QFLX_2"), std::string::npos);
+}
+
+TEST_F(CodegenTest, ExpressionRenderer) {
+  const Expr e = Expr::constant(0.25) * (Expr::load(0, {0, 0, 0}) +
+                                         Expr::load(0, {-1, 0, 0}));
+  const std::string s = e.render([](ArrayId a, const Offset& o) {
+    return "A" + std::to_string(a) + "(" + std::to_string(o.dx) + ")";
+  });
+  EXPECT_EQ(s, "(0.25 * (A0(0) + A0(-1)))");
+  EXPECT_EQ(Expr().render([](ArrayId, const Offset&) { return ""; }), "0.0");
+}
+
+}  // namespace
+}  // namespace kf

@@ -1,0 +1,345 @@
+// Unit tests for kf_gpu: device specs, occupancy, traffic accounting,
+// bank conflicts and the timing simulator's mechanisms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/motivating_example.hpp"
+#include "gpu/bank_conflicts.hpp"
+#include "gpu/device_spec.hpp"
+#include "gpu/launch_descriptor.hpp"
+#include "gpu/occupancy.hpp"
+#include "gpu/timing_simulator.hpp"
+#include "gpu/traffic_model.hpp"
+#include "util/error.hpp"
+
+namespace kf {
+namespace {
+
+// ---------- DeviceSpec ----------
+
+TEST(DeviceSpec, TableIvValues) {
+  const DeviceSpec k20x = DeviceSpec::k20x();
+  EXPECT_EQ(k20x.num_smx, 14);
+  EXPECT_EQ(k20x.smem_per_smx, 48 * 1024);
+  EXPECT_DOUBLE_EQ(k20x.peak_gflops, 1310.0);
+  EXPECT_DOUBLE_EQ(k20x.gmem_bw_gbs, 202.0);
+
+  const DeviceSpec k40 = DeviceSpec::k40();
+  EXPECT_EQ(k40.num_smx, 15);
+  EXPECT_DOUBLE_EQ(k40.gmem_bw_gbs, 214.0);
+
+  const DeviceSpec maxwell = DeviceSpec::gtx750ti();
+  EXPECT_EQ(maxwell.num_smx, 5);
+  EXPECT_EQ(maxwell.smem_per_smx, 64 * 1024);
+  EXPECT_EQ(maxwell.max_blocks_per_smx, 32);
+  EXPECT_TRUE(maxwell.regs_spill_to_l2);
+}
+
+TEST(DeviceSpec, HypotheticalSmemVariant) {
+  const DeviceSpec big = DeviceSpec::k20x().with_smem_capacity(128 * 1024);
+  EXPECT_EQ(big.smem_per_smx, 128 * 1024);
+  EXPECT_NE(big.name, DeviceSpec::k20x().name);
+  EXPECT_THROW(DeviceSpec::k20x().with_smem_capacity(0), PreconditionError);
+}
+
+// ---------- occupancy ----------
+
+TEST(Occupancy, UnconstrainedHitsBlockLimit) {
+  const Occupancy occ = compute_occupancy(DeviceSpec::k20x(), 128, 16, 0);
+  EXPECT_EQ(occ.blocks_per_smx, 16);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::Blocks);
+  EXPECT_EQ(occ.active_threads, 2048);
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  // 128 regs/thread * 256 threads = 32768 regs/block -> 2 blocks of 64K.
+  const Occupancy occ = compute_occupancy(DeviceSpec::k20x(), 256, 128, 0);
+  EXPECT_EQ(occ.blocks_per_smx, 2);
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::Registers);
+}
+
+TEST(Occupancy, SmemLimited) {
+  const Occupancy occ = compute_occupancy(DeviceSpec::k20x(), 128, 32, 20 * 1024);
+  EXPECT_EQ(occ.blocks_per_smx, 2);  // 48K / 20K
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::SharedMemory);
+}
+
+TEST(Occupancy, ThreadLimited) {
+  const Occupancy occ = compute_occupancy(DeviceSpec::k20x(), 1024, 16, 0);
+  EXPECT_EQ(occ.blocks_per_smx, 2);  // 2048 / 1024
+  EXPECT_EQ(occ.limiter, OccupancyLimiter::Threads);
+}
+
+TEST(Occupancy, InfeasibleWhenExceedingHardLimits) {
+  EXPECT_EQ(compute_occupancy(DeviceSpec::k20x(), 128, 300, 0).limiter,
+            OccupancyLimiter::Infeasible);
+  EXPECT_EQ(compute_occupancy(DeviceSpec::k20x(), 128, 32, 50 * 1024).limiter,
+            OccupancyLimiter::Infeasible);
+  EXPECT_FALSE(compute_occupancy(DeviceSpec::k20x(), 128, 300, 0).feasible());
+}
+
+TEST(Occupancy, ZeroBlocksWhenSmemTooTight) {
+  // Legal per block but zero fit: smem_per_block > smem/1... not possible
+  // within hard limits, so drive registers instead: 255 regs, 1024 threads.
+  const Occupancy occ = compute_occupancy(DeviceSpec::k20x(), 1024, 255, 0);
+  EXPECT_EQ(occ.blocks_per_smx, 0);
+  EXPECT_FALSE(occ.feasible());
+}
+
+TEST(Occupancy, MaxwellAllowsMoreBlocks) {
+  const Occupancy occ = compute_occupancy(DeviceSpec::gtx750ti(), 64, 16, 0);
+  EXPECT_EQ(occ.blocks_per_smx, 32);
+}
+
+// ---------- launch descriptors & traffic ----------
+
+TEST(LaunchDescriptor, HaloMath) {
+  const LaunchConfig launch{32, 4};
+  EXPECT_DOUBLE_EQ(halo_area_factor(launch, 0), 1.0);
+  EXPECT_DOUBLE_EQ(halo_area_factor(launch, 1), (34.0 * 6.0) / 128.0);
+  EXPECT_EQ(halo_points(launch, 1), 34L * 6 - 128);
+  EXPECT_EQ(halo_points(launch, 0), 0L);
+}
+
+TEST(LaunchDescriptor, OriginalStagesHighThreadLoadArrays) {
+  const Program p = motivating_example(GridDims{64, 32, 8});
+  const KernelId c = p.find_kernel("Kern_C");
+  const LaunchDescriptor d = descriptor_for_original(p, c);
+  // Kern_C reads T (load 3) and V (load 2): both staged.
+  EXPECT_EQ(d.pivot_arrays.size(), 2u);
+  EXPECT_EQ(d.halo_radius, 1);
+  EXPECT_EQ(d.barriers, 1);
+  EXPECT_FALSE(d.recompute_halo);
+  EXPECT_GT(d.smem_per_block_bytes, 0);
+  EXPECT_FALSE(d.is_fused());
+}
+
+TEST(Traffic, CenterOnlyKernelStreams) {
+  Program p("stream", GridDims{64, 64, 4});
+  const ArrayId in = p.add_array("in");
+  const ArrayId out = p.add_array("out");
+  KernelInfo k;
+  k.name = "copy";
+  k.body.push_back({out, Expr::load(in, {0, 0, 0})});
+  k.derive_metadata_from_body();
+  p.add_kernel(std::move(k));
+  const TrafficBreakdown t = compute_traffic(p, descriptor_for_original(p, 0));
+  const double bytes = 64.0 * 64 * 4 * 8;
+  EXPECT_DOUBLE_EQ(t.load_bytes, bytes);
+  EXPECT_DOUBLE_EQ(t.store_bytes, bytes);
+  EXPECT_DOUBLE_EQ(t.halo_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(t.smem_bytes, 0.0);
+}
+
+TEST(Traffic, StagedKernelLoadsTilePlusHalo) {
+  const Program p = motivating_example(GridDims{64, 32, 8});
+  const KernelId d_id = p.find_kernel("Kern_D");
+  const TrafficBreakdown t = compute_traffic(p, descriptor_for_original(p, d_id));
+  const double sites = 64.0 * 32 * 8;
+  const double halo = halo_area_factor(p.launch(), 1);
+  // Q staged once with halo; P stored.
+  EXPECT_NEAR(t.load_bytes, sites * 8 * halo, 1e-6);
+  EXPECT_NEAR(t.store_bytes, sites * 8, 1e-6);
+  EXPECT_GT(t.smem_bytes, 0.0);
+}
+
+TEST(Traffic, FusionRemovesSecondLoad) {
+  const Program p = motivating_example(GridDims{64, 32, 8});
+  // Fuse Kern_C + Kern_E (share T and V).
+  LaunchDescriptor d;
+  d.name = "CE";
+  d.members = {p.find_kernel("Kern_C"), p.find_kernel("Kern_E")};
+  d.pivot_arrays = {p.find_array("T"), p.find_array("V")};
+  d.halo_radius = 1;
+  const TrafficBreakdown fused = compute_traffic(p, d);
+
+  const TrafficBreakdown c =
+      compute_traffic(p, descriptor_for_original(p, p.find_kernel("Kern_C")));
+  const TrafficBreakdown e =
+      compute_traffic(p, descriptor_for_original(p, p.find_kernel("Kern_E")));
+  EXPECT_LT(fused.gmem_total(), c.gmem_total() + e.gmem_total());
+}
+
+TEST(Traffic, ProducedPivotIsNotReloaded) {
+  const Program p = motivating_example(GridDims{64, 32, 8});
+  // X = {Kern_A, Kern_B}: A is produced by Kern_A, consumed by Kern_B.
+  LaunchDescriptor d;
+  d.name = "X";
+  d.members = {p.find_kernel("Kern_A"), p.find_kernel("Kern_B")};
+  d.pivot_arrays = {p.find_array("A")};
+  d.halo_radius = 1;
+  d.recompute_halo = true;
+  const TrafficBreakdown t = compute_traffic(p, d);
+  // Loads: B and C streamed once each (no halo staging for non-pivots at
+  // load 1... B and C are read at center only by Kern_A); A never loaded.
+  const double sites = 64.0 * 32 * 8;
+  EXPECT_NEAR(t.load_bytes, 2 * sites * 8, 1e-6);
+  // Stores: A, D, Mx, Mn.
+  EXPECT_NEAR(t.store_bytes, 4 * sites * 8, 1e-6);
+}
+
+TEST(Traffic, ProgramTrafficSumsKernels) {
+  const Program p = motivating_example(GridDims{64, 32, 8});
+  const TrafficBreakdown total = program_traffic(p);
+  double manual = 0.0;
+  for (KernelId k = 0; k < p.num_kernels(); ++k) {
+    manual += compute_traffic(p, descriptor_for_original(p, k)).gmem_total();
+  }
+  EXPECT_NEAR(total.gmem_total(), manual, 1e-6);
+}
+
+// ---------- bank conflicts ----------
+
+TEST(BankConflicts, PowerOfTwoWidthConflictsUnpadded) {
+  const DeviceSpec d = DeviceSpec::k20x();
+  // 32-wide tile, 8-byte elements, 32 banks of 8 bytes: warp lanes with
+  // block_x 16 span two rows; row stride 32 elements -> lanes 0 and 16 of
+  // the warp map to the same bank.
+  const BankConflictAnalysis a = analyze_bank_conflicts(d, 32, 8, 8, 16);
+  EXPECT_GT(a.degree_unpadded, 1);
+  // +1 column breaks the power-of-two column stride (the halo warps walk
+  // columns); row-wrapped warps keep a residual degree-2 overlap.
+  EXPECT_LT(a.degree_padded, a.degree_unpadded);
+  EXPECT_GT(a.padding_bytes, 0);
+}
+
+TEST(BankConflicts, FullWarpRowHasNoConflict) {
+  const DeviceSpec d = DeviceSpec::k20x();
+  const BankConflictAnalysis a = analyze_bank_conflicts(d, 34, 6, 8, 32);
+  EXPECT_EQ(a.degree_unpadded, 1);
+}
+
+TEST(BankConflicts, PaddingReserveMatchesEq7) {
+  const DeviceSpec d = DeviceSpec::k20x();
+  EXPECT_EQ(conflict_padding_reserve(d, 32 * 1024), 1024);
+}
+
+TEST(BankConflicts, SlowdownUsesRightDegree) {
+  BankConflictAnalysis a;
+  a.degree_unpadded = 4;
+  a.degree_padded = 1;
+  EXPECT_DOUBLE_EQ(conflict_slowdown(a, true), 1.0);
+  EXPECT_DOUBLE_EQ(conflict_slowdown(a, false), 4.0);
+}
+
+// ---------- timing simulator ----------
+
+TEST(TimingSimulator, DeterministicRuns) {
+  const Program p = motivating_example(GridDims{128, 64, 16});
+  const TimingSimulator sim(DeviceSpec::k20x());
+  const double t1 = sim.run_original(p, 0).time_s;
+  const double t2 = sim.run_original(p, 0).time_s;
+  EXPECT_DOUBLE_EQ(t1, t2);
+  EXPECT_GT(t1, 0.0);
+}
+
+TEST(TimingSimulator, MemoryBoundKernelsDominatedByMemTime) {
+  const Program p = motivating_example(GridDims{256, 128, 16});
+  const TimingSimulator sim(DeviceSpec::k20x());
+  const SimResult r = sim.run_original(p, p.find_kernel("Kern_C"));
+  EXPECT_GT(r.mem_time_s, r.compute_time_s);
+  EXPECT_LE(r.latency_hiding, 1.0);
+  EXPECT_GT(r.latency_hiding, 0.0);
+}
+
+TEST(TimingSimulator, MoreTrafficTakesLonger) {
+  const Program p = motivating_example(GridDims{256, 128, 16});
+  const TimingSimulator sim(DeviceSpec::k20x());
+  // Kern_A touches 4 arrays; Kern_D touches 2.
+  const double ta = sim.run_original(p, p.find_kernel("Kern_A")).time_s;
+  const double td = sim.run_original(p, p.find_kernel("Kern_D")).time_s;
+  EXPECT_GT(ta, td);
+}
+
+TEST(TimingSimulator, SmemPressureReducesOccupancyAndBandwidth) {
+  const Program p = motivating_example(GridDims{256, 128, 16});
+  const TimingSimulator sim(DeviceSpec::k20x());
+  LaunchDescriptor light;
+  light.name = "light";
+  light.members = {0};
+  light.regs_per_thread = 32;
+  light.smem_per_block_bytes = 1024;
+  light.flops_per_site = 4;
+  const SimResult a = sim.run(p, light);
+
+  LaunchDescriptor heavy = light;
+  heavy.name = "heavy";
+  heavy.smem_per_block_bytes = 24 * 1024;  // 2 blocks/SMX
+  const SimResult b = sim.run(p, heavy);
+  EXPECT_LT(b.occupancy.blocks_per_smx, a.occupancy.blocks_per_smx);
+  EXPECT_LE(b.latency_hiding, a.latency_hiding);
+  EXPECT_GE(b.time_s, a.time_s * 0.99);
+}
+
+TEST(TimingSimulator, RegisterSpillPenalised) {
+  const Program p = motivating_example(GridDims{256, 128, 16});
+  const TimingSimulator sim(DeviceSpec::k20x());
+  LaunchDescriptor d;
+  d.name = "spiller";
+  d.members = {0};
+  d.regs_per_thread = 300;  // beyond R_Max -> spills
+  d.flops_per_site = 4;
+  const SimResult r = sim.run(p, d);
+  EXPECT_TRUE(r.spilled);
+  LaunchDescriptor ok = d;
+  ok.name = "fits";
+  ok.regs_per_thread = 64;
+  EXPECT_GT(r.time_s, sim.run(p, ok).time_s);
+}
+
+TEST(TimingSimulator, UnlaunchableSmemReturnsInfinity) {
+  const Program p = motivating_example(GridDims{128, 64, 8});
+  const TimingSimulator sim(DeviceSpec::k20x());
+  LaunchDescriptor d;
+  d.name = "too-big";
+  d.members = {0};
+  d.smem_per_block_bytes = 100 * 1024;
+  const SimResult r = sim.run(p, d);
+  EXPECT_FALSE(r.launchable);
+  EXPECT_TRUE(std::isinf(r.time_s));
+}
+
+TEST(TimingSimulator, BarrierCostScalesWithCount) {
+  const Program p = motivating_example(GridDims{256, 128, 16});
+  const TimingSimulator sim(DeviceSpec::k20x(), {.noise_amplitude = 0.0});
+  LaunchDescriptor d;
+  d.name = "barriers";
+  d.members = {0};
+  d.flops_per_site = 4;
+  d.barriers = 1;
+  const double t1 = sim.run(p, d).barrier_time_s;
+  d.barriers = 4;
+  const double t4 = sim.run(p, d).barrier_time_s;
+  EXPECT_NEAR(t4, 4 * t1, 1e-12);
+}
+
+TEST(TimingSimulator, NoiseBoundedAndDeterministic) {
+  const Program p = motivating_example(GridDims{128, 64, 8});
+  const TimingSimulator noisy(DeviceSpec::k20x(), {.noise_amplitude = 0.02});
+  const TimingSimulator clean(DeviceSpec::k20x(), {.noise_amplitude = 0.0});
+  for (KernelId k = 0; k < p.num_kernels(); ++k) {
+    const double tn = noisy.run_original(p, k).time_s;
+    const double tc = clean.run_original(p, k).time_s;
+    EXPECT_NEAR(tn / tc, 1.0, 0.021);
+  }
+}
+
+TEST(TimingSimulator, OriginalSumAndProgramTime) {
+  const Program p = motivating_example(GridDims{128, 64, 8});
+  const TimingSimulator sim(DeviceSpec::k20x());
+  std::vector<KernelId> all;
+  for (KernelId k = 0; k < p.num_kernels(); ++k) all.push_back(k);
+  EXPECT_NEAR(sim.original_sum(p, all), sim.program_time(p), 1e-12);
+}
+
+TEST(TimingSimulator, K40FasterThanK20x) {
+  const Program p = motivating_example(GridDims{256, 128, 16});
+  const TimingSimulator k20x(DeviceSpec::k20x(), {.noise_amplitude = 0.0});
+  const TimingSimulator k40(DeviceSpec::k40(), {.noise_amplitude = 0.0});
+  EXPECT_LT(k40.program_time(p), k20x.program_time(p));
+}
+
+}  // namespace
+}  // namespace kf

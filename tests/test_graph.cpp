@@ -1,0 +1,323 @@
+// Unit tests for kf_graph: DAG utilities, dependency classification,
+// expandable-array relaxation, execution-order convexity, sharing/kinship.
+#include <gtest/gtest.h>
+
+#include "apps/motivating_example.hpp"
+#include "apps/scale_les.hpp"
+#include "graph/array_expansion.hpp"
+#include "graph/dag.hpp"
+#include "graph/dependency_graph.hpp"
+#include "graph/execution_order.hpp"
+#include "graph/sharing.hpp"
+#include "util/error.hpp"
+
+namespace kf {
+namespace {
+
+// ---------- Dag / BitMatrix ----------
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  Dag d(4);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(0, 3);
+  const auto order = d.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](int v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(1), pos(2));
+  EXPECT_LT(pos(0), pos(3));
+}
+
+TEST(Dag, CycleDetected) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(2, 0);
+  EXPECT_FALSE(d.is_dag());
+  EXPECT_THROW(d.topological_order(), RuntimeError);
+}
+
+TEST(Dag, ReachabilityTransitive) {
+  Dag d(5);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(2, 3);
+  const BitMatrix r = d.reachability();
+  EXPECT_TRUE(r.get(0, 3));
+  EXPECT_TRUE(r.get(1, 3));
+  EXPECT_FALSE(r.get(3, 0));
+  EXPECT_FALSE(r.get(0, 4));
+  EXPECT_FALSE(r.get(0, 0));  // no self loop
+}
+
+TEST(Dag, ReverseReachabilityIsTranspose) {
+  Dag d(3);
+  d.add_edge(0, 2);
+  const BitMatrix f = d.reachability();
+  const BitMatrix b = d.reverse_reachability();
+  EXPECT_TRUE(f.get(0, 2));
+  EXPECT_TRUE(b.get(2, 0));
+  EXPECT_FALSE(b.get(0, 2));
+}
+
+TEST(Dag, TransitiveReductionDropsShortcut) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(0, 2);  // redundant
+  const Dag r = d.transitive_reduction();
+  EXPECT_TRUE(r.has_edge(0, 1));
+  EXPECT_TRUE(r.has_edge(1, 2));
+  EXPECT_FALSE(r.has_edge(0, 2));
+}
+
+TEST(Dag, DuplicateEdgesIgnored) {
+  Dag d(2);
+  d.add_edge(0, 1);
+  d.add_edge(0, 1);
+  EXPECT_EQ(d.num_edges(), 1u);
+  EXPECT_THROW(d.add_edge(0, 0), PreconditionError);
+}
+
+TEST(BitMatrix, SetGetOrRow) {
+  BitMatrix m(130);  // multi-word rows
+  m.set(1, 129);
+  m.set(2, 5);
+  EXPECT_TRUE(m.get(1, 129));
+  EXPECT_FALSE(m.get(1, 5));
+  m.or_row(1, 2);
+  EXPECT_TRUE(m.get(1, 5));
+  EXPECT_EQ(m.row_popcount(1), 2);
+}
+
+// ---------- DependencyGraph ----------
+
+Program dep_program() {
+  // in -> k0 -> mid -> k1 -> out ; k2 rewrites mid (expandable), k3 reads it.
+  Program p("deps", GridDims{32, 16, 4});
+  const ArrayId in = p.add_array("in");
+  const ArrayId mid = p.add_array("mid");
+  const ArrayId out = p.add_array("out");
+  const ArrayId sink = p.add_array("sink");
+  auto make = [&](const char* name, ArrayId read, ArrayId write) {
+    KernelInfo k;
+    k.name = name;
+    k.body.push_back({write, Expr::load(read, {0, 0, 0}) + Expr::constant(1)});
+    k.derive_metadata_from_body();
+    p.add_kernel(std::move(k));
+  };
+  make("k0", in, mid);
+  make("k1", mid, out);
+  make("k2", in, mid);   // second write generation
+  make("k3", mid, sink);
+  return p;
+}
+
+TEST(DependencyGraph, UsageClassification) {
+  const Program p = dep_program();
+  const DependencyGraph g = DependencyGraph::build(p);
+  EXPECT_EQ(g.usage(p.find_array("in")), ArrayUsage::ReadOnly);
+  EXPECT_EQ(g.usage(p.find_array("mid")), ArrayUsage::ExpandableReadWrite);
+  EXPECT_EQ(g.usage(p.find_array("out")), ArrayUsage::WriteOnly);
+  EXPECT_EQ(g.usage(p.find_array("sink")), ArrayUsage::WriteOnly);
+}
+
+TEST(DependencyGraph, EdgesIncludeRawWarWaw) {
+  const Program p = dep_program();
+  const DependencyGraph g = DependencyGraph::build(p);
+  bool raw01 = false;
+  bool war12 = false;
+  bool waw02 = false;
+  bool raw23 = false;
+  for (const DependencyEdge& e : g.edges()) {
+    raw01 |= e.from == 0 && e.to == 1 && e.kind == DepKind::RAW;
+    war12 |= e.from == 1 && e.to == 2 && e.kind == DepKind::WAR;
+    waw02 |= e.from == 0 && e.to == 2 && e.kind == DepKind::WAW;
+    raw23 |= e.from == 2 && e.to == 3 && e.kind == DepKind::RAW;
+  }
+  EXPECT_TRUE(raw01);
+  EXPECT_TRUE(war12);
+  EXPECT_TRUE(waw02);
+  EXPECT_TRUE(raw23);
+}
+
+TEST(DependencyGraph, WritersReadersOrdered) {
+  const Program p = dep_program();
+  const DependencyGraph g = DependencyGraph::build(p);
+  const ArrayId mid = p.find_array("mid");
+  ASSERT_EQ(g.writers(mid).size(), 2u);
+  EXPECT_EQ(g.writers(mid)[0], 0);
+  EXPECT_EQ(g.writers(mid)[1], 2);
+  ASSERT_EQ(g.readers(mid).size(), 2u);
+}
+
+TEST(DependencyGraph, DotRenderingMentionsEveryNode) {
+  const Program p = dep_program();
+  const DependencyGraph g = DependencyGraph::build(p);
+  const std::string dot = g.to_dot(p);
+  EXPECT_NE(dot.find("k0"), std::string::npos);
+  EXPECT_NE(dot.find("mid"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=blue"), std::string::npos);  // expandable
+}
+
+// ---------- array expansion ----------
+
+TEST(ArrayExpansion, SplitsSecondGeneration) {
+  const Program p = dep_program();
+  const ExpansionResult r = expand_arrays(p);
+  EXPECT_EQ(r.arrays_added, 1);
+  EXPECT_GT(r.extra_bytes, 0.0);
+  const ArrayId mid = p.find_array("mid");
+  ASSERT_EQ(r.versions[static_cast<std::size_t>(mid)].size(), 2u);
+  EXPECT_NE(r.final_version(mid), mid);
+  // k3 now reads the new version; k1 still reads the original.
+  const Program& q = r.program;
+  EXPECT_TRUE(q.kernel(1).reads(mid));
+  EXPECT_FALSE(q.kernel(3).reads(mid));
+  EXPECT_TRUE(q.kernel(3).reads(r.final_version(mid)));
+}
+
+TEST(ArrayExpansion, RemovesWarWawOnExpandable) {
+  const Program p = dep_program();
+  const ExpansionResult r = expand_arrays(p);
+  const DependencyGraph g = DependencyGraph::build(r.program);
+  for (const DependencyEdge& e : g.edges()) {
+    EXPECT_EQ(e.kind, DepKind::RAW) << "unexpected " << to_string(e.kind) << " edge";
+  }
+}
+
+TEST(ArrayExpansion, IdentityWhenNoExpandables) {
+  const Program p = motivating_example(GridDims{32, 32, 4});
+  const ExpansionResult r = expand_arrays(p);
+  EXPECT_EQ(r.arrays_added, 0);
+  EXPECT_EQ(r.program.num_arrays(), p.num_arrays());
+}
+
+TEST(ArrayExpansion, BodiesRemapped) {
+  const Program p = dep_program();
+  const ExpansionResult r = expand_arrays(p);
+  const ArrayId mid = p.find_array("mid");
+  const ArrayId mid2 = r.final_version(mid);
+  // k2 writes mid2 in its body; k3 loads mid2.
+  EXPECT_EQ(r.program.kernel(2).body[0].out, mid2);
+  EXPECT_EQ(r.program.kernel(3).body[0].expr.loads()[0].first, mid2);
+}
+
+// ---------- ExecutionOrderGraph ----------
+
+TEST(ExecutionOrder, MustPrecedeFollowsRaw) {
+  const Program p = dep_program();
+  const ExecutionOrderGraph g = ExecutionOrderGraph::build(p);
+  EXPECT_TRUE(g.must_precede(0, 1));
+  EXPECT_TRUE(g.must_precede(0, 3));  // through k2's WAW + RAW chain
+  EXPECT_FALSE(g.must_precede(1, 0));
+}
+
+TEST(ExecutionOrder, ExpansionRelaxesPrecedence) {
+  const Program p = dep_program();
+  const ExecutionOrderGraph before = ExecutionOrderGraph::build(p);
+  const ExpansionResult r = expand_arrays(p);
+  const ExecutionOrderGraph after = ExecutionOrderGraph::build(r.program);
+  // Before: k1 (reader of gen 1) must precede k2 (writer of gen 2).
+  EXPECT_TRUE(before.must_precede(1, 2));
+  // After: versions decouple them.
+  EXPECT_FALSE(after.must_precede(1, 2));
+}
+
+TEST(ExecutionOrder, ConvexityDetectsGap) {
+  const Program p = dep_program();
+  const ExecutionOrderGraph g = ExecutionOrderGraph::build(p);
+  // 0 -> 1 is a dependency; {0, 1} convex.
+  const std::vector<KernelId> ok{0, 1};
+  EXPECT_TRUE(g.group_is_convex(ok));
+  // 0 -> ... -> 3 passes through 2 (and 1): {0, 3} is not convex.
+  const std::vector<KernelId> gap{0, 3};
+  EXPECT_FALSE(g.group_is_convex(gap));
+  // Adding the path closes it.
+  const std::vector<KernelId> closed{0, 1, 2, 3};
+  EXPECT_TRUE(g.group_is_convex(closed));
+}
+
+TEST(ExecutionOrder, KernelsBetween) {
+  const Program p = dep_program();
+  const ExecutionOrderGraph g = ExecutionOrderGraph::build(p);
+  const auto between = g.kernels_between(0, 3);
+  EXPECT_FALSE(between.empty());
+  EXPECT_NE(std::find(between.begin(), between.end(), 2), between.end());
+}
+
+TEST(ExecutionOrder, InternalPrecedenceFlagsComplexFusion) {
+  const Program p = motivating_example(GridDims{32, 32, 4});
+  const ExecutionOrderGraph g = ExecutionOrderGraph::build(p);
+  const KernelId a = p.find_kernel("Kern_A");
+  const KernelId b = p.find_kernel("Kern_B");
+  const KernelId c = p.find_kernel("Kern_C");
+  const KernelId d = p.find_kernel("Kern_D");
+  const std::vector<KernelId> ab{a, b};
+  EXPECT_TRUE(g.has_internal_precedence(ab));  // B reads A's output
+  const std::vector<KernelId> cd{c, d};
+  EXPECT_FALSE(g.has_internal_precedence(cd));  // read-only sharing
+}
+
+// ---------- SharingGraph ----------
+
+TEST(Sharing, SetsAndKinship) {
+  const Program p = motivating_example(GridDims{32, 32, 4});
+  const SharingGraph g = SharingGraph::build(p);
+  const KernelId c = p.find_kernel("Kern_C");
+  const KernelId d = p.find_kernel("Kern_D");
+  const KernelId e = p.find_kernel("Kern_E");
+  // C and D share nothing directly (T/V vs Q) — kinship 2 via E.
+  EXPECT_FALSE(g.direct_share(c, d));
+  EXPECT_EQ(g.kinship(c, d), 2);
+  EXPECT_EQ(g.kinship(c, e), 1);
+  EXPECT_EQ(g.kinship(c, c), 0);
+}
+
+TEST(Sharing, SharingSetMembership) {
+  const Program p = motivating_example(GridDims{32, 32, 4});
+  const SharingGraph g = SharingGraph::build(p);
+  const ArrayId q = p.find_array("Q");
+  const auto& set = g.sharing_set(q);
+  EXPECT_EQ(set.size(), 2u);  // Kern_D and Kern_E
+}
+
+TEST(Sharing, GroupConnectivity) {
+  const Program p = motivating_example(GridDims{32, 32, 4});
+  const SharingGraph g = SharingGraph::build(p);
+  const KernelId a = p.find_kernel("Kern_A");
+  const KernelId c = p.find_kernel("Kern_C");
+  const KernelId d = p.find_kernel("Kern_D");
+  const KernelId e = p.find_kernel("Kern_E");
+  const std::vector<KernelId> cde{c, d, e};
+  EXPECT_TRUE(g.group_connected(cde));
+  // C and D alone are disconnected (their chain runs through E).
+  const std::vector<KernelId> cd{c, d};
+  EXPECT_FALSE(g.group_connected(cd));
+  const std::vector<KernelId> ac{a, c};
+  EXPECT_FALSE(g.group_connected(ac));
+}
+
+TEST(Sharing, SharedWithinGroup) {
+  const Program p = motivating_example(GridDims{32, 32, 4});
+  const SharingGraph g = SharingGraph::build(p);
+  const KernelId c = p.find_kernel("Kern_C");
+  const KernelId d = p.find_kernel("Kern_D");
+  const KernelId e = p.find_kernel("Kern_E");
+  const std::vector<KernelId> cde{c, d, e};
+  const auto shared = g.shared_within(cde);
+  // T, Q, V are each touched by two members (the paper's Y^Pivot).
+  EXPECT_EQ(shared.size(), 3u);
+}
+
+TEST(Sharing, ScaleLesRk18HasExpandableDrivenSharing) {
+  const Program p = scale_les_rk18(GridDims{64, 32, 8});
+  const SharingGraph g = SharingGraph::build(p);
+  EXPECT_GE(g.shared_arrays().size(), 10u);
+}
+
+}  // namespace
+}  // namespace kf

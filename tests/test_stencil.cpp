@@ -1,0 +1,254 @@
+// Unit tests for kf_stencil: grids, reference execution, the block
+// executor's halo recomputation, and fusion equivalence — the functional
+// correctness oracle of the whole pipeline.
+#include <gtest/gtest.h>
+
+#include "apps/cloverleaf.hpp"
+#include "apps/motivating_example.hpp"
+#include "apps/scale_les.hpp"
+#include "apps/testsuite.hpp"
+#include "fusion/transformer.hpp"
+#include "graph/array_expansion.hpp"
+#include "stencil/block_executor.hpp"
+#include "stencil/equivalence.hpp"
+#include "search/population.hpp"
+#include "stencil/grid.hpp"
+#include "stencil/reference_executor.hpp"
+#include "util/rng.hpp"
+
+namespace kf {
+namespace {
+
+// ---------- Grid3 / GridSet ----------
+
+TEST(Grid, PaddedIndexingWorks) {
+  Grid3 g(GridDims{8, 6, 4}, 2);
+  g.at(-2, -2, -2) = 1.5;
+  g.at(9, 7, 5) = 2.5;
+  EXPECT_DOUBLE_EQ(g.at(-2, -2, -2), 1.5);
+  EXPECT_DOUBLE_EQ(g.at(9, 7, 5), 2.5);
+  EXPECT_EQ(g.cell_count(), 12u * 10 * 8);
+}
+
+TEST(Grid, MaxAbsDiffInteriorOnly) {
+  Grid3 a(GridDims{4, 4, 2}, 1);
+  Grid3 b(GridDims{4, 4, 2}, 1);
+  a.at(-1, 0, 0) = 99.0;  // padding difference ignored
+  EXPECT_DOUBLE_EQ(Grid3::max_abs_diff(a, b), 0.0);
+  a.at(1, 2, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(Grid3::max_abs_diff(a, b), 3.0);
+}
+
+TEST(GridSet, InitialConditionDeterministicAndPositive) {
+  const Program p = motivating_example(GridDims{16, 16, 4});
+  GridSet g1(p);
+  GridSet g2(p);
+  const ArrayId q = p.find_array("Q");
+  for (long i = -g1.pad(); i < 16 + g1.pad(); i += 3) {
+    EXPECT_DOUBLE_EQ(g1.grid(q).at(i, 0, 0), g2.grid(q).at(i, 0, 0));
+    EXPECT_GE(g1.grid(q).at(i, 0, 0), 0.5);
+  }
+}
+
+TEST(GridSet, VersionedArraysShareInitialCondition) {
+  const Program p = scale_les_rk18(GridDims{32, 16, 4});
+  const ExpansionResult r = expand_arrays(p);
+  GridSet grids(r.program);
+  const ArrayId qflx = r.program.find_array("QFLX");
+  const ArrayId qflx2 = r.final_version(p.find_array("QFLX"));
+  ASSERT_NE(qflx, qflx2);
+  EXPECT_DOUBLE_EQ(grids.grid(qflx).at(3, 2, 1), grids.grid(qflx2).at(3, 2, 1));
+}
+
+TEST(GridSet, MaxOffsetRadiusDerived) {
+  const Program p = motivating_example(GridDims{16, 16, 4});
+  EXPECT_EQ(max_offset_radius(p), 1);
+}
+
+// ---------- ReferenceExecutor ----------
+
+TEST(ReferenceExecutor, CopyKernelCopies) {
+  Program p("copy", GridDims{8, 8, 2});
+  const ArrayId in = p.add_array("in");
+  const ArrayId out = p.add_array("out");
+  KernelInfo k;
+  k.name = "copy";
+  k.body.push_back({out, Expr::load(in, {0, 0, 0})});
+  k.derive_metadata_from_body();
+  p.add_kernel(std::move(k));
+
+  GridSet grids(p);
+  ReferenceExecutor(p).run(grids);
+  for (long i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(grids.grid(out).at(i, 3, 1), grids.grid(in).at(i, 3, 1));
+  }
+}
+
+TEST(ReferenceExecutor, StatementsSeeEarlierStatements) {
+  // Kern_A of Fig. 3: D uses the A written by the first statement,
+  // including neighbours produced by "other threads".
+  const Program p = motivating_example(GridDims{16, 8, 2});
+  GridSet grids(p);
+  ReferenceExecutor exec(p);
+  exec.run_kernel(grids, p.find_kernel("Kern_A"));
+  const ArrayId a = p.find_array("A");
+  const ArrayId d = p.find_array("D");
+  const double expected = 0.25 * (grids.grid(a).at(5, 4, 1) + grids.grid(a).at(4, 4, 1) +
+                                  grids.grid(a).at(5, 3, 1) + grids.grid(a).at(4, 3, 1));
+  EXPECT_NEAR(grids.grid(d).at(5, 4, 1), expected, 1e-12);
+}
+
+TEST(ReferenceExecutor, CountsLoadsAndStores) {
+  const Program p = motivating_example(GridDims{16, 8, 2});
+  GridSet grids(p);
+  const ExecCounters c = ReferenceExecutor(p).run_kernel(grids, p.find_kernel("Kern_D"));
+  const double sites = 16.0 * 8 * 2;
+  EXPECT_DOUBLE_EQ(c.gmem_stores, sites);
+  EXPECT_DOUBLE_EQ(c.gmem_loads, 6 * sites);  // 6 Q loads in the expression
+}
+
+TEST(ReferenceExecutor, RequiresBodies) {
+  Program p("nobody", GridDims{8, 8, 1});
+  const ArrayId a = p.add_array("a");
+  KernelInfo k;
+  k.name = "meta_only";
+  ArrayAccess acc;
+  acc.array = a;
+  acc.mode = AccessMode::Write;
+  k.accesses.push_back(acc);
+  p.add_kernel(std::move(k));
+  EXPECT_THROW(ReferenceExecutor{p}, PreconditionError);
+}
+
+// ---------- BlockExecutor ----------
+
+TEST(BlockExecutor, MatchesReferenceOnUnfusedPrograms) {
+  for (const Program& p :
+       {motivating_example(GridDims{48, 24, 6}), cloverleaf(GridDims{48, 24, 1}),
+        scale_les_rk18(GridDims{48, 16, 6})}) {
+    GridSet ref(p);
+    ReferenceExecutor(p).run(ref);
+    GridSet blk(p);
+    BlockExecutor(p).run(blk);
+    for (ArrayId a = 0; a < p.num_arrays(); ++a) {
+      EXPECT_LE(Grid3::max_abs_diff(ref.grid(a), blk.grid(a)), 1e-12)
+          << p.name() << " array " << p.array(a).name;
+    }
+  }
+}
+
+TEST(BlockExecutor, RequiredExtensionsBackwardChain) {
+  // s0 writes t; s1 reads t at radius 1 writing u; s2 reads u at radius 2.
+  Program p("chain", GridDims{32, 16, 2});
+  const ArrayId in = p.add_array("in");
+  const ArrayId t = p.add_array("t");
+  const ArrayId u = p.add_array("u");
+  const ArrayId v = p.add_array("v");
+  KernelInfo k;
+  k.name = "fusedish";
+  k.body.push_back({t, Expr::load(in, {0, 0, 0}) + Expr::constant(1)});
+  k.body.push_back({u, Expr::load(t, {-1, 0, 0}) + Expr::load(t, {1, 0, 0})});
+  k.body.push_back({v, Expr::load(u, {0, -2, 0}) + Expr::load(u, {0, 2, 0})});
+  k.derive_metadata_from_body();
+  p.add_kernel(std::move(k));
+
+  const BlockExecutor exec(p);
+  const std::vector<int> ext = exec.required_extensions(0);
+  ASSERT_EQ(ext.size(), 3u);
+  EXPECT_EQ(ext[2], 0);
+  EXPECT_EQ(ext[1], 2);  // consumer radius 2
+  EXPECT_EQ(ext[0], 3);  // 2 + 1
+
+  // And the execution matches reference semantics exactly.
+  GridSet ref(p);
+  ReferenceExecutor(p).run(ref);
+  GridSet blk(p);
+  exec.run(blk);
+  EXPECT_LE(Grid3::max_abs_diff(ref.grid(v), blk.grid(v)), 1e-12);
+}
+
+TEST(BlockExecutor, CountersSeparateSmemFromGmem) {
+  const Program p = motivating_example(GridDims{32, 16, 4});
+  // Fused kernel X: Kern_A + Kern_B bodies concatenated.
+  const LegalityChecker checker(p, DeviceSpec::k20x());
+  const FusedProgram fused = apply_fusion(checker, motivating_plan(p));
+  GridSet grids(fused.program);
+  const BlockExecutor exec(fused.program);
+  ExecCounters total;
+  for (KernelId k = 0; k < fused.program.num_kernels(); ++k) {
+    total += exec.run_launch(grids, k);
+  }
+  EXPECT_GT(total.smem_reads, 0.0);  // A's values consumed from tiles
+  EXPECT_GT(total.gmem_loads, 0.0);
+  EXPECT_GT(total.gmem_stores, 0.0);
+}
+
+TEST(BlockExecutor, FusionReducesGmemOps) {
+  const Program p = motivating_example(GridDims{32, 16, 4});
+  GridSet g_unfused(p);
+  const ExecCounters unfused = BlockExecutor(p).run(g_unfused);
+
+  const LegalityChecker checker(p, DeviceSpec::k20x());
+  const FusedProgram fused = apply_fusion(checker, motivating_plan(p));
+  GridSet g_fused(fused.program);
+  const ExecCounters after = BlockExecutor(fused.program).run(g_fused);
+  EXPECT_LT(after.gmem_ops(), unfused.gmem_ops());
+}
+
+// ---------- equivalence ----------
+
+TEST(Equivalence, MotivatingPlanBitExact) {
+  const Program p = motivating_example(GridDims{48, 24, 4});
+  const LegalityChecker checker(p, DeviceSpec::k20x());
+  const FusedProgram fused = apply_fusion(checker, motivating_plan(p));
+  const EquivalenceReport report = verify_fusion(p, fused);
+  EXPECT_TRUE(report.equivalent) << "max diff " << report.max_abs_diff;
+  EXPECT_EQ(report.per_array.size(), static_cast<std::size_t>(p.num_arrays()));
+}
+
+TEST(Equivalence, Rk18WithExpansion) {
+  const Program p = scale_les_rk18(GridDims{48, 16, 4});
+  const ExpansionResult expansion = expand_arrays(p);
+  const LegalityChecker checker(expansion.program, DeviceSpec::k20x());
+  // Fuse flux + tendency of the second generation — legal only thanks to
+  // the expansion relaxation.
+  const KernelId k12 = expansion.program.find_kernel("k12_qflx_rhot");
+  const KernelId k13 = expansion.program.find_kernel("k13_sflx_rhot");
+  const KernelId k14 = expansion.program.find_kernel("k14_tend_rhot");
+  std::vector<std::vector<KernelId>> groups{{k12, k13, k14}};
+  for (KernelId k = 0; k < expansion.program.num_kernels(); ++k) {
+    if (k != k12 && k != k13 && k != k14) groups.push_back({k});
+  }
+  const FusionPlan plan =
+      FusionPlan::from_groups(expansion.program.num_kernels(), groups);
+  ASSERT_TRUE(checker.plan_is_legal(plan));
+  const FusedProgram fused = apply_fusion(checker, plan);
+  const EquivalenceReport report = verify_fusion(p, fused, &expansion);
+  EXPECT_TRUE(report.equivalent) << "max diff " << report.max_abs_diff;
+}
+
+TEST(Equivalence, RandomTestSuiteFusionsAreExact) {
+  // Property test: for random small executable programs, every legal plan
+  // the generator produces must be functionally equivalent after fusion.
+  for (std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+    TestSuiteConfig cfg;
+    cfg.kernels = 8;
+    cfg.arrays = 14;
+    cfg.seed = seed;
+    cfg.with_bodies = true;
+    cfg.grid = GridDims{32, 16, 4};
+    const Program p = make_testsuite_program(cfg);
+    const ExpansionResult expansion = expand_arrays(p);
+    const LegalityChecker checker(expansion.program, DeviceSpec::k20x());
+    Rng rng(seed * 7 + 1);
+    const FusionPlan plan = random_legal_plan(checker, rng, 0.9);
+    const FusedProgram fused = apply_fusion(checker, plan);
+    const EquivalenceReport report = verify_fusion(p, fused, &expansion);
+    EXPECT_TRUE(report.equivalent)
+        << "seed " << seed << " plan " << plan.to_string() << " diff "
+        << report.max_abs_diff;
+  }
+}
+
+}  // namespace
+}  // namespace kf

@@ -1,0 +1,340 @@
+// kfc — the kernel-fusion command-line driver.
+//
+//   kfc demo [name]                     write a sample program to stdout
+//   kfc analyze  (<file.kf> | --builtin <name>)   dependency/sharing stats
+//   kfc graphs   (<file.kf> | --builtin <name>)   Graphviz dot of both graphs
+//   kfc search   (<file.kf> | --builtin <name>) [options]
+//   kfc tune     (<file.kf> | --builtin <name>)   launch-config autotuner
+//   kfc apply    (<file.kf> | --builtin <name>) --plan "{0,1} {2}..."
+//   kfc fuse     --builtin <name> [options]       search + emit CUDA source
+//
+// options:
+//   --device k20x|k40|gtx750ti     target device            (default k20x)
+//   --objective proposed|roofline|simple|literal             (default proposed)
+//   --pop N --gens N --stall N --seed S                      search budget
+//   --method hgga|greedy|annealing|random|exhaustive                   (default hgga)
+//   --no-expand                    skip expandable-array relaxation
+//   --mem-budget BYTES             cap the redundant-array memory cost
+//   --trace FILE                   write a Chrome-trace JSON of the result
+//
+// Program files use the text IR (see src/ir/program_io.hpp). Builtins:
+// rk18, cloverleaf, fig3, scale-les, homme, wrf, asuca, mitgcm, cosmo.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "kf.hpp"
+
+namespace {
+
+using namespace kf;
+
+struct Options {
+  std::string command;
+  std::string input_file;
+  std::string builtin;
+  std::string device = "k20x";
+  std::string objective = "proposed";
+  std::string method = "hgga";
+  int population = 60;
+  int generations = 300;
+  int stall = 90;
+  std::uint64_t seed = 0x5eed;
+  bool expand = true;
+  double mem_budget = -1.0;
+  std::string plan_text;
+  std::string trace_file;
+};
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: kfc <command> [input] [options]\n"
+      "commands: demo | analyze | graphs | search | tune | apply | fuse\n"
+      "input:    a .kf program file, or --builtin "
+      "rk18|cloverleaf|swe|fig3|scale-les|homme|wrf|asuca|mitgcm|cosmo\n"
+      "options:  --device k20x|k40|gtx750ti  --objective proposed|roofline|simple|literal\n"
+      "          --method hgga|greedy|annealing|random|exhaustive\n"
+      "          --pop N --gens N --stall N --seed S --no-expand\n";
+  std::exit(2);
+}
+
+Program load_builtin(const std::string& name) {
+  if (name == "rk18") return scale_les_rk18();
+  if (name == "cloverleaf") return cloverleaf();
+  if (name == "swe") return shallow_water();
+  if (name == "fig3") return motivating_example();
+  if (name == "scale-les") return scale_les();
+  if (name == "homme") return homme();
+  if (name == "wrf") return wrf();
+  if (name == "asuca") return asuca();
+  if (name == "mitgcm") return mitgcm();
+  if (name == "cosmo") return cosmo();
+  usage("unknown builtin '" + name + "'");
+}
+
+Program load_input(const Options& opt) {
+  if (!opt.builtin.empty()) return load_builtin(opt.builtin);
+  if (opt.input_file.empty()) usage("no input given");
+  std::ifstream in(opt.input_file);
+  if (!in) usage("cannot open '" + opt.input_file + "'");
+  return read_program(in);
+}
+
+DeviceSpec load_device(const std::string& name) {
+  if (name == "k20x") return DeviceSpec::k20x();
+  if (name == "k40") return DeviceSpec::k40();
+  if (name == "gtx750ti") return DeviceSpec::gtx750ti();
+  usage("unknown device '" + name + "'");
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  if (argc < 2) usage();
+  opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--builtin") {
+      opt.builtin = next();
+    } else if (arg == "--device") {
+      opt.device = next();
+    } else if (arg == "--objective") {
+      opt.objective = next();
+    } else if (arg == "--method") {
+      opt.method = next();
+    } else if (arg == "--pop") {
+      opt.population = std::stoi(next());
+    } else if (arg == "--gens") {
+      opt.generations = std::stoi(next());
+    } else if (arg == "--stall") {
+      opt.stall = std::stoi(next());
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(next());
+    } else if (arg == "--no-expand") {
+      opt.expand = false;
+    } else if (arg == "--mem-budget") {
+      opt.mem_budget = std::stod(next());
+    } else if (arg == "--plan") {
+      opt.plan_text = next();
+    } else if (arg == "--trace") {
+      opt.trace_file = next();
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage("unknown option " + arg);
+    } else if (opt.command == "demo" && opt.builtin.empty()) {
+      opt.builtin = arg;  // demo takes a bare builtin name
+    } else if (opt.input_file.empty()) {
+      opt.input_file = arg;
+    } else {
+      usage("unexpected argument " + arg);
+    }
+  }
+  return opt;
+}
+
+int cmd_demo(const Options& opt) {
+  const Program program = load_builtin(opt.builtin.empty() ? "rk18" : opt.builtin);
+  std::cout << to_text(program);
+  return 0;
+}
+
+int cmd_analyze(const Options& opt) {
+  Program program = load_input(opt);
+  const DependencyGraph deps = DependencyGraph::build(program);
+  const SharingGraph sharing = SharingGraph::build(program);
+  const auto hist = deps.usage_histogram();
+
+  std::cout << "program '" << program.name() << "': " << program.num_kernels()
+            << " kernels, " << program.num_arrays() << " arrays, grid "
+            << program.grid().nx << "x" << program.grid().ny << "x"
+            << program.grid().nz << "\n";
+  std::cout << "array usage: " << hist[0] << " read-only, " << hist[2]
+            << " read-write, " << hist[3] << " expandable, " << hist[1]
+            << " write-only\n";
+  std::cout << "shared arrays: " << sharing.shared_arrays().size() << "\n";
+
+  const ExpansionResult expansion = expand_arrays(program);
+  std::cout << "expansion: +" << expansion.arrays_added << " arrays ("
+            << human_bytes(expansion.extra_bytes) << ")\n";
+  const ExecutionOrderGraph order = ExecutionOrderGraph::build(expansion.program);
+  std::cout << "order-of-execution edges (after expansion): "
+            << order.dag().num_edges() << "\n";
+
+  const ReducibleTrafficReport traffic = reducible_traffic(program, opt.expand);
+  std::cout << "GMEM traffic: " << human_bytes(traffic.original_bytes)
+            << ", reducible bound " << fixed(100 * traffic.reducible_fraction, 1)
+            << "%\n";
+  return 0;
+}
+
+int cmd_graphs(const Options& opt) {
+  const Program program = load_input(opt);
+  const DependencyGraph deps = DependencyGraph::build(program);
+  std::cout << deps.to_dot(program) << "\n";
+  const ExecutionOrderGraph order = ExecutionOrderGraph::build(program, deps);
+  std::cout << order.to_dot(program);
+  return 0;
+}
+
+struct SearchOutcome {
+  SearchResult result;
+  ExpansionResult expansion;
+  FusedProgram fused;
+  bool expanded = false;
+};
+
+SearchOutcome run_search(const Options& opt, const Program& program) {
+  const ExpansionResult expansion =
+      opt.expand ? expand_arrays(program, opt.mem_budget)
+                 : ExpansionResult{.program = program,
+                                   .arrays_added = 0,
+                                   .extra_bytes = 0.0,
+                                   .versions = {}};
+  const DeviceSpec device = load_device(opt.device);
+  const TimingSimulator sim(device);
+  const LegalityChecker checker(expansion.program, device);
+
+  std::unique_ptr<ProjectionModel> model;
+  if (opt.objective == "proposed") {
+    model = std::make_unique<ProposedModel>(device);
+  } else if (opt.objective == "literal") {
+    model = std::make_unique<ProposedModel>(
+        device, ProposedModel::Params{
+                    .formulation = ProposedModel::Formulation::PaperLiteral});
+  } else if (opt.objective == "roofline") {
+    model = std::make_unique<RooflineModel>(device);
+  } else if (opt.objective == "simple") {
+    model = std::make_unique<SimpleModel>(expansion.program, sim);
+  } else {
+    usage("unknown objective '" + opt.objective + "'");
+  }
+  const Objective objective(checker, *model, sim);
+
+  SearchResult result;
+  if (!opt.plan_text.empty()) {
+    result.best = FusionPlan::parse(expansion.program.num_kernels(), opt.plan_text);
+    KF_REQUIRE(checker.plan_is_legal(result.best), "supplied plan is illegal");
+    result.best_cost_s = objective.plan_cost(result.best);
+    result.baseline_cost_s = objective.baseline_cost();
+  } else if (opt.method == "hgga") {
+    HggaConfig cfg;
+    cfg.population = opt.population;
+    cfg.max_generations = opt.generations;
+    cfg.stall_generations = opt.stall;
+    cfg.seed = opt.seed;
+    result = Hgga(objective, cfg).run();
+  } else if (opt.method == "greedy") {
+    result = greedy_search(objective);
+  } else if (opt.method == "annealing") {
+    AnnealingConfig cfg;
+    cfg.iterations = static_cast<long>(opt.population) * opt.generations;
+    cfg.seed = opt.seed;
+    result = annealing_search(objective, cfg);
+  } else if (opt.method == "random") {
+    RandomSearchConfig cfg;
+    cfg.samples = static_cast<long>(opt.population) * opt.generations;
+    cfg.seed = opt.seed;
+    result = random_search(objective, cfg);
+  } else if (opt.method == "exhaustive") {
+    result = exhaustive_search(objective);
+  } else {
+    usage("unknown method '" + opt.method + "'");
+  }
+
+  SearchOutcome out;
+  out.result = std::move(result);
+  out.fused = apply_fusion(checker, out.result.best);
+  out.expansion = std::move(expansion);
+  out.expanded = opt.expand;
+
+  // Report.
+  const double before = sim.program_time(out.expansion.program);
+  double after = 0;
+  for (const LaunchDescriptor& d : out.fused.launches) {
+    after += sim.run(out.expansion.program, d).time_s;
+  }
+  std::cerr << "search (" << opt.method << "/" << opt.objective << " on "
+            << device.name << "): " << out.result.generations << " generations, "
+            << out.result.evaluations << " evaluations, "
+            << human_time(out.result.runtime_s) << "\n";
+  std::cerr << "plan: " << program.num_kernels() << " kernels -> "
+            << out.result.best.num_groups() << " launches ("
+            << out.result.best.fused_group_count() << " fused)\n";
+  std::cerr << "projected " << fixed(out.result.projected_speedup(), 2)
+            << "x, simulated " << human_time(before) << " -> " << human_time(after)
+            << " (" << fixed(before / after, 2) << "x)\n";
+  if (!opt.trace_file.empty()) {
+    const EventSimulator events(device);
+    const EventTrace trace = events.run_sequence(out.expansion.program, out.fused.launches);
+    std::ofstream trace_out(opt.trace_file);
+    KF_REQUIRE(static_cast<bool>(trace_out), "cannot open trace file");
+    trace_out << trace.to_chrome_trace_json();
+    std::cerr << "wrote " << opt.trace_file << " (makespan "
+              << human_time(trace.makespan_s) << ", utilisation "
+              << fixed(100 * trace.utilisation(device), 1) << "%)\n";
+  }
+  return out;
+}
+
+int cmd_tune(const Options& opt) {
+  const Program program = load_input(opt);
+  const DeviceSpec device = load_device(opt.device);
+  const LaunchTunerResult r = tune_launch_config(program, device);
+  TextTable table({"block", "threads", "simulated time"});
+  for (const auto& [config, time] : r.sweep) {
+    table.add(strprintf("%dx%d", config.block_x, config.block_y),
+              config.threads_per_block(), human_time(time));
+  }
+  std::cout << table;
+  std::cout << "best: " << r.best.block_x << "x" << r.best.block_y << " ("
+            << human_time(r.best_time_s) << ")\n";
+  return 0;
+}
+
+int cmd_search(const Options& opt) {
+  const Program program = load_input(opt);
+  const SearchOutcome out = run_search(opt, program);
+  std::cout << out.result.best.to_string() << "\n";
+  return 0;
+}
+
+int cmd_fuse(const Options& opt) {
+  const Program program = load_input(opt);
+  if (!program.fully_executable()) {
+    std::cerr << "error: 'fuse' needs kernel bodies; use a builtin with bodies "
+                 "(rk18, cloverleaf, fig3)\n";
+    return 1;
+  }
+  const SearchOutcome out = run_search(opt, program);
+  const EquivalenceReport report = verify_fusion(
+      program, out.fused, out.expanded ? &out.expansion : nullptr, 1e-9);
+  std::cerr << "functional equivalence: " << (report.equivalent ? "PASS" : "FAIL")
+            << " (max |diff| " << report.max_abs_diff << ")\n";
+  const CudaEmitter emitter(out.expansion.program);
+  std::cout << emitter.emit_program(out.fused);
+  return report.equivalent ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse(argc, argv);
+    if (opt.command == "demo") return cmd_demo(opt);
+    if (opt.command == "analyze") return cmd_analyze(opt);
+    if (opt.command == "graphs") return cmd_graphs(opt);
+    if (opt.command == "search") return cmd_search(opt);
+    if (opt.command == "tune") return cmd_tune(opt);
+    if (opt.command == "apply") return cmd_search(opt);  // --plan supplies it
+    if (opt.command == "fuse") return cmd_fuse(opt);
+    usage("unknown command '" + opt.command + "'");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
