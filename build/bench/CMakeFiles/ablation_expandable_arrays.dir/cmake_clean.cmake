@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_expandable_arrays.dir/ablation_expandable_arrays.cpp.o"
+  "CMakeFiles/ablation_expandable_arrays.dir/ablation_expandable_arrays.cpp.o.d"
+  "ablation_expandable_arrays"
+  "ablation_expandable_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_expandable_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_projection_objective.dir/ablation_projection_objective.cpp.o"
+  "CMakeFiles/ablation_projection_objective.dir/ablation_projection_objective.cpp.o.d"
+  "ablation_projection_objective"
+  "ablation_projection_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_projection_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_readonly_cache.dir/ablation_readonly_cache.cpp.o"
+  "CMakeFiles/ablation_readonly_cache.dir/ablation_readonly_cache.cpp.o.d"
+  "ablation_readonly_cache"
+  "ablation_readonly_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_readonly_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_search_operators.dir/ablation_search_operators.cpp.o"
+  "CMakeFiles/ablation_search_operators.dir/ablation_search_operators.cpp.o.d"
+  "ablation_search_operators"
+  "ablation_search_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_search_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

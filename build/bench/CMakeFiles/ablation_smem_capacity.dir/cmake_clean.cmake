@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smem_capacity.dir/ablation_smem_capacity.cpp.o"
+  "CMakeFiles/ablation_smem_capacity.dir/ablation_smem_capacity.cpp.o.d"
+  "ablation_smem_capacity"
+  "ablation_smem_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smem_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

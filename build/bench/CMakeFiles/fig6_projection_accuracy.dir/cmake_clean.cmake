@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_projection_accuracy.dir/fig6_projection_accuracy.cpp.o"
+  "CMakeFiles/fig6_projection_accuracy.dir/fig6_projection_accuracy.cpp.o.d"
+  "fig6_projection_accuracy"
+  "fig6_projection_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_projection_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_scale_les_kernels.dir/fig7_scale_les_kernels.cpp.o"
+  "CMakeFiles/fig7_scale_les_kernels.dir/fig7_scale_les_kernels.cpp.o.d"
+  "fig7_scale_les_kernels"
+  "fig7_scale_les_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_scale_les_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

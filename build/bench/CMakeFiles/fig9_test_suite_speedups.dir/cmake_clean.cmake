@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_test_suite_speedups.dir/fig9_test_suite_speedups.cpp.o"
+  "CMakeFiles/fig9_test_suite_speedups.dir/fig9_test_suite_speedups.cpp.o.d"
+  "fig9_test_suite_speedups"
+  "fig9_test_suite_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_test_suite_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_efficiency.dir/fusion_efficiency.cpp.o"
+  "CMakeFiles/fusion_efficiency.dir/fusion_efficiency.cpp.o.d"
+  "fusion_efficiency"
+  "fusion_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_components.cpp" "bench/CMakeFiles/micro_components.dir/micro_components.cpp.o" "gcc" "bench/CMakeFiles/micro_components.dir/micro_components.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kf_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_search_performance.dir/table6_search_performance.cpp.o"
+  "CMakeFiles/table6_search_performance.dir/table6_search_performance.cpp.o.d"
+  "table6_search_performance"
+  "table6_search_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_search_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

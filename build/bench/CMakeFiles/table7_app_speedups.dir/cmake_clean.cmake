@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_app_speedups.dir/table7_app_speedups.cpp.o"
+  "CMakeFiles/table7_app_speedups.dir/table7_app_speedups.cpp.o.d"
+  "table7_app_speedups"
+  "table7_app_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_app_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_explorer.dir/fusion_explorer.cpp.o"
+  "CMakeFiles/fusion_explorer.dir/fusion_explorer.cpp.o.d"
+  "fusion_explorer"
+  "fusion_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_rk3.dir/weather_rk3.cpp.o"
+  "CMakeFiles/weather_rk3.dir/weather_rk3.cpp.o.d"
+  "weather_rk3"
+  "weather_rk3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_rk3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for weather_rk3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cloverleaf.cpp" "src/CMakeFiles/kf_apps.dir/apps/cloverleaf.cpp.o" "gcc" "src/CMakeFiles/kf_apps.dir/apps/cloverleaf.cpp.o.d"
+  "/root/repo/src/apps/homme.cpp" "src/CMakeFiles/kf_apps.dir/apps/homme.cpp.o" "gcc" "src/CMakeFiles/kf_apps.dir/apps/homme.cpp.o.d"
+  "/root/repo/src/apps/motivating_example.cpp" "src/CMakeFiles/kf_apps.dir/apps/motivating_example.cpp.o" "gcc" "src/CMakeFiles/kf_apps.dir/apps/motivating_example.cpp.o.d"
+  "/root/repo/src/apps/scale_les.cpp" "src/CMakeFiles/kf_apps.dir/apps/scale_les.cpp.o" "gcc" "src/CMakeFiles/kf_apps.dir/apps/scale_les.cpp.o.d"
+  "/root/repo/src/apps/shallow_water.cpp" "src/CMakeFiles/kf_apps.dir/apps/shallow_water.cpp.o" "gcc" "src/CMakeFiles/kf_apps.dir/apps/shallow_water.cpp.o.d"
+  "/root/repo/src/apps/synthetic.cpp" "src/CMakeFiles/kf_apps.dir/apps/synthetic.cpp.o" "gcc" "src/CMakeFiles/kf_apps.dir/apps/synthetic.cpp.o.d"
+  "/root/repo/src/apps/testsuite.cpp" "src/CMakeFiles/kf_apps.dir/apps/testsuite.cpp.o" "gcc" "src/CMakeFiles/kf_apps.dir/apps/testsuite.cpp.o.d"
+  "/root/repo/src/apps/weather_zoo.cpp" "src/CMakeFiles/kf_apps.dir/apps/weather_zoo.cpp.o" "gcc" "src/CMakeFiles/kf_apps.dir/apps/weather_zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kf_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

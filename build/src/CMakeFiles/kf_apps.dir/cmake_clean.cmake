@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_apps.dir/apps/cloverleaf.cpp.o"
+  "CMakeFiles/kf_apps.dir/apps/cloverleaf.cpp.o.d"
+  "CMakeFiles/kf_apps.dir/apps/homme.cpp.o"
+  "CMakeFiles/kf_apps.dir/apps/homme.cpp.o.d"
+  "CMakeFiles/kf_apps.dir/apps/motivating_example.cpp.o"
+  "CMakeFiles/kf_apps.dir/apps/motivating_example.cpp.o.d"
+  "CMakeFiles/kf_apps.dir/apps/scale_les.cpp.o"
+  "CMakeFiles/kf_apps.dir/apps/scale_les.cpp.o.d"
+  "CMakeFiles/kf_apps.dir/apps/shallow_water.cpp.o"
+  "CMakeFiles/kf_apps.dir/apps/shallow_water.cpp.o.d"
+  "CMakeFiles/kf_apps.dir/apps/synthetic.cpp.o"
+  "CMakeFiles/kf_apps.dir/apps/synthetic.cpp.o.d"
+  "CMakeFiles/kf_apps.dir/apps/testsuite.cpp.o"
+  "CMakeFiles/kf_apps.dir/apps/testsuite.cpp.o.d"
+  "CMakeFiles/kf_apps.dir/apps/weather_zoo.cpp.o"
+  "CMakeFiles/kf_apps.dir/apps/weather_zoo.cpp.o.d"
+  "libkf_apps.a"
+  "libkf_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_codegen.dir/codegen/cuda_emitter.cpp.o"
+  "CMakeFiles/kf_codegen.dir/codegen/cuda_emitter.cpp.o.d"
+  "libkf_codegen.a"
+  "libkf_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

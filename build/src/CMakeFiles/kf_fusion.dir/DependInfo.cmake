@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/fused_kernel.cpp" "src/CMakeFiles/kf_fusion.dir/fusion/fused_kernel.cpp.o" "gcc" "src/CMakeFiles/kf_fusion.dir/fusion/fused_kernel.cpp.o.d"
+  "/root/repo/src/fusion/fusion_plan.cpp" "src/CMakeFiles/kf_fusion.dir/fusion/fusion_plan.cpp.o" "gcc" "src/CMakeFiles/kf_fusion.dir/fusion/fusion_plan.cpp.o.d"
+  "/root/repo/src/fusion/legality.cpp" "src/CMakeFiles/kf_fusion.dir/fusion/legality.cpp.o" "gcc" "src/CMakeFiles/kf_fusion.dir/fusion/legality.cpp.o.d"
+  "/root/repo/src/fusion/reducible_traffic.cpp" "src/CMakeFiles/kf_fusion.dir/fusion/reducible_traffic.cpp.o" "gcc" "src/CMakeFiles/kf_fusion.dir/fusion/reducible_traffic.cpp.o.d"
+  "/root/repo/src/fusion/transformer.cpp" "src/CMakeFiles/kf_fusion.dir/fusion/transformer.cpp.o" "gcc" "src/CMakeFiles/kf_fusion.dir/fusion/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

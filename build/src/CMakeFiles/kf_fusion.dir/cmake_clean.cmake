@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_fusion.dir/fusion/fused_kernel.cpp.o"
+  "CMakeFiles/kf_fusion.dir/fusion/fused_kernel.cpp.o.d"
+  "CMakeFiles/kf_fusion.dir/fusion/fusion_plan.cpp.o"
+  "CMakeFiles/kf_fusion.dir/fusion/fusion_plan.cpp.o.d"
+  "CMakeFiles/kf_fusion.dir/fusion/legality.cpp.o"
+  "CMakeFiles/kf_fusion.dir/fusion/legality.cpp.o.d"
+  "CMakeFiles/kf_fusion.dir/fusion/reducible_traffic.cpp.o"
+  "CMakeFiles/kf_fusion.dir/fusion/reducible_traffic.cpp.o.d"
+  "CMakeFiles/kf_fusion.dir/fusion/transformer.cpp.o"
+  "CMakeFiles/kf_fusion.dir/fusion/transformer.cpp.o.d"
+  "libkf_fusion.a"
+  "libkf_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/bank_conflicts.cpp" "src/CMakeFiles/kf_gpu.dir/gpu/bank_conflicts.cpp.o" "gcc" "src/CMakeFiles/kf_gpu.dir/gpu/bank_conflicts.cpp.o.d"
+  "/root/repo/src/gpu/device_spec.cpp" "src/CMakeFiles/kf_gpu.dir/gpu/device_spec.cpp.o" "gcc" "src/CMakeFiles/kf_gpu.dir/gpu/device_spec.cpp.o.d"
+  "/root/repo/src/gpu/event_sim.cpp" "src/CMakeFiles/kf_gpu.dir/gpu/event_sim.cpp.o" "gcc" "src/CMakeFiles/kf_gpu.dir/gpu/event_sim.cpp.o.d"
+  "/root/repo/src/gpu/launch_descriptor.cpp" "src/CMakeFiles/kf_gpu.dir/gpu/launch_descriptor.cpp.o" "gcc" "src/CMakeFiles/kf_gpu.dir/gpu/launch_descriptor.cpp.o.d"
+  "/root/repo/src/gpu/launch_tuner.cpp" "src/CMakeFiles/kf_gpu.dir/gpu/launch_tuner.cpp.o" "gcc" "src/CMakeFiles/kf_gpu.dir/gpu/launch_tuner.cpp.o.d"
+  "/root/repo/src/gpu/occupancy.cpp" "src/CMakeFiles/kf_gpu.dir/gpu/occupancy.cpp.o" "gcc" "src/CMakeFiles/kf_gpu.dir/gpu/occupancy.cpp.o.d"
+  "/root/repo/src/gpu/timing_simulator.cpp" "src/CMakeFiles/kf_gpu.dir/gpu/timing_simulator.cpp.o" "gcc" "src/CMakeFiles/kf_gpu.dir/gpu/timing_simulator.cpp.o.d"
+  "/root/repo/src/gpu/traffic_model.cpp" "src/CMakeFiles/kf_gpu.dir/gpu/traffic_model.cpp.o" "gcc" "src/CMakeFiles/kf_gpu.dir/gpu/traffic_model.cpp.o.d"
+  "/root/repo/src/gpu/weak_scaling.cpp" "src/CMakeFiles/kf_gpu.dir/gpu/weak_scaling.cpp.o" "gcc" "src/CMakeFiles/kf_gpu.dir/gpu/weak_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

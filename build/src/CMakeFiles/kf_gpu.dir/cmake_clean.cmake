@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_gpu.dir/gpu/bank_conflicts.cpp.o"
+  "CMakeFiles/kf_gpu.dir/gpu/bank_conflicts.cpp.o.d"
+  "CMakeFiles/kf_gpu.dir/gpu/device_spec.cpp.o"
+  "CMakeFiles/kf_gpu.dir/gpu/device_spec.cpp.o.d"
+  "CMakeFiles/kf_gpu.dir/gpu/event_sim.cpp.o"
+  "CMakeFiles/kf_gpu.dir/gpu/event_sim.cpp.o.d"
+  "CMakeFiles/kf_gpu.dir/gpu/launch_descriptor.cpp.o"
+  "CMakeFiles/kf_gpu.dir/gpu/launch_descriptor.cpp.o.d"
+  "CMakeFiles/kf_gpu.dir/gpu/launch_tuner.cpp.o"
+  "CMakeFiles/kf_gpu.dir/gpu/launch_tuner.cpp.o.d"
+  "CMakeFiles/kf_gpu.dir/gpu/occupancy.cpp.o"
+  "CMakeFiles/kf_gpu.dir/gpu/occupancy.cpp.o.d"
+  "CMakeFiles/kf_gpu.dir/gpu/timing_simulator.cpp.o"
+  "CMakeFiles/kf_gpu.dir/gpu/timing_simulator.cpp.o.d"
+  "CMakeFiles/kf_gpu.dir/gpu/traffic_model.cpp.o"
+  "CMakeFiles/kf_gpu.dir/gpu/traffic_model.cpp.o.d"
+  "CMakeFiles/kf_gpu.dir/gpu/weak_scaling.cpp.o"
+  "CMakeFiles/kf_gpu.dir/gpu/weak_scaling.cpp.o.d"
+  "libkf_gpu.a"
+  "libkf_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

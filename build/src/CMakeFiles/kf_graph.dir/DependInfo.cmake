@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/array_expansion.cpp" "src/CMakeFiles/kf_graph.dir/graph/array_expansion.cpp.o" "gcc" "src/CMakeFiles/kf_graph.dir/graph/array_expansion.cpp.o.d"
+  "/root/repo/src/graph/dag.cpp" "src/CMakeFiles/kf_graph.dir/graph/dag.cpp.o" "gcc" "src/CMakeFiles/kf_graph.dir/graph/dag.cpp.o.d"
+  "/root/repo/src/graph/dependency_graph.cpp" "src/CMakeFiles/kf_graph.dir/graph/dependency_graph.cpp.o" "gcc" "src/CMakeFiles/kf_graph.dir/graph/dependency_graph.cpp.o.d"
+  "/root/repo/src/graph/execution_order.cpp" "src/CMakeFiles/kf_graph.dir/graph/execution_order.cpp.o" "gcc" "src/CMakeFiles/kf_graph.dir/graph/execution_order.cpp.o.d"
+  "/root/repo/src/graph/sharing.cpp" "src/CMakeFiles/kf_graph.dir/graph/sharing.cpp.o" "gcc" "src/CMakeFiles/kf_graph.dir/graph/sharing.cpp.o.d"
+  "/root/repo/src/graph/unroll.cpp" "src/CMakeFiles/kf_graph.dir/graph/unroll.cpp.o" "gcc" "src/CMakeFiles/kf_graph.dir/graph/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

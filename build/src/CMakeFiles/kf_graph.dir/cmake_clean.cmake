@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_graph.dir/graph/array_expansion.cpp.o"
+  "CMakeFiles/kf_graph.dir/graph/array_expansion.cpp.o.d"
+  "CMakeFiles/kf_graph.dir/graph/dag.cpp.o"
+  "CMakeFiles/kf_graph.dir/graph/dag.cpp.o.d"
+  "CMakeFiles/kf_graph.dir/graph/dependency_graph.cpp.o"
+  "CMakeFiles/kf_graph.dir/graph/dependency_graph.cpp.o.d"
+  "CMakeFiles/kf_graph.dir/graph/execution_order.cpp.o"
+  "CMakeFiles/kf_graph.dir/graph/execution_order.cpp.o.d"
+  "CMakeFiles/kf_graph.dir/graph/sharing.cpp.o"
+  "CMakeFiles/kf_graph.dir/graph/sharing.cpp.o.d"
+  "CMakeFiles/kf_graph.dir/graph/unroll.cpp.o"
+  "CMakeFiles/kf_graph.dir/graph/unroll.cpp.o.d"
+  "libkf_graph.a"
+  "libkf_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

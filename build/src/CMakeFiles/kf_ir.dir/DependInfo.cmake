@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/expression.cpp" "src/CMakeFiles/kf_ir.dir/ir/expression.cpp.o" "gcc" "src/CMakeFiles/kf_ir.dir/ir/expression.cpp.o.d"
+  "/root/repo/src/ir/kernel_info.cpp" "src/CMakeFiles/kf_ir.dir/ir/kernel_info.cpp.o" "gcc" "src/CMakeFiles/kf_ir.dir/ir/kernel_info.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/CMakeFiles/kf_ir.dir/ir/program.cpp.o" "gcc" "src/CMakeFiles/kf_ir.dir/ir/program.cpp.o.d"
+  "/root/repo/src/ir/program_io.cpp" "src/CMakeFiles/kf_ir.dir/ir/program_io.cpp.o" "gcc" "src/CMakeFiles/kf_ir.dir/ir/program_io.cpp.o.d"
+  "/root/repo/src/ir/stencil_pattern.cpp" "src/CMakeFiles/kf_ir.dir/ir/stencil_pattern.cpp.o" "gcc" "src/CMakeFiles/kf_ir.dir/ir/stencil_pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_ir.dir/ir/expression.cpp.o"
+  "CMakeFiles/kf_ir.dir/ir/expression.cpp.o.d"
+  "CMakeFiles/kf_ir.dir/ir/kernel_info.cpp.o"
+  "CMakeFiles/kf_ir.dir/ir/kernel_info.cpp.o.d"
+  "CMakeFiles/kf_ir.dir/ir/program.cpp.o"
+  "CMakeFiles/kf_ir.dir/ir/program.cpp.o.d"
+  "CMakeFiles/kf_ir.dir/ir/program_io.cpp.o"
+  "CMakeFiles/kf_ir.dir/ir/program_io.cpp.o.d"
+  "CMakeFiles/kf_ir.dir/ir/stencil_pattern.cpp.o"
+  "CMakeFiles/kf_ir.dir/ir/stencil_pattern.cpp.o.d"
+  "libkf_ir.a"
+  "libkf_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

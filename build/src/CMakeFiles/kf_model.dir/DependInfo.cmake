@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/projection.cpp" "src/CMakeFiles/kf_model.dir/model/projection.cpp.o" "gcc" "src/CMakeFiles/kf_model.dir/model/projection.cpp.o.d"
+  "/root/repo/src/model/proposed_model.cpp" "src/CMakeFiles/kf_model.dir/model/proposed_model.cpp.o" "gcc" "src/CMakeFiles/kf_model.dir/model/proposed_model.cpp.o.d"
+  "/root/repo/src/model/roofline_model.cpp" "src/CMakeFiles/kf_model.dir/model/roofline_model.cpp.o" "gcc" "src/CMakeFiles/kf_model.dir/model/roofline_model.cpp.o.d"
+  "/root/repo/src/model/simple_model.cpp" "src/CMakeFiles/kf_model.dir/model/simple_model.cpp.o" "gcc" "src/CMakeFiles/kf_model.dir/model/simple_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kf_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_model.dir/model/projection.cpp.o"
+  "CMakeFiles/kf_model.dir/model/projection.cpp.o.d"
+  "CMakeFiles/kf_model.dir/model/proposed_model.cpp.o"
+  "CMakeFiles/kf_model.dir/model/proposed_model.cpp.o.d"
+  "CMakeFiles/kf_model.dir/model/roofline_model.cpp.o"
+  "CMakeFiles/kf_model.dir/model/roofline_model.cpp.o.d"
+  "CMakeFiles/kf_model.dir/model/simple_model.cpp.o"
+  "CMakeFiles/kf_model.dir/model/simple_model.cpp.o.d"
+  "libkf_model.a"
+  "libkf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

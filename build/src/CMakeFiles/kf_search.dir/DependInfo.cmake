@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/annealing.cpp" "src/CMakeFiles/kf_search.dir/search/annealing.cpp.o" "gcc" "src/CMakeFiles/kf_search.dir/search/annealing.cpp.o.d"
+  "/root/repo/src/search/exhaustive.cpp" "src/CMakeFiles/kf_search.dir/search/exhaustive.cpp.o" "gcc" "src/CMakeFiles/kf_search.dir/search/exhaustive.cpp.o.d"
+  "/root/repo/src/search/greedy.cpp" "src/CMakeFiles/kf_search.dir/search/greedy.cpp.o" "gcc" "src/CMakeFiles/kf_search.dir/search/greedy.cpp.o.d"
+  "/root/repo/src/search/hgga.cpp" "src/CMakeFiles/kf_search.dir/search/hgga.cpp.o" "gcc" "src/CMakeFiles/kf_search.dir/search/hgga.cpp.o.d"
+  "/root/repo/src/search/objective.cpp" "src/CMakeFiles/kf_search.dir/search/objective.cpp.o" "gcc" "src/CMakeFiles/kf_search.dir/search/objective.cpp.o.d"
+  "/root/repo/src/search/population.cpp" "src/CMakeFiles/kf_search.dir/search/population.cpp.o" "gcc" "src/CMakeFiles/kf_search.dir/search/population.cpp.o.d"
+  "/root/repo/src/search/random_search.cpp" "src/CMakeFiles/kf_search.dir/search/random_search.cpp.o" "gcc" "src/CMakeFiles/kf_search.dir/search/random_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

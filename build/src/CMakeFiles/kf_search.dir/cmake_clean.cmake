@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_search.dir/search/annealing.cpp.o"
+  "CMakeFiles/kf_search.dir/search/annealing.cpp.o.d"
+  "CMakeFiles/kf_search.dir/search/exhaustive.cpp.o"
+  "CMakeFiles/kf_search.dir/search/exhaustive.cpp.o.d"
+  "CMakeFiles/kf_search.dir/search/greedy.cpp.o"
+  "CMakeFiles/kf_search.dir/search/greedy.cpp.o.d"
+  "CMakeFiles/kf_search.dir/search/hgga.cpp.o"
+  "CMakeFiles/kf_search.dir/search/hgga.cpp.o.d"
+  "CMakeFiles/kf_search.dir/search/objective.cpp.o"
+  "CMakeFiles/kf_search.dir/search/objective.cpp.o.d"
+  "CMakeFiles/kf_search.dir/search/population.cpp.o"
+  "CMakeFiles/kf_search.dir/search/population.cpp.o.d"
+  "CMakeFiles/kf_search.dir/search/random_search.cpp.o"
+  "CMakeFiles/kf_search.dir/search/random_search.cpp.o.d"
+  "libkf_search.a"
+  "libkf_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

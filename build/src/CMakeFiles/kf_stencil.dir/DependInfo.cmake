@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stencil/block_executor.cpp" "src/CMakeFiles/kf_stencil.dir/stencil/block_executor.cpp.o" "gcc" "src/CMakeFiles/kf_stencil.dir/stencil/block_executor.cpp.o.d"
+  "/root/repo/src/stencil/equivalence.cpp" "src/CMakeFiles/kf_stencil.dir/stencil/equivalence.cpp.o" "gcc" "src/CMakeFiles/kf_stencil.dir/stencil/equivalence.cpp.o.d"
+  "/root/repo/src/stencil/grid.cpp" "src/CMakeFiles/kf_stencil.dir/stencil/grid.cpp.o" "gcc" "src/CMakeFiles/kf_stencil.dir/stencil/grid.cpp.o.d"
+  "/root/repo/src/stencil/reference_executor.cpp" "src/CMakeFiles/kf_stencil.dir/stencil/reference_executor.cpp.o" "gcc" "src/CMakeFiles/kf_stencil.dir/stencil/reference_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kf_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

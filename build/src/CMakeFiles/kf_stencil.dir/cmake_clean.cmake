@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_stencil.dir/stencil/block_executor.cpp.o"
+  "CMakeFiles/kf_stencil.dir/stencil/block_executor.cpp.o.d"
+  "CMakeFiles/kf_stencil.dir/stencil/equivalence.cpp.o"
+  "CMakeFiles/kf_stencil.dir/stencil/equivalence.cpp.o.d"
+  "CMakeFiles/kf_stencil.dir/stencil/grid.cpp.o"
+  "CMakeFiles/kf_stencil.dir/stencil/grid.cpp.o.d"
+  "CMakeFiles/kf_stencil.dir/stencil/reference_executor.cpp.o"
+  "CMakeFiles/kf_stencil.dir/stencil/reference_executor.cpp.o.d"
+  "libkf_stencil.a"
+  "libkf_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

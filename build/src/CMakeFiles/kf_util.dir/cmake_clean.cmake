@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kf_util.dir/util/rng.cpp.o"
+  "CMakeFiles/kf_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/kf_util.dir/util/stats.cpp.o"
+  "CMakeFiles/kf_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/kf_util.dir/util/stopwatch.cpp.o"
+  "CMakeFiles/kf_util.dir/util/stopwatch.cpp.o.d"
+  "CMakeFiles/kf_util.dir/util/string_util.cpp.o"
+  "CMakeFiles/kf_util.dir/util/string_util.cpp.o.d"
+  "CMakeFiles/kf_util.dir/util/table.cpp.o"
+  "CMakeFiles/kf_util.dir/util/table.cpp.o.d"
+  "libkf_util.a"
+  "libkf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

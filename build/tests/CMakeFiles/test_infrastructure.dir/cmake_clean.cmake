@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_infrastructure.dir/test_infrastructure.cpp.o"
+  "CMakeFiles/test_infrastructure.dir/test_infrastructure.cpp.o.d"
+  "test_infrastructure"
+  "test_infrastructure.pdb"
+  "test_infrastructure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_infrastructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu[1]_include.cmake")
+include("/root/repo/build/tests/test_fusion[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_search[1]_include.cmake")
+include("/root/repo/build/tests/test_stencil[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_regressions[1]_include.cmake")
+include("/root/repo/build/tests/test_infrastructure[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

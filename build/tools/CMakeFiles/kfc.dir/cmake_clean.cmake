@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfc.dir/kfc.cpp.o"
+  "CMakeFiles/kfc.dir/kfc.cpp.o.d"
+  "kfc"
+  "kfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
