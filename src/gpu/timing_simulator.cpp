@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/rng.hpp"
 
 namespace kf {
@@ -29,6 +30,14 @@ double TimingSimulator::noise_factor(const LaunchDescriptor& launch) const {
 SimResult TimingSimulator::run(const Program& program,
                                const LaunchDescriptor& launch) const {
   KF_REQUIRE(!launch.members.empty(), "launch descriptor has no members");
+  // Fault-injection hook for fused candidates only: original kernels are
+  // profiled once up-front and treated as ground truth, so the resilience
+  // machinery targets the launches the search actually explores.
+  if (launch.is_fused()) {
+    FaultInjector::instance().maybe_throw(FaultSite::Simulator,
+                                          fault_key(launch.members),
+                                          "timing simulation failed");
+  }
   SimResult r;
 
   // ---- register demand & spilling ----

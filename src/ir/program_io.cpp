@@ -1,12 +1,42 @@
 #include "ir/program_io.hpp"
 
+#include <charconv>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/string_util.hpp"
 
 namespace kf {
 namespace {
+
+/// Strict integer parse: the whole token must be a number that fits.
+/// Throws RuntimeError with the line number otherwise (std::stoi would
+/// abort the process through an unexpected std::invalid_argument /
+/// std::out_of_range on malformed or oversized input).
+int parse_int(std::string_view text, int line_no, const char* what) {
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw RuntimeError(strprintf("line %d: bad integer '%s' for %s", line_no,
+                                 std::string(text).c_str(), what));
+  }
+  return value;
+}
+
+/// Strict double parse with the same contract as parse_int.
+double parse_double(std::string_view text, int line_no, const char* what) {
+  const std::string s(text);
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument("trailing junk");
+    return value;
+  } catch (const std::exception&) {
+    throw RuntimeError(strprintf("line %d: bad number '%s' for %s", line_no,
+                                 s.c_str(), what));
+  }
+}
 
 std::string offsets_to_text(const StencilPattern& p) {
   std::string out;
@@ -104,10 +134,26 @@ Program read_program(std::istream& is) {
     }
   };
 
+  // Semantic checks in Program (add_array/add_kernel/validate) throw
+  // PreconditionError without input context; rethrow as the parser's
+  // RuntimeError carrying the offending line number.
+  auto with_line = [](int line_no, auto&& fn) {
+    try {
+      fn();
+    } catch (const PreconditionError& e) {
+      throw RuntimeError(strprintf("line %d: %s", line_no, e.what()));
+    }
+  };
+
   std::string line;
   int line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
+    if (FaultInjector::instance().should_inject(
+            FaultSite::Parser, static_cast<std::uint64_t>(line_no))) {
+      throw RuntimeError(
+          strprintf("line %d: parse failed [injected parser fault]", line_no));
+    }
     const std::string_view t = trim(line);
     if (t.empty() || t.front() == '#') continue;
     std::istringstream ls{std::string(t)};
@@ -118,9 +164,22 @@ Program read_program(std::istream& is) {
     } else if (word == "grid") {
       ls >> grid.nx >> grid.ny >> grid.nz;
       if (!ls) throw RuntimeError(strprintf("line %d: bad grid line", line_no));
+      if (grid.nx <= 0 || grid.ny <= 0 || grid.nz <= 0) {
+        throw RuntimeError(strprintf("line %d: grid dims must be positive, got %ld %ld %ld",
+                                     line_no, static_cast<long>(grid.nx),
+                                     static_cast<long>(grid.ny),
+                                     static_cast<long>(grid.nz)));
+      }
     } else if (word == "launch") {
       ls >> launch.block_x >> launch.block_y;
       if (!ls) throw RuntimeError(strprintf("line %d: bad launch line", line_no));
+      if (launch.block_x <= 0 || launch.block_y <= 0) {
+        throw RuntimeError(strprintf("line %d: block dims must be positive", line_no));
+      }
+      if (launch.threads_per_block() > 1024) {
+        throw RuntimeError(strprintf("line %d: %d threads per block exceeds 1024",
+                                     line_no, launch.threads_per_block()));
+      }
     } else if (word == "array") {
       flush_header();
       ArrayInfo info;
@@ -128,7 +187,7 @@ Program read_program(std::istream& is) {
       if (!ls) throw RuntimeError(strprintf("line %d: bad array line", line_no));
       std::string flag;
       if (ls >> flag && flag == "rocache") info.readonly_cache_eligible = true;
-      program.add_array(std::move(info));
+      with_line(line_no, [&] { program.add_array(std::move(info)); });
     } else if (word == "kernel") {
       flush_header();
       if (in_kernel) throw RuntimeError(strprintf("line %d: nested kernel", line_no));
@@ -138,15 +197,15 @@ Program read_program(std::istream& is) {
       std::string tok;
       while (ls >> tok) {
         if (starts_with(tok, "regs=")) {
-          current.regs_per_thread = std::stoi(expect_kv(tok, "regs", line_no));
+          current.regs_per_thread = parse_int(expect_kv(tok, "regs", line_no), line_no, "regs");
         } else if (starts_with(tok, "adrregs=")) {
-          current.addr_regs = std::stoi(expect_kv(tok, "adrregs", line_no));
+          current.addr_regs = parse_int(expect_kv(tok, "adrregs", line_no), line_no, "adrregs");
         } else if (starts_with(tok, "flops=")) {
-          current.flops_per_site = std::stod(expect_kv(tok, "flops", line_no));
+          current.flops_per_site = parse_double(expect_kv(tok, "flops", line_no), line_no, "flops");
         } else if (starts_with(tok, "smem=")) {
           current.smem_in_original = expect_kv(tok, "smem", line_no) != "0";
         } else if (starts_with(tok, "phase=")) {
-          current.phase = std::stoi(expect_kv(tok, "phase", line_no));
+          current.phase = parse_int(expect_kv(tok, "phase", line_no), line_no, "phase");
         } else {
           throw RuntimeError(strprintf("line %d: unknown kernel attribute '%s'",
                                        line_no, tok.c_str()));
@@ -168,7 +227,7 @@ Program read_program(std::istream& is) {
       ArrayAccess acc;
       acc.array = id;
       acc.mode = mode_from_text(mode_text, line_no);
-      acc.flops = std::stod(expect_kv(flops_tok, "flops", line_no));
+      acc.flops = parse_double(expect_kv(flops_tok, "flops", line_no), line_no, "flops");
       acc.pattern = offsets_from_text(expect_kv(offsets_tok, "offsets", line_no), line_no);
       std::string own_tok;
       if (ls >> own_tok) {
@@ -178,16 +237,21 @@ Program read_program(std::istream& is) {
     } else if (word == "end") {
       if (!in_kernel) throw RuntimeError(strprintf("line %d: stray end", line_no));
       in_kernel = false;
-      program.add_kernel(std::move(current));
+      with_line(line_no, [&] { program.add_kernel(std::move(current)); });
       current = KernelInfo{};
     } else {
       throw RuntimeError(strprintf("line %d: unknown directive '%s'", line_no,
                                    word.c_str()));
     }
   }
-  if (in_kernel) throw RuntimeError("unterminated kernel block at end of input");
-  flush_header();
-  program.validate();
+  if (in_kernel) {
+    throw RuntimeError(strprintf("line %d: unterminated kernel block at end of input",
+                                 line_no));
+  }
+  with_line(line_no, [&] {
+    flush_header();
+    program.validate();
+  });
   return program;
 }
 

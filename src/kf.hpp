@@ -54,6 +54,8 @@
 #include "model/roofline_model.hpp"
 #include "model/simple_model.hpp"
 #include "search/annealing.hpp"
+#include "search/checkpoint.hpp"
+#include "search/driver.hpp"
 #include "search/exhaustive.hpp"
 #include "search/greedy.hpp"
 #include "search/hgga.hpp"
@@ -65,6 +67,7 @@
 #include "stencil/grid.hpp"
 #include "stencil/reference_executor.hpp"
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"

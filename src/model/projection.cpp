@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "util/fault_injection.hpp"
+
 namespace kf {
+
+Projection ProjectionModel::project(const Program& program,
+                                    const LaunchDescriptor& launch) const {
+  FaultInjector::instance().maybe_throw(FaultSite::Projection,
+                                        fault_key(launch.members),
+                                        "projection model evaluation failed");
+  return project_impl(program, launch);
+}
 
 int dominant_elem_bytes(const Program& program) noexcept {
   int widest = 4;

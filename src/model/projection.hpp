@@ -36,9 +36,16 @@ class ProjectionModel {
 
   virtual const std::string& name() const noexcept = 0;
 
-  /// Projects the runtime of `launch` over `program`'s grid.
-  virtual Projection project(const Program& program,
-                             const LaunchDescriptor& launch) const = 0;
+  /// Projects the runtime of `launch` over `program`'s grid. Non-virtual:
+  /// runs the FaultSite::Projection injection hook (keyed by the launch's
+  /// member set) before dispatching to the implementation, so every model
+  /// shares the same resilience-testing surface.
+  Projection project(const Program& program, const LaunchDescriptor& launch) const;
+
+ protected:
+  /// Model-specific projection; implementations override this.
+  virtual Projection project_impl(const Program& program,
+                                  const LaunchDescriptor& launch) const = 0;
 };
 
 /// Dominant element width of the program's arrays (8 for DP programs);

@@ -19,7 +19,7 @@ ProposedModel::ProposedModel(DeviceSpec device, Params params)
   if (params_.formulation == Formulation::PaperLiteral) name_ = "proposed-literal";
 }
 
-Projection ProposedModel::project(const Program& program,
+Projection ProposedModel::project_impl(const Program& program,
                                   const LaunchDescriptor& launch) const {
   Projection p;
   const double sites = static_cast<double>(program.grid().total_sites());

@@ -55,8 +55,9 @@ class ProposedModel final : public ProjectionModel {
 
   const std::string& name() const noexcept override { return name_; }
 
-  Projection project(const Program& program,
-                     const LaunchDescriptor& launch) const override;
+ protected:
+  Projection project_impl(const Program& program,
+                          const LaunchDescriptor& launch) const override;
 
  private:
   DeviceSpec device_;

@@ -7,7 +7,7 @@ namespace kf {
 
 RooflineModel::RooflineModel(DeviceSpec device) : device_(std::move(device)) {}
 
-Projection RooflineModel::project(const Program& program,
+Projection RooflineModel::project_impl(const Program& program,
                                   const LaunchDescriptor& launch) const {
   // Compulsory traffic: every distinct array read by any member once,
   // every distinct written array once.

@@ -19,7 +19,7 @@ SimpleModel::SimpleModel(const Program& program, const TimingSimulator& simulato
   measured_bw_ = total_bytes / total_time;
 }
 
-Projection SimpleModel::project(const Program& program,
+Projection SimpleModel::project_impl(const Program& program,
                                 const LaunchDescriptor& launch) const {
   double original_sum = 0.0;
   double original_bytes = 0.0;

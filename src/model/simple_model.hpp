@@ -25,8 +25,9 @@ class SimpleModel final : public ProjectionModel {
 
   const std::string& name() const noexcept override { return name_; }
 
-  Projection project(const Program& program,
-                     const LaunchDescriptor& launch) const override;
+ protected:
+  Projection project_impl(const Program& program,
+                          const LaunchDescriptor& launch) const override;
 
  private:
   std::string name_ = "simple";

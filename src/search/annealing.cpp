@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "search/driver.hpp"
 #include "search/population.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
@@ -64,7 +65,8 @@ bool random_move(const LegalityChecker& checker, FusionPlan& plan, Rng& rng) {
 
 }  // namespace
 
-SearchResult annealing_search(const Objective& objective, AnnealingConfig config) {
+SearchResult annealing_search(const Objective& objective, AnnealingConfig config,
+                              SearchControl* control) {
   KF_REQUIRE(config.iterations > 0, "need a positive iteration budget");
   KF_REQUIRE(config.cooling > 0.0 && config.cooling < 1.0, "cooling in (0,1)");
   Stopwatch watch;
@@ -79,11 +81,13 @@ SearchResult annealing_search(const Objective& objective, AnnealingConfig config
   result.best = current;
   result.best_cost_s = current_cost;
   result.time_to_best_s = watch.elapsed_s();
+  if (control != nullptr) control->note_best(result.best, result.best_cost_s);
 
   double temperature = result.baseline_cost_s * config.initial_temperature_fraction;
   const long cool_every = std::max<long>(1, config.iterations / 100);
 
   for (long it = 0; it < config.iterations; ++it) {
+    if (control != nullptr && control->should_stop()) break;
     FusionPlan candidate = current;
     Rng stream = rng.split();
     if (!random_move(checker, candidate, stream)) continue;
@@ -97,6 +101,7 @@ SearchResult annealing_search(const Objective& objective, AnnealingConfig config
         result.best = current;
         result.best_cost_s = cost;
         result.time_to_best_s = watch.elapsed_s();
+        if (control != nullptr) control->note_best(result.best, result.best_cost_s);
       }
     }
     if ((it + 1) % cool_every == 0) temperature *= config.cooling;
@@ -106,6 +111,7 @@ SearchResult annealing_search(const Objective& objective, AnnealingConfig config
   result.evaluations = objective.evaluations();
   result.model_evaluations = objective.model_evaluations();
   result.runtime_s = watch.elapsed_s();
+  fill_fault_report(result, objective, control);
   return result;
 }
 

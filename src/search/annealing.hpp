@@ -23,7 +23,12 @@ struct AnnealingConfig {
   std::uint64_t seed = 0x5eed;
 };
 
+class SearchControl;  // search/driver.hpp
+
+/// `control` (optional) enforces deadline / evaluation / fault budgets;
+/// on early stop the best-so-far (always legal) plan is returned.
 SearchResult annealing_search(const Objective& objective,
-                              AnnealingConfig config = AnnealingConfig());
+                              AnnealingConfig config = AnnealingConfig(),
+                              SearchControl* control = nullptr);
 
 }  // namespace kf

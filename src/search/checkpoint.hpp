@@ -1,0 +1,71 @@
+// HGGA checkpoint/resume.
+//
+// A checkpoint captures everything the generational loop needs to continue
+// exactly where it stopped: the population (plans + costs), the master RNG
+// state, generation/stall counters, the incumbent best and the convergence
+// history. Costs and statistics are serialized as C hexfloats, so a
+// resumed run reproduces a bit-identical best to an uninterrupted run with
+// the same seed.
+//
+// The on-disk format is line-oriented text in the program_io style — one
+// record per line, populations one individual per line — so checkpoints
+// diff cleanly under version control and survive hand inspection:
+//
+//   hgga-checkpoint v1
+//   program rk18
+//   kernels 18
+//   seed 24301
+//   generation 40
+//   stall 3
+//   rng 9c0... 41f... 7aa... 003...
+//   best cost=0x1.9p-9 plan={0,1} {2} ...
+//   history 0x1.ap-9
+//   trace best=0x1.9p-9 mean=0x1.ap-9 distinct=17 groups=0x1.8p+3
+//   individual cost=0x1.9p-9 plan={0,1} {2} ...
+//   end
+//
+// Writes are atomic: the file is written to "<path>.tmp" and renamed over
+// the destination, so a kill mid-write never corrupts the previous good
+// checkpoint.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fusion/fusion_plan.hpp"
+#include "search/hgga.hpp"
+
+namespace kf {
+
+struct HggaCheckpoint {
+  std::string program_name;
+  int num_kernels = 0;
+  std::uint64_t seed = 0;
+  int generation = 0;  ///< next generation index to execute
+  int stall = 0;
+  std::array<std::uint64_t, 4> rng_state{};
+  double best_cost = 0.0;
+  FusionPlan best;
+  std::vector<FusionPlan> population;  ///< parallel to `costs`
+  std::vector<double> costs;
+  std::vector<double> history;
+  std::vector<GenerationStats> trace;
+};
+
+void write_checkpoint(std::ostream& os, const HggaCheckpoint& ckpt);
+
+/// Parses a checkpoint; throws kf::RuntimeError with a line number on
+/// malformed or truncated input.
+HggaCheckpoint read_checkpoint(std::istream& is);
+
+/// Atomic save: writes "<path>.tmp" then renames it over `path`.
+void save_checkpoint(const std::string& path, const HggaCheckpoint& ckpt);
+
+/// Loads and validates a checkpoint file; throws kf::RuntimeError when the
+/// file cannot be opened or parsed.
+HggaCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace kf

@@ -1,0 +1,202 @@
+#include "search/driver.hpp"
+
+#include <fstream>
+#include <limits>
+
+#include "search/checkpoint.hpp"
+#include "util/error.hpp"
+
+namespace kf {
+
+const char* to_string(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::Converged: return "converged";
+    case StopReason::Deadline: return "deadline";
+    case StopReason::EvaluationBudget: return "evaluation-budget";
+    case StopReason::FaultStorm: return "fault-storm";
+  }
+  return "?";
+}
+
+const char* to_string(SearchMethod method) noexcept {
+  switch (method) {
+    case SearchMethod::Hgga: return "hgga";
+    case SearchMethod::Greedy: return "greedy";
+    case SearchMethod::Annealing: return "annealing";
+    case SearchMethod::Random: return "random";
+    case SearchMethod::Exhaustive: return "exhaustive";
+  }
+  return "?";
+}
+
+SearchMethod search_method_from_string(const std::string& text) {
+  if (text == "hgga") return SearchMethod::Hgga;
+  if (text == "greedy") return SearchMethod::Greedy;
+  if (text == "annealing") return SearchMethod::Annealing;
+  if (text == "random") return SearchMethod::Random;
+  if (text == "exhaustive") return SearchMethod::Exhaustive;
+  throw PreconditionError(
+      "unknown search method '" + text +
+      "' (expected hgga|greedy|annealing|random|exhaustive)");
+}
+
+SearchControl::SearchControl(const Objective& objective, Limits limits)
+    : objective_(objective),
+      limits_(limits),
+      base_evaluations_(objective.evaluations()),
+      base_faults_(objective.faults()) {}
+
+long SearchControl::evaluations_used() const noexcept {
+  return objective_.evaluations() - base_evaluations_;
+}
+
+bool SearchControl::should_stop() noexcept {
+  if (stopped_.load(std::memory_order_acquire)) return true;
+  StopReason reason;
+  if (limits_.deadline_s > 0.0 && watch_.elapsed_s() >= limits_.deadline_s) {
+    reason = StopReason::Deadline;
+  } else if (limits_.max_evaluations > 0 &&
+             evaluations_used() >= limits_.max_evaluations) {
+    reason = StopReason::EvaluationBudget;
+  } else if (limits_.max_faults > 0 &&
+             objective_.faults() - base_faults_ >= limits_.max_faults) {
+    reason = StopReason::FaultStorm;
+  } else {
+    return false;
+  }
+  reason_.store(static_cast<int>(reason), std::memory_order_relaxed);
+  stopped_.store(true, std::memory_order_release);
+  return true;
+}
+
+StopReason SearchControl::reason() const noexcept {
+  if (!stopped()) return StopReason::Converged;
+  return static_cast<StopReason>(reason_.load(std::memory_order_relaxed));
+}
+
+void SearchControl::note_best(const FusionPlan& plan, double cost) {
+  std::lock_guard<std::mutex> lock(best_mutex_);
+  if (!has_best_ || cost < best_cost_) {
+    best_ = plan;
+    best_cost_ = cost;
+    has_best_ = true;
+  }
+}
+
+bool SearchControl::has_best() const {
+  std::lock_guard<std::mutex> lock(best_mutex_);
+  return has_best_;
+}
+
+FusionPlan SearchControl::best_plan() const {
+  std::lock_guard<std::mutex> lock(best_mutex_);
+  KF_REQUIRE(has_best_, "no best plan recorded");
+  return best_;
+}
+
+double SearchControl::best_cost() const {
+  std::lock_guard<std::mutex> lock(best_mutex_);
+  KF_REQUIRE(has_best_, "no best plan recorded");
+  return best_cost_;
+}
+
+void fill_fault_report(SearchResult& result, const Objective& objective,
+                       const SearchControl* control) {
+  result.fault_report.faults = objective.faults();
+  result.fault_report.quarantined_fingerprints = objective.quarantined_fingerprints();
+  result.fault_report.quarantined =
+      static_cast<long>(result.fault_report.quarantined_fingerprints.size());
+  result.fault_report.stop_reason =
+      control != nullptr ? control->reason() : StopReason::Converged;
+}
+
+SearchDriver::SearchDriver(const Objective& objective, DriverConfig config)
+    : objective_(objective), config_(std::move(config)) {
+  KF_REQUIRE(config_.limits.deadline_s >= 0.0, "deadline must be >= 0");
+  KF_REQUIRE(config_.limits.max_evaluations >= 0, "evaluation budget must be >= 0");
+  KF_REQUIRE(config_.limits.max_faults >= 0, "fault threshold must be >= 0");
+  KF_REQUIRE(config_.checkpointing.file.empty() ||
+                 config_.method == SearchMethod::Hgga,
+             "checkpointing is only supported for the hgga method");
+}
+
+SearchResult SearchDriver::dispatch(SearchControl& control) {
+  switch (config_.method) {
+    case SearchMethod::Hgga: {
+      const HggaCheckpointing* ckpt =
+          config_.checkpointing.file.empty() ? nullptr : &config_.checkpointing;
+      return Hgga(objective_, config_.hgga).run(&control, ckpt);
+    }
+    case SearchMethod::Greedy:
+      return greedy_search(objective_, &control);
+    case SearchMethod::Annealing:
+      return annealing_search(objective_, config_.annealing, &control);
+    case SearchMethod::Random:
+      return random_search(objective_, config_.random, &control);
+    case SearchMethod::Exhaustive:
+      return exhaustive_search(objective_, config_.exhaustive, &control);
+  }
+  throw PreconditionError("unknown search method");
+}
+
+SearchResult SearchDriver::recover(SearchControl& control) const {
+  // Last line of defense: the method threw (a failure escaped quarantine).
+  // Salvage the best plan the control observed — or fall back to the
+  // always-legal identity plan — so the caller still gets a usable result.
+  SearchResult result;
+  const int n = objective_.checker().program().num_kernels();
+  if (control.has_best()) {
+    result.best = control.best_plan();
+    result.best_cost_s = control.best_cost();
+  } else {
+    result.best = FusionPlan(n);
+    result.best_cost_s = objective_.baseline_cost();
+  }
+  result.best.canonicalize();
+  result.baseline_cost_s = objective_.baseline_cost();
+  result.evaluations = objective_.evaluations();
+  result.model_evaluations = objective_.model_evaluations();
+  result.runtime_s = control.elapsed_s();
+  result.time_to_best_s = control.elapsed_s();
+  fill_fault_report(result, objective_, &control);
+  if (!control.stopped()) result.fault_report.stop_reason = StopReason::FaultStorm;
+  return result;
+}
+
+void SearchDriver::validate_checkpointing() const {
+  // Runs before the salvage net in run(): checkpoint problems must abort the
+  // search up front, not be swallowed by recover() — an unwritable path would
+  // silently strip resume protection, and a missing/mismatched checkpoint
+  // would quietly degrade --resume into a fresh (and stunted) run.
+  if (config_.checkpointing.file.empty()) return;
+  if (config_.checkpointing.resume) {
+    const HggaCheckpoint ckpt = load_checkpoint(config_.checkpointing.file);
+    KF_CHECK(ckpt.num_kernels == objective_.checker().program().num_kernels(),
+             "checkpoint '" << config_.checkpointing.file
+                            << "' was written for a different program ("
+                            << ckpt.num_kernels << " kernels)");
+    KF_CHECK(ckpt.seed == config_.hgga.seed,
+             "checkpoint '" << config_.checkpointing.file
+                            << "' was written with seed " << ckpt.seed
+                            << ", not " << config_.hgga.seed);
+  } else {
+    const std::string tmp = config_.checkpointing.file + ".tmp";
+    std::ofstream probe(tmp, std::ios::app);
+    KF_CHECK(static_cast<bool>(probe),
+             "cannot open checkpoint file '" << tmp << "' for writing");
+  }
+}
+
+SearchResult SearchDriver::run() {
+  validate_checkpointing();
+  SearchControl control(objective_, config_.limits);
+  try {
+    SearchResult result = dispatch(control);
+    fill_fault_report(result, objective_, &control);
+    return result;
+  } catch (const std::runtime_error&) {
+    return recover(control);
+  }
+}
+
+}  // namespace kf

@@ -1,0 +1,132 @@
+// SearchDriver — the resilient front door to every search method.
+//
+// The paper's HGGA searches run millions of objective evaluations over
+// hours of wall time (Table VI); at that scale a production system must
+// (a) enforce wall-clock and evaluation budgets, (b) survive throwing
+// candidate evaluations, and (c) always hand back a legal best-so-far
+// plan. The driver wraps hgga/greedy/annealing/random/exhaustive behind
+// one entry point that guarantees exactly that:
+//
+//   * SearchControl carries the budgets. Every method polls should_stop()
+//     in its main loop and reports improving plans through note_best(), so
+//     an early stop (deadline, evaluation budget, fault storm) unwinds
+//     cleanly with the method's own best-so-far.
+//   * Faults are quarantined inside the Objective (see objective.hpp); the
+//     control turns a configurable fault count into a FaultStorm stop.
+//   * If a method still manages to throw, the driver falls back to the
+//     best plan the control observed — or the always-legal identity plan —
+//     instead of propagating.
+//   * HGGA runs can checkpoint periodically and resume bit-identically
+//     (see checkpoint.hpp).
+//
+// Every result carries a FaultReport: faults seen, quarantined group
+// fingerprints, and the stop reason.
+#pragma once
+
+#include <mutex>
+
+#include "search/annealing.hpp"
+#include "search/exhaustive.hpp"
+#include "search/greedy.hpp"
+#include "search/hgga.hpp"
+#include "search/random_search.hpp"
+#include "util/stopwatch.hpp"
+
+namespace kf {
+
+enum class SearchMethod { Hgga, Greedy, Annealing, Random, Exhaustive };
+
+const char* to_string(SearchMethod method) noexcept;
+/// Parses "hgga" | "greedy" | "annealing" | "random" | "exhaustive".
+/// Throws kf::PreconditionError on anything else.
+SearchMethod search_method_from_string(const std::string& text);
+
+/// Budget enforcement and best-so-far tracking shared by all methods.
+/// Thread-safe: HGGA evaluates populations under OpenMP.
+class SearchControl {
+ public:
+  struct Limits {
+    double deadline_s = 0.0;   ///< <= 0: no wall-clock deadline
+    long max_evaluations = 0;  ///< <= 0: no evaluation budget
+    long max_faults = 0;       ///< <= 0: no fault-storm threshold
+  };
+
+  SearchControl(const Objective& objective, Limits limits);
+
+  /// Polled by search loops: true once any budget is exhausted. The first
+  /// exceeded budget latches the stop reason; later polls return true
+  /// without re-deciding.
+  bool should_stop() noexcept;
+
+  bool stopped() const noexcept { return stopped_.load(std::memory_order_acquire); }
+
+  /// Converged unless a budget latched a stop.
+  StopReason reason() const noexcept;
+
+  double elapsed_s() const noexcept { return watch_.elapsed_s(); }
+
+  /// Evaluations charged to this run (objective calls since construction).
+  long evaluations_used() const noexcept;
+
+  // ---- best-so-far tracking (for post-throw recovery) ----
+  void note_best(const FusionPlan& plan, double cost);
+  bool has_best() const;
+  FusionPlan best_plan() const;
+  double best_cost() const;
+
+ private:
+  const Objective& objective_;
+  Limits limits_;
+  Stopwatch watch_;
+  long base_evaluations_ = 0;
+  long base_faults_ = 0;
+  std::atomic<bool> stopped_{false};
+  std::atomic<int> reason_{0};  // StopReason, valid when stopped_
+
+  mutable std::mutex best_mutex_;
+  FusionPlan best_;
+  double best_cost_ = 0.0;
+  bool has_best_ = false;
+};
+
+/// Everything a resilient search run needs; method-specific knobs ride
+/// along so one config drives any method.
+struct DriverConfig {
+  SearchMethod method = SearchMethod::Hgga;
+  SearchControl::Limits limits;
+
+  HggaConfig hgga;
+  AnnealingConfig annealing;
+  RandomSearchConfig random;
+  ExhaustiveConfig exhaustive;
+
+  HggaCheckpointing checkpointing;  ///< HGGA only; file empty → disabled
+};
+
+class SearchDriver {
+ public:
+  SearchDriver(const Objective& objective, DriverConfig config);
+
+  /// Runs the configured method under the configured budgets. Never throws
+  /// on candidate faults or budget stops; always returns a result whose
+  /// `best` is a legal plan and whose fault_report explains the run.
+  /// Checkpoint problems (unwritable path, missing/corrupt/mismatched
+  /// checkpoint under resume) DO throw, before the search starts.
+  SearchResult run();
+
+ private:
+  const Objective& objective_;
+  DriverConfig config_;
+
+  void validate_checkpointing() const;
+  SearchResult dispatch(SearchControl& control);
+  SearchResult recover(SearchControl& control) const;
+};
+
+/// Fills a result's FaultReport from the objective's fault telemetry and
+/// the control's stop reason (Converged when control is null). Methods call
+/// this just before returning.
+void fill_fault_report(SearchResult& result, const Objective& objective,
+                       const SearchControl* control);
+
+}  // namespace kf

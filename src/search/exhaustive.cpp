@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "search/driver.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
@@ -10,10 +11,12 @@ namespace {
 
 class Enumerator {
  public:
-  Enumerator(const Objective& objective, const ExhaustiveConfig& config)
+  Enumerator(const Objective& objective, const ExhaustiveConfig& config,
+             SearchControl* control)
       : objective_(objective),
         checker_(objective.checker()),
         config_(config),
+        control_(control),
         n_(checker_.program().num_kernels()) {}
 
   SearchResult run() {
@@ -21,9 +24,16 @@ class Enumerator {
     groups_.clear();
     best_cost_ = std::numeric_limits<double>::infinity();
     partitions_ = 0;
+    stopped_ = false;
     recurse(0);
-    KF_CHECK(best_cost_ < std::numeric_limits<double>::infinity(),
-             "no legal partition found (identity should always be legal)");
+    // An early stop may land before any complete partition; the identity
+    // plan is the legal fallback then.
+    if (best_cost_ == std::numeric_limits<double>::infinity()) {
+      KF_CHECK(stopped_, "no legal partition found (identity should always be legal)");
+      best_groups_.clear();
+      for (KernelId k = 0; k < n_; ++k) best_groups_.push_back({k});
+      best_cost_ = objective_.baseline_cost();
+    }
 
     SearchResult result;
     result.best = FusionPlan::from_groups(n_, best_groups_);
@@ -34,6 +44,7 @@ class Enumerator {
     result.model_evaluations = objective_.model_evaluations();
     result.runtime_s = watch.elapsed_s();
     result.time_to_best_s = result.runtime_s;
+    fill_fault_report(result, objective_, control_);
     return result;
   }
 
@@ -41,18 +52,25 @@ class Enumerator {
   const Objective& objective_;
   const LegalityChecker& checker_;
   ExhaustiveConfig config_;
+  SearchControl* control_;
   int n_;
 
   std::vector<std::vector<KernelId>> groups_;
   std::vector<std::vector<KernelId>> best_groups_;
   double best_cost_ = 0.0;
   long partitions_ = 0;
+  bool stopped_ = false;
 
   // No branch-and-bound here: a group's final cost can drop below the sum
   // of its members' singleton times, so partial costs do not lower-bound
   // completions. Legality of complete partitions prunes instead.
   void recurse(KernelId next) {
+    if (stopped_) return;
     if (next == n_) {
+      if (control_ != nullptr && control_->should_stop()) {
+        stopped_ = true;
+        return;
+      }
       ++partitions_;
       KF_CHECK(partitions_ <= config_.max_partitions,
                "partition budget exhausted — problem too large for exhaustive search");
@@ -68,6 +86,9 @@ class Enumerator {
       if (cost < best_cost_) {
         best_cost_ = cost;
         best_groups_ = groups_;
+        if (control_ != nullptr) {
+          control_->note_best(FusionPlan::from_groups(n_, best_groups_), best_cost_);
+        }
       }
       return;
     }
@@ -94,11 +115,12 @@ class Enumerator {
 
 }  // namespace
 
-SearchResult exhaustive_search(const Objective& objective, ExhaustiveConfig config) {
+SearchResult exhaustive_search(const Objective& objective, ExhaustiveConfig config,
+                               SearchControl* control) {
   const int n = objective.checker().program().num_kernels();
   KF_REQUIRE(n <= config.max_kernels,
              "exhaustive search limited to " << config.max_kernels << " kernels, got " << n);
-  Enumerator e(objective, config);
+  Enumerator e(objective, config, control);
   return e.run();
 }
 

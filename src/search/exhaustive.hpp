@@ -19,10 +19,15 @@ struct ExhaustiveConfig {
   long max_partitions = 50'000'000;  ///< safety valve
 };
 
+class SearchControl;  // search/driver.hpp
+
 /// Finds the optimal legal plan under the objective. Throws if the program
-/// exceeds the configured limits.
+/// exceeds the configured limits. `control` (optional) enforces deadline /
+/// evaluation / fault budgets; an early stop returns the best complete
+/// partition seen so far (the identity plan when none was reached yet).
 SearchResult exhaustive_search(const Objective& objective,
-                               ExhaustiveConfig config = ExhaustiveConfig());
+                               ExhaustiveConfig config = ExhaustiveConfig(),
+                               SearchControl* control = nullptr);
 
 /// Number of partitions enumerated by the last call's recursion
 /// (for reporting; exposed via the SearchResult's evaluations counter).

@@ -2,23 +2,26 @@
 
 #include <algorithm>
 
+#include "search/driver.hpp"
 #include "util/stopwatch.hpp"
 
 namespace kf {
 
-SearchResult greedy_search(const Objective& objective) {
+SearchResult greedy_search(const Objective& objective, SearchControl* control) {
   Stopwatch watch;
   const LegalityChecker& checker = objective.checker();
   const Program& program = checker.program();
   FusionPlan plan(program.num_kernels());
+  if (control != nullptr) control->note_best(plan, objective.plan_cost(plan));
 
   bool progress = true;
-  while (progress) {
+  while (progress && (control == nullptr || !control->should_stop())) {
     progress = false;
     double best_delta = -1e-15;
     int best_a = -1;
     int best_b = -1;
     for (int a = 0; a < plan.num_groups(); ++a) {
+      if (control != nullptr && control->should_stop()) break;
       for (int b = a + 1; b < plan.num_groups(); ++b) {
         std::vector<KernelId> merged(plan.group(a).begin(), plan.group(a).end());
         merged.insert(merged.end(), plan.group(b).begin(), plan.group(b).end());
@@ -44,6 +47,7 @@ SearchResult greedy_search(const Objective& objective) {
     if (best_a >= 0) {
       plan.merge_groups(best_a, best_b);
       progress = true;
+      if (control != nullptr) control->note_best(plan, objective.plan_cost(plan));
     }
   }
 
@@ -57,6 +61,7 @@ SearchResult greedy_search(const Objective& objective) {
   result.runtime_s = watch.elapsed_s();
   result.time_to_best_s = result.runtime_s;
   result.generations = 0;
+  fill_fault_report(result, objective, control);
   return result;
 }
 

@@ -12,6 +12,11 @@
 
 namespace kf {
 
-SearchResult greedy_search(const Objective& objective);
+class SearchControl;  // search/driver.hpp
+
+/// `control` (optional) enforces deadline / evaluation / fault budgets;
+/// on early stop the current (always legal) plan is returned.
+SearchResult greedy_search(const Objective& objective,
+                           SearchControl* control = nullptr);
 
 }  // namespace kf

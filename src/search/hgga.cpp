@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "search/checkpoint.hpp"
+#include "search/driver.hpp"
 #include "search/population.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
@@ -257,16 +259,12 @@ void Hgga::mutate(Individual& individual, Rng& rng) const {
   }
 }
 
-SearchResult Hgga::run() {
+SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpointing) {
   Stopwatch watch;
   Rng master(config_.seed);
-
-  std::vector<Individual> population;
-  population.reserve(static_cast<std::size_t>(config_.population));
-  for (int i = 0; i < config_.population; ++i) {
-    Rng rng = master.split();
-    population.push_back(make_random(rng));
-  }
+  const Program& program = objective_.checker().program();
+  const bool checkpoint_enabled =
+      checkpointing != nullptr && !checkpointing->file.empty();
 
   SearchResult result;
   result.baseline_cost_s = objective_.baseline_cost();
@@ -276,11 +274,80 @@ SearchResult Hgga::run() {
                             [](const auto& a, const auto& b) { return a.cost < b.cost; });
   };
 
-  Individual best = *best_of(population);
-  result.time_to_best_s = watch.elapsed_s();
+  std::vector<Individual> population;
+  Individual best;
+  int start_gen = 0;
   int stall = 0;
 
-  for (int gen = 0; gen < config_.max_generations; ++gen) {
+  if (checkpoint_enabled && checkpointing->resume) {
+    // Resume: restore population, incumbent, counters and the master RNG so
+    // the continuation is bit-identical to an uninterrupted run.
+    const HggaCheckpoint ckpt = load_checkpoint(checkpointing->file);
+    KF_CHECK(ckpt.num_kernels == program.num_kernels(),
+             "checkpoint was taken for " << ckpt.num_kernels << " kernels, program has "
+                                         << program.num_kernels());
+    KF_CHECK(ckpt.seed == config_.seed,
+             "checkpoint seed " << ckpt.seed << " differs from configured seed "
+                                << config_.seed);
+    master.set_state(ckpt.rng_state);
+    population.reserve(ckpt.population.size());
+    for (std::size_t i = 0; i < ckpt.population.size(); ++i) {
+      population.push_back(Individual{ckpt.population[i], ckpt.costs[i]});
+    }
+    best.plan = ckpt.best;
+    best.cost = ckpt.best_cost;
+    start_gen = ckpt.generation;
+    stall = ckpt.stall;
+    result.history = ckpt.history;
+    result.trace = ckpt.trace;
+    result.generations = start_gen;
+  } else {
+    population.reserve(static_cast<std::size_t>(config_.population));
+    for (int i = 0; i < config_.population; ++i) {
+      if (control != nullptr && control->should_stop()) break;
+      Rng rng = master.split();
+      population.push_back(make_random(rng));
+    }
+    if (population.empty()) {
+      // Budget exhausted before any individual: the identity plan is the
+      // legal best-so-far.
+      Individual identity;
+      identity.plan = FusionPlan(program.num_kernels());
+      identity.cost = objective_.plan_cost(identity.plan);
+      population.push_back(std::move(identity));
+    }
+    best = *best_of(population);
+  }
+  result.time_to_best_s = watch.elapsed_s();
+  if (control != nullptr) control->note_best(best.plan, best.cost);
+
+  auto snapshot = [&](int next_gen) {
+    HggaCheckpoint ckpt;
+    ckpt.program_name = program.name();
+    ckpt.num_kernels = program.num_kernels();
+    ckpt.seed = config_.seed;
+    ckpt.generation = next_gen;
+    ckpt.stall = stall;
+    ckpt.rng_state = master.state();
+    ckpt.best_cost = best.cost;
+    ckpt.best = best.plan;
+    ckpt.population.reserve(population.size());
+    ckpt.costs.reserve(population.size());
+    for (const Individual& ind : population) {
+      ckpt.population.push_back(ind.plan);
+      ckpt.costs.push_back(ind.cost);
+    }
+    ckpt.history = result.history;
+    ckpt.trace = result.trace;
+    save_checkpoint(checkpointing->file, ckpt);
+  };
+
+  // Stall is tested in the loop condition (not via a bottom-of-body break) so
+  // that resuming from a checkpoint taken at a stalled boundary exits exactly
+  // where the uninterrupted run did.
+  for (int gen = start_gen;
+       gen < config_.max_generations && stall < config_.stall_generations; ++gen) {
+    if (control != nullptr && control->should_stop()) break;
     // --- produce offspring ---
     std::vector<Individual> offspring;
     offspring.reserve(static_cast<std::size_t>(config_.population));
@@ -320,6 +387,7 @@ SearchResult Hgga::run() {
       best = *it;
       result.time_to_best_s = watch.elapsed_s();
       stall = 0;
+      if (control != nullptr) control->note_best(best.plan, best.cost);
     } else {
       ++stall;
     }
@@ -341,15 +409,23 @@ SearchResult Hgga::run() {
       result.trace.push_back(stats);
     }
     result.generations = gen + 1;
-    if (stall >= config_.stall_generations) break;
+    if (checkpoint_enabled &&
+        (gen + 1) % std::max(1, checkpointing->every_generations) == 0) {
+      snapshot(gen + 1);
+    }
   }
+  if (checkpoint_enabled) snapshot(result.generations);
 
   result.best = best.plan;
-  if (config_.local_polish) {
+  const bool stopped_early = control != nullptr && control->stopped();
+  // Polish is skipped on an early stop: it can take arbitrarily long and the
+  // contract is to return the legal best-so-far near the deadline.
+  if (config_.local_polish && !stopped_early) {
     double polished_cost = best.cost;
     if (local_polish(objective_, result.best, &polished_cost) > 0) {
       best.cost = polished_cost;
       result.time_to_best_s = watch.elapsed_s();
+      if (control != nullptr) control->note_best(result.best, best.cost);
     }
   }
   result.best.canonicalize();
@@ -357,6 +433,7 @@ SearchResult Hgga::run() {
   result.evaluations = objective_.evaluations();
   result.model_evaluations = objective_.model_evaluations();
   result.runtime_s = watch.elapsed_s();
+  fill_fault_report(result, objective_, control);
   return result;
 }
 

@@ -20,6 +20,8 @@
 // ran the solver with OpenMP on a Xeon X5670).
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fusion/fusion_plan.hpp"
@@ -27,6 +29,30 @@
 #include "util/rng.hpp"
 
 namespace kf {
+
+class SearchControl;  // search/driver.hpp
+
+/// Why a search run ended.
+enum class StopReason {
+  Converged,         ///< natural stop: stall criterion, budget exhausted by
+                     ///< the method itself, or enumeration complete
+  Deadline,          ///< wall-clock deadline hit
+  EvaluationBudget,  ///< max-evaluation budget hit
+  FaultStorm,        ///< too many quarantined faults (or an escaped failure)
+};
+const char* to_string(StopReason reason) noexcept;
+
+/// Resilience telemetry carried by every SearchResult.
+struct FaultReport {
+  long faults = 0;          ///< evaluations that threw and were quarantined
+  long quarantined = 0;     ///< distinct member sets in quarantine
+  std::vector<std::uint64_t> quarantined_fingerprints;
+  StopReason stop_reason = StopReason::Converged;
+
+  bool clean() const noexcept {
+    return faults == 0 && quarantined == 0 && stop_reason == StopReason::Converged;
+  }
+};
 
 struct HggaConfig {
   int population = 100;
@@ -64,6 +90,7 @@ struct SearchResult {
   double time_to_best_s = 0.0;     ///< wall time when the best was first seen
   std::vector<double> history;     ///< best cost per generation
   std::vector<GenerationStats> trace;  ///< per-generation population stats
+  FaultReport fault_report;        ///< faults seen + why the run stopped
 
   /// CSV of the convergence trace (generation, best, mean, diversity, groups).
   std::string trace_csv() const;
@@ -78,11 +105,25 @@ struct SearchResult {
 /// local optimum is reached. Returns the number of edits applied.
 int local_polish(const Objective& objective, FusionPlan& plan, double* cost = nullptr);
 
+/// Periodic checkpointing of an HGGA run (see search/checkpoint.hpp for the
+/// on-disk format). With `resume` set, the run restarts from the state in
+/// `file` and continues to a best that is bit-identical to an uninterrupted
+/// run with the same seed.
+struct HggaCheckpointing {
+  std::string file;           ///< empty → checkpointing disabled
+  int every_generations = 5;  ///< write cadence
+  bool resume = false;        ///< load `file` before the first generation
+};
+
 class Hgga {
  public:
   Hgga(const Objective& objective, HggaConfig config);
 
-  SearchResult run();
+  /// Runs the search. `control` (optional) enforces deadline / evaluation /
+  /// fault budgets and collects best-so-far; `checkpointing` (optional)
+  /// enables periodic state snapshots and resume.
+  SearchResult run(SearchControl* control = nullptr,
+                   const HggaCheckpointing* checkpointing = nullptr);
 
  private:
   struct Individual {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 #include "util/rng.hpp"
 
 namespace kf {
@@ -40,12 +41,22 @@ double Objective::original_time(KernelId k) const {
   return original_times_[static_cast<std::size_t>(k)];
 }
 
+Objective::GroupCost Objective::quarantine_cost(std::span<const KernelId> group) const {
+  GroupCost out;
+  out.profitable = false;
+  for (KernelId k : group) out.cost_s += original_time(k);
+  out.cost_s *= options_.unprofitable_penalty;
+  return out;
+}
+
 Objective::GroupCost Objective::compute_group_cost(std::span<const KernelId> group) const {
   GroupCost out;
   if (group.size() == 1) {
     out.cost_s = original_time(group[0]);
     return out;
   }
+  FaultInjector::instance().maybe_throw(FaultSite::Objective, fault_key(group),
+                                        "objective group evaluation failed");
   double original_sum = 0.0;
   for (KernelId k : group) original_sum += original_time(k);
 
@@ -63,18 +74,40 @@ Objective::GroupCost Objective::compute_group_cost(std::span<const KernelId> gro
 Objective::GroupCost Objective::group_cost(std::span<const KernelId> group) const {
   KF_REQUIRE(!group.empty(), "empty group");
   evaluations_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t key = group_fingerprint(group);
+
+  // Fault isolation: a runtime failure inside the model/simulator costs the
+  // candidate the unprofitable penalty on its original sum and quarantines
+  // the member set; logic errors (caller misuse) still propagate.
+  auto guarded = [&]() -> GroupCost {
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      if (quarantined_.count(key) != 0) return quarantine_cost(group);
+    }
+    try {
+      return compute_group_cost(group);
+    } catch (const std::runtime_error&) {
+      if (!options_.quarantine_faults) throw;
+      faults_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        quarantined_.insert(key);
+      }
+      return quarantine_cost(group);
+    }
+  };
+
   if (!options_.enable_cache) {
     misses_.fetch_add(1, std::memory_order_relaxed);
-    return compute_group_cost(group);
+    return guarded();
   }
-  const std::uint64_t key = group_fingerprint(group);
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     const auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  const GroupCost cost = compute_group_cost(group);
+  const GroupCost cost = guarded();
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     cache_.emplace(key, cost);
@@ -96,9 +129,20 @@ double Objective::baseline_cost() const {
   return total;
 }
 
+std::vector<std::uint64_t> Objective::quarantined_fingerprints() const {
+  std::vector<std::uint64_t> out;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    out.assign(quarantined_.begin(), quarantined_.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 void Objective::reset_counters() noexcept {
   evaluations_.store(0);
   misses_.store(0);
+  faults_.store(0);
 }
 
 }  // namespace kf

@@ -13,6 +13,13 @@
 // member-set fingerprint; the paper's 5.4e6-evaluation searches spend most
 // evaluations on groups already seen. Evaluation counters are exposed for
 // the Table VI reproduction.
+//
+// Fault isolation: at the paper's scale (hours, millions of evaluations) a
+// single throwing candidate must not abort the run. With quarantine_faults
+// set (the default), a runtime failure inside the projection model or the
+// simulator charges the group the unprofitable penalty, records its
+// fingerprint in a quarantine set (so it is never re-evaluated) and bumps
+// the fault counter that SearchResult::FaultReport surfaces.
 #pragma once
 
 #include <atomic>
@@ -20,6 +27,7 @@
 #include <mutex>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "fusion/legality.hpp"
 #include "gpu/timing_simulator.hpp"
@@ -32,6 +40,11 @@ class Objective {
   struct Options {
     double unprofitable_penalty = 1.05;  ///< cost factor for rejected groups
     bool enable_cache = true;
+    /// Fault isolation: when a model/simulator evaluation throws, charge the
+    /// group the unprofitable penalty on its original sum and quarantine its
+    /// fingerprint instead of letting the exception abort the search. Turn
+    /// off to propagate evaluation failures to the caller.
+    bool quarantine_faults = true;
   };
 
   /// All referees must outlive the objective.
@@ -58,6 +71,9 @@ class Objective {
   // ---- statistics ----
   long evaluations() const noexcept { return evaluations_.load(); }  ///< objective calls
   long model_evaluations() const noexcept { return misses_.load(); } ///< cache misses
+  long faults() const noexcept { return faults_.load(); }  ///< quarantined throws
+  /// Member-set fingerprints of groups whose evaluation threw (sorted).
+  std::vector<std::uint64_t> quarantined_fingerprints() const;
   void reset_counters() noexcept;
 
   const LegalityChecker& checker() const noexcept { return checker_; }
@@ -73,10 +89,13 @@ class Objective {
   std::vector<double> original_times_;
   mutable std::atomic<long> evaluations_{0};
   mutable std::atomic<long> misses_{0};
+  mutable std::atomic<long> faults_{0};
   mutable std::mutex cache_mutex_;
   mutable std::unordered_map<std::uint64_t, GroupCost> cache_;
+  mutable std::unordered_set<std::uint64_t> quarantined_;
 
   GroupCost compute_group_cost(std::span<const KernelId> group) const;
+  GroupCost quarantine_cost(std::span<const KernelId> group) const;
 };
 
 }  // namespace kf

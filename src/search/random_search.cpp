@@ -1,11 +1,13 @@
 #include "search/random_search.hpp"
 
+#include "search/driver.hpp"
 #include "search/population.hpp"
 #include "util/stopwatch.hpp"
 
 namespace kf {
 
-SearchResult random_search(const Objective& objective, RandomSearchConfig config) {
+SearchResult random_search(const Objective& objective, RandomSearchConfig config,
+                           SearchControl* control) {
   Stopwatch watch;
   Rng rng(config.seed);
 
@@ -14,8 +16,10 @@ SearchResult random_search(const Objective& objective, RandomSearchConfig config
   result.best = FusionPlan(objective.checker().program().num_kernels());
   result.best_cost_s = objective.plan_cost(result.best);
   result.time_to_best_s = 0.0;
+  if (control != nullptr) control->note_best(result.best, result.best_cost_s);
 
   for (long i = 0; i < config.samples; ++i) {
+    if (control != nullptr && control->should_stop()) break;
     Rng stream = rng.split();
     FusionPlan plan = random_legal_plan(objective.checker(), stream,
                                         stream.next_double(0.2, config.aggressiveness));
@@ -24,12 +28,14 @@ SearchResult random_search(const Objective& objective, RandomSearchConfig config
       result.best_cost_s = cost;
       result.best = std::move(plan);
       result.time_to_best_s = watch.elapsed_s();
+      if (control != nullptr) control->note_best(result.best, result.best_cost_s);
     }
   }
   result.best.canonicalize();
   result.evaluations = objective.evaluations();
   result.model_evaluations = objective.model_evaluations();
   result.runtime_s = watch.elapsed_s();
+  fill_fault_report(result, objective, control);
   return result;
 }
 

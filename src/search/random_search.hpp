@@ -14,7 +14,12 @@ struct RandomSearchConfig {
   std::uint64_t seed = 0x5eed;
 };
 
+class SearchControl;  // search/driver.hpp
+
+/// `control` (optional) enforces deadline / evaluation / fault budgets;
+/// on early stop the best-so-far (always legal) plan is returned.
 SearchResult random_search(const Objective& objective,
-                           RandomSearchConfig config = RandomSearchConfig());
+                           RandomSearchConfig config = RandomSearchConfig(),
+                           SearchControl* control = nullptr);
 
 }  // namespace kf

@@ -80,4 +80,14 @@ Rng Rng::split() noexcept {
   return Rng((*this)() ^ 0xa5a5a5a5deadbeefULL);
 }
 
+std::array<std::uint64_t, 4> Rng::state() const noexcept {
+  return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) {
+  KF_REQUIRE((state[0] | state[1] | state[2] | state[3]) != 0,
+             "all-zero state is invalid for xoshiro256**");
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = state[i];
+}
+
 }  // namespace kf

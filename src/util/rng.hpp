@@ -6,6 +6,7 @@
 // seeded through SplitMix64 as its authors recommend.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -65,6 +66,13 @@ class Rng {
 
   /// Derive an independent child generator (for per-task streams).
   Rng split() noexcept;
+
+  /// Raw xoshiro256** state, for checkpoint/resume round-trips.
+  std::array<std::uint64_t, 4> state() const noexcept;
+
+  /// Restores a state captured by state(). Rejects the all-zero state
+  /// (invalid for xoshiro256**).
+  void set_state(const std::array<std::uint64_t, 4>& state);
 
  private:
   std::uint64_t s_[4];

@@ -2,6 +2,8 @@
 // derivation, program validation and text round-tripping.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <filesystem>
 #include <fstream>
 
 #include "ir/expression.hpp"
@@ -328,6 +330,35 @@ TEST_P(FixtureFiles, ParseValidateAndRoundTrip) {
   EXPECT_GT(p.num_kernels(), 10);
   EXPECT_NO_THROW(p.validate());
   EXPECT_EQ(to_text(parse_program(to_text(p))), to_text(p));
+}
+
+// Every malformed fixture in fixtures/bad must be rejected with a
+// RuntimeError that names the offending line — never a crash, a silent
+// acceptance, or an unwrapped PreconditionError.
+TEST(BadFixtureFiles, AllRejectedWithLineNumbers) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(KF_FIXTURE_DIR) / "bad";
+  int checked = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".kf") continue;
+    const std::string name = entry.path().filename().string();
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in) << "cannot open " << entry.path();
+    try {
+      read_program(in);
+      ADD_FAILURE() << name << " parsed without error";
+    } catch (const RuntimeError& e) {
+      const std::string msg = e.what();
+      const auto pos = msg.find("line ");
+      ASSERT_NE(pos, std::string::npos) << name << ": no line number in '" << msg << "'";
+      EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(msg[pos + 5])))
+          << name << ": no line number in '" << msg << "'";
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << name << " threw non-RuntimeError: " << e.what();
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 14) << "bad-input corpus shrank";
 }
 
 INSTANTIATE_TEST_SUITE_P(Files, FixtureFiles,

@@ -2,7 +2,9 @@
 // statistics helpers, table rendering, string utilities.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -204,6 +206,70 @@ TEST(Error, MacrosThrowTypedExceptions) {
   EXPECT_THROW(KF_REQUIRE(false, "boom " << 42), PreconditionError);
   EXPECT_THROW(KF_CHECK(false, "bang"), RuntimeError);
   EXPECT_NO_THROW(KF_REQUIRE(true, "fine"));
+}
+
+TEST(Error, ExceptionsFitTheStandardTaxonomy) {
+  // Quarantine code catches std::runtime_error; caller misuse must NOT be
+  // swallowed by that net.
+  EXPECT_THROW(throw RuntimeError("x"), std::runtime_error);
+  EXPECT_THROW(throw PreconditionError("x"), std::logic_error);
+  try {
+    throw PreconditionError("x");
+  } catch (const std::runtime_error&) {
+    FAIL() << "PreconditionError must not be a runtime_error";
+  } catch (const std::logic_error&) {
+  }
+}
+
+TEST(Error, RequireMessageCarriesExprLocationAndStreamedText) {
+  try {
+    KF_REQUIRE(1 + 1 == 3, "math is " << "broken " << 42);
+    FAIL() << "did not throw";
+  } catch (const PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("precondition failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1 + 1 == 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("test_util.cpp:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("math is broken 42"), std::string::npos) << msg;
+  }
+}
+
+TEST(Error, CheckMessageCarriesExprLocationAndStreamedText) {
+  try {
+    KF_CHECK(false, "population " << 3 << " too small");
+    FAIL() << "did not throw";
+  } catch (const RuntimeError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("invariant failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(false)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("test_util.cpp:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("population 3 too small"), std::string::npos) << msg;
+  }
+}
+
+TEST(Error, MacrosEvaluateConditionExactlyOnce) {
+  int calls = 0;
+  auto pass = [&] { ++calls; return true; };
+  KF_REQUIRE(pass(), "ok");
+  KF_CHECK(pass(), "ok");
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Rng, StateRoundTripResumesStream) {
+  Rng a(0xfeedULL);
+  for (int i = 0; i < 17; ++i) a();
+  const auto snapshot = a.state();
+  std::vector<std::uint64_t> expect;
+  for (int i = 0; i < 32; ++i) expect.push_back(a());
+
+  Rng b(1);  // unrelated seed; state restore must fully override it
+  b.set_state(snapshot);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(b(), expect[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, SetStateRejectsAllZero) {
+  Rng r(7);
+  EXPECT_THROW(r.set_state({0, 0, 0, 0}), PreconditionError);
 }
 
 }  // namespace

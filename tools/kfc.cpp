@@ -17,6 +17,19 @@
 //   --mem-budget BYTES             cap the redundant-array memory cost
 //   --trace FILE                   write a Chrome-trace JSON of the result
 //
+// resilience options (see src/search/driver.hpp):
+//   --deadline S                   wall-clock budget; stop with best-so-far
+//   --max-evals N                  objective-evaluation budget
+//   --max-faults N                 stop after N quarantined faults
+//   --checkpoint FILE              HGGA: save resumable state periodically
+//   --checkpoint-every N           ... every N generations (default 5)
+//   --resume                       HGGA: continue from --checkpoint FILE
+//   --inject kind:rate[:seed]      arm deterministic fault injection
+//                                  (kind: objective|projection|simulator|parser)
+//
+// exit codes: 0 success, 1 verification failure, 2 usage/precondition
+// error, 3 runtime error (bad input data, I/O, unrecovered fault).
+//
 // Program files use the text IR (see src/ir/program_io.hpp). Builtins:
 // rk18, cloverleaf, fig3, scale-les, homme, wrf, asuca, mitgcm, cosmo.
 #include <fstream>
@@ -46,6 +59,15 @@ struct Options {
   double mem_budget = -1.0;
   std::string plan_text;
   std::string trace_file;
+
+  // resilience
+  double deadline_s = 0.0;
+  long max_evals = 0;
+  long max_faults = 0;
+  std::string checkpoint_file;
+  int checkpoint_every = 5;
+  bool resume = false;
+  std::vector<FaultPlan> injections;
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -57,7 +79,10 @@ struct Options {
       "rk18|cloverleaf|swe|fig3|scale-les|homme|wrf|asuca|mitgcm|cosmo\n"
       "options:  --device k20x|k40|gtx750ti  --objective proposed|roofline|simple|literal\n"
       "          --method hgga|greedy|annealing|random|exhaustive\n"
-      "          --pop N --gens N --stall N --seed S --no-expand\n";
+      "          --pop N --gens N --stall N --seed S --no-expand\n"
+      "          --deadline S --max-evals N --max-faults N\n"
+      "          --checkpoint FILE [--checkpoint-every N] [--resume]\n"
+      "          --inject kind:rate[:seed]\n";
   std::exit(2);
 }
 
@@ -100,6 +125,21 @@ Options parse(int argc, char** argv) {
       if (i + 1 >= argc) usage("missing value for " + arg);
       return argv[++i];
     };
+    auto next_num = [&](auto parse) {
+      const std::string value = next();
+      try {
+        std::size_t used = 0;
+        auto parsed = parse(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        return parsed;
+      } catch (const std::exception&) {
+        usage("expected a number for " + arg + ", got '" + value + "'");
+      }
+    };
+    auto next_int = [&] { return next_num([](const std::string& s, std::size_t* n) { return std::stoi(s, n); }); };
+    auto next_long = [&] { return next_num([](const std::string& s, std::size_t* n) { return std::stol(s, n); }); };
+    auto next_double = [&] { return next_num([](const std::string& s, std::size_t* n) { return std::stod(s, n); }); };
+    auto next_seed = [&] { return next_num([](const std::string& s, std::size_t* n) { return std::stoull(s, n); }); };
     if (arg == "--builtin") {
       opt.builtin = next();
     } else if (arg == "--device") {
@@ -109,21 +149,35 @@ Options parse(int argc, char** argv) {
     } else if (arg == "--method") {
       opt.method = next();
     } else if (arg == "--pop") {
-      opt.population = std::stoi(next());
+      opt.population = next_int();
     } else if (arg == "--gens") {
-      opt.generations = std::stoi(next());
+      opt.generations = next_int();
     } else if (arg == "--stall") {
-      opt.stall = std::stoi(next());
+      opt.stall = next_int();
     } else if (arg == "--seed") {
-      opt.seed = std::stoull(next());
+      opt.seed = next_seed();
     } else if (arg == "--no-expand") {
       opt.expand = false;
     } else if (arg == "--mem-budget") {
-      opt.mem_budget = std::stod(next());
+      opt.mem_budget = next_double();
     } else if (arg == "--plan") {
       opt.plan_text = next();
     } else if (arg == "--trace") {
       opt.trace_file = next();
+    } else if (arg == "--deadline") {
+      opt.deadline_s = next_double();
+    } else if (arg == "--max-evals") {
+      opt.max_evals = next_long();
+    } else if (arg == "--max-faults") {
+      opt.max_faults = next_long();
+    } else if (arg == "--checkpoint") {
+      opt.checkpoint_file = next();
+    } else if (arg == "--checkpoint-every") {
+      opt.checkpoint_every = next_int();
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--inject") {
+      opt.injections.push_back(parse_fault_plan(next()));
     } else if (!arg.empty() && arg[0] == '-') {
       usage("unknown option " + arg);
     } else if (opt.command == "demo" && opt.builtin.empty()) {
@@ -134,6 +188,8 @@ Options parse(int argc, char** argv) {
       usage("unexpected argument " + arg);
     }
   }
+  KF_REQUIRE(!opt.resume || !opt.checkpoint_file.empty(),
+             "--resume requires --checkpoint FILE");
   return opt;
 }
 
@@ -221,29 +277,24 @@ SearchOutcome run_search(const Options& opt, const Program& program) {
     KF_REQUIRE(checker.plan_is_legal(result.best), "supplied plan is illegal");
     result.best_cost_s = objective.plan_cost(result.best);
     result.baseline_cost_s = objective.baseline_cost();
-  } else if (opt.method == "hgga") {
-    HggaConfig cfg;
-    cfg.population = opt.population;
-    cfg.max_generations = opt.generations;
-    cfg.stall_generations = opt.stall;
-    cfg.seed = opt.seed;
-    result = Hgga(objective, cfg).run();
-  } else if (opt.method == "greedy") {
-    result = greedy_search(objective);
-  } else if (opt.method == "annealing") {
-    AnnealingConfig cfg;
-    cfg.iterations = static_cast<long>(opt.population) * opt.generations;
-    cfg.seed = opt.seed;
-    result = annealing_search(objective, cfg);
-  } else if (opt.method == "random") {
-    RandomSearchConfig cfg;
-    cfg.samples = static_cast<long>(opt.population) * opt.generations;
-    cfg.seed = opt.seed;
-    result = random_search(objective, cfg);
-  } else if (opt.method == "exhaustive") {
-    result = exhaustive_search(objective);
   } else {
-    usage("unknown method '" + opt.method + "'");
+    DriverConfig cfg;
+    cfg.method = search_method_from_string(opt.method);
+    cfg.limits.deadline_s = opt.deadline_s;
+    cfg.limits.max_evaluations = opt.max_evals;
+    cfg.limits.max_faults = opt.max_faults;
+    cfg.hgga.population = opt.population;
+    cfg.hgga.max_generations = opt.generations;
+    cfg.hgga.stall_generations = opt.stall;
+    cfg.hgga.seed = opt.seed;
+    cfg.annealing.iterations = static_cast<long>(opt.population) * opt.generations;
+    cfg.annealing.seed = opt.seed;
+    cfg.random.samples = static_cast<long>(opt.population) * opt.generations;
+    cfg.random.seed = opt.seed;
+    cfg.checkpointing.file = opt.checkpoint_file;
+    cfg.checkpointing.every_generations = opt.checkpoint_every;
+    cfg.checkpointing.resume = opt.resume;
+    result = SearchDriver(objective, cfg).run();
   }
 
   SearchOutcome out;
@@ -253,21 +304,34 @@ SearchOutcome run_search(const Options& opt, const Program& program) {
   out.expanded = opt.expand;
 
   // Report.
-  const double before = sim.program_time(out.expansion.program);
-  double after = 0;
-  for (const LaunchDescriptor& d : out.fused.launches) {
-    after += sim.run(out.expansion.program, d).time_s;
-  }
   std::cerr << "search (" << opt.method << "/" << opt.objective << " on "
             << device.name << "): " << out.result.generations << " generations, "
             << out.result.evaluations << " evaluations, "
             << human_time(out.result.runtime_s) << "\n";
+  const FaultReport& faults = out.result.fault_report;
+  if (!faults.clean()) {
+    std::cerr << "resilience: stop reason " << to_string(faults.stop_reason) << ", "
+              << faults.faults << " faults, " << faults.quarantined
+              << " groups quarantined\n";
+  }
   std::cerr << "plan: " << program.num_kernels() << " kernels -> "
             << out.result.best.num_groups() << " launches ("
             << out.result.best.fused_group_count() << " fused)\n";
-  std::cerr << "projected " << fixed(out.result.projected_speedup(), 2)
-            << "x, simulated " << human_time(before) << " -> " << human_time(after)
-            << " (" << fixed(before / after, 2) << "x)\n";
+  try {
+    const double before = sim.program_time(out.expansion.program);
+    double after = 0;
+    for (const LaunchDescriptor& d : out.fused.launches) {
+      after += sim.run(out.expansion.program, d).time_s;
+    }
+    std::cerr << "projected " << fixed(out.result.projected_speedup(), 2)
+              << "x, simulated " << human_time(before) << " -> " << human_time(after)
+              << " (" << fixed(before / after, 2) << "x)\n";
+  } catch (const RuntimeError& e) {
+    // Injected simulator faults can hit the report pass; the search result
+    // above still stands.
+    std::cerr << "projected " << fixed(out.result.projected_speedup(), 2)
+              << "x, simulated report unavailable: " << e.what() << "\n";
+  }
   if (!opt.trace_file.empty()) {
     const EventSimulator events(device);
     const EventTrace trace = events.run_sequence(out.expansion.program, out.fused.launches);
@@ -325,6 +389,10 @@ int cmd_fuse(const Options& opt) {
 int main(int argc, char** argv) {
   try {
     const Options opt = parse(argc, argv);
+    // Armed before any input is read so the parser site covers load_input;
+    // originals are profiled fault-free (see timing_simulator.cpp), so
+    // arming early is safe for every site.
+    ScopedFaultInjection inject(opt.injections);
     if (opt.command == "demo") return cmd_demo(opt);
     if (opt.command == "analyze") return cmd_analyze(opt);
     if (opt.command == "graphs") return cmd_graphs(opt);
@@ -333,6 +401,12 @@ int main(int argc, char** argv) {
     if (opt.command == "apply") return cmd_search(opt);  // --plan supplies it
     if (opt.command == "fuse") return cmd_fuse(opt);
     usage("unknown command '" + opt.command + "'");
+  } catch (const kf::PreconditionError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;  // caller misuse: bad flags, illegal plan, bad config
+  } catch (const kf::RuntimeError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 3;  // bad input data, I/O failure, unrecovered fault
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
