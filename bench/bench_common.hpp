@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -22,6 +23,46 @@ namespace kf::bench {
 inline bool small_scale() {
   const char* v = std::getenv("KF_BENCH_SCALE");
   return v != nullptr && std::string(v) == "small";
+}
+
+/// With KF_BENCH_METRICS_DIR set, writes `doc` to
+/// $KF_BENCH_METRICS_DIR/BENCH_<name>.json so CI and sweep scripts can
+/// diff bench runs without scraping the text tables; a no-op otherwise.
+inline void write_bench_metrics(const std::string& name, const JsonValue& doc) {
+  const char* dir = std::getenv("KF_BENCH_METRICS_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/BENCH_" + name + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "warning: cannot write bench metrics to " << path << "\n";
+    return;
+  }
+  os << doc.to_string(2) << "\n";
+  std::cerr << "wrote " << path << "\n";
+}
+
+/// The standard run-metrics document for one bench search (schema
+/// kf-bench-metrics/v1; a sibling of the CLI's kfc-metrics/v1 "run" block).
+inline JsonValue bench_metrics_json(const std::string& bench,
+                                    const std::string& program,
+                                    const SearchResult& result) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "kf-bench-metrics/v1");
+  doc.set("bench", bench);
+  doc.set("program", program);
+  doc.set("best_cost_s", result.best_cost_s);
+  doc.set("baseline_cost_s", result.baseline_cost_s);
+  doc.set("speedup", result.projected_speedup());
+  doc.set("generations", static_cast<long>(result.generations));
+  doc.set("evaluations", result.evaluations);
+  doc.set("model_evaluations", result.model_evaluations);
+  doc.set("faults", result.fault_report.faults);
+  doc.set("stop_reason", to_string(result.fault_report.stop_reason));
+  doc.set("runtime_s", result.runtime_s);
+  doc.set("time_to_best_s", result.time_to_best_s);
+  doc.set("launches", static_cast<long>(result.best.num_groups()));
+  doc.set("fused_groups", static_cast<long>(result.best.fused_group_count()));
+  return doc;
 }
 
 struct BenchPipeline {
@@ -78,6 +119,9 @@ inline void report_app_new_kernels(Program program, int population,
   config.stall_generations = std::max(40, max_generations / 4);
   config.seed = seed;
   const SearchResult result = pipe.search(config);
+  write_bench_metrics("app_" + pipe.original.name(),
+                      bench_metrics_json("report_app_new_kernels",
+                                         pipe.original.name(), result));
 
   std::cout << "\nBest solution: " << result.best.fused_kernel_count() << " of "
             << pipe.expansion.program.num_kernels() << " kernels fused into "

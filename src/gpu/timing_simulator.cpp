@@ -68,6 +68,7 @@ SimResult TimingSimulator::run(const Program& program,
       r.occupancy.limiter == OccupancyLimiter::Infeasible) {
     r.launchable = false;
     r.time_s = std::numeric_limits<double>::infinity();
+    r.breakdown.total_s = r.time_s;  // components stay zero: nothing to attribute
     return r;
   }
 
@@ -146,6 +147,50 @@ SimResult TimingSimulator::run(const Program& program,
               device_.smem_overlap_penalty * r.smem_time_s + r.barrier_time_s +
               r.launch_time_s) *
              noise_factor(launch);
+
+  // ---- cost attribution (TimeBreakdown) ----
+  // Charge only the winner of the max(mem, compute, smem) race — the losing
+  // pipelines execute underneath it — then add the serial terms. Every
+  // component is scaled by the same noise factor as time_s, so the pre-noise
+  // identity (components sum to the pre-noise total) carries over exactly.
+  {
+    TimeBreakdown& b = r.breakdown;
+    b.smem_s = device_.smem_overlap_penalty * r.smem_time_s;
+    b.barrier_s = r.barrier_time_s;
+    b.launch_s = r.launch_time_s;
+    const double dominant = std::max({r.mem_time_s, r.compute_time_s, r.smem_time_s});
+    if (dominant == r.mem_time_s) {
+      // Split memory time into traffic-at-peak vs the stall the latency-
+      // hiding shortfall adds, then carve the halo-staging share out of the
+      // traffic term (spill bytes count as plain traffic).
+      const double peak_time = gmem_bytes / (device_.gmem_bw_gbs * 1e9);
+      b.latency_stall_s = r.mem_time_s - peak_time;
+      const double halo_eff_bytes =
+          r.traffic.halo_bytes * (1.0 - device_.l2_hit_fraction);
+      const double halo_frac =
+          gmem_bytes > 0.0 ? std::min(1.0, halo_eff_bytes / gmem_bytes) : 0.0;
+      b.halo_s = peak_time * halo_frac;
+      b.gmem_traffic_s = peak_time - b.halo_s;
+    } else if (dominant == r.compute_time_s) {
+      const double halo_frac =
+          launch.flops_per_site > 0.0
+              ? std::min(1.0, launch.halo_flops_per_site / launch.flops_per_site)
+              : 0.0;
+      b.halo_s = r.compute_time_s * halo_frac;
+      b.compute_s = r.compute_time_s - b.halo_s;
+    } else {
+      b.smem_s += r.smem_time_s;
+    }
+    const double noise = noise_factor(launch);
+    b.gmem_traffic_s *= noise;
+    b.halo_s *= noise;
+    b.latency_stall_s *= noise;
+    b.smem_s *= noise;
+    b.barrier_s *= noise;
+    b.compute_s *= noise;
+    b.launch_s *= noise;
+    b.total_s = r.time_s;
+  }
   return r;
 }
 

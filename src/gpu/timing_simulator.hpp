@@ -32,9 +32,39 @@
 
 namespace kf {
 
+/// Attribution of a SimResult's predicted time to the mechanisms that
+/// produced it. Only the winning pipeline of the max(mem, compute, smem)
+/// race is charged (the losers are hidden underneath it), plus the serial
+/// terms that always add on top. The components sum to `total_s` (==
+/// SimResult::time_s) to within 1e-9 for every launchable result; for an
+/// unlaunchable result total_s is +inf and every component is zero.
+struct TimeBreakdown {
+  double gmem_traffic_s = 0.0;   ///< non-halo GMEM bytes at peak bandwidth
+  double halo_s = 0.0;           ///< halo staging loads (mem-bound) or halo
+                                 ///< recompute flops (compute-bound)
+  double latency_stall_s = 0.0;  ///< memory time lost to unhidden latency
+                                 ///< (achieved vs peak bandwidth gap)
+  double smem_s = 0.0;           ///< SMEM serialization incl. bank-conflict
+                                 ///< slowdown and the overlap penalty
+  double barrier_s = 0.0;        ///< __syncthreads across block waves
+  double compute_s = 0.0;        ///< non-halo FLOPs when compute-bound
+  double launch_s = 0.0;         ///< per-launch overhead
+  double total_s = 0.0;          ///< == SimResult::time_s
+
+  double component_sum() const noexcept {
+    return gmem_traffic_s + halo_s + latency_stall_s + smem_s + barrier_s +
+           compute_s + launch_s;
+  }
+  /// Share of the total attributed to `component_s`, in [0, 1].
+  double fraction(double component_s) const noexcept {
+    return total_s > 0.0 && total_s < 1e300 ? component_s / total_s : 0.0;
+  }
+};
+
 struct SimResult {
   bool launchable = true;      ///< false: exceeds hard per-block limits
   double time_s = 0.0;
+  TimeBreakdown breakdown;     ///< where time_s comes from (sums to time_s)
 
   // components
   double mem_time_s = 0.0;

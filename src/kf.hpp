@@ -66,6 +66,11 @@
 #include "stencil/equivalence.hpp"
 #include "stencil/grid.hpp"
 #include "stencil/reference_executor.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace_log.hpp"
 #include "util/error.hpp"
 #include "util/fault_injection.hpp"
 #include "util/rng.hpp"

@@ -103,7 +103,8 @@ void write_checkpoint(std::ostream& os, const HggaCheckpoint& ckpt) {
   for (const GenerationStats& s : ckpt.trace) {
     os << "trace best=" << hexfloat(s.best_cost_s) << " mean=" << hexfloat(s.mean_cost_s)
        << " distinct=" << s.distinct_plans << " groups=" << hexfloat(s.mean_groups)
-       << '\n';
+       << " worst=" << hexfloat(s.worst_cost_s) << " xover=" << s.crossovers
+       << " ximp=" << s.crossover_improved << " mut=" << s.mutations << '\n';
   }
   for (std::size_t i = 0; i < ckpt.population.size(); ++i) {
     os << "individual cost=" << hexfloat(ckpt.costs[i])
@@ -172,6 +173,14 @@ HggaCheckpoint read_checkpoint(std::istream& is) {
           s.distinct_plans = parse_int(tok.substr(9), line_no, "trace distinct");
         } else if (starts_with(tok, "groups=")) {
           s.mean_groups = parse_hexfloat(tok.substr(7), line_no, "trace groups");
+        } else if (starts_with(tok, "worst=")) {
+          s.worst_cost_s = parse_hexfloat(tok.substr(6), line_no, "trace worst");
+        } else if (starts_with(tok, "xover=")) {
+          s.crossovers = parse_int(tok.substr(6), line_no, "trace xover");
+        } else if (starts_with(tok, "ximp=")) {
+          s.crossover_improved = parse_int(tok.substr(5), line_no, "trace ximp");
+        } else if (starts_with(tok, "mut=")) {
+          s.mutations = parse_int(tok.substr(4), line_no, "trace mut");
         } else {
           throw RuntimeError(strprintf("checkpoint line %d: unknown trace field '%s'",
                                        line_no, tok.c_str()));

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "search/checkpoint.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace kf {
@@ -66,6 +67,25 @@ bool SearchControl::should_stop() noexcept {
   }
   reason_.store(static_cast<int>(reason), std::memory_order_relaxed);
   stopped_.store(true, std::memory_order_release);
+  // Latching poll: this branch runs exactly once per control, so the event
+  // below fires once per tripped budget.
+  if (telemetry_ != nullptr) {
+    if (telemetry_->metrics != nullptr) {
+      telemetry_->metrics->count("search.budget_stops", 1,
+                                 {{"reason", to_string(reason)}});
+    }
+    if (telemetry_->wants_trace()) {
+      const double elapsed = watch_.elapsed_s();
+      const long used = evaluations_used();
+      const long faults = objective_.faults() - base_faults_;
+      telemetry_->trace->emit("budget_stop", [&](TraceEvent& e) {
+        e.str("reason", to_string(reason))
+            .num("elapsed_s", elapsed)
+            .num("evaluations", static_cast<double>(used))
+            .num("faults", static_cast<double>(faults));
+      });
+    }
+  }
   return true;
 }
 
@@ -125,7 +145,7 @@ SearchResult SearchDriver::dispatch(SearchControl& control) {
     case SearchMethod::Hgga: {
       const HggaCheckpointing* ckpt =
           config_.checkpointing.file.empty() ? nullptr : &config_.checkpointing;
-      return Hgga(objective_, config_.hgga).run(&control, ckpt);
+      return Hgga(objective_, config_.hgga).run(&control, ckpt, config_.telemetry);
     }
     case SearchMethod::Greedy:
       return greedy_search(objective_, &control);
@@ -190,13 +210,47 @@ void SearchDriver::validate_checkpointing() const {
 SearchResult SearchDriver::run() {
   validate_checkpointing();
   SearchControl control(objective_, config_.limits);
-  try {
-    SearchResult result = dispatch(control);
-    fill_fault_report(result, objective_, &control);
-    return result;
-  } catch (const std::runtime_error&) {
-    return recover(control);
+  const Telemetry* t = config_.telemetry;
+  control.set_telemetry(t);
+  if (t != nullptr && t->wants_trace()) {
+    t->trace->emit("search_start", [&](TraceEvent& e) {
+      e.str("method", to_string(config_.method))
+          .str("program", objective_.checker().program().name())
+          .num("num_kernels", objective_.checker().program().num_kernels())
+          .num("deadline_s", config_.limits.deadline_s)
+          .num("max_evaluations", static_cast<double>(config_.limits.max_evaluations))
+          .num("max_faults", static_cast<double>(config_.limits.max_faults));
+    });
   }
+  SearchResult result;
+  bool recovered = false;
+  try {
+    result = dispatch(control);
+    fill_fault_report(result, objective_, &control);
+  } catch (const std::runtime_error&) {
+    result = recover(control);
+    recovered = true;
+  }
+  if (t != nullptr) {
+    if (t->metrics != nullptr) {
+      t->metrics->count("search.runs", 1,
+                        {{"stop_reason", to_string(result.fault_report.stop_reason)}});
+    }
+    if (t->wants_trace()) {
+      t->trace->emit("search_end", [&](TraceEvent& e) {
+        e.str("stop_reason", to_string(result.fault_report.stop_reason))
+            .boolean("recovered", recovered)
+            .num("best_cost_s", result.best_cost_s)
+            .num("baseline_cost_s", result.baseline_cost_s)
+            .num("speedup", result.projected_speedup())
+            .num("generations", result.generations)
+            .num("evaluations", static_cast<double>(result.evaluations))
+            .num("faults", result.fault_report.faults)
+            .num("runtime_s", result.runtime_s);
+      });
+    }
+  }
+  return result;
 }
 
 }  // namespace kf

@@ -53,6 +53,10 @@ class SearchControl {
 
   SearchControl(const Objective& objective, Limits limits);
 
+  /// Optional observability: the latching poll emits one "budget_stop"
+  /// event and the stop-reason counter when a budget trips. Null disables.
+  void set_telemetry(const Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
+
   /// Polled by search loops: true once any budget is exhausted. The first
   /// exceeded budget latches the stop reason; later polls return true
   /// without re-deciding.
@@ -77,6 +81,7 @@ class SearchControl {
  private:
   const Objective& objective_;
   Limits limits_;
+  const Telemetry* telemetry_ = nullptr;
   Stopwatch watch_;
   long base_evaluations_ = 0;
   long base_faults_ = 0;
@@ -101,6 +106,12 @@ struct DriverConfig {
   ExhaustiveConfig exhaustive;
 
   HggaCheckpointing checkpointing;  ///< HGGA only; file empty → disabled
+
+  /// Observability context threaded through the run (search_start/_end and
+  /// budget_stop events here; per-generation events inside HGGA; eval
+  /// metrics and quarantine events inside the Objective). Must outlive the
+  /// driver; null (the default) disables all instrumentation.
+  const Telemetry* telemetry = nullptr;
 };
 
 class SearchDriver {

@@ -1,6 +1,8 @@
 #include "search/hgga.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <iostream>
 #include <limits>
 #include <set>
 #include <sstream>
@@ -8,18 +10,73 @@
 #include "search/checkpoint.hpp"
 #include "search/driver.hpp"
 #include "search/population.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
 
 namespace kf {
 
+namespace {
+
+/// Per-generation telemetry fan-out: metrics series, one "generation" trace
+/// event, and the --progress heartbeat. Only called when telemetry is active.
+void note_generation(const Telemetry& t, int gen, const GenerationStats& s,
+                     double gen_s, long total_evals, long gen_evals,
+                     double elapsed_s, int population, int stall) {
+  const double evals_per_s = gen_s > 0.0 ? static_cast<double>(gen_evals) / gen_s : 0.0;
+  if (t.metrics != nullptr) {
+    t.metrics->count("search.generations");
+    t.metrics->count("search.crossovers", s.crossovers);
+    t.metrics->count("search.crossover_improved", s.crossover_improved);
+    t.metrics->count("search.mutations", s.mutations);
+    t.metrics->gauge("search.best_cost_s", s.best_cost_s);
+    t.metrics->gauge("search.mean_cost_s", s.mean_cost_s);
+    t.metrics->gauge("search.distinct_plans", s.distinct_plans);
+    t.metrics->gauge("search.mean_groups", s.mean_groups);
+    t.metrics->observe("search.generation_s", gen_s);
+    t.metrics->observe("search.evals_per_s", evals_per_s);
+  }
+  if (t.wants_trace()) {
+    t.trace->emit("generation", [&](TraceEvent& e) {
+      e.num("gen", gen)
+          .num("best_cost_s", s.best_cost_s)
+          .num("mean_cost_s", s.mean_cost_s)
+          .num("worst_cost_s", s.worst_cost_s)
+          .num("distinct_plans", s.distinct_plans)
+          .num("mean_groups", s.mean_groups)
+          .num("crossovers", s.crossovers)
+          .num("crossover_improved", s.crossover_improved)
+          .num("mutations", s.mutations)
+          .num("stall", stall)
+          .num("evaluations", static_cast<double>(total_evals))
+          .num("evals_per_s", evals_per_s)
+          .num("elapsed_s", elapsed_s);
+    });
+  }
+  if (t.wants_progress() && (gen + 1) % t.progress_every == 0) {
+    std::ostream& os = t.progress != nullptr ? *t.progress : std::cerr;
+    os << strprintf(
+              "[gen %4d] best %.4e s  mean %.4e s  distinct %d/%d  stall %d  "
+              "%.0f evals/s",
+              gen, s.best_cost_s, s.mean_cost_s, s.distinct_plans, population,
+              stall, evals_per_s)
+       << std::endl;
+  }
+}
+
+}  // namespace
+
 std::string SearchResult::trace_csv() const {
   std::ostringstream os;
-  os << "generation,best_cost_s,mean_cost_s,distinct_plans,mean_groups\n";
+  os << "generation,best_cost_s,mean_cost_s,worst_cost_s,distinct_plans,"
+        "mean_groups,crossovers,crossover_improved,mutations\n";
   for (std::size_t g = 0; g < trace.size(); ++g) {
     const GenerationStats& s = trace[g];
     os << g << ',' << s.best_cost_s << ',' << s.mean_cost_s << ','
-       << s.distinct_plans << ',' << s.mean_groups << '\n';
+       << s.worst_cost_s << ',' << s.distinct_plans << ',' << s.mean_groups
+       << ',' << s.crossovers << ',' << s.crossover_improved << ','
+       << s.mutations << '\n';
   }
   return os.str();
 }
@@ -201,9 +258,10 @@ void Hgga::crossover(const Individual& a, const Individual& b, Individual& child
   repair_plan(checker, child.plan);
 }
 
-void Hgga::mutate(Individual& individual, Rng& rng) const {
+int Hgga::mutate(Individual& individual, Rng& rng) const {
   const LegalityChecker& checker = objective_.checker();
   FusionPlan& plan = individual.plan;
+  int applied = 0;
 
   // merge two sharing-connected groups
   if (rng.next_bool(config_.mutation_merge_rate) && plan.num_groups() >= 2) {
@@ -220,7 +278,10 @@ void Hgga::mutate(Individual& individual, Rng& rng) const {
         if (checker.group_is_legal(merged)) {
           FusionPlan trial = plan;
           trial.merge_groups(ga, gb);
-          if (checker.plan_is_schedulable(trial)) plan = std::move(trial);
+          if (checker.plan_is_schedulable(trial)) {
+            plan = std::move(trial);
+            ++applied;
+          }
         }
       }
     }
@@ -232,7 +293,10 @@ void Hgga::mutate(Individual& individual, Rng& rng) const {
     for (int g = 0; g < plan.num_groups(); ++g) {
       if (plan.group(g).size() >= 2) fused.push_back(g);
     }
-    if (!fused.empty()) plan.split_group(fused[rng.next_below(fused.size())]);
+    if (!fused.empty()) {
+      plan.split_group(fused[rng.next_below(fused.size())]);
+      ++applied;
+    }
   }
 
   // move one kernel to a neighbouring group
@@ -253,13 +317,16 @@ void Hgga::mutate(Individual& individual, Rng& rng) const {
           // Removing k may have broken the source group's convexity or
           // connectivity; split it if so (split-repair).
           repair_plan(checker, plan);
+          ++applied;
         }
       }
     }
   }
+  return applied;
 }
 
-SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpointing) {
+SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpointing,
+                       const Telemetry* telemetry) {
   Stopwatch watch;
   Rng master(config_.seed);
   const Program& program = objective_.checker().program();
@@ -301,6 +368,13 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
     result.history = ckpt.history;
     result.trace = ckpt.trace;
     result.generations = start_gen;
+    if (telemetry != nullptr && telemetry->wants_trace()) {
+      telemetry->trace->emit("checkpoint_resume", [&](TraceEvent& e) {
+        e.str("file", checkpointing->file)
+            .num("generation", start_gen)
+            .num("best_cost_s", best.cost);
+      });
+    }
   } else {
     population.reserve(static_cast<std::size_t>(config_.population));
     for (int i = 0; i < config_.population; ++i) {
@@ -340,14 +414,26 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
     ckpt.history = result.history;
     ckpt.trace = result.trace;
     save_checkpoint(checkpointing->file, ckpt);
+    if (telemetry != nullptr) {
+      if (telemetry->metrics != nullptr) telemetry->metrics->count("search.checkpoint_saves");
+      if (telemetry->wants_trace()) {
+        telemetry->trace->emit("checkpoint_save", [&](TraceEvent& e) {
+          e.str("file", checkpointing->file)
+              .num("generation", next_gen)
+              .num("best_cost_s", best.cost);
+        });
+      }
+    }
   };
 
   // Stall is tested in the loop condition (not via a bottom-of-body break) so
   // that resuming from a checkpoint taken at a stalled boundary exits exactly
   // where the uninterrupted run did.
+  Stopwatch gen_watch;  // lap per generation, for telemetry throughput only
   for (int gen = start_gen;
        gen < config_.max_generations && stall < config_.stall_generations; ++gen) {
     if (control != nullptr && control->should_stop()) break;
+    const long evals_at_gen_start = objective_.evaluations();
     // --- produce offspring ---
     std::vector<Individual> offspring;
     offspring.reserve(static_cast<std::size_t>(config_.population));
@@ -358,19 +444,29 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
               [](const auto& a, const auto& b) { return a.cost < b.cost; });
     for (int e = 0; e < config_.elites; ++e) offspring.push_back(sorted[static_cast<std::size_t>(e)]);
 
+    // Operator activity for this generation's stats: crossover children
+    // remember their better parent's cost so improvement is measurable
+    // after the (parallel) evaluation pass.
+    GenerationStats stats;
+    std::vector<double> crossover_parent_cost(offspring.size(),
+                                              std::numeric_limits<double>::quiet_NaN());
     while (static_cast<int>(offspring.size()) < config_.population) {
       Rng rng = master.split();
       Individual child;
+      double parent_cost = std::numeric_limits<double>::quiet_NaN();
       if (rng.next_bool(config_.crossover_rate)) {
         const Individual& a = tournament(population, rng);
         const Individual& b = tournament(population, rng);
         crossover(a, b, child, rng);
+        parent_cost = std::min(a.cost, b.cost);
+        ++stats.crossovers;
       } else {
         child.plan = tournament(population, rng).plan;
       }
-      mutate(child, rng);
+      stats.mutations += mutate(child, rng);
       child.cost = -1.0;  // mark for evaluation
       offspring.push_back(std::move(child));
+      crossover_parent_cost.push_back(parent_cost);
     }
 
     // --- evaluate (parallel across the population) ---
@@ -378,6 +474,12 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
     for (std::size_t i = 0; i < offspring.size(); ++i) {
       if (offspring[i].cost < 0.0) {
         offspring[i].cost = objective_.plan_cost(offspring[i].plan);
+      }
+    }
+    for (std::size_t i = 0; i < offspring.size(); ++i) {
+      if (!std::isnan(crossover_parent_cost[i]) &&
+          offspring[i].cost < crossover_parent_cost[i] - 1e-15) {
+        ++stats.crossover_improved;
       }
     }
 
@@ -393,22 +495,31 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
     }
     result.history.push_back(best.cost);
     {
-      GenerationStats stats;
       stats.best_cost_s = best.cost;
       double cost_sum = 0.0;
       double group_sum = 0.0;
+      double worst = 0.0;
       std::set<std::uint64_t> fingerprints;
       for (const Individual& ind : population) {
         cost_sum += ind.cost;
         group_sum += ind.plan.num_groups();
+        worst = std::max(worst, ind.cost);
         fingerprints.insert(ind.plan.fingerprint());
       }
       stats.mean_cost_s = cost_sum / static_cast<double>(population.size());
       stats.mean_groups = group_sum / static_cast<double>(population.size());
+      stats.worst_cost_s = worst;
       stats.distinct_plans = static_cast<int>(fingerprints.size());
       result.trace.push_back(stats);
     }
     result.generations = gen + 1;
+    if (telemetry != nullptr && telemetry->active()) {
+      note_generation(*telemetry, gen, result.trace.back(), gen_watch.lap_s(),
+                      objective_.evaluations(),
+                      objective_.evaluations() - evals_at_gen_start,
+                      control != nullptr ? control->elapsed_s() : watch.elapsed_s(),
+                      static_cast<int>(population.size()), stall);
+    }
     if (checkpoint_enabled &&
         (gen + 1) % std::max(1, checkpointing->every_generations) == 0) {
       snapshot(gen + 1);
@@ -421,11 +532,25 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
   // Polish is skipped on an early stop: it can take arbitrarily long and the
   // contract is to return the legal best-so-far near the deadline.
   if (config_.local_polish && !stopped_early) {
+    const double cost_before = best.cost;
     double polished_cost = best.cost;
-    if (local_polish(objective_, result.best, &polished_cost) > 0) {
+    const int edits = local_polish(objective_, result.best, &polished_cost);
+    if (edits > 0) {
       best.cost = polished_cost;
       result.time_to_best_s = watch.elapsed_s();
       if (control != nullptr) control->note_best(result.best, best.cost);
+    }
+    if (telemetry != nullptr) {
+      if (telemetry->metrics != nullptr) {
+        telemetry->metrics->count("search.polish_edits", edits);
+      }
+      if (telemetry->wants_trace()) {
+        telemetry->trace->emit("local_polish", [&](TraceEvent& e) {
+          e.num("edits", edits)
+              .num("cost_before_s", cost_before)
+              .num("cost_after_s", best.cost);
+        });
+      }
     }
   }
   result.best.canonicalize();

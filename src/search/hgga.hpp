@@ -31,6 +31,7 @@
 namespace kf {
 
 class SearchControl;  // search/driver.hpp
+struct Telemetry;     // telemetry/telemetry.hpp
 
 /// Why a search run ended.
 enum class StopReason {
@@ -71,12 +72,19 @@ struct HggaConfig {
   std::uint64_t seed = 0x5eed;
 };
 
-/// Per-generation telemetry (population statistics).
+/// Per-generation telemetry (population statistics + operator activity).
+/// Checkpointed alongside the population (see checkpoint.cpp), so every
+/// field must be deterministic for a given seed — wall-clock readings
+/// belong in the trace log, not here.
 struct GenerationStats {
   double best_cost_s = 0.0;   ///< best-so-far, monotone
   double mean_cost_s = 0.0;   ///< population mean this generation
+  double worst_cost_s = 0.0;  ///< population max this generation
   int distinct_plans = 0;     ///< unique fingerprints (diversity)
   double mean_groups = 0.0;   ///< average launch count across individuals
+  int crossovers = 0;          ///< children produced by group crossover
+  int crossover_improved = 0;  ///< ... that beat their better parent
+  int mutations = 0;           ///< mutation operators actually applied
 };
 
 struct SearchResult {
@@ -121,9 +129,12 @@ class Hgga {
 
   /// Runs the search. `control` (optional) enforces deadline / evaluation /
   /// fault budgets and collects best-so-far; `checkpointing` (optional)
-  /// enables periodic state snapshots and resume.
+  /// enables periodic state snapshots and resume; `telemetry` (optional)
+  /// records per-generation metrics/events and heartbeats — a null pointer
+  /// costs one branch per generation (see telemetry/telemetry.hpp).
   SearchResult run(SearchControl* control = nullptr,
-                   const HggaCheckpointing* checkpointing = nullptr);
+                   const HggaCheckpointing* checkpointing = nullptr,
+                   const Telemetry* telemetry = nullptr);
 
  private:
   struct Individual {
@@ -137,7 +148,8 @@ class Hgga {
   Individual make_random(Rng& rng) const;
   void crossover(const Individual& a, const Individual& b, Individual& child,
                  Rng& rng) const;
-  void mutate(Individual& individual, Rng& rng) const;
+  /// Returns the number of mutation operators actually applied (0..3).
+  int mutate(Individual& individual, Rng& rng) const;
   const Individual& tournament(const std::vector<Individual>& pop, Rng& rng) const;
 };
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/fault_injection.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
 
 namespace kf {
 namespace {
@@ -15,6 +18,16 @@ std::uint64_t group_fingerprint(std::span<const KernelId> group) {
   std::uint64_t h = 0x243f6a8885a308d3ULL;
   for (KernelId k : sorted) h = mix64(h ^ (static_cast<std::uint64_t>(k) + 0x9e37));
   return h;
+}
+
+/// Every `kProjectionSampleStride`-th fused cache miss is cross-checked
+/// against the timing simulator (see Objective::maybe_sample_projection).
+constexpr long kProjectionSampleStride = 64;
+
+JsonValue members_json(std::span<const KernelId> group) {
+  JsonValue arr = JsonValue::array();
+  for (KernelId k : group) arr.push_back(JsonValue(static_cast<long>(k)));
+  return arr;
 }
 
 }  // namespace
@@ -86,20 +99,36 @@ Objective::GroupCost Objective::group_cost(std::span<const KernelId> group) cons
     }
     try {
       return compute_group_cost(group);
-    } catch (const std::runtime_error&) {
+    } catch (const std::runtime_error& e) {
       if (!options_.quarantine_faults) throw;
       faults_.fetch_add(1, std::memory_order_relaxed);
       {
         std::lock_guard<std::mutex> lock(cache_mutex_);
         quarantined_.insert(key);
       }
+      note_fault(group, key, e.what());
       return quarantine_cost(group);
     }
+  };
+  // Miss-path evaluation, with the per-kind latency histogram when metrics
+  // are attached (hit costs stay out: they are a hash lookup).
+  auto evaluate = [&]() -> GroupCost {
+    if (telemetry_ != nullptr && telemetry_->metrics != nullptr) {
+      Stopwatch sw;
+      const GroupCost c = guarded();
+      telemetry_->metrics->observe(
+          "objective.eval_s", sw.elapsed_s(),
+          {{"kind", group.size() == 1 ? "singleton" : "projection"}});
+      return c;
+    }
+    return guarded();
   };
 
   if (!options_.enable_cache) {
     misses_.fetch_add(1, std::memory_order_relaxed);
-    return guarded();
+    const GroupCost cost = evaluate();
+    maybe_sample_projection(group, cost);
+    return cost;
   }
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -107,12 +136,67 @@ Objective::GroupCost Objective::group_cost(std::span<const KernelId> group) cons
     if (it != cache_.end()) return it->second;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  const GroupCost cost = guarded();
+  const GroupCost cost = evaluate();
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     cache_.emplace(key, cost);
   }
+  maybe_sample_projection(group, cost);
   return cost;
+}
+
+void Objective::note_fault(std::span<const KernelId> group, std::uint64_t fingerprint,
+                           const char* what) const {
+  const Telemetry* t = telemetry_;
+  if (t == nullptr) return;
+  if (t->metrics != nullptr) t->metrics->count("objective.faults");
+  if (t->wants_trace()) {
+    t->trace->emit("fault_quarantine", [&](TraceEvent& e) {
+      e.str("fingerprint", strprintf("%016llx",
+                                     static_cast<unsigned long long>(fingerprint)))
+          .json("members", members_json(group))
+          .str("error", what);
+    });
+  }
+}
+
+void Objective::maybe_sample_projection(std::span<const KernelId> group,
+                                        const GroupCost& cost) const {
+  const Telemetry* t = telemetry_;
+  if (t == nullptr || (t->metrics == nullptr && !t->wants_trace())) return;
+  // Only fused groups whose projection was accepted carry a projected time
+  // worth cross-checking (cost_s == Projection::time_s exactly then).
+  if (group.size() < 2 || !cost.profitable) return;
+  if (fused_misses_.fetch_add(1, std::memory_order_relaxed) %
+          kProjectionSampleStride != 0) {
+    return;
+  }
+  try {
+    const LaunchDescriptor d = checker_.builder().build(group);
+    Stopwatch sw;
+    const SimResult sim = simulator_.run(checker_.program(), d);
+    const double sim_elapsed = sw.elapsed_s();
+    if (!sim.launchable || sim.time_s <= 0.0) return;
+    const double rel_error = (cost.cost_s - sim.time_s) / sim.time_s;
+    if (t->metrics != nullptr) {
+      t->metrics->observe("objective.eval_s", sim_elapsed, {{"kind", "simulator"}});
+      t->metrics->observe("objective.projection_rel_error", rel_error);
+      t->metrics->count("objective.projection_samples");
+    }
+    if (t->wants_trace()) {
+      t->trace->emit("projection_sample", [&](TraceEvent& e) {
+        e.json("members", members_json(group))
+            .num("projected_s", cost.cost_s)
+            .num("simulated_s", sim.time_s)
+            .num("rel_error", rel_error);
+      });
+    }
+  } catch (const std::runtime_error&) {
+    // Telemetry-only simulator run: an injected fault here is swallowed —
+    // it must not quarantine the group or perturb the search (injection
+    // decisions are pure functions of (seed, site, key), so skipping the
+    // sample changes nothing downstream).
+  }
 }
 
 double Objective::plan_cost(const FusionPlan& plan) const {

@@ -35,6 +35,8 @@
 
 namespace kf {
 
+struct Telemetry;  // telemetry/telemetry.hpp
+
 class Objective {
  public:
   struct Options {
@@ -76,6 +78,14 @@ class Objective {
   std::vector<std::uint64_t> quarantined_fingerprints() const;
   void reset_counters() noexcept;
 
+  /// Observability (optional, null disables): evaluation counters, per-kind
+  /// latency histograms, "fault_quarantine" events, and a deterministic
+  /// 1-in-64 projection-vs-simulator disagreement sample on cache misses.
+  /// The sampled simulator runs are telemetry-only — faults they hit are
+  /// swallowed, never quarantined, and FaultInjector decisions are pure
+  /// functions of (seed, site, key), so sampling cannot perturb the search.
+  void set_telemetry(const Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
+
   const LegalityChecker& checker() const noexcept { return checker_; }
   const ProjectionModel& model() const noexcept { return model_; }
   const TimingSimulator& simulator() const noexcept { return simulator_; }
@@ -85,17 +95,23 @@ class Objective {
   const ProjectionModel& model_;
   const TimingSimulator& simulator_;
   Options options_;
+  const Telemetry* telemetry_ = nullptr;
 
   std::vector<double> original_times_;
   mutable std::atomic<long> evaluations_{0};
   mutable std::atomic<long> misses_{0};
   mutable std::atomic<long> faults_{0};
+  mutable std::atomic<long> fused_misses_{0};  ///< disagreement-sample stride counter
   mutable std::mutex cache_mutex_;
   mutable std::unordered_map<std::uint64_t, GroupCost> cache_;
   mutable std::unordered_set<std::uint64_t> quarantined_;
 
   GroupCost compute_group_cost(std::span<const KernelId> group) const;
   GroupCost quarantine_cost(std::span<const KernelId> group) const;
+  void note_fault(std::span<const KernelId> group, std::uint64_t fingerprint,
+                  const char* what) const;
+  void maybe_sample_projection(std::span<const KernelId> group,
+                               const GroupCost& cost) const;
 };
 
 }  // namespace kf

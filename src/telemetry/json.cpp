@@ -1,0 +1,359 @@
+#include "telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace kf {
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += strprintf("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no NaN/Inf; null keeps consumers parsing
+    return;
+  }
+  // Integers print as integers so counters read naturally.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    out += strprintf("%lld", static_cast<long long>(v));
+    return;
+  }
+  out += strprintf("%.17g", v);
+}
+
+// ---- accessors ----
+
+namespace {
+[[noreturn]] void kind_error(const char* wanted) {
+  throw RuntimeError(std::string("JSON value is not a ") + wanted);
+}
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) kind_error("bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::Number) kind_error("number");
+  return number_;
+}
+
+long JsonValue::as_long() const { return std::lround(as_number()); }
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) kind_error("string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::Array) kind_error("array");
+  return array_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (kind_ != Kind::Object) kind_error("object");
+  return object_;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ == Kind::Null) kind_ = Kind::Array;
+  if (kind_ != Kind::Array) kind_error("array");
+  array_.push_back(std::move(v));
+}
+
+JsonValue& JsonValue::set(std::string key, JsonValue v) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  if (kind_ != Kind::Object) kind_error("object");
+  for (Member& m : object_) {
+    if (m.first == key) {
+      m.second = std::move(v);
+      return m.second;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+  return object_.back().second;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const Member& m : object_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->number_ : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key, std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->string_ : fallback;
+}
+
+// ---- writer ----
+
+void JsonValue::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  auto newline = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Number: append_json_number(out, number_); break;
+    case Kind::String: append_json_string(out, string_); break;
+    case Kind::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        array_[i].write(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        append_json_string(out, object_[i].first);
+        out += pretty ? ": " : ":";
+        object_[i].second.write(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::to_string(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+// ---- parser ----
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw RuntimeError(strprintf("JSON parse error at offset %zu: %s", pos_,
+                                 what.c_str()));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(strprintf("expected '%c'", c));
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue(parse_string());
+    if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      return JsonValue(true);
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      return JsonValue(false);
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      return JsonValue();
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (telemetry only escapes
+          // control characters, so surrogate pairs are not expected).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      return pos_ > before;
+    };
+    if (!digits()) fail("bad number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) fail("bad number fraction");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (!digits()) fail("bad number exponent");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number");
+    return JsonValue(v);
+  }
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace kf

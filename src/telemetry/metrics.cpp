@@ -1,0 +1,204 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace kf {
+
+std::string MetricsRegistry::series_key(std::string_view name,
+                                        const MetricLabels& labels) {
+  std::string key(name);
+  if (labels.empty()) return key;
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i) key += ',';
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+void MetricsRegistry::count(std::string_view name, long delta,
+                            const MetricLabels& labels) {
+  const std::string key = series_key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = counters_.try_emplace(key);
+  if (inserted) {
+    it->second.name = std::string(name);
+    it->second.labels = labels;
+  }
+  it->second.value += delta;
+}
+
+void MetricsRegistry::gauge(std::string_view name, double value,
+                            const MetricLabels& labels) {
+  const std::string key = series_key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = gauges_.try_emplace(key);
+  if (inserted) {
+    it->second.name = std::string(name);
+    it->second.labels = labels;
+  }
+  it->second.value = value;
+}
+
+void MetricsRegistry::observe(std::string_view name, double sample,
+                              const MetricLabels& labels) {
+  const std::string key = series_key(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = histograms_.try_emplace(key);
+  if (inserted) {
+    it->second.name = std::string(name);
+    it->second.labels = labels;
+  }
+  Histogram& h = it->second.value;
+  if (h.count == 0) {
+    h.min = h.max = sample;
+  } else {
+    h.min = std::min(h.min, sample);
+    h.max = std::max(h.max, sample);
+  }
+  h.sum += sample;
+  ++h.count;
+  if (h.reservoir.size() < kReservoirCapacity) {
+    h.reservoir.push_back(sample);
+  } else {
+    // Algorithm R with a deterministic LCG: keep each of the first n
+    // samples with probability capacity/n.
+    h.lcg = h.lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t slot = (h.lcg >> 17) % h.count;
+    if (slot < kReservoirCapacity) h.reservoir[slot] = sample;
+  }
+}
+
+long MetricsRegistry::counter_value(std::string_view name,
+                                    const MetricLabels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(series_key(name, labels));
+  return it == counters_.end() ? 0 : it->second.value;
+}
+
+double MetricsRegistry::gauge_value(std::string_view name,
+                                    const MetricLabels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(series_key(name, labels));
+  return it == gauges_.end() ? 0.0 : it->second.value;
+}
+
+double MetricsRegistry::HistogramSnapshot::percentile(double p) const {
+  KF_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  if (samples.empty()) return 0.0;
+  if (samples.size() == 1) return samples[0];
+  const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+MetricsRegistry::HistogramSnapshot MetricsRegistry::histogram(
+    std::string_view name, const MetricLabels& labels) const {
+  HistogramSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(series_key(name, labels));
+    if (it == histograms_.end()) return snap;
+    const Histogram& h = it->second.value;
+    snap.count = h.count;
+    snap.sum = h.sum;
+    snap.min = h.min;
+    snap.max = h.max;
+    snap.samples = h.reservoir;
+  }
+  std::sort(snap.samples.begin(), snap.samples.end());
+  return snap;
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+namespace {
+
+JsonValue labels_json(const MetricLabels& labels) {
+  JsonValue obj = JsonValue::object();
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [k, v] : sorted) obj.set(k, v);
+  return obj;
+}
+
+}  // namespace
+
+JsonValue MetricsRegistry::to_json() const {
+  // Snapshot under the lock, render outside it.
+  std::map<std::string, Series<long>> counters;
+  std::map<std::string, Series<double>> gauges;
+  std::map<std::string, Series<Histogram>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters = counters_;
+    gauges = gauges_;
+    histograms = histograms_;
+  }
+
+  JsonValue root = JsonValue::object();
+  JsonValue counter_list = JsonValue::array();
+  for (const auto& [key, s] : counters) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", s.name);
+    entry.set("labels", labels_json(s.labels));
+    entry.set("value", s.value);
+    counter_list.push_back(std::move(entry));
+  }
+  root.set("counters", std::move(counter_list));
+
+  JsonValue gauge_list = JsonValue::array();
+  for (const auto& [key, s] : gauges) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", s.name);
+    entry.set("labels", labels_json(s.labels));
+    entry.set("value", s.value);
+    gauge_list.push_back(std::move(entry));
+  }
+  root.set("gauges", std::move(gauge_list));
+
+  JsonValue hist_list = JsonValue::array();
+  for (const auto& [key, s] : histograms) {
+    HistogramSnapshot snap;
+    snap.count = s.value.count;
+    snap.sum = s.value.sum;
+    snap.min = s.value.min;
+    snap.max = s.value.max;
+    snap.samples = s.value.reservoir;
+    std::sort(snap.samples.begin(), snap.samples.end());
+
+    JsonValue entry = JsonValue::object();
+    entry.set("name", s.name);
+    entry.set("labels", labels_json(s.labels));
+    entry.set("count", static_cast<double>(snap.count));
+    entry.set("sum", snap.sum);
+    entry.set("min", snap.min);
+    entry.set("max", snap.max);
+    entry.set("mean", snap.mean());
+    entry.set("p50", snap.percentile(50));
+    entry.set("p90", snap.percentile(90));
+    entry.set("p99", snap.percentile(99));
+    hist_list.push_back(std::move(entry));
+  }
+  root.set("histograms", std::move(hist_list));
+  return root;
+}
+
+std::string MetricsRegistry::to_json_string(int indent) const {
+  return to_json().to_string(indent);
+}
+
+}  // namespace kf

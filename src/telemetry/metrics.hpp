@@ -1,0 +1,100 @@
+// MetricsRegistry — thread-safe counters, gauges and histograms with
+// labeled series.
+//
+// The registry is the numeric half of the telemetry layer (the trace log
+// is the event half): search loops, the objective and the CLI record
+// monotonic counters ("objective.evaluations"), last-value gauges
+// ("search.best_cost_s") and sample distributions
+// ("objective.eval_seconds") against it, and the whole registry renders to
+// one JSON document (`kfc --metrics FILE`, schema documented in the README
+// "Observability" section).
+//
+// A series is (name, labels); labels are sorted on registration so
+// {kind=a, site=b} and {site=b, kind=a} are the same series. Histograms
+// keep exact count/sum/min/max plus a bounded deterministic reservoir
+// (Vitter's algorithm R with a fixed-seed LCG) for percentile estimates,
+// so unbounded runs cannot grow memory without bound while short runs
+// (fewer samples than the reservoir) get exact percentiles.
+//
+// All mutators are thread-safe (one registry mutex — the instrumented
+// paths record at generation/evaluation granularity, not per-instruction).
+// Disabled telemetry never reaches the registry: callers hold a nullable
+// pointer and skip the call entirely, which keeps the overhead of a
+// disabled build at one branch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace kf {
+
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsRegistry {
+ public:
+  /// Reservoir capacity for histogram percentile estimation.
+  static constexpr std::size_t kReservoirCapacity = 4096;
+
+  // ---- recording ----
+  void count(std::string_view name, long delta = 1, const MetricLabels& labels = {});
+  void gauge(std::string_view name, double value, const MetricLabels& labels = {});
+  void observe(std::string_view name, double sample, const MetricLabels& labels = {});
+
+  // ---- reading (snapshots) ----
+  long counter_value(std::string_view name, const MetricLabels& labels = {}) const;
+  double gauge_value(std::string_view name, const MetricLabels& labels = {}) const;
+
+  struct HistogramSnapshot {
+    std::size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<double> samples;  ///< sorted reservoir (<= kReservoirCapacity)
+
+    double mean() const noexcept { return count ? sum / static_cast<double>(count) : 0.0; }
+    /// Linear-interpolation percentile over the reservoir, p in [0, 100].
+    /// Exact when count <= kReservoirCapacity.
+    double percentile(double p) const;
+  };
+  HistogramSnapshot histogram(std::string_view name, const MetricLabels& labels = {}) const;
+
+  bool empty() const;
+
+  /// {"counters": [...], "gauges": [...], "histograms": [...]} — each entry
+  /// carries name, labels and its data (histograms: count/sum/min/max/mean
+  /// and p50/p90/p99).
+  JsonValue to_json() const;
+  std::string to_json_string(int indent = 2) const;
+
+ private:
+  struct Histogram {
+    std::size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<double> reservoir;
+    std::uint64_t lcg = 0x243f6a8885a308d3ULL;  ///< fixed seed: deterministic
+  };
+  template <typename T>
+  struct Series {
+    std::string name;
+    MetricLabels labels;
+    T value{};
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Series<long>> counters_;
+  std::map<std::string, Series<double>> gauges_;
+  std::map<std::string, Series<Histogram>> histograms_;
+
+  static std::string series_key(std::string_view name, const MetricLabels& labels);
+};
+
+}  // namespace kf

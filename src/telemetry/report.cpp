@@ -1,0 +1,300 @@
+#include "telemetry/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace kf {
+namespace {
+
+/// Component fields a "group_breakdown" event may carry, in display order.
+constexpr const char* kBreakdownComponents[] = {
+    "gmem_traffic_s", "halo_s", "latency_stall_s", "smem_s",
+    "barrier_s",      "compute_s", "launch_s",
+};
+
+std::vector<long> members_of(const JsonValue& event) {
+  std::vector<long> members;
+  if (const JsonValue* m = event.find("members"); m != nullptr && m->is_array()) {
+    for (const JsonValue& v : m->items()) members.push_back(v.as_long());
+  }
+  return members;
+}
+
+std::string members_text(const std::vector<long>& members) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (i) out += ',';
+    out += strprintf("%ld", members[i]);
+  }
+  out += '}';
+  return out;
+}
+
+/// 10-char ASCII bar scaled between lo (empty) and hi (full).
+std::string bar(double value, double lo, double hi) {
+  const int width = 10;
+  double frac = hi > lo ? (value - lo) / (hi - lo) : 0.0;
+  frac = std::clamp(frac, 0.0, 1.0);
+  const int fill = static_cast<int>(std::lround(frac * width));
+  return std::string(static_cast<std::size_t>(fill), '#') +
+         std::string(static_cast<std::size_t>(width - fill), '.');
+}
+
+}  // namespace
+
+RunReport RunReport::from_files(const std::string& metrics_path,
+                                const std::string& events_path) {
+  RunReport report;
+  if (!metrics_path.empty()) {
+    std::ifstream in(metrics_path);
+    KF_CHECK(static_cast<bool>(in), "cannot open metrics file '" << metrics_path << "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    report.ingest_metrics(JsonValue::parse(text.str()));
+  }
+  if (!events_path.empty()) {
+    std::ifstream in(events_path);
+    KF_CHECK(static_cast<bool>(in), "cannot open events file '" << events_path << "'");
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (trim(line).empty()) continue;
+      try {
+        report.ingest_event(JsonValue::parse(line));
+      } catch (const RuntimeError& e) {
+        throw RuntimeError(strprintf("%s line %d: %s", events_path.c_str(),
+                                     line_no, e.what()));
+      }
+    }
+  }
+  return report;
+}
+
+void RunReport::ingest_event(const JsonValue& event) {
+  const std::string type = event.string_or("type", "");
+  if (type == "search_start") {
+    program = event.string_or("program", program);
+    method = event.string_or("method", method);
+    objective = event.string_or("objective", objective);
+    device = event.string_or("device", device);
+    baseline_cost_s = event.number_or("baseline_cost_s", baseline_cost_s);
+  } else if (type == "generation") {
+    GenerationSample s;
+    s.generation = static_cast<long>(event.number_or("gen", 0));
+    s.best_cost_s = event.number_or("best_cost_s", 0);
+    s.mean_cost_s = event.number_or("mean_cost_s", 0);
+    s.worst_cost_s = event.number_or("worst_cost_s", 0);
+    s.distinct_plans = static_cast<long>(event.number_or("distinct_plans", 0));
+    s.mean_groups = event.number_or("mean_groups", 0);
+    s.evaluations = static_cast<long>(event.number_or("evaluations", 0));
+    s.elapsed_s = event.number_or("ts", 0);
+    convergence.push_back(s);
+  } else if (type == "fault_quarantine") {
+    Quarantine q;
+    q.fingerprint = event.string_or("fingerprint", "");
+    q.members = members_of(event);
+    q.error = event.string_or("error", "");
+    quarantines.push_back(std::move(q));
+  } else if (type == "group_breakdown") {
+    GroupRow row;
+    row.name = event.string_or("name", "");
+    row.members = members_of(event);
+    row.total_s = event.number_or("total_s", 0);
+    for (const char* component : kBreakdownComponents) {
+      if (const JsonValue* v = event.find(component); v != nullptr && v->is_number()) {
+        row.components.emplace_back(component, v->as_number());
+      }
+    }
+    groups.push_back(std::move(row));
+  } else if (type == "checkpoint_save") {
+    ++checkpoint_saves;
+  } else if (type == "checkpoint_resume") {
+    resumed = true;
+  } else if (type == "search_end") {
+    has_summary = true;
+    stop_reason = event.string_or("stop_reason", stop_reason);
+    best_cost_s = event.number_or("best_cost_s", best_cost_s);
+    baseline_cost_s = event.number_or("baseline_cost_s", baseline_cost_s);
+    runtime_s = event.number_or("runtime_s", runtime_s);
+    generations = static_cast<long>(event.number_or("generations", 0));
+    evaluations = static_cast<long>(event.number_or("evaluations", 0));
+    faults = static_cast<long>(event.number_or("faults", 0));
+  }
+  // Unknown event types are skipped: the schema is forward-extensible.
+}
+
+void RunReport::ingest_metrics(const JsonValue& metrics) {
+  const JsonValue* run = metrics.find("run");
+  if (run == nullptr) return;
+  has_summary = true;
+  program = run->string_or("program", program);
+  method = run->string_or("method", method);
+  objective = run->string_or("objective", objective);
+  device = run->string_or("device", device);
+  stop_reason = run->string_or("stop_reason", stop_reason);
+  best_cost_s = run->number_or("best_cost_s", best_cost_s);
+  baseline_cost_s = run->number_or("baseline_cost_s", baseline_cost_s);
+  runtime_s = run->number_or("runtime_s", runtime_s);
+  generations = static_cast<long>(run->number_or("generations", generations));
+  evaluations = static_cast<long>(run->number_or("evaluations", evaluations));
+  faults = static_cast<long>(run->number_or("faults", faults));
+}
+
+std::string RunReport::render(int top_k) const {
+  std::ostringstream os;
+
+  // ---- run header ----
+  os << "run: " << (program.empty() ? "?" : program);
+  if (!method.empty()) os << " (" << method;
+  if (!objective.empty()) os << "/" << objective;
+  if (!device.empty()) os << " on " << device;
+  if (!method.empty()) os << ")";
+  os << "\n";
+  if (has_summary) {
+    os << "stop reason: " << (stop_reason.empty() ? "?" : stop_reason) << "  ("
+       << generations << " generations, " << evaluations << " evaluations, "
+       << human_time(runtime_s) << ")\n";
+    os << "best cost: " << human_time(best_cost_s) << "  baseline "
+       << human_time(baseline_cost_s) << "  projected speedup "
+       << fixed(projected_speedup(), 2) << "x\n";
+    if (faults > 0) os << "faults quarantined: " << faults << "\n";
+    if (resumed) os << "resumed from checkpoint\n";
+    if (checkpoint_saves > 0) os << "checkpoints written: " << checkpoint_saves << "\n";
+  }
+
+  // ---- convergence curve ----
+  if (!convergence.empty()) {
+    os << "\nconvergence (" << convergence.size() << " generations):\n";
+    double lo = convergence.front().best_cost_s;
+    double hi = lo;
+    for (const GenerationSample& s : convergence) {
+      lo = std::min(lo, s.best_cost_s);
+      hi = std::max(hi, s.best_cost_s);
+    }
+    TextTable table({"gen", "best", "", "mean", "diversity", "launches", "evals"});
+    const std::size_t max_rows = 20;
+    const std::size_t stride = (convergence.size() + max_rows - 1) / max_rows;
+    for (std::size_t i = 0; i < convergence.size(); ++i) {
+      // Keep every stride-th row plus the last (the converged state).
+      if (i % stride != 0 && i + 1 != convergence.size()) continue;
+      const GenerationSample& s = convergence[i];
+      table.add(s.generation, human_time(s.best_cost_s),
+                bar(s.best_cost_s, lo, hi), human_time(s.mean_cost_s),
+                s.distinct_plans, fixed(s.mean_groups, 1), s.evaluations);
+    }
+    os << table;
+  }
+
+  // ---- fault clusters ----
+  if (!quarantines.empty()) {
+    os << "\nquarantined faults (" << quarantines.size() << " groups):\n";
+    TextTable table({"fingerprint", "members", "error"});
+    const std::size_t shown = std::min<std::size_t>(quarantines.size(),
+                                                    static_cast<std::size_t>(top_k));
+    for (std::size_t i = 0; i < shown; ++i) {
+      const Quarantine& q = quarantines[i];
+      table.add(q.fingerprint, members_text(q.members), q.error);
+    }
+    os << table;
+    if (shown < quarantines.size()) {
+      os << "  ... " << quarantines.size() - shown << " more\n";
+    }
+    // Cluster: which kernels keep appearing in faulting groups?
+    std::map<long, int> implicated;
+    for (const Quarantine& q : quarantines) {
+      for (long k : q.members) ++implicated[k];
+    }
+    std::vector<std::pair<long, int>> ranked(implicated.begin(), implicated.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    os << "fault clusters (kernel: faulting groups containing it):";
+    const std::size_t top = std::min<std::size_t>(ranked.size(), 6);
+    for (std::size_t i = 0; i < top; ++i) {
+      os << (i ? ", " : " ") << "k" << ranked[i].first << ": " << ranked[i].second;
+    }
+    os << "\n";
+  }
+
+  // ---- top-k groups by predicted-time component ----
+  if (!groups.empty()) {
+    std::vector<const GroupRow*> ranked;
+    ranked.reserve(groups.size());
+    for (const GroupRow& g : groups) ranked.push_back(&g);
+    std::sort(ranked.begin(), ranked.end(), [](const GroupRow* a, const GroupRow* b) {
+      return a->total_s > b->total_s;
+    });
+    const std::size_t shown =
+        std::min<std::size_t>(ranked.size(), static_cast<std::size_t>(top_k));
+    os << "\ntop " << shown << " of " << ranked.size()
+       << " groups by predicted time (component share of total):\n";
+    std::vector<std::string> headers = {"group", "members", "time"};
+    for (const char* component : kBreakdownComponents) {
+      std::string h(component);
+      if (h.size() > 2 && h.ends_with("_s")) h.resize(h.size() - 2);
+      headers.push_back(h);
+    }
+    TextTable table(std::move(headers));
+    for (std::size_t i = 0; i < shown; ++i) {
+      const GroupRow& g = *ranked[i];
+      std::vector<std::string> row = {g.name, members_text(g.members),
+                                      human_time(g.total_s)};
+      for (const char* component : kBreakdownComponents) {
+        double value = 0.0;
+        for (const auto& [name, v] : g.components) {
+          if (name == component) value = v;
+        }
+        row.push_back(g.total_s > 0.0 ? fixed(100.0 * value / g.total_s, 1) + "%"
+                                      : "-");
+      }
+      table.add_row(std::move(row));
+    }
+    os << table;
+  }
+
+  if (!has_summary && convergence.empty() && groups.empty() && quarantines.empty()) {
+    os << "(no recognised telemetry in the given files)\n";
+  }
+  return os.str();
+}
+
+JsonValue RunReport::to_json() const {
+  JsonValue root = JsonValue::object();
+  JsonValue run = JsonValue::object();
+  run.set("program", program);
+  run.set("method", method);
+  run.set("objective", objective);
+  run.set("device", device);
+  run.set("stop_reason", stop_reason);
+  run.set("best_cost_s", best_cost_s);
+  run.set("baseline_cost_s", baseline_cost_s);
+  run.set("projected_speedup", projected_speedup());
+  run.set("runtime_s", runtime_s);
+  run.set("generations", generations);
+  run.set("evaluations", evaluations);
+  run.set("faults", faults);
+  root.set("run", std::move(run));
+
+  JsonValue curve = JsonValue::array();
+  for (const GenerationSample& s : convergence) {
+    JsonValue g = JsonValue::object();
+    g.set("gen", s.generation);
+    g.set("best_cost_s", s.best_cost_s);
+    g.set("mean_cost_s", s.mean_cost_s);
+    g.set("distinct_plans", s.distinct_plans);
+    curve.push_back(std::move(g));
+  }
+  root.set("convergence", std::move(curve));
+  root.set("quarantined_groups", static_cast<long>(quarantines.size()));
+  root.set("group_breakdowns", static_cast<long>(groups.size()));
+  return root;
+}
+
+}  // namespace kf

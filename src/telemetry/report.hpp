@@ -1,0 +1,92 @@
+// RunReport — post-hoc aggregation of a telemetry-enabled run.
+//
+// `kfc report` (and tests) rebuild a run summary from the two artifacts a
+// search leaves behind: the metrics JSON (--metrics) and the JSONL event
+// trace (--events). Either input alone renders a partial report — the
+// metrics file carries the run-summary block and final series, the event
+// log carries the convergence curve, fault quarantines and per-group cost
+// breakdowns. The renderer produces the human tables (convergence curve,
+// stop reason, fault clusters, top-k groups by predicted-time component);
+// to_json() re-exports the aggregate for machine consumers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace kf {
+
+struct RunReport {
+  // ---- run summary (metrics "run" block, else the search_end event) ----
+  std::string program;
+  std::string method;
+  std::string objective;
+  std::string device;
+  std::string stop_reason;
+  double best_cost_s = 0.0;
+  double baseline_cost_s = 0.0;
+  double runtime_s = 0.0;
+  long generations = 0;
+  long evaluations = 0;
+  long faults = 0;
+  bool has_summary = false;
+
+  // ---- per-generation convergence (from "generation" events) ----
+  struct GenerationSample {
+    long generation = 0;
+    double best_cost_s = 0.0;
+    double mean_cost_s = 0.0;
+    double worst_cost_s = 0.0;
+    long distinct_plans = 0;
+    double mean_groups = 0.0;
+    long evaluations = 0;
+    double elapsed_s = 0.0;
+  };
+  std::vector<GenerationSample> convergence;
+
+  // ---- quarantined faults (from "fault_quarantine" events) ----
+  struct Quarantine {
+    std::string fingerprint;
+    std::vector<long> members;
+    std::string error;
+  };
+  std::vector<Quarantine> quarantines;
+
+  // ---- per-group cost breakdowns (from "group_breakdown" events) ----
+  struct GroupRow {
+    std::string name;
+    std::vector<long> members;
+    double total_s = 0.0;
+    /// (component name, seconds) in emission order, e.g. "gmem_traffic_s".
+    std::vector<std::pair<std::string, double>> components;
+  };
+  std::vector<GroupRow> groups;
+
+  long checkpoint_saves = 0;
+  bool resumed = false;
+
+  /// Loads whichever paths are non-empty; throws kf::RuntimeError on
+  /// unreadable files or malformed JSON (a malformed JSONL *line* names
+  /// its line number).
+  static RunReport from_files(const std::string& metrics_path,
+                              const std::string& events_path);
+
+  /// Folds one parsed trace event into the report.
+  void ingest_event(const JsonValue& event);
+
+  /// Folds a parsed metrics document (the kfc-metrics/v1 schema) in.
+  void ingest_metrics(const JsonValue& metrics);
+
+  double projected_speedup() const noexcept {
+    return best_cost_s > 0.0 ? baseline_cost_s / best_cost_s : 0.0;
+  }
+
+  /// Human-readable summary: run header, convergence table (downsampled),
+  /// fault clusters, top_k groups by predicted-time component.
+  std::string render(int top_k = 5) const;
+
+  JsonValue to_json() const;
+};
+
+}  // namespace kf

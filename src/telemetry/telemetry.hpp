@@ -1,0 +1,41 @@
+// Telemetry — the nullable context instrumented code carries.
+//
+// One struct bundles the three observability sinks so a single pointer
+// threads through the search, objective and CLI layers:
+//
+//   * metrics:  numeric series (counters/gauges/histograms) -> --metrics
+//   * trace:    structured JSONL event log                  -> --events
+//   * progress: human heartbeat every N generations          -> --progress
+//
+// The contract for instrumented code is "check, then record":
+//
+//   if (telemetry != nullptr && telemetry->metrics != nullptr)
+//     telemetry->metrics->count("objective.evaluations");
+//   if (telemetry != nullptr && telemetry->wants_trace())
+//     telemetry->trace->emit("generation", [&](TraceEvent& e) { ... });
+//
+// so a null context (the default everywhere) costs one branch per hook and
+// allocates nothing — the overhead budget DESIGN.md commits to.
+#pragma once
+
+#include <iosfwd>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_log.hpp"
+
+namespace kf {
+
+struct Telemetry {
+  MetricsRegistry* metrics = nullptr;  ///< null: no numeric series recorded
+  TraceLog* trace = nullptr;           ///< null or disabled: no events
+  int progress_every = 0;              ///< heartbeat cadence in generations; 0: off
+  std::ostream* progress = nullptr;    ///< heartbeat sink; null: std::cerr
+
+  bool wants_trace() const noexcept { return trace != nullptr && trace->enabled(); }
+  bool wants_progress() const noexcept { return progress_every > 0; }
+  bool active() const noexcept {
+    return metrics != nullptr || wants_trace() || wants_progress();
+  }
+};
+
+}  // namespace kf

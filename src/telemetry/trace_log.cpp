@@ -1,0 +1,37 @@
+#include "telemetry/trace_log.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace kf {
+
+TraceLog::TraceLog(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  KF_CHECK(static_cast<bool>(*file), "cannot open trace file '" << path << "'");
+  owned_ = std::move(file);
+  sink_ = owned_.get();
+}
+
+std::string TraceLog::begin_line(std::string_view type) const {
+  std::string line;
+  line.reserve(160);
+  line += strprintf("{\"ts\":%.9f", watch_.elapsed_s());
+  line += ",\"type\":";
+  append_json_string(line, type);
+  return line;
+}
+
+void TraceLog::write_line(std::string& line) {
+  line += "}\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  // Flush per event: emission is generation/fault granular (not per
+  // evaluation), and whole-line durability is what lets `tail -f` and
+  // post-crash analysis consume the log.
+  sink_->flush();
+  ++events_;
+}
+
+}  // namespace kf

@@ -482,8 +482,12 @@ TEST(Checkpoint, RoundTripIsLossless) {
   GenerationStats stats;
   stats.best_cost_s = 1e-6;
   stats.mean_cost_s = 2e-6;
+  stats.worst_cost_s = 3e-6;
   stats.distinct_plans = 17;
   stats.mean_groups = 2.5;
+  stats.crossovers = 41;
+  stats.crossover_improved = 7;
+  stats.mutations = 23;
   ck.trace.push_back(stats);
 
   std::ostringstream os;
@@ -509,8 +513,12 @@ TEST(Checkpoint, RoundTripIsLossless) {
   ASSERT_EQ(back.trace.size(), 1u);
   EXPECT_EQ(back.trace[0].best_cost_s, stats.best_cost_s);
   EXPECT_EQ(back.trace[0].mean_cost_s, stats.mean_cost_s);
+  EXPECT_EQ(back.trace[0].worst_cost_s, stats.worst_cost_s);
   EXPECT_EQ(back.trace[0].distinct_plans, stats.distinct_plans);
   EXPECT_EQ(back.trace[0].mean_groups, stats.mean_groups);
+  EXPECT_EQ(back.trace[0].crossovers, stats.crossovers);
+  EXPECT_EQ(back.trace[0].crossover_improved, stats.crossover_improved);
+  EXPECT_EQ(back.trace[0].mutations, stats.mutations);
 }
 
 TEST(Checkpoint, RejectsTruncatedAndCorruptInput) {

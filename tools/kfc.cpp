@@ -7,25 +7,18 @@
 //   kfc tune     (<file.kf> | --builtin <name>)   launch-config autotuner
 //   kfc apply    (<file.kf> | --builtin <name>) --plan "{0,1} {2}..."
 //   kfc fuse     --builtin <name> [options]       search + emit CUDA source
+//   kfc report   --metrics FILE and/or --events FILE   summarize a past run
+//   kfc help                            print the full option list
 //
-// options:
-//   --device k20x|k40|gtx750ti     target device            (default k20x)
-//   --objective proposed|roofline|simple|literal             (default proposed)
-//   --pop N --gens N --stall N --seed S                      search budget
-//   --method hgga|greedy|annealing|random|exhaustive                   (default hgga)
-//   --no-expand                    skip expandable-array relaxation
-//   --mem-budget BYTES             cap the redundant-array memory cost
-//   --trace FILE                   write a Chrome-trace JSON of the result
+// The option list lives in ONE place — the kFlags table below. The parser
+// dispatches through it and usage() renders it, so the help text cannot
+// drift from what the parser accepts. Run `kfc help` for the list.
 //
-// resilience options (see src/search/driver.hpp):
-//   --deadline S                   wall-clock budget; stop with best-so-far
-//   --max-evals N                  objective-evaluation budget
-//   --max-faults N                 stop after N quarantined faults
-//   --checkpoint FILE              HGGA: save resumable state periodically
-//   --checkpoint-every N           ... every N generations (default 5)
-//   --resume                       HGGA: continue from --checkpoint FILE
-//   --inject kind:rate[:seed]      arm deterministic fault injection
-//                                  (kind: objective|projection|simulator|parser)
+// Observability (see README "Observability"): `--metrics FILE` writes a
+// kfc-metrics/v1 JSON document, `--events FILE` writes a JSONL event log
+// (one event per HGGA generation plus fault/checkpoint/breakdown events),
+// `--progress N` prints a heartbeat to stderr every N generations, and
+// `kfc report` rebuilds a human summary from those artifacts.
 //
 // exit codes: 0 success, 1 verification failure, 2 usage/precondition
 // error, 3 runtime error (bad input data, I/O, unrecovered fault).
@@ -60,6 +53,12 @@ struct Options {
   std::string plan_text;
   std::string trace_file;
 
+  // telemetry
+  std::string metrics_file;
+  std::string events_file;
+  int progress_every = 0;
+  int top_k = 5;
+
   // resilience
   double deadline_s = 0.0;
   long max_evals = 0;
@@ -70,20 +69,125 @@ struct Options {
   std::vector<FaultPlan> injections;
 };
 
+void print_usage(std::ostream& os);
+
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
-  std::cerr <<
-      "usage: kfc <command> [input] [options]\n"
-      "commands: demo | analyze | graphs | search | tune | apply | fuse\n"
-      "input:    a .kf program file, or --builtin "
-      "rk18|cloverleaf|swe|fig3|scale-les|homme|wrf|asuca|mitgcm|cosmo\n"
-      "options:  --device k20x|k40|gtx750ti  --objective proposed|roofline|simple|literal\n"
-      "          --method hgga|greedy|annealing|random|exhaustive\n"
-      "          --pop N --gens N --stall N --seed S --no-expand\n"
-      "          --deadline S --max-evals N --max-faults N\n"
-      "          --checkpoint FILE [--checkpoint-every N] [--resume]\n"
-      "          --inject kind:rate[:seed]\n";
+  print_usage(std::cerr);
   std::exit(2);
+}
+
+// ---- numeric flag parsing (usage() on malformed input) ----
+template <typename Fn>
+auto parse_num(const char* flag, const std::string& value, Fn fn) {
+  try {
+    std::size_t used = 0;
+    auto parsed = fn(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    usage(std::string("expected a number for ") + flag + ", got '" + value + "'");
+  }
+}
+int flag_int(const char* flag, const std::string& v) {
+  return parse_num(flag, v, [](const std::string& s, std::size_t* n) { return std::stoi(s, n); });
+}
+long flag_long(const char* flag, const std::string& v) {
+  return parse_num(flag, v, [](const std::string& s, std::size_t* n) { return std::stol(s, n); });
+}
+double flag_double(const char* flag, const std::string& v) {
+  return parse_num(flag, v, [](const std::string& s, std::size_t* n) { return std::stod(s, n); });
+}
+std::uint64_t flag_seed(const char* flag, const std::string& v) {
+  return parse_num(flag, v, [](const std::string& s, std::size_t* n) { return std::stoull(s, n); });
+}
+
+/// One accepted option: the parser dispatches through this table and
+/// usage() renders it — the single source of truth for the CLI surface.
+struct FlagSpec {
+  const char* name;   ///< "--device"
+  const char* value;  ///< metavar; nullptr for boolean flags
+  const char* help;   ///< one-line description
+  void (*apply)(Options&, const std::string& value);  ///< value empty for booleans
+};
+
+const FlagSpec kFlags[] = {
+    {"--builtin", "NAME",
+     "built-in program: rk18|cloverleaf|swe|fig3|scale-les|homme|wrf|asuca|mitgcm|cosmo",
+     [](Options& o, const std::string& v) { o.builtin = v; }},
+    {"--device", "NAME", "target device: k20x|k40|gtx750ti (default k20x)",
+     [](Options& o, const std::string& v) { o.device = v; }},
+    {"--objective", "NAME",
+     "cost model: proposed|roofline|simple|literal (default proposed)",
+     [](Options& o, const std::string& v) { o.objective = v; }},
+    {"--method", "NAME",
+     "search method: hgga|greedy|annealing|random|exhaustive (default hgga)",
+     [](Options& o, const std::string& v) { o.method = v; }},
+    {"--pop", "N", "HGGA population size (default 60)",
+     [](Options& o, const std::string& v) { o.population = flag_int("--pop", v); }},
+    {"--gens", "N", "generation cap (default 300)",
+     [](Options& o, const std::string& v) { o.generations = flag_int("--gens", v); }},
+    {"--stall", "N", "stop after N flat generations (default 90)",
+     [](Options& o, const std::string& v) { o.stall = flag_int("--stall", v); }},
+    {"--seed", "S", "search RNG seed",
+     [](Options& o, const std::string& v) { o.seed = flag_seed("--seed", v); }},
+    {"--no-expand", nullptr, "skip expandable-array relaxation",
+     [](Options& o, const std::string&) { o.expand = false; }},
+    {"--mem-budget", "BYTES", "cap the redundant-array memory cost of expansion",
+     [](Options& o, const std::string& v) { o.mem_budget = flag_double("--mem-budget", v); }},
+    {"--plan", "PLAN", "cost a fixed plan, e.g. \"{0,1} {2}\" (apply)",
+     [](Options& o, const std::string& v) { o.plan_text = v; }},
+    {"--trace", "FILE", "write a Chrome-trace JSON of the fused schedule",
+     [](Options& o, const std::string& v) { o.trace_file = v; }},
+    {"--metrics", "FILE",
+     "write run metrics as kfc-metrics/v1 JSON (input to `kfc report`)",
+     [](Options& o, const std::string& v) { o.metrics_file = v; }},
+    {"--events", "FILE",
+     "write a JSONL structured event log (input to `kfc report`)",
+     [](Options& o, const std::string& v) { o.events_file = v; }},
+    {"--progress", "N", "print a heartbeat to stderr every N generations",
+     [](Options& o, const std::string& v) { o.progress_every = flag_int("--progress", v); }},
+    {"--top", "K", "report: rows in the per-group cost table (default 5)",
+     [](Options& o, const std::string& v) { o.top_k = flag_int("--top", v); }},
+    {"--deadline", "S", "wall-clock budget; stop with best-so-far",
+     [](Options& o, const std::string& v) { o.deadline_s = flag_double("--deadline", v); }},
+    {"--max-evals", "N", "objective-evaluation budget",
+     [](Options& o, const std::string& v) { o.max_evals = flag_long("--max-evals", v); }},
+    {"--max-faults", "N", "stop after N quarantined faults",
+     [](Options& o, const std::string& v) { o.max_faults = flag_long("--max-faults", v); }},
+    {"--checkpoint", "FILE", "HGGA: save resumable state periodically",
+     [](Options& o, const std::string& v) { o.checkpoint_file = v; }},
+    {"--checkpoint-every", "N", "checkpoint cadence in generations (default 5)",
+     [](Options& o, const std::string& v) { o.checkpoint_every = flag_int("--checkpoint-every", v); }},
+    {"--resume", nullptr, "HGGA: continue from --checkpoint FILE",
+     [](Options& o, const std::string&) { o.resume = true; }},
+    {"--inject", "KIND:RATE[:SEED]",
+     "arm fault injection (kind: objective|projection|simulator|parser)",
+     [](Options& o, const std::string& v) { o.injections.push_back(parse_fault_plan(v)); }},
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: kfc <command> [input] [options]\n"
+        "commands:\n"
+        "  demo [name]   write a sample program to stdout\n"
+        "  analyze       dependency/sharing stats\n"
+        "  graphs        Graphviz dot of dependency + execution-order graphs\n"
+        "  search        search for a fusion plan\n"
+        "  tune          launch-config autotuner\n"
+        "  apply         cost a fixed plan (--plan)\n"
+        "  fuse          search + emit CUDA source\n"
+        "  report        summarize a run from --metrics and/or --events files\n"
+        "  help          print this message\n"
+        "input: a .kf program file, or --builtin NAME\n"
+        "options:\n";
+  for (const FlagSpec& f : kFlags) {
+    std::string head = f.name;
+    if (f.value != nullptr) {
+      head += ' ';
+      head += f.value;
+    }
+    os << strprintf("  %-28s %s\n", head.c_str(), f.help);
+  }
 }
 
 Program load_builtin(const std::string& name) {
@@ -121,63 +225,20 @@ Options parse(int argc, char** argv) {
   opt.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage("missing value for " + arg);
-      return argv[++i];
-    };
-    auto next_num = [&](auto parse) {
-      const std::string value = next();
-      try {
-        std::size_t used = 0;
-        auto parsed = parse(value, &used);
-        if (used != value.size()) throw std::invalid_argument(value);
-        return parsed;
-      } catch (const std::exception&) {
-        usage("expected a number for " + arg + ", got '" + value + "'");
+    const FlagSpec* spec = nullptr;
+    for (const FlagSpec& f : kFlags) {
+      if (arg == f.name) {
+        spec = &f;
+        break;
       }
-    };
-    auto next_int = [&] { return next_num([](const std::string& s, std::size_t* n) { return std::stoi(s, n); }); };
-    auto next_long = [&] { return next_num([](const std::string& s, std::size_t* n) { return std::stol(s, n); }); };
-    auto next_double = [&] { return next_num([](const std::string& s, std::size_t* n) { return std::stod(s, n); }); };
-    auto next_seed = [&] { return next_num([](const std::string& s, std::size_t* n) { return std::stoull(s, n); }); };
-    if (arg == "--builtin") {
-      opt.builtin = next();
-    } else if (arg == "--device") {
-      opt.device = next();
-    } else if (arg == "--objective") {
-      opt.objective = next();
-    } else if (arg == "--method") {
-      opt.method = next();
-    } else if (arg == "--pop") {
-      opt.population = next_int();
-    } else if (arg == "--gens") {
-      opt.generations = next_int();
-    } else if (arg == "--stall") {
-      opt.stall = next_int();
-    } else if (arg == "--seed") {
-      opt.seed = next_seed();
-    } else if (arg == "--no-expand") {
-      opt.expand = false;
-    } else if (arg == "--mem-budget") {
-      opt.mem_budget = next_double();
-    } else if (arg == "--plan") {
-      opt.plan_text = next();
-    } else if (arg == "--trace") {
-      opt.trace_file = next();
-    } else if (arg == "--deadline") {
-      opt.deadline_s = next_double();
-    } else if (arg == "--max-evals") {
-      opt.max_evals = next_long();
-    } else if (arg == "--max-faults") {
-      opt.max_faults = next_long();
-    } else if (arg == "--checkpoint") {
-      opt.checkpoint_file = next();
-    } else if (arg == "--checkpoint-every") {
-      opt.checkpoint_every = next_int();
-    } else if (arg == "--resume") {
-      opt.resume = true;
-    } else if (arg == "--inject") {
-      opt.injections.push_back(parse_fault_plan(next()));
+    }
+    if (spec != nullptr) {
+      std::string value;
+      if (spec->value != nullptr) {
+        if (i + 1 >= argc) usage("missing value for " + arg);
+        value = argv[++i];
+      }
+      spec->apply(opt, value);
     } else if (!arg.empty() && arg[0] == '-') {
       usage("unknown option " + arg);
     } else if (opt.command == "demo" && opt.builtin.empty()) {
@@ -244,6 +305,77 @@ struct SearchOutcome {
   bool expanded = false;
 };
 
+/// Per-launch "group_breakdown" events: where the simulator says each
+/// launch of the final plan spends its predicted time. Aggregated per
+/// component into "plan.<component>_s" gauges when metrics are attached.
+void emit_group_breakdowns(const Telemetry& telemetry, const TimingSimulator& sim,
+                           const Program& program, const FusedProgram& fused) {
+  double totals[7] = {};
+  static const char* const kNames[7] = {
+      "gmem_traffic_s", "halo_s", "latency_stall_s", "smem_s",
+      "barrier_s",      "compute_s", "launch_s"};
+  for (const LaunchDescriptor& d : fused.launches) {
+    SimResult sim_result;
+    try {
+      sim_result = sim.run(program, d);
+    } catch (const RuntimeError&) {
+      continue;  // injected simulator fault on the report pass: skip the row
+    }
+    if (!sim_result.launchable) continue;
+    const TimeBreakdown& b = sim_result.breakdown;
+    const double components[7] = {b.gmem_traffic_s, b.halo_s, b.latency_stall_s,
+                                  b.smem_s,         b.barrier_s, b.compute_s,
+                                  b.launch_s};
+    for (int c = 0; c < 7; ++c) totals[c] += components[c];
+    if (telemetry.wants_trace()) {
+      telemetry.trace->emit("group_breakdown", [&](TraceEvent& e) {
+        JsonValue members = JsonValue::array();
+        for (KernelId k : d.members) members.push_back(JsonValue(static_cast<long>(k)));
+        e.str("name", d.name).json("members", members).num("total_s", b.total_s);
+        for (int c = 0; c < 7; ++c) e.num(kNames[c], components[c]);
+      });
+    }
+  }
+  if (telemetry.metrics != nullptr) {
+    for (int c = 0; c < 7; ++c) {
+      telemetry.metrics->gauge(std::string("plan.") + kNames[c], totals[c]);
+    }
+  }
+}
+
+/// Writes the kfc-metrics/v1 document: a "run" summary block plus the
+/// registry's counters/gauges/histograms.
+void write_metrics_file(const Options& opt, const SearchOutcome& out,
+                        const MetricsRegistry& metrics) {
+  JsonValue root = JsonValue::object();
+  root.set("schema", "kfc-metrics/v1");
+  JsonValue run = JsonValue::object();
+  run.set("program", out.expansion.program.name());
+  run.set("method", opt.method);
+  run.set("objective", opt.objective);
+  run.set("device", opt.device);
+  run.set("stop_reason", to_string(out.result.fault_report.stop_reason));
+  run.set("best_cost_s", out.result.best_cost_s);
+  run.set("baseline_cost_s", out.result.baseline_cost_s);
+  run.set("speedup", out.result.projected_speedup());
+  run.set("generations", static_cast<long>(out.result.generations));
+  run.set("evaluations", out.result.evaluations);
+  run.set("model_evaluations", out.result.model_evaluations);
+  run.set("faults", out.result.fault_report.faults);
+  run.set("quarantined", out.result.fault_report.quarantined);
+  run.set("runtime_s", out.result.runtime_s);
+  run.set("launches", static_cast<long>(out.result.best.num_groups()));
+  root.set("run", std::move(run));
+  const JsonValue series = metrics.to_json();
+  for (const auto& [key, value] : series.members()) {
+    root.set(key, value);
+  }
+  std::ofstream os(opt.metrics_file);
+  KF_REQUIRE(static_cast<bool>(os), "cannot open metrics file '" << opt.metrics_file << "'");
+  os << root.to_string(2) << "\n";
+  std::cerr << "wrote " << opt.metrics_file << "\n";
+}
+
 SearchOutcome run_search(const Options& opt, const Program& program) {
   const ExpansionResult expansion =
       opt.expand ? expand_arrays(program, opt.mem_budget)
@@ -269,7 +401,21 @@ SearchOutcome run_search(const Options& opt, const Program& program) {
   } else {
     usage("unknown objective '" + opt.objective + "'");
   }
-  const Objective objective(checker, *model, sim);
+  Objective objective(checker, *model, sim);
+
+  // Telemetry sinks: only attached when a flag asks for them, so the
+  // default run keeps the one-branch disabled path everywhere.
+  MetricsRegistry metrics;
+  std::optional<TraceLog> trace_log;
+  Telemetry telemetry;
+  if (!opt.metrics_file.empty()) telemetry.metrics = &metrics;
+  if (!opt.events_file.empty()) {
+    trace_log.emplace(opt.events_file);
+    telemetry.trace = &*trace_log;
+  }
+  telemetry.progress_every = opt.progress_every;
+  const bool want_telemetry = telemetry.active();
+  if (want_telemetry) objective.set_telemetry(&telemetry);
 
   SearchResult result;
   if (!opt.plan_text.empty()) {
@@ -294,6 +440,7 @@ SearchOutcome run_search(const Options& opt, const Program& program) {
     cfg.checkpointing.file = opt.checkpoint_file;
     cfg.checkpointing.every_generations = opt.checkpoint_every;
     cfg.checkpointing.resume = opt.resume;
+    if (want_telemetry) cfg.telemetry = &telemetry;
     result = SearchDriver(objective, cfg).run();
   }
 
@@ -342,6 +489,14 @@ SearchOutcome run_search(const Options& opt, const Program& program) {
               << human_time(trace.makespan_s) << ", utilisation "
               << fixed(100 * trace.utilisation(device), 1) << "%)\n";
   }
+  if (want_telemetry) {
+    emit_group_breakdowns(telemetry, sim, out.expansion.program, out.fused);
+    if (!opt.metrics_file.empty()) write_metrics_file(opt, out, metrics);
+    if (!opt.events_file.empty()) {
+      std::cerr << "wrote " << opt.events_file << " (" << trace_log->events()
+                << " events)\n";
+    }
+  }
   return out;
 }
 
@@ -357,6 +512,15 @@ int cmd_tune(const Options& opt) {
   std::cout << table;
   std::cout << "best: " << r.best.block_x << "x" << r.best.block_y << " ("
             << human_time(r.best_time_s) << ")\n";
+  return 0;
+}
+
+int cmd_report(const Options& opt) {
+  if (opt.metrics_file.empty() && opt.events_file.empty()) {
+    usage("report needs --metrics FILE and/or --events FILE");
+  }
+  const RunReport report = RunReport::from_files(opt.metrics_file, opt.events_file);
+  std::cout << report.render(opt.top_k);
   return 0;
 }
 
@@ -400,6 +564,11 @@ int main(int argc, char** argv) {
     if (opt.command == "tune") return cmd_tune(opt);
     if (opt.command == "apply") return cmd_search(opt);  // --plan supplies it
     if (opt.command == "fuse") return cmd_fuse(opt);
+    if (opt.command == "report") return cmd_report(opt);
+    if (opt.command == "help" || opt.command == "--help" || opt.command == "-h") {
+      print_usage(std::cout);
+      return 0;
+    }
     usage("unknown command '" + opt.command + "'");
   } catch (const kf::PreconditionError& e) {
     std::cerr << "error: " << e.what() << "\n";
