@@ -20,6 +20,14 @@ SearchResult greedy_search(const Objective& objective, SearchControl* control) {
     double best_delta = -1e-15;
     int best_a = -1;
     int best_b = -1;
+    // Hoist the current groups' costs out of the O(n^2) pair loop: each
+    // group's cost is pair-invariant for the whole pass (cache hits, but
+    // fingerprint + shard lock per query adds up over n^2 pairs).
+    std::vector<double> group_cost_s(static_cast<std::size_t>(plan.num_groups()));
+    for (int g = 0; g < plan.num_groups(); ++g) {
+      group_cost_s[static_cast<std::size_t>(g)] =
+          objective.group_cost(plan.group(g)).cost_s;
+    }
     for (int a = 0; a < plan.num_groups(); ++a) {
       if (control != nullptr && control->should_stop()) break;
       for (int b = a + 1; b < plan.num_groups(); ++b) {
@@ -34,8 +42,8 @@ SearchResult greedy_search(const Objective& objective, SearchControl* control) {
         }
         const auto merged_cost = objective.group_cost(merged);
         if (!merged_cost.profitable) continue;
-        const double delta = objective.group_cost(plan.group(a)).cost_s +
-                             objective.group_cost(plan.group(b)).cost_s -
+        const double delta = group_cost_s[static_cast<std::size_t>(a)] +
+                             group_cost_s[static_cast<std::size_t>(b)] -
                              merged_cost.cost_s;
         if (delta > best_delta) {
           best_delta = delta;

@@ -1,0 +1,81 @@
+#include "search/group_cache.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace kf {
+namespace {
+
+int round_up_pow2(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+GroupCostCache::GroupCostCache(int shards) {
+  KF_REQUIRE(shards >= 1, "cache shard count must be >= 1");
+  shard_count_ = round_up_pow2(shards);
+  mask_ = static_cast<std::uint64_t>(shard_count_ - 1);
+  shards_ = std::make_unique<Shard[]>(static_cast<std::size_t>(shard_count_));
+}
+
+bool GroupCostCache::find(std::uint64_t key, Entry* out) const {
+  const Shard& shard = shard_of(key);
+  if (!shard.mutex.try_lock_shared()) {
+    contention_.fetch_add(1, std::memory_order_relaxed);
+    shard.mutex.lock_shared();
+  }
+  std::shared_lock<std::shared_mutex> lock(shard.mutex, std::adopt_lock);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+bool GroupCostCache::insert(std::uint64_t key, const Entry& entry) {
+  Shard& shard = shard_of(key);
+  if (!shard.mutex.try_lock()) {
+    contention_.fetch_add(1, std::memory_order_relaxed);
+    shard.mutex.lock();
+  }
+  std::lock_guard<std::shared_mutex> lock(shard.mutex, std::adopt_lock);
+  return shard.map.emplace(key, entry).second;
+}
+
+std::size_t GroupCostCache::size() const {
+  std::size_t total = 0;
+  for (int s = 0; s < shard_count_; ++s) {
+    std::shared_lock<std::shared_mutex> lock(shards_[s].mutex);
+    total += shards_[s].map.size();
+  }
+  return total;
+}
+
+long GroupCostCache::quarantined_count() const {
+  long total = 0;
+  for (int s = 0; s < shard_count_; ++s) {
+    std::shared_lock<std::shared_mutex> lock(shards_[s].mutex);
+    for (const auto& [key, entry] : shards_[s].map) {
+      if (entry.quarantined) ++total;
+    }
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> GroupCostCache::quarantined_keys() const {
+  std::vector<std::uint64_t> out;
+  for (int s = 0; s < shard_count_; ++s) {
+    std::shared_lock<std::shared_mutex> lock(shards_[s].mutex);
+    for (const auto& [key, entry] : shards_[s].map) {
+      if (entry.quarantined) out.push_back(key);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace kf

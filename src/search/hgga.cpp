@@ -4,8 +4,11 @@
 #include <cmath>
 #include <iostream>
 #include <limits>
+#include <numeric>
 #include <set>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "search/checkpoint.hpp"
 #include "search/driver.hpp"
@@ -19,11 +22,42 @@ namespace kf {
 
 namespace {
 
+/// The per-Individual incremental-costing memo: a flat (fingerprint ->
+/// cost_s) map sorted by fingerprint. Flat + sorted because it is tiny
+/// (one entry per group), rebuilt once per evaluation and probed with a
+/// binary search — no allocation churn, cache-friendly.
+using GroupCostMap = std::vector<std::pair<std::uint64_t, double>>;
+
+bool lookup_group_cost(const GroupCostMap& map, std::uint64_t fp, double* out) {
+  const auto it = std::lower_bound(
+      map.begin(), map.end(), fp,
+      [](const std::pair<std::uint64_t, double>& e, std::uint64_t key) {
+        return e.first < key;
+      });
+  if (it == map.end() || it->first != fp) return false;
+  *out = it->second;
+  return true;
+}
+
+/// Union of two sorted memos (crossover children inherit both parents').
+/// Equal fingerprints carry equal costs, so either side may win.
+GroupCostMap merge_group_costs(const GroupCostMap& a, const GroupCostMap& b) {
+  GroupCostMap out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out),
+             [](const auto& x, const auto& y) { return x.first < y.first; });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const auto& x, const auto& y) { return x.first == y.first; }),
+            out.end());
+  return out;
+}
+
 /// Per-generation telemetry fan-out: metrics series, one "generation" trace
 /// event, and the --progress heartbeat. Only called when telemetry is active.
 void note_generation(const Telemetry& t, int gen, const GenerationStats& s,
                      double gen_s, long total_evals, long gen_evals,
-                     double elapsed_s, int population, int stall) {
+                     double elapsed_s, int population, int stall,
+                     const Objective::CacheStats& cache) {
   const double evals_per_s = gen_s > 0.0 ? static_cast<double>(gen_evals) / gen_s : 0.0;
   if (t.metrics != nullptr) {
     t.metrics->count("search.generations");
@@ -36,6 +70,16 @@ void note_generation(const Telemetry& t, int gen, const GenerationStats& s,
     t.metrics->gauge("search.mean_groups", s.mean_groups);
     t.metrics->observe("search.generation_s", gen_s);
     t.metrics->observe("search.evals_per_s", evals_per_s);
+    // Evaluation-engine health: cumulative, so the last generation's gauge
+    // is the run's final hit rate (also in the metrics "run" block).
+    t.metrics->gauge("objective.cache.hit_rate", cache.hit_rate());
+    t.metrics->gauge("objective.cache.entries", static_cast<double>(cache.entries));
+    t.metrics->gauge("objective.cache.incremental_hits",
+                     static_cast<double>(cache.incremental_hits));
+    t.metrics->gauge("objective.cache.duplicate_misses",
+                     static_cast<double>(cache.duplicate_misses));
+    t.metrics->gauge("objective.cache.shard_contention",
+                     static_cast<double>(cache.shard_contention));
   }
   if (t.wants_trace()) {
     t.trace->emit("generation", [&](TraceEvent& e) {
@@ -163,8 +207,112 @@ Hgga::Individual Hgga::make_random(Rng& rng) const {
   Individual ind;
   ind.plan = random_legal_plan(objective_.checker(), rng,
                                rng.next_double(0.3, config_.init_aggressiveness));
-  ind.cost = objective_.plan_cost(ind.plan);
+  evaluate_individual(ind);
   return ind;
+}
+
+void Hgga::evaluate_individual(Individual& individual) const {
+  const FusionPlan& plan = individual.plan;
+  GroupCostMap own;
+  own.reserve(static_cast<std::size_t>(plan.num_groups()));
+  double total = 0.0;
+  for (int g = 0; g < plan.num_groups(); ++g) {
+    const std::uint64_t fp = Objective::group_fingerprint(plan.group(g));
+    Objective::GroupCost cost;
+    if (!objective_.peek_group_cost(fp, &cost)) {
+      cost = objective_.force_group_cost(fp, plan.group(g));
+    }
+    total += cost.cost_s;
+    own.emplace_back(fp, cost.cost_s);
+  }
+  std::sort(own.begin(), own.end());
+  individual.cost = total;
+  individual.group_costs = std::move(own);
+}
+
+void Hgga::evaluate_offspring(std::vector<Individual>& offspring) const {
+  // Pass 1 (serial, cheap — fingerprints and map probes only): resolve
+  // every dirty group against the individual's inherited memo first (no
+  // lock at all), then the shared cache; what remains is the distinct set
+  // of groups this generation actually created.
+  struct Pending {
+    std::uint64_t fp;
+    std::size_t individual;
+    int group;
+  };
+  std::vector<std::vector<std::uint64_t>> fps(offspring.size());
+  std::vector<std::vector<double>> resolved(offspring.size());
+  std::vector<Pending> unseen;
+  std::unordered_set<std::uint64_t> scheduled;
+  long memo_hits = 0;
+  for (std::size_t i = 0; i < offspring.size(); ++i) {
+    Individual& ind = offspring[i];
+    if (ind.cost >= 0.0) continue;  // elite, carried unchanged
+    const int n = ind.plan.num_groups();
+    fps[i].resize(static_cast<std::size_t>(n));
+    resolved[i].assign(static_cast<std::size_t>(n), -1.0);
+    for (int g = 0; g < n; ++g) {
+      const std::uint64_t fp = Objective::group_fingerprint(ind.plan.group(g));
+      fps[i][static_cast<std::size_t>(g)] = fp;
+      double known;
+      if (lookup_group_cost(ind.group_costs, fp, &known)) {
+        resolved[i][static_cast<std::size_t>(g)] = known;
+        ++memo_hits;
+        continue;
+      }
+      if (scheduled.count(fp) != 0) {
+        // Another offspring already scheduled this fingerprint: it resolves
+        // from the batch in pass 3 without touching the shared cache — a
+        // caller-side hit, like the memo ones, so counters stay balanced
+        // (evaluations == hits + misses) in every mode.
+        ++memo_hits;
+        continue;
+      }
+      Objective::GroupCost cached;
+      if (objective_.peek_group_cost(fp, &cached)) {
+        resolved[i][static_cast<std::size_t>(g)] = cached.cost_s;
+        continue;
+      }
+      scheduled.insert(fp);
+      unseen.push_back(Pending{fp, i, g});
+    }
+  }
+  objective_.note_incremental_hits(memo_hits);
+
+  // Pass 2 (parallel): evaluate only the distinct unseen groups. Order
+  // independence is what makes 1-thread and N-thread runs bit-identical:
+  // each cost is a pure function of its member set.
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t m = 0; m < unseen.size(); ++m) {
+    const Pending& p = unseen[m];
+    const Objective::GroupCost cost = objective_.force_group_cost(
+        p.fp, offspring[p.individual].plan.group(p.group));
+    resolved[p.individual][static_cast<std::size_t>(p.group)] = cost.cost_s;
+  }
+  std::unordered_map<std::uint64_t, double> computed;
+  computed.reserve(unseen.size());
+  for (const Pending& p : unseen) {
+    computed.emplace(p.fp, resolved[p.individual][static_cast<std::size_t>(p.group)]);
+  }
+
+  // Pass 3 (serial): score every plan with pure reads — summed in group
+  // order, exactly as plan_cost does — and rebuild its memo.
+  for (std::size_t i = 0; i < offspring.size(); ++i) {
+    Individual& ind = offspring[i];
+    if (ind.cost >= 0.0) continue;
+    GroupCostMap own;
+    own.reserve(fps[i].size());
+    double total = 0.0;
+    for (std::size_t g = 0; g < fps[i].size(); ++g) {
+      double c = resolved[i][g];
+      if (c < 0.0) c = computed.at(fps[i][g]);
+      total += c;
+      own.emplace_back(fps[i][g], c);
+    }
+    std::sort(own.begin(), own.end());
+    ind.cost = total;
+    ind.group_costs = std::move(own);
+  }
 }
 
 const Hgga::Individual& Hgga::tournament(const std::vector<Individual>& pop,
@@ -387,7 +535,7 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
       // legal best-so-far.
       Individual identity;
       identity.plan = FusionPlan(program.num_kernels());
-      identity.cost = objective_.plan_cost(identity.plan);
+      evaluate_individual(identity);
       population.push_back(std::move(identity));
     }
     best = *best_of(population);
@@ -438,11 +586,23 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
     std::vector<Individual> offspring;
     offspring.reserve(static_cast<std::size_t>(config_.population));
 
-    // elites survive unchanged
-    std::vector<Individual> sorted = population;
-    std::sort(sorted.begin(), sorted.end(),
-              [](const auto& a, const auto& b) { return a.cost < b.cost; });
-    for (int e = 0; e < config_.elites; ++e) offspring.push_back(sorted[static_cast<std::size_t>(e)]);
+    // Elites survive unchanged: partial-select indices instead of copying
+    // and fully sorting the population just to pick the top few. Ties break
+    // on index so the selection is deterministic across library
+    // implementations (std::partial_sort is unstable).
+    const int elites = std::min(config_.elites, static_cast<int>(population.size()));
+    std::vector<int> elite_order(population.size());
+    std::iota(elite_order.begin(), elite_order.end(), 0);
+    std::partial_sort(elite_order.begin(), elite_order.begin() + elites,
+                      elite_order.end(), [&](int x, int y) {
+                        const double cx = population[static_cast<std::size_t>(x)].cost;
+                        const double cy = population[static_cast<std::size_t>(y)].cost;
+                        if (cx != cy) return cx < cy;
+                        return x < y;
+                      });
+    for (int e = 0; e < elites; ++e) {
+      offspring.push_back(population[static_cast<std::size_t>(elite_order[e])]);
+    }
 
     // Operator activity for this generation's stats: crossover children
     // remember their better parent's cost so improvement is measurable
@@ -458,10 +618,19 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
         const Individual& a = tournament(population, rng);
         const Individual& b = tournament(population, rng);
         crossover(a, b, child, rng);
+        // Incremental costing: the child inherits both parents' memos, so
+        // every group the operators kept intact is resolved without even a
+        // cache lookup. Inherited entries can never go stale (a
+        // fingerprint's cost is a pure function of the member set).
+        if (config_.batched_evaluation) {
+          child.group_costs = merge_group_costs(a.group_costs, b.group_costs);
+        }
         parent_cost = std::min(a.cost, b.cost);
         ++stats.crossovers;
       } else {
-        child.plan = tournament(population, rng).plan;
+        const Individual& parent = tournament(population, rng);
+        child.plan = parent.plan;
+        if (config_.batched_evaluation) child.group_costs = parent.group_costs;
       }
       stats.mutations += mutate(child, rng);
       child.cost = -1.0;  // mark for evaluation
@@ -469,11 +638,16 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
       crossover_parent_cost.push_back(parent_cost);
     }
 
-    // --- evaluate (parallel across the population) ---
+    // --- evaluate (batched + deduplicated by default; the per-plan path is
+    //     kept for the A/B equivalence test and the throughput bench) ---
+    if (config_.batched_evaluation) {
+      evaluate_offspring(offspring);
+    } else {
 #pragma omp parallel for schedule(dynamic)
-    for (std::size_t i = 0; i < offspring.size(); ++i) {
-      if (offspring[i].cost < 0.0) {
-        offspring[i].cost = objective_.plan_cost(offspring[i].plan);
+      for (std::size_t i = 0; i < offspring.size(); ++i) {
+        if (offspring[i].cost < 0.0) {
+          offspring[i].cost = objective_.plan_cost(offspring[i].plan);
+        }
       }
     }
     for (std::size_t i = 0; i < offspring.size(); ++i) {
@@ -518,7 +692,8 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
                       objective_.evaluations(),
                       objective_.evaluations() - evals_at_gen_start,
                       control != nullptr ? control->elapsed_s() : watch.elapsed_s(),
-                      static_cast<int>(population.size()), stall);
+                      static_cast<int>(population.size()), stall,
+                      objective_.cache_stats());
     }
     if (checkpoint_enabled &&
         (gen + 1) % std::max(1, checkpointing->every_generations) == 0) {

@@ -69,6 +69,11 @@ struct HggaConfig {
   /// The "hybrid" in HGGA: steepest-descent local search (merge / move /
   /// split neighbourhood) applied to the final best individual.
   bool local_polish = true;
+  /// Batched, deduplicated evaluation of each generation's offspring with
+  /// incremental per-individual group costing (see DESIGN.md "Evaluation
+  /// engine"). Results are bit-identical to per-plan evaluation — the
+  /// switch exists for the throughput bench and the equivalence test.
+  bool batched_evaluation = true;
   std::uint64_t seed = 0x5eed;
 };
 
@@ -140,12 +145,26 @@ class Hgga {
   struct Individual {
     FusionPlan plan;
     double cost = 0.0;
+    /// Incremental-costing memo: (group fingerprint -> cost_s), sorted by
+    /// fingerprint. Before evaluation it holds the union inherited from the
+    /// parents, so groups that crossover/mutation left untouched resolve
+    /// without even a shared-cache lookup; after evaluation it is exactly
+    /// this plan's groups. Entries can never go stale — a fingerprint's
+    /// cost is a pure function of the member set.
+    std::vector<std::pair<std::uint64_t, double>> group_costs;
   };
 
   const Objective& objective_;
   HggaConfig config_;
 
   Individual make_random(Rng& rng) const;
+  /// Scores one individual through the shared cache and (re)builds its
+  /// group_costs memo. Identical sum order to Objective::plan_cost.
+  void evaluate_individual(Individual& individual) const;
+  /// The batched evaluation pass: resolve every dirty offspring's groups
+  /// against inherited memos and the shared cache, evaluate only the
+  /// distinct unseen fingerprints under OpenMP, then score with pure reads.
+  void evaluate_offspring(std::vector<Individual>& offspring) const;
   void crossover(const Individual& a, const Individual& b, Individual& child,
                  Rng& rng) const;
   /// Returns the number of mutation operators actually applied (0..3).

@@ -12,14 +12,6 @@
 namespace kf {
 namespace {
 
-std::uint64_t group_fingerprint(std::span<const KernelId> group) {
-  std::vector<KernelId> sorted(group.begin(), group.end());
-  std::sort(sorted.begin(), sorted.end());
-  std::uint64_t h = 0x243f6a8885a308d3ULL;
-  for (KernelId k : sorted) h = mix64(h ^ (static_cast<std::uint64_t>(k) + 0x9e37));
-  return h;
-}
-
 /// Every `kProjectionSampleStride`-th fused cache miss is cross-checked
 /// against the timing simulator (see Objective::maybe_sample_projection).
 constexpr long kProjectionSampleStride = 64;
@@ -32,13 +24,30 @@ JsonValue members_json(std::span<const KernelId> group) {
 
 }  // namespace
 
+std::uint64_t Objective::group_fingerprint(std::span<const KernelId> group) noexcept {
+  // Commutative combine of independently avalanche-mixed members: the sum
+  // of strong per-element hashes is order-insensitive (no copy, no sort)
+  // and keeps the 2^-64 birthday-bound collision behaviour of hashing the
+  // sorted stream — each member still contributes 64 fully-mixed bits, the
+  // modular sum merely forgets their order, which the member *set* never
+  // had. The salt differs from fault_key's so cache keys and fault-draw
+  // keys stay independent streams.
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  for (KernelId k : group) {
+    h += mix64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k)) +
+               0x9e3779b97f4a7c15ULL);
+  }
+  return mix64(h ^ (static_cast<std::uint64_t>(group.size()) << 32));
+}
+
 Objective::Objective(const LegalityChecker& checker, const ProjectionModel& model,
                      const TimingSimulator& simulator)
     : Objective(checker, model, simulator, Options{}) {}
 
 Objective::Objective(const LegalityChecker& checker, const ProjectionModel& model,
                      const TimingSimulator& simulator, Options options)
-    : checker_(checker), model_(model), simulator_(simulator), options_(options) {
+    : checker_(checker), model_(model), simulator_(simulator), options_(options),
+      cache_(options.cache_shards) {
   KF_REQUIRE(options_.unprofitable_penalty >= 1.0,
              "unprofitable penalty must be >= 1");
   const Program& program = checker_.program();
@@ -84,65 +93,76 @@ Objective::GroupCost Objective::compute_group_cost(std::span<const KernelId> gro
   return out;
 }
 
-Objective::GroupCost Objective::group_cost(std::span<const KernelId> group) const {
-  KF_REQUIRE(!group.empty(), "empty group");
+bool Objective::peek_group_cost(std::uint64_t fingerprint, GroupCost* out) const {
   evaluations_.fetch_add(1, std::memory_order_relaxed);
-  const std::uint64_t key = group_fingerprint(group);
+  GroupCostCache::Entry entry;
+  if (!cache_.find(fingerprint, &entry)) return false;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  *out = entry.cost;
+  return true;
+}
+
+Objective::GroupCost Objective::force_group_cost(std::uint64_t fingerprint,
+                                                 std::span<const KernelId> group) const {
+  misses_.fetch_add(1, std::memory_order_relaxed);
 
   // Fault isolation: a runtime failure inside the model/simulator costs the
   // candidate the unprofitable penalty on its original sum and quarantines
   // the member set; logic errors (caller misuse) still propagate.
+  bool quarantined = false;
   auto guarded = [&]() -> GroupCost {
-    {
-      std::lock_guard<std::mutex> lock(cache_mutex_);
-      if (quarantined_.count(key) != 0) return quarantine_cost(group);
-    }
     try {
       return compute_group_cost(group);
     } catch (const std::runtime_error& e) {
       if (!options_.quarantine_faults) throw;
+      quarantined = true;
       faults_.fetch_add(1, std::memory_order_relaxed);
-      {
-        std::lock_guard<std::mutex> lock(cache_mutex_);
-        quarantined_.insert(key);
-      }
-      note_fault(group, key, e.what());
+      note_fault(group, fingerprint, e.what());
       return quarantine_cost(group);
     }
   };
   // Miss-path evaluation, with the per-kind latency histogram when metrics
-  // are attached (hit costs stay out: they are a hash lookup).
-  auto evaluate = [&]() -> GroupCost {
-    if (telemetry_ != nullptr && telemetry_->metrics != nullptr) {
-      Stopwatch sw;
-      const GroupCost c = guarded();
-      telemetry_->metrics->observe(
-          "objective.eval_s", sw.elapsed_s(),
-          {{"kind", group.size() == 1 ? "singleton" : "projection"}});
-      return c;
-    }
-    return guarded();
-  };
+  // are attached (hit costs stay out: they are a striped hash lookup).
+  GroupCost cost;
+  if (telemetry_ != nullptr && telemetry_->metrics != nullptr) {
+    Stopwatch sw;
+    cost = guarded();
+    telemetry_->metrics->observe(
+        "objective.eval_s", sw.elapsed_s(),
+        {{"kind", group.size() == 1 ? "singleton" : "projection"}});
+  } else {
+    cost = guarded();
+  }
 
-  if (!options_.enable_cache) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    const GroupCost cost = evaluate();
-    maybe_sample_projection(group, cost);
-    return cost;
-  }
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
-  }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  const GroupCost cost = evaluate();
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    cache_.emplace(key, cost);
+  // Quarantined entries are published even with the cache disabled — the
+  // quarantine contract ("never re-evaluated") must hold either way. A lost
+  // insert race means a concurrent thread computed the same fingerprint;
+  // the values are identical (evaluation is pure), so the duplicate is an
+  // audit statistic, not an error.
+  if (options_.enable_cache || quarantined) {
+    if (!cache_.insert(fingerprint, GroupCostCache::Entry{cost, quarantined})) {
+      duplicate_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   maybe_sample_projection(group, cost);
   return cost;
+}
+
+Objective::GroupCost Objective::group_cost(std::span<const KernelId> group) const {
+  KF_REQUIRE(!group.empty(), "empty group");
+  const std::uint64_t key = group_fingerprint(group);
+  // Hit path: one shared lock on one cache shard, quarantine state folded
+  // into the entry — no second acquisition, no re-hash, no allocation.
+  GroupCost cached;
+  if (peek_group_cost(key, &cached)) return cached;
+  return force_group_cost(key, group);
+}
+
+void Objective::note_incremental_hits(long n) const noexcept {
+  if (n <= 0) return;
+  evaluations_.fetch_add(n, std::memory_order_relaxed);
+  hits_.fetch_add(n, std::memory_order_relaxed);
+  incremental_hits_.fetch_add(n, std::memory_order_relaxed);
 }
 
 void Objective::note_fault(std::span<const KernelId> group, std::uint64_t fingerprint,
@@ -207,25 +227,145 @@ double Objective::plan_cost(const FusionPlan& plan) const {
   return total;
 }
 
+std::vector<double> Objective::plan_costs(std::span<const FusionPlan> plans) const {
+  long queries = 0;
+  for (const FusionPlan& plan : plans) queries += plan.num_groups();
+  std::vector<double> out(plans.size(), 0.0);
+  if (queries == 0) return out;
+
+  // Pass 1 (serial): deduplicate *every* query, not just the misses, with a
+  // call-local open-addressing table (fp -> arena slot). Each distinct
+  // fingerprint touches the shared cache exactly once — duplicates resolve
+  // with no lock, no atomic, no heap churn, which is where a population's
+  // worth of repeated singleton/fused groups spends its time. The table is
+  // sized to the *distinct* count (grown 4x past 2/3 load) so it stays
+  // L1/L2-resident; sizing it to the query count measurably hurts. The
+  // first occurrence in plan order is the representative, so the miss work
+  // list is deterministic. Key 0 marks an empty slot; the (2^-64) group
+  // whose fingerprint is 0 falls back to the per-query path.
+  std::size_t cap = 1024;
+  std::vector<std::uint64_t> keys(cap, 0);
+  std::vector<std::uint32_t> index(cap, 0);
+  std::vector<double> arena;  ///< cost per distinct fp; miss = -1 sentinel
+  std::vector<std::uint32_t> slots(static_cast<std::size_t>(queries));
+  struct Miss {
+    std::uint64_t fp;
+    std::size_t plan;
+    int group;
+  };
+  std::vector<Miss> misses;
+  const auto probe = [&keys, &cap](std::uint64_t fp) {
+    std::size_t pos = static_cast<std::size_t>(fp) & (cap - 1);
+    while (keys[pos] != 0 && keys[pos] != fp) pos = (pos + 1) & (cap - 1);
+    return pos;
+  };
+  std::size_t q = 0;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const FusionPlan& plan = plans[i];
+    for (int g = 0; g < plan.num_groups(); ++g) {
+      const std::uint64_t fp = group_fingerprint(plan.group(g));
+      std::size_t pos = probe(fp);
+      if (keys[pos] != fp) {
+        if (fp == 0) {  // cannot live in the table; resolve per occurrence
+          --queries;
+          GroupCost cost;
+          if (!peek_group_cost(fp, &cost)) cost = force_group_cost(fp, plan.group(g));
+          slots[q++] = static_cast<std::uint32_t>(arena.size());
+          arena.push_back(cost.cost_s);
+          continue;
+        }
+        if ((arena.size() + 1) * 3 > cap * 2) {
+          std::vector<std::uint64_t> old_keys = std::move(keys);
+          std::vector<std::uint32_t> old_index = std::move(index);
+          cap <<= 2;
+          keys.assign(cap, 0);
+          index.assign(cap, 0);
+          for (std::size_t p = 0; p < old_keys.size(); ++p) {
+            if (old_keys[p] == 0) continue;
+            const std::size_t np = probe(old_keys[p]);
+            keys[np] = old_keys[p];
+            index[np] = old_index[p];
+          }
+          pos = probe(fp);
+        }
+        keys[pos] = fp;
+        index[pos] = static_cast<std::uint32_t>(arena.size());
+        GroupCostCache::Entry entry;
+        if (cache_.find(fp, &entry)) {
+          arena.push_back(entry.cost.cost_s);
+        } else {
+          misses.push_back(Miss{fp, i, g});
+          arena.push_back(-1.0);  // group costs are strictly positive
+        }
+      }
+      slots[q++] = index[pos];
+    }
+  }
+  // Counter parity with the per-plan path, one update per batch: every
+  // query is a logical evaluation; everything not among the distinct
+  // misses would have hit the cache (duplicates of a miss hit the entry
+  // its first occurrence inserts).
+  evaluations_.fetch_add(queries, std::memory_order_relaxed);
+  hits_.fetch_add(queries - static_cast<long>(misses.size()),
+                  std::memory_order_relaxed);
+
+  // Pass 2 (parallel): evaluate only the distinct unseen groups.
+  if (!misses.empty()) {
+    std::vector<double> miss_cost(misses.size());
+#pragma omp parallel for schedule(dynamic)
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+      const Miss& miss = misses[m];
+      miss_cost[m] =
+          force_group_cost(miss.fp, plans[miss.plan].group(miss.group)).cost_s;
+    }
+    std::size_t m = 0;
+    for (double& slot : arena) {
+      if (slot < 0.0) slot = miss_cost[m++];
+    }
+  }
+
+  // Pass 3: pure reads — sum each plan in group order, exactly the order
+  // plan_cost uses, so the doubles are bit-identical.
+  q = 0;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    double total = 0.0;
+    const int groups = plans[i].num_groups();
+    for (int g = 0; g < groups; ++g) total += arena[slots[q++]];
+    out[i] = total;
+  }
+  return out;
+}
+
 double Objective::baseline_cost() const {
   double total = 0.0;
   for (double t : original_times_) total += t;
   return total;
 }
 
+Objective::CacheStats Objective::cache_stats() const {
+  CacheStats stats;
+  stats.evaluations = evaluations_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.incremental_hits = incremental_hits_.load(std::memory_order_relaxed);
+  stats.duplicate_misses = duplicate_misses_.load(std::memory_order_relaxed);
+  stats.shard_contention = cache_.contention();
+  stats.quarantined = cache_.quarantined_count();
+  stats.entries = cache_.size();
+  stats.shards = cache_.shards();
+  return stats;
+}
+
 std::vector<std::uint64_t> Objective::quarantined_fingerprints() const {
-  std::vector<std::uint64_t> out;
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    out.assign(quarantined_.begin(), quarantined_.end());
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  return cache_.quarantined_keys();
 }
 
 void Objective::reset_counters() noexcept {
   evaluations_.store(0);
+  hits_.store(0);
   misses_.store(0);
+  incremental_hits_.store(0);
+  duplicate_misses_.store(0);
   faults_.store(0);
 }
 

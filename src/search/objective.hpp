@@ -11,27 +11,38 @@
 //
 // Group costs depend only on the member set, so they are memoised by a
 // member-set fingerprint; the paper's 5.4e6-evaluation searches spend most
-// evaluations on groups already seen. Evaluation counters are exposed for
-// the Table VI reproduction.
+// evaluations on groups already seen. The memo is a sharded read-mostly
+// cache (see group_cache.hpp): a hit takes one shared lock on one shard,
+// and the fingerprint itself is an allocation-free commutative mix, so the
+// OpenMP population loop never serializes on the hot path. Evaluation
+// counters are exposed for the Table VI reproduction.
+//
+// Batch evaluation: plan_costs() scores a whole population at once —
+// collect the distinct not-yet-cached fingerprints across every plan,
+// evaluate only those under OpenMP, then score all plans with pure cache
+// reads. Results are bit-identical to per-plan evaluation in any thread
+// count: every group cost is a pure function of the member set, and each
+// plan sums its groups in group order either way. The peek/force primitives
+// the batch path is built from are public so the HGGA's incremental
+// pre-pass (per-Individual group-cost maps) can keep the counters honest.
 //
 // Fault isolation: at the paper's scale (hours, millions of evaluations) a
 // single throwing candidate must not abort the run. With quarantine_faults
 // set (the default), a runtime failure inside the projection model or the
-// simulator charges the group the unprofitable penalty, records its
-// fingerprint in a quarantine set (so it is never re-evaluated) and bumps
-// the fault counter that SearchResult::FaultReport surfaces.
+// simulator charges the group the unprofitable penalty, caches its
+// fingerprint as a quarantined entry (so it is never re-evaluated) and
+// bumps the fault counter that SearchResult::FaultReport surfaces.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "fusion/legality.hpp"
 #include "gpu/timing_simulator.hpp"
 #include "model/projection.hpp"
+#include "search/group_cache.hpp"
 
 namespace kf {
 
@@ -47,6 +58,8 @@ class Objective {
     /// fingerprint instead of letting the exception abort the search. Turn
     /// off to propagate evaluation failures to the caller.
     bool quarantine_faults = true;
+    /// Lock stripes of the group-cost cache (rounded up to a power of two).
+    int cache_shards = GroupCostCache::kDefaultShards;
   };
 
   /// All referees must outlive the objective.
@@ -55,14 +68,44 @@ class Objective {
   Objective(const LegalityChecker& checker, const ProjectionModel& model,
             const TimingSimulator& simulator, Options options);
 
-  struct GroupCost {
-    double cost_s = 0.0;
-    bool profitable = true;  ///< constraint (1.1) satisfied (trivially for singletons)
-  };
+  using GroupCost = kf::GroupCost;
+
+  /// Order-insensitive member-set fingerprint: per-member avalanche mix
+  /// combined commutatively, no allocation, no sort. Exposed so callers
+  /// (HGGA incremental costing) can key their own per-plan memos.
+  static std::uint64_t group_fingerprint(std::span<const KernelId> group) noexcept;
 
   GroupCost group_cost(std::span<const KernelId> group) const;
 
   double plan_cost(const FusionPlan& plan) const;
+
+  /// Batched, deduplicated scoring of a whole population: deduplicates
+  /// every group query call-locally (one shared-cache touch per distinct
+  /// fingerprint, one counter update per batch), evaluates only the
+  /// distinct unseen groups (in parallel when OpenMP is enabled), then
+  /// scores every plan with pure reads. Returns one cost per plan,
+  /// bit-identical to calling plan_cost on each.
+  std::vector<double> plan_costs(std::span<const FusionPlan> plans) const;
+
+  // ---- evaluation-engine primitives (plan_costs is built from these; the
+  //      HGGA batched pre-pass uses them directly) ----
+
+  /// Cache-only lookup: counts one logical evaluation; on a hit fills `out`
+  /// (quarantined groups hit too — their entry carries the penalty cost)
+  /// and counts a cache hit. Never evaluates the model.
+  bool peek_group_cost(std::uint64_t fingerprint, GroupCost* out) const;
+
+  /// Evaluates a group whose fingerprint just missed and publishes it to
+  /// the cache: counts a model evaluation (miss), quarantines on a throw.
+  /// Losing an insert race is counted in CacheStats::duplicate_misses.
+  GroupCost force_group_cost(std::uint64_t fingerprint,
+                             std::span<const KernelId> group) const;
+
+  /// Credits `n` group queries answered from caller-side state — the
+  /// HGGA's per-Individual memos, or duplicates resolved from a batch's
+  /// own pending evaluations — without touching the shared cache, so
+  /// evaluations/hit-rate statistics stay comparable across modes.
+  void note_incremental_hits(long n) const noexcept;
 
   /// Measured runtime of original kernel k (memoised).
   double original_time(KernelId k) const;
@@ -74,6 +117,27 @@ class Objective {
   long evaluations() const noexcept { return evaluations_.load(); }  ///< objective calls
   long model_evaluations() const noexcept { return misses_.load(); } ///< cache misses
   long faults() const noexcept { return faults_.load(); }  ///< quarantined throws
+
+  /// Evaluation-engine counters for telemetry and the throughput bench.
+  struct CacheStats {
+    long evaluations = 0;       ///< logical group-cost queries
+    long hits = 0;              ///< answered without a model evaluation
+    long misses = 0;            ///< model evaluations
+    long incremental_hits = 0;  ///< subset of hits served by caller-side memos
+    long duplicate_misses = 0;  ///< concurrent double-computes (insert lost)
+    long shard_contention = 0;  ///< cache lock acquisitions that had to wait
+    long quarantined = 0;       ///< distinct quarantined member sets
+    std::size_t entries = 0;    ///< distinct cached member sets
+    int shards = 0;
+
+    double hit_rate() const noexcept {
+      const long total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+  CacheStats cache_stats() const;
+
   /// Member-set fingerprints of groups whose evaluation threw (sorted).
   std::vector<std::uint64_t> quarantined_fingerprints() const;
   void reset_counters() noexcept;
@@ -99,12 +163,13 @@ class Objective {
 
   std::vector<double> original_times_;
   mutable std::atomic<long> evaluations_{0};
+  mutable std::atomic<long> hits_{0};
   mutable std::atomic<long> misses_{0};
+  mutable std::atomic<long> incremental_hits_{0};
+  mutable std::atomic<long> duplicate_misses_{0};
   mutable std::atomic<long> faults_{0};
   mutable std::atomic<long> fused_misses_{0};  ///< disagreement-sample stride counter
-  mutable std::mutex cache_mutex_;
-  mutable std::unordered_map<std::uint64_t, GroupCost> cache_;
-  mutable std::unordered_set<std::uint64_t> quarantined_;
+  mutable GroupCostCache cache_;
 
   GroupCost compute_group_cost(std::span<const KernelId> group) const;
   GroupCost quarantine_cost(std::span<const KernelId> group) const;

@@ -146,6 +146,15 @@ void RunReport::ingest_metrics(const JsonValue& metrics) {
   generations = static_cast<long>(run->number_or("generations", generations));
   evaluations = static_cast<long>(run->number_or("evaluations", evaluations));
   faults = static_cast<long>(run->number_or("faults", faults));
+  cache_hit_rate = run->number_or("cache_hit_rate", cache_hit_rate);
+  cache_hits = static_cast<long>(run->number_or("cache_hits", cache_hits));
+  cache_misses = static_cast<long>(run->number_or("cache_misses", cache_misses));
+  cache_incremental_hits = static_cast<long>(
+      run->number_or("cache_incremental_hits", cache_incremental_hits));
+  cache_duplicate_misses = static_cast<long>(
+      run->number_or("cache_duplicate_misses", cache_duplicate_misses));
+  cache_shard_contention = static_cast<long>(
+      run->number_or("cache_shard_contention", cache_shard_contention));
 }
 
 std::string RunReport::render(int top_k) const {
@@ -166,6 +175,18 @@ std::string RunReport::render(int top_k) const {
        << human_time(baseline_cost_s) << "  projected speedup "
        << fixed(projected_speedup(), 2) << "x\n";
     if (faults > 0) os << "faults quarantined: " << faults << "\n";
+    if (cache_hit_rate >= 0.0) {
+      os << "evaluation cache: " << fixed(100.0 * cache_hit_rate, 2)
+         << "% hit rate (" << cache_hits << " hits / " << cache_misses
+         << " model evaluations";
+      if (cache_incremental_hits > 0) {
+        os << ", " << cache_incremental_hits << " memo-resolved";
+      }
+      if (cache_duplicate_misses > 0) {
+        os << ", " << cache_duplicate_misses << " duplicate computes";
+      }
+      os << ")\n";
+    }
     if (resumed) os << "resumed from checkpoint\n";
     if (checkpoint_saves > 0) os << "checkpoints written: " << checkpoint_saves << "\n";
   }
@@ -280,6 +301,14 @@ JsonValue RunReport::to_json() const {
   run.set("generations", generations);
   run.set("evaluations", evaluations);
   run.set("faults", faults);
+  if (cache_hit_rate >= 0.0) {
+    run.set("cache_hit_rate", cache_hit_rate);
+    run.set("cache_hits", cache_hits);
+    run.set("cache_misses", cache_misses);
+    run.set("cache_incremental_hits", cache_incremental_hits);
+    run.set("cache_duplicate_misses", cache_duplicate_misses);
+    run.set("cache_shard_contention", cache_shard_contention);
+  }
   root.set("run", std::move(run));
 
   JsonValue curve = JsonValue::array();

@@ -32,6 +32,14 @@ struct RunReport {
   long faults = 0;
   bool has_summary = false;
 
+  // ---- evaluation-cache counters (metrics "run" block; -1 = absent) ----
+  double cache_hit_rate = -1.0;
+  long cache_hits = 0;
+  long cache_misses = 0;
+  long cache_incremental_hits = 0;
+  long cache_duplicate_misses = 0;
+  long cache_shard_contention = 0;
+
   // ---- per-generation convergence (from "generation" events) ----
   struct GenerationSample {
     long generation = 0;

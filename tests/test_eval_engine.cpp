@@ -1,0 +1,338 @@
+// The evaluation engine (see DESIGN.md "Evaluation engine"): commutative
+// allocation-free fingerprints, the sharded group-cost cache with
+// quarantine folded into entries, the peek/force counter contract,
+// batched deduplicated population scoring (plan_costs), and the HGGA's
+// incremental costing — including the bit-identity guarantees across
+// thread counts and batched vs per-plan evaluation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "apps/motivating_example.hpp"
+#include "apps/testsuite.hpp"
+#include "model/proposed_model.hpp"
+#include "search/group_cache.hpp"
+#include "search/hgga.hpp"
+#include "search/population.hpp"
+#include "util/fault_injection.hpp"
+
+namespace kf {
+namespace {
+
+struct EngineRig {
+  Program program;
+  DeviceSpec device = DeviceSpec::k20x();
+  TimingSimulator sim{device};
+  LegalityChecker checker;
+  ProposedModel model{device};
+  Objective objective;
+
+  explicit EngineRig(Program p, Objective::Options options = {})
+      : program(std::move(p)),
+        checker(program, device),
+        objective(checker, model, sim, options) {}
+};
+
+EngineRig motivating_rig(Objective::Options options = {}) {
+  return EngineRig(motivating_example(GridDims{256, 128, 16}), options);
+}
+
+EngineRig suite_rig(int kernels, std::uint64_t seed = 3) {
+  TestSuiteConfig cfg;
+  cfg.kernels = kernels;
+  cfg.arrays = kernels * 2;
+  cfg.seed = seed;
+  cfg.grid = GridDims{256, 128, 16};
+  return EngineRig(make_testsuite_program(cfg));
+}
+
+// ---------- fingerprints ----------
+
+TEST(GroupFingerprint, OrderInsensitive) {
+  const std::vector<KernelId> abc{0, 1, 2};
+  const std::vector<KernelId> cab{2, 0, 1};
+  const std::vector<KernelId> bca{1, 2, 0};
+  const std::uint64_t fp = Objective::group_fingerprint(abc);
+  EXPECT_EQ(Objective::group_fingerprint(cab), fp);
+  EXPECT_EQ(Objective::group_fingerprint(bca), fp);
+}
+
+TEST(GroupFingerprint, DistinguishesDistinctSets) {
+  // All 2- and 3-subsets of 64 kernels plus all singletons: no collisions.
+  std::vector<std::uint64_t> fps;
+  for (KernelId a = 0; a < 64; ++a) {
+    fps.push_back(Objective::group_fingerprint(std::vector<KernelId>{a}));
+    for (KernelId b = a + 1; b < 64; ++b) {
+      fps.push_back(Objective::group_fingerprint(std::vector<KernelId>{a, b}));
+      for (KernelId c = b + 1; c < 64; ++c) {
+        fps.push_back(
+            Objective::group_fingerprint(std::vector<KernelId>{a, b, c}));
+      }
+    }
+  }
+  std::sort(fps.begin(), fps.end());
+  EXPECT_TRUE(std::adjacent_find(fps.begin(), fps.end()) == fps.end());
+}
+
+TEST(GroupFingerprint, SizeBreaksSubsetAliasing) {
+  // {k} vs {k, k} style aliasing is impossible for legal groups (member
+  // sets), but the size fold must still separate e.g. {} prefix sums.
+  const std::vector<KernelId> one{5};
+  const std::vector<KernelId> two{5, 9};
+  EXPECT_NE(Objective::group_fingerprint(one), Objective::group_fingerprint(two));
+}
+
+// ---------- GroupCostCache ----------
+
+TEST(GroupCostCache, InsertFindRoundTrip) {
+  GroupCostCache cache(8);
+  EXPECT_EQ(cache.shards(), 8);
+  GroupCostCache::Entry entry;
+  EXPECT_FALSE(cache.find(42, &entry));
+  EXPECT_TRUE(cache.insert(42, {GroupCost{1.5, true}, false}));
+  ASSERT_TRUE(cache.find(42, &entry));
+  EXPECT_DOUBLE_EQ(entry.cost.cost_s, 1.5);
+  EXPECT_FALSE(entry.quarantined);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(GroupCostCache, DuplicateInsertKeepsFirstValue) {
+  GroupCostCache cache(4);
+  EXPECT_TRUE(cache.insert(7, {GroupCost{1.0, true}, false}));
+  EXPECT_FALSE(cache.insert(7, {GroupCost{2.0, true}, false}));
+  GroupCostCache::Entry entry;
+  ASSERT_TRUE(cache.find(7, &entry));
+  EXPECT_DOUBLE_EQ(entry.cost.cost_s, 1.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(GroupCostCache, ShardCountRoundsUpToPowerOfTwo) {
+  GroupCostCache cache(5);
+  EXPECT_EQ(cache.shards(), 8);
+  GroupCostCache one(1);
+  EXPECT_EQ(one.shards(), 1);
+}
+
+TEST(GroupCostCache, QuarantinedKeysAreSorted) {
+  GroupCostCache cache(4);
+  cache.insert(99, {GroupCost{1.0, false}, true});
+  cache.insert(3, {GroupCost{1.0, false}, true});
+  cache.insert(50, {GroupCost{1.0, true}, false});
+  EXPECT_EQ(cache.quarantined_count(), 2);
+  const std::vector<std::uint64_t> keys = cache.quarantined_keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], 3u);
+  EXPECT_EQ(keys[1], 99u);
+}
+
+TEST(GroupCostCache, ConcurrentInsertFindIsCoherent) {
+  GroupCostCache cache(16);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kKeys = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (std::uint64_t k = 1; k <= kKeys; ++k) {
+        cache.insert(k, {GroupCost{static_cast<double>(k), true}, false});
+        GroupCostCache::Entry entry;
+        if (cache.find(k + static_cast<std::uint64_t>(t), &entry)) {
+          // Entries are immutable: any visible value is the first insert's.
+          EXPECT_DOUBLE_EQ(entry.cost.cost_s,
+                           static_cast<double>(k + static_cast<std::uint64_t>(t)));
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+  for (std::uint64_t k = 1; k <= kKeys; ++k) {
+    GroupCostCache::Entry entry;
+    ASSERT_TRUE(cache.find(k, &entry));
+    EXPECT_DOUBLE_EQ(entry.cost.cost_s, static_cast<double>(k));
+  }
+}
+
+// ---------- peek / force counter contract ----------
+
+TEST(EvalEngine, PeekForceCounterContract) {
+  EngineRig rig = motivating_rig();
+  rig.objective.reset_counters();
+  const std::vector<KernelId> group{rig.program.find_kernel("Kern_C"),
+                                    rig.program.find_kernel("Kern_E")};
+  const std::uint64_t fp = Objective::group_fingerprint(group);
+
+  Objective::GroupCost cost;
+  EXPECT_FALSE(rig.objective.peek_group_cost(fp, &cost));  // miss: no eval run
+  EXPECT_EQ(rig.objective.evaluations(), 1);
+  EXPECT_EQ(rig.objective.model_evaluations(), 0);
+
+  const Objective::GroupCost forced = rig.objective.force_group_cost(fp, group);
+  EXPECT_EQ(rig.objective.model_evaluations(), 1);
+
+  ASSERT_TRUE(rig.objective.peek_group_cost(fp, &cost));
+  EXPECT_DOUBLE_EQ(cost.cost_s, forced.cost_s);
+  EXPECT_EQ(cost.profitable, forced.profitable);
+  const Objective::CacheStats stats = rig.objective.cache_stats();
+  EXPECT_EQ(stats.evaluations, 2);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.duplicate_misses, 0);
+
+  rig.objective.note_incremental_hits(5);
+  const Objective::CacheStats after = rig.objective.cache_stats();
+  EXPECT_EQ(after.evaluations, 7);
+  EXPECT_EQ(after.hits, 6);
+  EXPECT_EQ(after.incremental_hits, 5);
+  EXPECT_NEAR(after.hit_rate(), 6.0 / 7.0, 1e-12);
+}
+
+TEST(EvalEngine, QuarantinedEntriesHitTheCache) {
+  // A faulting group is evaluated exactly once; repeats are cache hits that
+  // return the same penalty cost (quarantine folded into the entry).
+  EngineRig rig = motivating_rig();
+  ScopedFaultInjection arm(FaultPlan{FaultSite::Objective, 1.0, 11});
+  const std::vector<KernelId> group{rig.program.find_kernel("Kern_C"),
+                                    rig.program.find_kernel("Kern_E")};
+  rig.objective.reset_counters();
+  const Objective::GroupCost first = rig.objective.group_cost(group);
+  EXPECT_FALSE(first.profitable);
+  EXPECT_EQ(rig.objective.faults(), 1);
+  EXPECT_EQ(rig.objective.model_evaluations(), 1);
+
+  const Objective::GroupCost again = rig.objective.group_cost(group);
+  EXPECT_DOUBLE_EQ(again.cost_s, first.cost_s);
+  EXPECT_EQ(rig.objective.faults(), 1);             // not re-evaluated
+  EXPECT_EQ(rig.objective.model_evaluations(), 1);  // hit, not a miss
+  const Objective::CacheStats stats = rig.objective.cache_stats();
+  EXPECT_EQ(stats.quarantined, 1);
+  EXPECT_EQ(stats.hits, 1);
+}
+
+TEST(EvalEngine, QuarantineIsCachedEvenWithCachingDisabled) {
+  Objective::Options options;
+  options.enable_cache = false;
+  EngineRig rig = motivating_rig(options);
+  ScopedFaultInjection arm(FaultPlan{FaultSite::Objective, 1.0, 11});
+  const std::vector<KernelId> group{rig.program.find_kernel("Kern_C"),
+                                    rig.program.find_kernel("Kern_E")};
+  (void)rig.objective.group_cost(group);
+  (void)rig.objective.group_cost(group);
+  EXPECT_EQ(rig.objective.faults(), 1);  // quarantine contract holds
+  EXPECT_EQ(rig.objective.quarantined_fingerprints().size(), 1u);
+}
+
+// ---------- batched population scoring ----------
+
+TEST(EvalEngine, PlanCostsMatchesPerPlanBitForBit) {
+  EngineRig rig = suite_rig(24);
+  Rng rng(0xfeed);
+  std::vector<FusionPlan> plans;
+  for (int i = 0; i < 32; ++i) {
+    plans.push_back(random_legal_plan(rig.checker, rng, 0.2 + 0.02 * i));
+  }
+  const std::vector<double> batched = rig.objective.plan_costs(plans);
+  ASSERT_EQ(batched.size(), plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batched[i], rig.objective.plan_cost(plans[i])) << i;
+  }
+  // A second batched pass over a warm cache must agree too (pure reads).
+  EXPECT_EQ(rig.objective.plan_costs(plans), batched);
+}
+
+TEST(EvalEngine, PlanCostsCountersMatchPerPlanSemantics) {
+  EngineRig batched_rig = suite_rig(16);
+  EngineRig serial_rig = suite_rig(16);
+  Rng rng_a(0xabcd);
+  Rng rng_b(0xabcd);
+  std::vector<FusionPlan> plans_a, plans_b;
+  for (int i = 0; i < 16; ++i) {
+    plans_a.push_back(random_legal_plan(batched_rig.checker, rng_a, 0.5));
+    plans_b.push_back(random_legal_plan(serial_rig.checker, rng_b, 0.5));
+  }
+  batched_rig.objective.reset_counters();
+  serial_rig.objective.reset_counters();
+  (void)batched_rig.objective.plan_costs(plans_a);
+  for (const FusionPlan& plan : plans_b) (void)serial_rig.objective.plan_cost(plan);
+
+  const Objective::CacheStats batched = batched_rig.objective.cache_stats();
+  const Objective::CacheStats serial = serial_rig.objective.cache_stats();
+  EXPECT_EQ(batched.evaluations, serial.evaluations);
+  EXPECT_EQ(batched.hits, serial.hits);
+  EXPECT_EQ(batched.misses, serial.misses);
+  EXPECT_EQ(batched.entries, serial.entries);
+}
+
+// ---------- HGGA determinism across modes and thread counts ----------
+
+HggaConfig small_hgga(std::uint64_t seed = 0x5eed) {
+  HggaConfig config;
+  config.population = 24;
+  config.max_generations = 30;
+  config.stall_generations = 30;
+  config.seed = seed;
+  return config;
+}
+
+void expect_same_result(const SearchResult& a, const SearchResult& b) {
+  EXPECT_EQ(a.best.groups(), b.best.groups());
+  EXPECT_EQ(a.best_cost_s, b.best_cost_s);  // bit-identical, not just close
+  EXPECT_EQ(a.generations, b.generations);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i], b.history[i]) << "generation " << i;
+  }
+}
+
+TEST(EvalEngine, HggaBatchedMatchesUnbatchedBitForBit) {
+  EngineRig rig_batched = suite_rig(16, 5);
+  EngineRig rig_serial = suite_rig(16, 5);
+  HggaConfig config = small_hgga();
+  config.batched_evaluation = true;
+  const SearchResult batched = Hgga(rig_batched.objective, config).run();
+  config.batched_evaluation = false;
+  const SearchResult serial = Hgga(rig_serial.objective, config).run();
+  expect_same_result(batched, serial);
+}
+
+TEST(EvalEngine, HggaDeterministicAcrossThreadCounts) {
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(1);
+  EngineRig rig_single = suite_rig(16, 9);
+  const SearchResult single = Hgga(rig_single.objective, small_hgga()).run();
+
+  omp_set_num_threads(8);
+  EngineRig rig_many = suite_rig(16, 9);
+  const SearchResult many = Hgga(rig_many.objective, small_hgga()).run();
+  omp_set_num_threads(saved);
+
+  expect_same_result(single, many);
+#else
+  GTEST_SKIP() << "OpenMP not enabled";
+#endif
+}
+
+TEST(EvalEngine, HggaCountersBalanceAcrossModes) {
+  // evaluations == hits + misses in both modes, and the incremental memo
+  // never answers more queries than there were hits.
+  for (const bool batched : {true, false}) {
+    EngineRig rig = suite_rig(16, 5);
+    HggaConfig config = small_hgga();
+    config.batched_evaluation = batched;
+    (void)Hgga(rig.objective, config).run();
+    const Objective::CacheStats stats = rig.objective.cache_stats();
+    EXPECT_EQ(stats.evaluations, stats.hits + stats.misses) << batched;
+    EXPECT_LE(stats.incremental_hits, stats.hits) << batched;
+    EXPECT_GT(stats.hit_rate(), 0.5) << batched;
+    if (!batched) EXPECT_EQ(stats.incremental_hits, 0);
+  }
+}
+
+}  // namespace
+}  // namespace kf

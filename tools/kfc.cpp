@@ -302,6 +302,7 @@ struct SearchOutcome {
   SearchResult result;
   ExpansionResult expansion;
   FusedProgram fused;
+  Objective::CacheStats cache;  ///< evaluation-engine counters at run end
   bool expanded = false;
 };
 
@@ -365,6 +366,13 @@ void write_metrics_file(const Options& opt, const SearchOutcome& out,
   run.set("quarantined", out.result.fault_report.quarantined);
   run.set("runtime_s", out.result.runtime_s);
   run.set("launches", static_cast<long>(out.result.best.num_groups()));
+  run.set("cache_hits", out.cache.hits);
+  run.set("cache_misses", out.cache.misses);
+  run.set("cache_hit_rate", out.cache.hit_rate());
+  run.set("cache_entries", static_cast<long>(out.cache.entries));
+  run.set("cache_incremental_hits", out.cache.incremental_hits);
+  run.set("cache_duplicate_misses", out.cache.duplicate_misses);
+  run.set("cache_shard_contention", out.cache.shard_contention);
   root.set("run", std::move(run));
   const JsonValue series = metrics.to_json();
   for (const auto& [key, value] : series.members()) {
@@ -448,6 +456,7 @@ SearchOutcome run_search(const Options& opt, const Program& program) {
   out.result = std::move(result);
   out.fused = apply_fusion(checker, out.result.best);
   out.expansion = std::move(expansion);
+  out.cache = objective.cache_stats();
   out.expanded = opt.expand;
 
   // Report.
