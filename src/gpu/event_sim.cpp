@@ -6,6 +6,7 @@
 #include <queue>
 #include <sstream>
 
+#include "util/chrome_trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/string_util.hpp"
@@ -119,25 +120,23 @@ double EventTrace::utilisation(const DeviceSpec& device) const {
   return busy / (makespan_s * max_slots);
 }
 
-std::string EventTrace::to_chrome_trace_json() const {
-  std::ostringstream os;
-  os << "[\n";
-  bool first = true;
-  for (std::size_t li = 0; li < launches.size(); ++li) {
-    const LaunchTimeline& launch = launches[li];
+void EventTrace::append_chrome_trace(ChromeTraceWriter& writer) const {
+  writer.process_name(ChromeTraceWriter::kDevicePid, "device timeline");
+  for (const LaunchTimeline& launch : launches) {
     for (const BlockRecord& b : launch.blocks) {
-      if (!first) os << ",\n";
-      first = false;
       // tid encodes (smx, slot) so each concurrent slot gets its own row.
-      os << strprintf(
-          "{\"name\":\"%s b%ld\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
-          "\"ts\":%.3f,\"dur\":%.3f}",
-          launch.name.c_str(), b.block, b.smx * 64 + b.slot, b.start_s * 1e6,
-          (b.end_s - b.start_s) * 1e6);
+      writer.complete_event(strprintf("%s b%ld", launch.name.c_str(), b.block),
+                            "device", ChromeTraceWriter::kDevicePid,
+                            b.smx * 64 + b.slot, b.start_s * 1e6,
+                            (b.end_s - b.start_s) * 1e6);
     }
   }
-  os << "\n]\n";
-  return os.str();
+}
+
+std::string EventTrace::to_chrome_trace_json() const {
+  ChromeTraceWriter writer;
+  append_chrome_trace(writer);
+  return writer.finish();
 }
 
 std::string EventTrace::to_svg(int width_px) const {

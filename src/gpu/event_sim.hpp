@@ -24,6 +24,8 @@
 
 namespace kf {
 
+class ChromeTraceWriter;  // util/chrome_trace.hpp
+
 struct BlockRecord {
   long block = 0;     ///< linear block index within the launch
   int smx = 0;        ///< SMX it ran on
@@ -48,6 +50,12 @@ struct EventTrace {
 
   /// Average fraction of block slots busy over the makespan.
   double utilisation(const DeviceSpec& device) const;
+
+  /// Appends the block timeline to a shared Chrome-trace writer under
+  /// pid 1 "device timeline" (tid = smx * 64 + slot, one row per concurrent
+  /// slot; see util/chrome_trace.hpp for the full pid/tid/cat conventions),
+  /// so the device view composes with span exports in one Perfetto view.
+  void append_chrome_trace(ChromeTraceWriter& writer) const;
 
   /// Chrome-trace ("catapult") JSON: one row per SMX slot.
   std::string to_chrome_trace_json() const;

@@ -10,6 +10,39 @@
 
 namespace kf {
 
+const char* TimeBreakdown::component_name(int index) noexcept {
+  switch (index) {
+    case 0: return "gmem_traffic";
+    case 1: return "halo";
+    case 2: return "latency_stall";
+    case 3: return "smem";
+    case 4: return "barrier";
+    case 5: return "compute";
+    case 6: return "launch";
+    default: return "unknown";
+  }
+}
+
+double TimeBreakdown::component(int index) const noexcept {
+  switch (index) {
+    case 0: return gmem_traffic_s;
+    case 1: return halo_s;
+    case 2: return latency_stall_s;
+    case 3: return smem_s;
+    case 4: return barrier_s;
+    case 5: return compute_s;
+    case 6: return launch_s;
+    default: return 0.0;
+  }
+}
+
+int TimeBreakdown::dominant_component() const noexcept {
+  int best = 0;
+  for (int i = 1; i < kComponents; ++i)
+    if (component(i) > component(best)) best = i;
+  return best;
+}
+
 TimingSimulator::TimingSimulator(DeviceSpec device, Options options)
     : device_(std::move(device)), options_(options) {
   KF_REQUIRE(options_.noise_amplitude >= 0.0 && options_.noise_amplitude < 0.5,

@@ -51,10 +51,21 @@ struct TimeBreakdown {
   double launch_s = 0.0;         ///< per-launch overhead
   double total_s = 0.0;          ///< == SimResult::time_s
 
+  /// Number of named components; the authoritative order for component(),
+  /// component_name() and every consumer that attributes time (kfc group
+  /// breakdowns, span profiles, decision provenance).
+  static constexpr int kComponents = 7;
+  static const char* component_name(int index) noexcept;
+  /// Component value by index, in component_name() order.
+  double component(int index) const noexcept;
+
   double component_sum() const noexcept {
     return gmem_traffic_s + halo_s + latency_stall_s + smem_s + barrier_s +
            compute_s + launch_s;
   }
+  /// Index of the largest component (lowest index wins ties); the dominant
+  /// mechanism decision provenance attributes a merge to.
+  int dominant_component() const noexcept;
   /// Share of the total attributed to `component_s`, in [0, 1].
   double fraction(double component_s) const noexcept {
     return total_s > 0.0 && total_s < 1e300 ? component_s / total_s : 0.0;

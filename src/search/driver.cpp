@@ -148,7 +148,7 @@ SearchResult SearchDriver::dispatch(SearchControl& control) {
       return Hgga(objective_, config_.hgga).run(&control, ckpt, config_.telemetry);
     }
     case SearchMethod::Greedy:
-      return greedy_search(objective_, &control);
+      return greedy_search(objective_, &control, config_.telemetry);
     case SearchMethod::Annealing:
       return annealing_search(objective_, config_.annealing, &control);
     case SearchMethod::Random:
@@ -208,9 +208,13 @@ void SearchDriver::validate_checkpointing() const {
 }
 
 SearchResult SearchDriver::run() {
-  validate_checkpointing();
-  SearchControl control(objective_, config_.limits);
   const Telemetry* t = config_.telemetry;
+  SpanTracer::Scope run_span = scoped_span(t, "driver.run");
+  {
+    SpanTracer::Scope validate_span = scoped_span(t, "driver.validate");
+    validate_checkpointing();
+  }
+  SearchControl control(objective_, config_.limits);
   control.set_telemetry(t);
   if (t != nullptr && t->wants_trace()) {
     t->trace->emit("search_start", [&](TraceEvent& e) {
@@ -225,9 +229,11 @@ SearchResult SearchDriver::run() {
   SearchResult result;
   bool recovered = false;
   try {
+    SpanTracer::Scope dispatch_span = scoped_span(t, "driver.dispatch");
     result = dispatch(control);
     fill_fault_report(result, objective_, &control);
   } catch (const std::runtime_error&) {
+    SpanTracer::Scope recover_span = scoped_span(t, "driver.recover");
     result = recover(control);
     recovered = true;
   }

@@ -3,12 +3,16 @@
 #include <algorithm>
 
 #include "search/driver.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/stopwatch.hpp"
 
 namespace kf {
 
-SearchResult greedy_search(const Objective& objective, SearchControl* control) {
+SearchResult greedy_search(const Objective& objective, SearchControl* control,
+                           const Telemetry* telemetry) {
   Stopwatch watch;
+  SpanTracer::Scope run_span = scoped_span(telemetry, "greedy.run");
+  const bool provenance = telemetry != nullptr && telemetry->wants_decisions();
   const LegalityChecker& checker = objective.checker();
   const Program& program = checker.program();
   FusionPlan plan(program.num_kernels());
@@ -17,9 +21,11 @@ SearchResult greedy_search(const Objective& objective, SearchControl* control) {
   bool progress = true;
   while (progress && (control == nullptr || !control->should_stop())) {
     progress = false;
+    SpanTracer::Scope pass_span = scoped_span(telemetry, "greedy.pass");
     double best_delta = -1e-15;
     int best_a = -1;
     int best_b = -1;
+    std::vector<KernelId> best_members;
     // Hoist the current groups' costs out of the O(n^2) pair loop: each
     // group's cost is pair-invariant for the whole pass (cache hits, but
     // fingerprint + shard lock per query adds up over n^2 pairs).
@@ -41,7 +47,18 @@ SearchResult greedy_search(const Objective& objective, SearchControl* control) {
           if (!checker.plan_is_schedulable(trial)) continue;
         }
         const auto merged_cost = objective.group_cost(merged);
-        if (!merged_cost.profitable) continue;
+        if (!merged_cost.profitable) {
+          // Provenance: an unprofitable candidate is a rejected merge —
+          // constraint (1.1) said no. The dominant component stays unknown:
+          // re-simulating every rejected pair would swamp the scan.
+          if (provenance) {
+            telemetry->decisions->record(
+                DecisionLog::Site::GreedyReject, false, merged,
+                merged_cost.cost_s - group_cost_s[static_cast<std::size_t>(a)] -
+                    group_cost_s[static_cast<std::size_t>(b)]);
+          }
+          continue;
+        }
         const double delta = group_cost_s[static_cast<std::size_t>(a)] +
                              group_cost_s[static_cast<std::size_t>(b)] -
                              merged_cost.cost_s;
@@ -49,10 +66,16 @@ SearchResult greedy_search(const Objective& objective, SearchControl* control) {
           best_delta = delta;
           best_a = a;
           best_b = b;
+          if (provenance) best_members = merged;
         }
       }
     }
     if (best_a >= 0) {
+      if (provenance) {
+        telemetry->decisions->record(
+            DecisionLog::Site::GreedyMerge, true, best_members, -best_delta,
+            objective.dominant_component(best_members));
+      }
       plan.merge_groups(best_a, best_b);
       progress = true;
       if (control != nullptr) control->note_best(plan, objective.plan_cost(plan));

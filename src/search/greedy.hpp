@@ -13,10 +13,14 @@
 namespace kf {
 
 class SearchControl;  // search/driver.hpp
+struct Telemetry;     // telemetry/telemetry.hpp
 
 /// `control` (optional) enforces deadline / evaluation / fault budgets;
-/// on early stop the current (always legal) plan is returned.
+/// on early stop the current (always legal) plan is returned. `telemetry`
+/// (optional) records pass spans and accept/reject merge provenance — a
+/// null pointer costs one branch per pass.
 SearchResult greedy_search(const Objective& objective,
-                           SearchControl* control = nullptr);
+                           SearchControl* control = nullptr,
+                           const Telemetry* telemetry = nullptr);
 
 }  // namespace kf

@@ -125,8 +125,11 @@ std::string SearchResult::trace_csv() const {
   return os.str();
 }
 
-int local_polish(const Objective& objective, FusionPlan& plan, double* cost_out) {
+int local_polish(const Objective& objective, FusionPlan& plan, double* cost_out,
+                 const Telemetry* telemetry) {
   const LegalityChecker& checker = objective.checker();
+  SpanTracer::Scope polish_span = scoped_span(telemetry, "local_polish");
+  const bool provenance = telemetry != nullptr && telemetry->wants_decisions();
   int edits = 0;
   double cost = objective.plan_cost(plan);
 
@@ -135,12 +138,21 @@ int local_polish(const Objective& objective, FusionPlan& plan, double* cost_out)
     improved = false;
     FusionPlan best_plan = plan;
     double best_cost = cost;
+    DecisionLog::Site best_site = DecisionLog::Site::PolishMerge;
+    std::vector<KernelId> best_members;
 
-    auto consider = [&](FusionPlan&& candidate) {
+    // `members` names the group the edit creates (merge/move) or dissolves
+    // (split) — what a provenance decision attributes the cost delta to.
+    // Only tracked when a decision log is attached, so the bare path stays
+    // byte-for-byte the pre-provenance steepest descent.
+    auto consider = [&](FusionPlan&& candidate, DecisionLog::Site site,
+                        std::vector<KernelId>&& members) {
       const double c = objective.plan_cost(candidate);
       if (c < best_cost - 1e-18) {
         best_cost = c;
         best_plan = std::move(candidate);
+        best_site = site;
+        best_members = std::move(members);
       }
     };
 
@@ -154,7 +166,8 @@ int local_polish(const Objective& objective, FusionPlan& plan, double* cost_out)
         FusionPlan candidate = plan;
         candidate.merge_groups(a, b);
         if (!checker.plan_is_schedulable(candidate)) continue;
-        consider(std::move(candidate));
+        consider(std::move(candidate), DecisionLog::Site::PolishMerge,
+                 provenance ? std::move(merged) : std::vector<KernelId>());
       }
     }
     // moves (kernel to a sharing neighbour's group)
@@ -173,7 +186,8 @@ int local_polish(const Objective& objective, FusionPlan& plan, double* cost_out)
             !checker.plan_is_legal(candidate)) {
           continue;
         }
-        consider(std::move(candidate));
+        consider(std::move(candidate), DecisionLog::Site::PolishMove,
+                 provenance ? std::move(target) : std::vector<KernelId>());
       }
     }
     // splits
@@ -181,10 +195,18 @@ int local_polish(const Objective& objective, FusionPlan& plan, double* cost_out)
       if (plan.group(g).size() < 2) continue;
       FusionPlan candidate = plan;
       candidate.split_group(g);
-      consider(std::move(candidate));
+      consider(std::move(candidate), DecisionLog::Site::PolishSplit,
+               provenance ? std::vector<KernelId>(plan.group(g).begin(),
+                                                  plan.group(g).end())
+                          : std::vector<KernelId>());
     }
 
     if (best_cost < cost - 1e-18) {
+      if (provenance) {
+        telemetry->decisions->record(best_site, true, best_members,
+                                     best_cost - cost,
+                                     objective.dominant_component(best_members));
+      }
       plan = std::move(best_plan);
       cost = best_cost;
       ++edits;
@@ -230,7 +252,9 @@ void Hgga::evaluate_individual(Individual& individual) const {
   individual.group_costs = std::move(own);
 }
 
-void Hgga::evaluate_offspring(std::vector<Individual>& offspring) const {
+void Hgga::evaluate_offspring(std::vector<Individual>& offspring,
+                              const Telemetry* telemetry) const {
+  SpanTracer::Scope resolve_span = scoped_span(telemetry, "hgga.resolve");
   // Pass 1 (serial, cheap — fingerprints and map probes only): resolve
   // every dirty group against the individual's inherited memo first (no
   // lock at all), then the shared cache; what remains is the distinct set
@@ -278,17 +302,22 @@ void Hgga::evaluate_offspring(std::vector<Individual>& offspring) const {
     }
   }
   objective_.note_incremental_hits(memo_hits);
+  resolve_span.end();
 
   // Pass 2 (parallel): evaluate only the distinct unseen groups. Order
   // independence is what makes 1-thread and N-thread runs bit-identical:
   // each cost is a pure function of its member set.
+  {
+    SpanTracer::Scope eval_span = scoped_span(telemetry, "hgga.eval_misses");
 #pragma omp parallel for schedule(dynamic)
-  for (std::size_t m = 0; m < unseen.size(); ++m) {
-    const Pending& p = unseen[m];
-    const Objective::GroupCost cost = objective_.force_group_cost(
-        p.fp, offspring[p.individual].plan.group(p.group));
-    resolved[p.individual][static_cast<std::size_t>(p.group)] = cost.cost_s;
+    for (std::size_t m = 0; m < unseen.size(); ++m) {
+      const Pending& p = unseen[m];
+      const Objective::GroupCost cost = objective_.force_group_cost(
+          p.fp, offspring[p.individual].plan.group(p.group));
+      resolved[p.individual][static_cast<std::size_t>(p.group)] = cost.cost_s;
+    }
   }
+  SpanTracer::Scope score_span = scoped_span(telemetry, "hgga.score");
   std::unordered_map<std::uint64_t, double> computed;
   computed.reserve(unseen.size());
   for (const Pending& p : unseen) {
@@ -326,7 +355,7 @@ const Hgga::Individual& Hgga::tournament(const std::vector<Individual>& pop,
 }
 
 void Hgga::crossover(const Individual& a, const Individual& b, Individual& child,
-                     Rng& rng) const {
+                     Rng& rng, const Telemetry* telemetry) const {
   const LegalityChecker& checker = objective_.checker();
   child.plan = a.plan;
 
@@ -346,6 +375,20 @@ void Hgga::crossover(const Individual& a, const Individual& b, Individual& child
     if (injected.empty()) {
       const int g = fused_groups[rng.next_below(fused_groups.size())];
       injected.emplace_back(b.plan.group(g).begin(), b.plan.group(g).end());
+    }
+  }
+
+  // Provenance: each inherited group is an accepted fusion decision of this
+  // child. The delta is its fusion benefit over the members' original times;
+  // both lookups are cache hits (the group was costed in parent b), so the
+  // recording never perturbs the search — it only advances counters.
+  if (telemetry != nullptr && telemetry->wants_decisions()) {
+    for (const auto& g : injected) {
+      double original_sum = 0.0;
+      for (KernelId k : g) original_sum += objective_.original_time(k);
+      const double delta = objective_.group_cost(g).cost_s - original_sum;
+      telemetry->decisions->record(DecisionLog::Site::CrossoverInject, true, g,
+                                   delta, objective_.dominant_component(g));
     }
   }
 
@@ -406,10 +449,14 @@ void Hgga::crossover(const Individual& a, const Individual& b, Individual& child
   repair_plan(checker, child.plan);
 }
 
-int Hgga::mutate(Individual& individual, Rng& rng) const {
+int Hgga::mutate(Individual& individual, Rng& rng,
+                 const Telemetry* telemetry) const {
   const LegalityChecker& checker = objective_.checker();
   FusionPlan& plan = individual.plan;
   int applied = 0;
+  // Provenance recording below never consumes RNG and all its group-cost
+  // lookups are pure, so an attached decision log cannot change the search.
+  const bool provenance = telemetry != nullptr && telemetry->wants_decisions();
 
   // merge two sharing-connected groups
   if (rng.next_bool(config_.mutation_merge_rate) && plan.num_groups() >= 2) {
@@ -427,6 +474,17 @@ int Hgga::mutate(Individual& individual, Rng& rng) const {
           FusionPlan trial = plan;
           trial.merge_groups(ga, gb);
           if (checker.plan_is_schedulable(trial)) {
+            if (provenance) {
+              // Sort first: the evaluation this seeds into the cache must be
+              // for the canonical member order the plan will later query.
+              std::sort(merged.begin(), merged.end());
+              const double delta = objective_.group_cost(merged).cost_s -
+                                   objective_.group_cost(plan.group(ga)).cost_s -
+                                   objective_.group_cost(plan.group(gb)).cost_s;
+              telemetry->decisions->record(DecisionLog::Site::MutationMerge,
+                                           true, merged, delta,
+                                           objective_.dominant_component(merged));
+            }
             plan = std::move(trial);
             ++applied;
           }
@@ -442,7 +500,17 @@ int Hgga::mutate(Individual& individual, Rng& rng) const {
       if (plan.group(g).size() >= 2) fused.push_back(g);
     }
     if (!fused.empty()) {
-      plan.split_group(fused[rng.next_below(fused.size())]);
+      const int victim = fused[rng.next_below(fused.size())];
+      if (provenance) {
+        const auto group = plan.group(victim);
+        double singleton_sum = 0.0;
+        for (KernelId k : group) singleton_sum += objective_.original_time(k);
+        const double delta = singleton_sum - objective_.group_cost(group).cost_s;
+        telemetry->decisions->record(DecisionLog::Site::MutationSplit, true,
+                                     group, delta,
+                                     objective_.dominant_component(group));
+      }
+      plan.split_group(victim);
       ++applied;
     }
   }
@@ -461,6 +529,14 @@ int Hgga::mutate(Individual& individual, Rng& rng) const {
         target.push_back(k);
         std::sort(target.begin(), target.end());
         if (checker.group_is_legal(target)) {
+          if (provenance) {
+            const double delta = objective_.group_cost(target).cost_s -
+                                 objective_.group_cost(plan.group(to)).cost_s -
+                                 objective_.original_time(k);
+            telemetry->decisions->record(DecisionLog::Site::MutationMove, true,
+                                         target, delta,
+                                         objective_.dominant_component(target));
+          }
           plan.move_kernel(k, to);
           // Removing k may have broken the source group's convexity or
           // connectivity; split it if so (split-repair).
@@ -476,6 +552,8 @@ int Hgga::mutate(Individual& individual, Rng& rng) const {
 SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpointing,
                        const Telemetry* telemetry) {
   Stopwatch watch;
+  SpanTracer::Scope run_span = scoped_span(telemetry, "hgga.run");
+  SpanTracer::Scope init_span = scoped_span(telemetry, "hgga.init");
   Rng master(config_.seed);
   const Program& program = objective_.checker().program();
   const bool checkpoint_enabled =
@@ -541,6 +619,7 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
     best = *best_of(population);
   }
   result.time_to_best_s = watch.elapsed_s();
+  init_span.end();
   if (control != nullptr) control->note_best(best.plan, best.cost);
 
   auto snapshot = [&](int next_gen) {
@@ -581,6 +660,8 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
   for (int gen = start_gen;
        gen < config_.max_generations && stall < config_.stall_generations; ++gen) {
     if (control != nullptr && control->should_stop()) break;
+    SpanTracer::Scope gen_span = scoped_span(telemetry, "hgga.generation");
+    SpanTracer::Scope breed_span = scoped_span(telemetry, "hgga.breed");
     const long evals_at_gen_start = objective_.evaluations();
     // --- produce offspring ---
     std::vector<Individual> offspring;
@@ -617,7 +698,7 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
       if (rng.next_bool(config_.crossover_rate)) {
         const Individual& a = tournament(population, rng);
         const Individual& b = tournament(population, rng);
-        crossover(a, b, child, rng);
+        crossover(a, b, child, rng, telemetry);
         // Incremental costing: the child inherits both parents' memos, so
         // every group the operators kept intact is resolved without even a
         // cache lookup. Inherited entries can never go stale (a
@@ -632,21 +713,25 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
         child.plan = parent.plan;
         if (config_.batched_evaluation) child.group_costs = parent.group_costs;
       }
-      stats.mutations += mutate(child, rng);
+      stats.mutations += mutate(child, rng, telemetry);
       child.cost = -1.0;  // mark for evaluation
       offspring.push_back(std::move(child));
       crossover_parent_cost.push_back(parent_cost);
     }
+    breed_span.end();
 
     // --- evaluate (batched + deduplicated by default; the per-plan path is
     //     kept for the A/B equivalence test and the throughput bench) ---
-    if (config_.batched_evaluation) {
-      evaluate_offspring(offspring);
-    } else {
+    {
+      SpanTracer::Scope eval_span = scoped_span(telemetry, "hgga.evaluate");
+      if (config_.batched_evaluation) {
+        evaluate_offspring(offspring, telemetry);
+      } else {
 #pragma omp parallel for schedule(dynamic)
-      for (std::size_t i = 0; i < offspring.size(); ++i) {
-        if (offspring[i].cost < 0.0) {
-          offspring[i].cost = objective_.plan_cost(offspring[i].plan);
+        for (std::size_t i = 0; i < offspring.size(); ++i) {
+          if (offspring[i].cost < 0.0) {
+            offspring[i].cost = objective_.plan_cost(offspring[i].plan);
+          }
         }
       }
     }
@@ -709,7 +794,8 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
   if (config_.local_polish && !stopped_early) {
     const double cost_before = best.cost;
     double polished_cost = best.cost;
-    const int edits = local_polish(objective_, result.best, &polished_cost);
+    const int edits =
+        local_polish(objective_, result.best, &polished_cost, telemetry);
     if (edits > 0) {
       best.cost = polished_cost;
       result.time_to_best_s = watch.elapsed_s();

@@ -116,7 +116,10 @@ struct SearchResult {
 /// Steepest-descent local search over the merge / move / split
 /// neighbourhood: applies the best strictly-improving legal edit until a
 /// local optimum is reached. Returns the number of edits applied.
-int local_polish(const Objective& objective, FusionPlan& plan, double* cost = nullptr);
+/// `telemetry` (optional) records a "local_polish" span and one provenance
+/// decision per applied edit — a null pointer costs one branch per edit.
+int local_polish(const Objective& objective, FusionPlan& plan,
+                 double* cost = nullptr, const Telemetry* telemetry = nullptr);
 
 /// Periodic checkpointing of an HGGA run (see search/checkpoint.hpp for the
 /// on-disk format). With `resume` set, the run restarts from the state in
@@ -164,11 +167,13 @@ class Hgga {
   /// The batched evaluation pass: resolve every dirty offspring's groups
   /// against inherited memos and the shared cache, evaluate only the
   /// distinct unseen fingerprints under OpenMP, then score with pure reads.
-  void evaluate_offspring(std::vector<Individual>& offspring) const;
+  /// `telemetry` only adds per-pass spans — never search-state effects.
+  void evaluate_offspring(std::vector<Individual>& offspring,
+                          const Telemetry* telemetry) const;
   void crossover(const Individual& a, const Individual& b, Individual& child,
-                 Rng& rng) const;
+                 Rng& rng, const Telemetry* telemetry) const;
   /// Returns the number of mutation operators actually applied (0..3).
-  int mutate(Individual& individual, Rng& rng) const;
+  int mutate(Individual& individual, Rng& rng, const Telemetry* telemetry) const;
   const Individual& tournament(const std::vector<Individual>& pop, Rng& rng) const;
 };
 

@@ -180,10 +180,31 @@ void Objective::note_fault(std::span<const KernelId> group, std::uint64_t finger
   }
 }
 
+const char* Objective::dominant_component(std::span<const KernelId> group) const noexcept {
+  try {
+    SimResult sim;
+    if (group.size() == 1) {
+      sim = simulator_.run_original(checker_.program(), group[0]);
+    } else {
+      const LaunchDescriptor d = checker_.builder().build(group);
+      sim = simulator_.run(checker_.program(), d);
+    }
+    if (!sim.launchable) return "";
+    return TimeBreakdown::component_name(sim.breakdown.dominant_component());
+  } catch (...) {
+    // Telemetry-only simulator run: injected faults and infeasible builds
+    // leave the attribution unknown rather than perturbing the search.
+    return "";
+  }
+}
+
 void Objective::maybe_sample_projection(std::span<const KernelId> group,
                                         const GroupCost& cost) const {
   const Telemetry* t = telemetry_;
-  if (t == nullptr || (t->metrics == nullptr && !t->wants_trace())) return;
+  if (t == nullptr ||
+      (t->metrics == nullptr && !t->wants_trace() && t->calibration == nullptr)) {
+    return;
+  }
   // Only fused groups whose projection was accepted carry a projected time
   // worth cross-checking (cost_s == Projection::time_s exactly then).
   if (group.size() < 2 || !cost.profitable) return;
@@ -211,6 +232,25 @@ void Objective::maybe_sample_projection(std::span<const KernelId> group,
             .num("rel_error", rel_error);
       });
     }
+    if (t->calibration != nullptr) {
+      const auto drift =
+          t->calibration->record(group.size(), cost.cost_s, sim.time_s);
+      if (drift.has_value()) {
+        if (t->metrics != nullptr) {
+          t->metrics->count(
+              "objective.calibration_drift", 1,
+              {{"bucket", CalibrationTracker::bucket_label(drift->bucket)}});
+        }
+        if (t->wants_trace()) {
+          t->trace->emit("calibration_drift", [&](TraceEvent& e) {
+            e.str("bucket", CalibrationTracker::bucket_label(drift->bucket))
+                .num("samples", static_cast<double>(drift->count))
+                .num("mean_rel_error", drift->mean_rel_error)
+                .num("band", t->calibration->drift_band());
+          });
+        }
+      }
+    }
   } catch (const std::runtime_error&) {
     // Telemetry-only simulator run: an injected fault here is swallowed —
     // it must not quarantine the group or perturb the search (injection
@@ -232,6 +272,8 @@ std::vector<double> Objective::plan_costs(std::span<const FusionPlan> plans) con
   for (const FusionPlan& plan : plans) queries += plan.num_groups();
   std::vector<double> out(plans.size(), 0.0);
   if (queries == 0) return out;
+  SpanTracer::Scope batch_span = scoped_span(telemetry_, "objective.plan_costs");
+  SpanTracer::Scope probe_span = scoped_span(telemetry_, "objective.cache_probe");
 
   // Pass 1 (serial): deduplicate *every* query, not just the misses, with a
   // call-local open-addressing table (fp -> arena slot). Each distinct
@@ -309,8 +351,11 @@ std::vector<double> Objective::plan_costs(std::span<const FusionPlan> plans) con
   hits_.fetch_add(queries - static_cast<long>(misses.size()),
                   std::memory_order_relaxed);
 
+  probe_span.end();
+
   // Pass 2 (parallel): evaluate only the distinct unseen groups.
   if (!misses.empty()) {
+    SpanTracer::Scope eval_span = scoped_span(telemetry_, "objective.eval_misses");
     std::vector<double> miss_cost(misses.size());
 #pragma omp parallel for schedule(dynamic)
     for (std::size_t m = 0; m < misses.size(); ++m) {

@@ -107,6 +107,13 @@ class Objective {
   /// evaluations/hit-rate statistics stay comparable across modes.
   void note_incremental_hits(long n) const noexcept;
 
+  /// Telemetry-only attribution for decision provenance: name of the
+  /// dominant TimeBreakdown component of the group's simulated launch
+  /// ("" when the simulator cannot run it). Pure — no counters, no cache,
+  /// no search-state effect; injected faults are swallowed like
+  /// maybe_sample_projection's.
+  const char* dominant_component(std::span<const KernelId> group) const noexcept;
+
   /// Measured runtime of original kernel k (memoised).
   double original_time(KernelId k) const;
 

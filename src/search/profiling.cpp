@@ -1,0 +1,40 @@
+#include "search/profiling.hpp"
+
+#include <stdexcept>
+
+namespace kf {
+
+ModelSpanSummary emit_model_spans(SpanTracer& spans,
+                                  const TimingSimulator& simulator,
+                                  const Program& program,
+                                  std::span<const LaunchDescriptor> launches) {
+  ModelSpanSummary summary;
+  double cursor_s = 0.0;  // sequential timeline: launches run back to back
+  for (const LaunchDescriptor& launch : launches) {
+    SimResult sim;
+    try {
+      sim = simulator.run(program, launch);
+    } catch (const std::runtime_error&) {
+      continue;  // telemetry-only pass: injected faults skip the launch
+    }
+    if (!sim.launchable) continue;
+    const TimeBreakdown& b = sim.breakdown;
+    const long parent = spans.virtual_span(launch.name, "model", 0, cursor_s,
+                                           b.total_s);
+    double component_cursor_s = cursor_s;
+    for (int c = 0; c < TimeBreakdown::kComponents; ++c) {
+      const double dur_s = b.component(c);
+      summary.component_s[c] += dur_s;
+      if (dur_s <= 0.0) continue;  // zero-width spans only clutter the view
+      spans.virtual_span(TimeBreakdown::component_name(c), "model", 0,
+                         component_cursor_s, dur_s, parent);
+      component_cursor_s += dur_s;
+    }
+    cursor_s += b.total_s;
+    summary.total_s += b.total_s;
+    ++summary.launches;
+  }
+  return summary;
+}
+
+}  // namespace kf

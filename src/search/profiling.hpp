@@ -1,0 +1,42 @@
+// Simulated-time span emission for `kfc profile` / `kfc --spans`.
+//
+// The search-layer glue between the timing simulator (gpu layer) and the
+// span tracer (telemetry layer): replays the final plan's launches through
+// the simulator and appends one virtual span per launch plus nested spans
+// for its TimeBreakdown components, on one sequential simulated timeline.
+// Exported under pid 3 "model (simulated)" of the shared Chrome trace
+// convention (util/chrome_trace.hpp), and summed per component so `kfc
+// profile` can assert span totals reconcile with TimeBreakdown sums.
+#pragma once
+
+#include <span>
+
+#include "gpu/launch_descriptor.hpp"
+#include "gpu/timing_simulator.hpp"
+#include "telemetry/span_tracer.hpp"
+
+namespace kf {
+
+struct ModelSpanSummary {
+  /// Summed simulated seconds per TimeBreakdown component, indexed in
+  /// TimeBreakdown::component_name order.
+  double component_s[TimeBreakdown::kComponents] = {};
+  double total_s = 0.0;  ///< sum of the launches' breakdown totals
+  int launches = 0;      ///< launches simulated (unlaunchable ones skipped)
+
+  double component_sum() const noexcept {
+    double sum = 0.0;
+    for (double c : component_s) sum += c;
+    return sum;
+  }
+};
+
+/// Simulates every launch and appends its spans to `spans`. Launches the
+/// simulator rejects (unlaunchable, or an injected fault) are skipped —
+/// this is a telemetry-only pass and must never throw into the caller.
+ModelSpanSummary emit_model_spans(SpanTracer& spans,
+                                  const TimingSimulator& simulator,
+                                  const Program& program,
+                                  std::span<const LaunchDescriptor> launches);
+
+}  // namespace kf

@@ -1,0 +1,113 @@
+// CalibrationTracker — online projection-vs-simulator error statistics.
+//
+// The search runs on the analytic projection model; a 1-in-64 sample of
+// fused cache misses is re-run through the timing simulator
+// (Objective::maybe_sample_projection). This tracker promotes those samples
+// into per-group-size-bucket error statistics — mean / percentile relative
+// error and sign bias — instrumenting the paper's "projection is a sound
+// upper bound" assumption continuously instead of leaving it to offline
+// histogram reads.
+//
+// relative error = (projected - simulated) / simulated, so positive error
+// means the projection over-estimates (the sound-upper-bound direction) and
+// negative error means it under-estimates (the dangerous direction: the
+// search may accept fusions the simulator would reject).
+//
+// Drift: once a bucket has `min_samples` samples and its |mean relative
+// error| exceeds `drift_band`, the bucket latches a drift flag and record()
+// reports it exactly once so the caller can emit a structured warning event.
+// The latch is deliberate — "this run observed drift" stays visible in the
+// final calibration block even if later samples pull the mean back.
+//
+// Statistics are exact (count/mean/extrema/sign counts); percentiles come
+// from a bounded Algorithm-R reservoir per bucket, seeded deterministically
+// like MetricsRegistry's histograms. All methods are thread-safe; recording
+// never allocates once a bucket's reservoir is warm (reservoirs are
+// preallocated up front).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace kf {
+
+class CalibrationTracker {
+ public:
+  /// Group-size buckets: 2, 3, 4, 5-8, 9+ fused kernels. Singletons are
+  /// never sampled (the projection is exact on them by construction).
+  static constexpr int kBuckets = 5;
+  static const char* bucket_label(int bucket) noexcept;
+  static int bucket_of(std::size_t group_size) noexcept;
+
+  struct Options {
+    double drift_band = 1.0;  ///< |mean rel error| beyond this latches drift
+    long min_samples = 16;    ///< bucket samples required before drift can latch
+    std::size_t reservoir = 512;  ///< percentile reservoir per bucket
+  };
+
+  CalibrationTracker() : CalibrationTracker(Options{}) {}
+  explicit CalibrationTracker(const Options& options);
+
+  struct Drift {
+    int bucket = 0;
+    long count = 0;
+    double mean_rel_error = 0.0;
+  };
+
+  /// Records one sample. Returns the drift descriptor when this sample
+  /// first pushes its bucket beyond the band (at most once per bucket).
+  std::optional<Drift> record(std::size_t group_size, double projected_s,
+                              double simulated_s);
+
+  struct BucketStats {
+    const char* label = "";
+    long count = 0;
+    double mean_rel_error = 0.0;
+    double mean_abs_rel_error = 0.0;
+    double max_abs_rel_error = 0.0;
+    double min_rel_error = 0.0;
+    double max_rel_error = 0.0;
+    double p50_rel_error = 0.0;
+    double p90_abs_rel_error = 0.0;
+    long overestimates = 0;   ///< projected > simulated (sound direction)
+    long underestimates = 0;  ///< projected < simulated
+    bool drift = false;
+
+    /// (over - under) / count in [-1, 1]; +1 = always over-estimates.
+    double sign_bias() const noexcept;
+  };
+
+  /// Per-bucket statistics; empty buckets are omitted.
+  std::vector<BucketStats> stats() const;
+
+  long samples() const;
+  bool any_drift() const;
+  double drift_band() const noexcept { return options_.drift_band; }
+
+  /// The kfc-metrics/v2 "calibration" block.
+  JsonValue to_json() const;
+
+ private:
+  struct Bucket {
+    long count = 0;
+    double sum = 0.0;
+    double sum_abs = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    long over = 0;
+    long under = 0;
+    bool drift = false;
+    std::vector<double> reservoir;
+    std::uint64_t lcg = 0;
+  };
+
+  const Options options_;
+  mutable std::mutex mu_;
+  Bucket buckets_[kBuckets];
+};
+
+}  // namespace kf

@@ -272,6 +272,40 @@ class Parser {
     }
   }
 
+  /// Reads the four hex digits of a \u escape (the backslash and 'u' have
+  /// already been consumed) and returns the 16-bit code unit.
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return code;
+  }
+
+  void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -280,6 +314,12 @@ class Parser {
       const char c = text_[pos_++];
       if (c == '"') return out;
       if (c != '\\') {
+        // RFC 8259: control characters must be escaped inside strings. A
+        // raw one here is a truncated/corrupted writer, not valid input.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          --pos_;
+          fail("raw control character in string");
+        }
         out += c;
         continue;
       }
@@ -295,28 +335,26 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape");
+          unsigned code = parse_hex4();
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("lone low surrogate in \\u escape");
           }
-          // UTF-8 encode the BMP code point (telemetry only escapes
-          // control characters, so surrogate pairs are not expected).
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xC0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            out += static_cast<char>(0xE0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            out += static_cast<char>(0x80 | (code & 0x3F));
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: must be immediately followed by an escaped
+            // low surrogate; together they name one supplementary-plane
+            // code point.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("high surrogate not followed by \\u escape");
+            }
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("high surrogate not followed by low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
           }
+          append_utf8(out, code);
           break;
         }
         default: fail("unknown escape");
@@ -332,7 +370,12 @@ class Parser {
       while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
       return pos_ > before;
     };
+    const std::size_t int_start = pos_;
     if (!digits()) fail("bad number");
+    // RFC 8259: no leading zeros ("01" is two tokens, i.e. an error here).
+    if (pos_ - int_start > 1 && text_[int_start] == '0') {
+      fail("leading zero in number");
+    }
     if (pos_ < text_.size() && text_[pos_] == '.') {
       ++pos_;
       if (!digits()) fail("bad number fraction");
@@ -346,6 +389,9 @@ class Parser {
     char* end = nullptr;
     const double v = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) fail("bad number");
+    // Out-of-range literals ("1e999") overflow to +-inf; JSON has no way
+    // to round-trip a non-finite value, so reject rather than absorb it.
+    if (!std::isfinite(v)) fail("number out of double range");
     return JsonValue(v);
   }
 };

@@ -52,6 +52,7 @@ class JsonValue {
 
   Kind kind() const noexcept { return kind_; }
   bool is_null() const noexcept { return kind_ == Kind::Null; }
+  bool is_bool() const noexcept { return kind_ == Kind::Bool; }
   bool is_number() const noexcept { return kind_ == Kind::Number; }
   bool is_string() const noexcept { return kind_ == Kind::String; }
   bool is_array() const noexcept { return kind_ == Kind::Array; }

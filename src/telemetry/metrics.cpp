@@ -93,7 +93,13 @@ double MetricsRegistry::gauge_value(std::string_view name,
 
 double MetricsRegistry::HistogramSnapshot::percentile(double p) const {
   KF_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  // Pinned small-count behaviour: n=0 -> 0.0 (no data, no throw), n=1 ->
+  // the sample for every p, n=2 -> linear interpolation between the two.
   if (samples.empty()) return 0.0;
+  // The extremes are tracked exactly even past reservoir overflow, so p=0
+  // and p=100 report the true min/max rather than reservoir survivors.
+  if (p == 0.0 && count > 0) return min;
+  if (p == 100.0 && count > 0) return max;
   if (samples.size() == 1) return samples[0];
   const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);

@@ -60,7 +60,10 @@ class MetricsRegistry {
 
     double mean() const noexcept { return count ? sum / static_cast<double>(count) : 0.0; }
     /// Linear-interpolation percentile over the reservoir, p in [0, 100].
-    /// Exact when count <= kReservoirCapacity.
+    /// Exact when count <= kReservoirCapacity. Pinned small-count
+    /// behaviour: n=0 returns 0.0, n=1 returns the sample for every p,
+    /// n=2 interpolates linearly between the two. p=0 / p=100 return the
+    /// exactly-tracked min / max even after reservoir overflow.
     double percentile(double p) const;
   };
   HistogramSnapshot histogram(std::string_view name, const MetricLabels& labels = {}) const;

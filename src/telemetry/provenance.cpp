@@ -1,0 +1,82 @@
+#include "telemetry/provenance.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace kf {
+
+const char* DecisionLog::to_string(Site site) noexcept {
+  switch (site) {
+    case Site::GreedyMerge: return "greedy_merge";
+    case Site::GreedyReject: return "greedy_reject";
+    case Site::CrossoverInject: return "crossover_inject";
+    case Site::MutationMerge: return "mutation_merge";
+    case Site::MutationSplit: return "mutation_split";
+    case Site::MutationMove: return "mutation_move";
+    case Site::PolishMerge: return "polish_merge";
+    case Site::PolishMove: return "polish_move";
+    case Site::PolishSplit: return "polish_split";
+  }
+  return "unknown";
+}
+
+bool DecisionLog::Decision::involves(KernelId k) const noexcept {
+  const int held = std::min<int>(member_count, kMaxMembers);
+  for (int i = 0; i < held; ++i)
+    if (members[i] == k) return true;
+  return false;
+}
+
+DecisionLog::DecisionLog(std::size_t capacity) : capacity_(capacity) {
+  KF_REQUIRE(capacity_ > 0, "DecisionLog capacity must be positive");
+  ring_.resize(capacity_);  // preallocated: record() never allocates
+}
+
+void DecisionLog::record(Site site, bool accepted,
+                         std::span<const KernelId> members,
+                         double cost_delta_s, const char* dominant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Decision& d = ring_[next_seq_ % capacity_];
+  d.seq = next_seq_++;
+  d.site = site;
+  d.accepted = accepted;
+  d.member_count = static_cast<std::int16_t>(
+      std::min<std::size_t>(members.size(), INT16_MAX));
+  const std::size_t held = std::min<std::size_t>(members.size(), kMaxMembers);
+  for (std::size_t i = 0; i < held; ++i) d.members[i] = members[i];
+  for (std::size_t i = held; i < kMaxMembers; ++i) d.members[i] = kInvalidKernel;
+  d.cost_delta_s = cost_delta_s;
+  d.dominant = dominant == nullptr ? "" : dominant;
+}
+
+long DecisionLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<long>(next_seq_);
+}
+
+std::size_t DecisionLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::size_t>(std::min<std::uint64_t>(next_seq_, capacity_));
+}
+
+std::vector<DecisionLog::Decision> DecisionLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Decision> out;
+  const std::uint64_t held = std::min<std::uint64_t>(next_seq_, capacity_);
+  out.reserve(held);
+  const std::uint64_t first = next_seq_ - held;
+  for (std::uint64_t s = first; s < next_seq_; ++s)
+    out.push_back(ring_[s % capacity_]);
+  return out;
+}
+
+std::vector<DecisionLog::Decision> DecisionLog::involving(KernelId k) const {
+  std::vector<Decision> all = snapshot();
+  std::vector<Decision> out;
+  for (const Decision& d : all)
+    if (d.involves(k)) out.push_back(d);
+  return out;
+}
+
+}  // namespace kf

@@ -1,0 +1,91 @@
+// DecisionLog — bounded ring of fusion accept/reject decisions.
+//
+// Every structural decision the search takes — a greedy merge, an HGGA
+// crossover group inheritance, a mutation edit, a local-polish move — is
+// recorded with its cost delta and the dominant TimeBreakdown component of
+// the resulting group's simulated launch, so `kfc explain <kernel>` can
+// replay why a kernel ended up in its final group.
+//
+// The log is a fixed-capacity ring: recording never allocates (members are
+// stored inline, capped at kMaxMembers) and old decisions are overwritten
+// once the ring wraps — `recorded()` vs `size()` exposes the truncation.
+// Reached through the nullable Telemetry context like every sink: a null
+// `decisions` pointer costs one branch per decision site.
+//
+// Cost-delta semantics per site (negative = the decision reduced projected
+// plan cost):
+//   GreedyMerge / GreedyReject   merged cost - (cost a + cost b)
+//   CrossoverInject              group cost - sum of members' original times
+//   MutationMerge                merged cost - (cost a + cost b)
+//   MutationSplit                sum of singleton costs - group cost
+//   MutationMove                 grown target cost - (old target + moved
+//                                kernel's original time)
+//   PolishMerge / PolishMove / PolishSplit
+//                                new plan cost - old plan cost (exact)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "ir/ids.hpp"
+
+namespace kf {
+
+class DecisionLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+  static constexpr int kMaxMembers = 16;
+
+  enum class Site : std::uint8_t {
+    GreedyMerge,
+    GreedyReject,
+    CrossoverInject,
+    MutationMerge,
+    MutationSplit,
+    MutationMove,
+    PolishMerge,
+    PolishMove,
+    PolishSplit,
+  };
+  static const char* to_string(Site site) noexcept;
+
+  struct Decision {
+    std::uint64_t seq = 0;  ///< global order, 0-based, never reused
+    Site site = Site::GreedyMerge;
+    bool accepted = false;
+    std::int16_t member_count = 0;  ///< true group size (may exceed kMaxMembers)
+    KernelId members[kMaxMembers] = {};
+    double cost_delta_s = 0.0;
+    const char* dominant = "";  ///< dominant TimeBreakdown component, "" unknown
+
+    bool involves(KernelId k) const noexcept;
+  };
+
+  explicit DecisionLog(std::size_t capacity = kDefaultCapacity);
+
+  /// Records one decision; `members` is the affected group (first
+  /// kMaxMembers kept inline, the count always exact). Never allocates.
+  void record(Site site, bool accepted, std::span<const KernelId> members,
+              double cost_delta_s, const char* dominant = "");
+
+  long recorded() const;     ///< decisions ever recorded
+  std::size_t size() const;  ///< decisions currently held (<= capacity)
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Held decisions in seq order (oldest surviving first).
+  std::vector<Decision> snapshot() const;
+
+  /// Held decisions whose member list contains `k`, in seq order.
+  std::vector<Decision> involving(KernelId k) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Decision> ring_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace kf

@@ -114,6 +114,36 @@ void RunReport::ingest_event(const JsonValue& event) {
       }
     }
     groups.push_back(std::move(row));
+  } else if (type == "decision") {
+    const std::string site = event.string_or("site", "?");
+    DecisionCount* row = nullptr;
+    for (DecisionCount& d : decisions) {
+      if (d.site == site) {
+        row = &d;
+        break;
+      }
+    }
+    if (row == nullptr) {
+      decisions.push_back(DecisionCount{site, 0, 0});
+      row = &decisions.back();
+    }
+    const bool accepted = [&] {
+      const JsonValue* a = event.find("accepted");
+      return a != nullptr && a->is_bool() && a->as_bool();
+    }();
+    if (accepted) {
+      ++row->accepted;
+      accepted_cost_delta_s += event.number_or("cost_delta_s", 0.0);
+    } else {
+      ++row->rejected;
+    }
+    ++decisions_total;
+  } else if (type == "calibration_drift") {
+    drift_warnings.push_back(strprintf(
+        "group size %s: mean rel error %+.3f beyond band %.3f after %ld samples",
+        event.string_or("bucket", "?").c_str(),
+        event.number_or("mean_rel_error", 0.0), event.number_or("band", 0.0),
+        static_cast<long>(event.number_or("samples", 0))));
   } else if (type == "checkpoint_save") {
     ++checkpoint_saves;
   } else if (type == "checkpoint_resume") {
@@ -132,6 +162,25 @@ void RunReport::ingest_event(const JsonValue& event) {
 }
 
 void RunReport::ingest_metrics(const JsonValue& metrics) {
+  if (const JsonValue* cal = metrics.find("calibration"); cal != nullptr) {
+    has_calibration = true;
+    calibration_drift_band = cal->number_or("drift_band", 0.0);
+    calibration_samples = static_cast<long>(cal->number_or("samples", 0));
+    if (const JsonValue* buckets = cal->find("buckets");
+        buckets != nullptr && buckets->is_array()) {
+      for (const JsonValue& b : buckets->items()) {
+        CalibrationBucket row;
+        row.group_size = b.string_or("group_size", "?");
+        row.count = static_cast<long>(b.number_or("count", 0));
+        row.mean_rel_error = b.number_or("mean_rel_error", 0.0);
+        row.p90_abs_rel_error = b.number_or("p90_abs_rel_error", 0.0);
+        row.sign_bias = b.number_or("sign_bias", 0.0);
+        const JsonValue* drift = b.find("drift");
+        row.drift = drift != nullptr && drift->is_bool() && drift->as_bool();
+        calibration.push_back(std::move(row));
+      }
+    }
+  }
   const JsonValue* run = metrics.find("run");
   if (run == nullptr) return;
   has_summary = true;
@@ -280,7 +329,40 @@ std::string RunReport::render(int top_k) const {
     os << table;
   }
 
-  if (!has_summary && convergence.empty() && groups.empty() && quarantines.empty()) {
+  // ---- fusion decision provenance ----
+  if (!decisions.empty()) {
+    os << "\nfusion decisions (" << decisions_total << " recorded, accepted "
+       << "delta " << strprintf("%+.3e", accepted_cost_delta_s) << " s):\n";
+    TextTable table({"site", "accepted", "rejected"});
+    for (const DecisionCount& d : decisions) {
+      table.add(d.site, d.accepted, d.rejected);
+    }
+    os << table;
+  }
+
+  // ---- projection calibration ----
+  if (has_calibration) {
+    os << "\nprojection calibration (" << calibration_samples
+       << " samples, drift band " << fixed(calibration_drift_band, 3) << "):\n";
+    if (calibration.empty()) {
+      os << "  (no fused cache misses were sampled)\n";
+    } else {
+      TextTable table({"group size", "samples", "mean rel err", "p90 |rel err|",
+                       "sign bias", "drift"});
+      for (const CalibrationBucket& b : calibration) {
+        table.add(b.group_size, b.count, strprintf("%+.4f", b.mean_rel_error),
+                  fixed(b.p90_abs_rel_error, 4), strprintf("%+.2f", b.sign_bias),
+                  b.drift ? "DRIFT" : "ok");
+      }
+      os << table;
+    }
+  }
+  for (const std::string& warning : drift_warnings) {
+    os << "calibration drift: " << warning << "\n";
+  }
+
+  if (!has_summary && convergence.empty() && groups.empty() &&
+      quarantines.empty() && decisions.empty() && !has_calibration) {
     os << "(no recognised telemetry in the given files)\n";
   }
   return os.str();
@@ -323,6 +405,40 @@ JsonValue RunReport::to_json() const {
   root.set("convergence", std::move(curve));
   root.set("quarantined_groups", static_cast<long>(quarantines.size()));
   root.set("group_breakdowns", static_cast<long>(groups.size()));
+
+  if (!decisions.empty()) {
+    JsonValue sites = JsonValue::array();
+    for (const DecisionCount& d : decisions) {
+      JsonValue s = JsonValue::object();
+      s.set("site", d.site);
+      s.set("accepted", d.accepted);
+      s.set("rejected", d.rejected);
+      sites.push_back(std::move(s));
+    }
+    JsonValue block = JsonValue::object();
+    block.set("total", decisions_total);
+    block.set("accepted_cost_delta_s", accepted_cost_delta_s);
+    block.set("sites", std::move(sites));
+    root.set("decisions", std::move(block));
+  }
+  if (has_calibration) {
+    JsonValue block = JsonValue::object();
+    block.set("samples", calibration_samples);
+    block.set("drift_band", calibration_drift_band);
+    block.set("drift_warnings", static_cast<long>(drift_warnings.size()));
+    JsonValue buckets = JsonValue::array();
+    for (const CalibrationBucket& b : calibration) {
+      JsonValue row = JsonValue::object();
+      row.set("group_size", b.group_size);
+      row.set("count", b.count);
+      row.set("mean_rel_error", b.mean_rel_error);
+      row.set("sign_bias", b.sign_bias);
+      row.set("drift", b.drift);
+      buckets.push_back(std::move(row));
+    }
+    block.set("buckets", std::move(buckets));
+    root.set("calibration", std::move(block));
+  }
   return root;
 }
 

@@ -71,6 +71,32 @@ struct RunReport {
   };
   std::vector<GroupRow> groups;
 
+  // ---- fusion decision provenance (from "decision" events) ----
+  struct DecisionCount {
+    std::string site;  ///< e.g. "greedy_merge" (DecisionLog::to_string)
+    long accepted = 0;
+    long rejected = 0;
+  };
+  std::vector<DecisionCount> decisions;  ///< in first-seen site order
+  long decisions_total = 0;
+  double accepted_cost_delta_s = 0.0;  ///< summed delta of accepted decisions
+
+  // ---- projection calibration (metrics "calibration" block plus
+  //      "calibration_drift" warning events) ----
+  struct CalibrationBucket {
+    std::string group_size;  ///< bucket label, e.g. "5-8"
+    long count = 0;
+    double mean_rel_error = 0.0;
+    double p90_abs_rel_error = 0.0;
+    double sign_bias = 0.0;
+    bool drift = false;
+  };
+  std::vector<CalibrationBucket> calibration;
+  bool has_calibration = false;
+  double calibration_drift_band = 0.0;
+  long calibration_samples = 0;
+  std::vector<std::string> drift_warnings;  ///< one line per drift event
+
   long checkpoint_saves = 0;
   bool resumed = false;
 
@@ -83,7 +109,8 @@ struct RunReport {
   /// Folds one parsed trace event into the report.
   void ingest_event(const JsonValue& event);
 
-  /// Folds a parsed metrics document (the kfc-metrics/v1 schema) in.
+  /// Folds a parsed metrics document in (kfc-metrics/v2; v1 documents
+  /// simply lack the calibration block).
   void ingest_metrics(const JsonValue& metrics);
 
   double projected_speedup() const noexcept {

@@ -1,0 +1,156 @@
+#include "telemetry/span_tracer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/chrome_trace.hpp"
+#include "util/error.hpp"
+
+namespace kf {
+
+SpanTracer::SpanTracer(std::size_t capacity) : capacity_(capacity) {
+  KF_REQUIRE(capacity_ > 0, "SpanTracer capacity must be positive");
+  // Reserve up front so the hot-path push_back never reallocates; the
+  // buffer is bounded by construction, not by growth policy.
+  records_.reserve(capacity_);
+}
+
+SpanTracer::ThreadState& SpanTracer::state_for_current_thread() {
+  // Callers hold mu_. Dense tids are assigned in first-span order so trace
+  // rows are stable for a fixed schedule and small for any thread count.
+  auto [it, inserted] = threads_.try_emplace(std::this_thread::get_id());
+  if (inserted) it->second.tid = static_cast<int>(threads_.size()) - 1;
+  return it->second;
+}
+
+SpanTracer::Scope SpanTracer::span(const char* name, const char* cat) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() >= capacity_) {
+    ++dropped_;
+    return Scope();
+  }
+  ThreadState& ts = state_for_current_thread();
+  Record r;
+  r.name = name;
+  r.cat = cat;
+  r.tid = ts.tid;
+  r.parent = ts.open.empty() ? -1 : static_cast<std::int32_t>(ts.open.back());
+  r.start_s = watch_.elapsed_s();
+  const auto index = static_cast<std::uint32_t>(records_.size());
+  records_.push_back(r);
+  ts.open.push_back(index);
+  return Scope(this, index);
+}
+
+void SpanTracer::close(std::uint32_t index) {
+  const double now_s = watch_.elapsed_s();
+  std::lock_guard<std::mutex> lock(mu_);
+  Record& r = records_[index];
+  r.dur_s = now_s - r.start_s;
+  ThreadState& ts = state_for_current_thread();
+  // Scopes destruct in LIFO order per thread, so the closing span is the
+  // top of its thread's open stack.
+  if (!ts.open.empty() && ts.open.back() == index) ts.open.pop_back();
+}
+
+long SpanTracer::virtual_span(std::string_view name, const char* cat, int tid,
+                              double start_s, double dur_s, long parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() >= capacity_) {
+    ++dropped_;
+    return -1;
+  }
+  owned_names_.emplace_back(name);
+  Record r;
+  r.name = owned_names_.back().c_str();
+  r.cat = cat;
+  r.tid = tid;
+  r.parent = parent < 0 ? -1 : static_cast<std::int32_t>(parent);
+  r.simulated = true;
+  r.start_s = start_s;
+  r.dur_s = dur_s;
+  records_.push_back(r);
+  return static_cast<long>(records_.size()) - 1;
+}
+
+long SpanTracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<long>(records_.size());
+}
+
+long SpanTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+int SpanTracer::threads_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+std::vector<SpanTracer::FlameRow> SpanTracer::flame_table() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Self time = own duration minus direct children's durations. Children of
+  // still-open spans contribute to nothing (their parent has no duration
+  // yet), and open spans are excluded from the table.
+  std::vector<double> child_sum(records_.size(), 0.0);
+  for (const Record& r : records_) {
+    if (r.parent >= 0 && r.dur_s >= 0.0)
+      child_sum[static_cast<std::size_t>(r.parent)] += r.dur_s;
+  }
+  std::map<std::pair<std::string, std::string>, FlameRow> rows;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    if (r.dur_s < 0.0) continue;
+    FlameRow& row = rows[{r.cat, r.name}];
+    if (row.count == 0) {
+      row.name = r.name;
+      row.cat = r.cat;
+    }
+    ++row.count;
+    row.total_s += r.dur_s;
+    row.self_s += r.dur_s - child_sum[i];
+  }
+  std::vector<FlameRow> out;
+  out.reserve(rows.size());
+  for (auto& [key, row] : rows) out.push_back(std::move(row));
+  std::sort(out.begin(), out.end(), [](const FlameRow& a, const FlameRow& b) {
+    if (a.self_s != b.self_s) return a.self_s > b.self_s;
+    return a.name < b.name;  // deterministic tie-break
+  });
+  return out;
+}
+
+void SpanTracer::append_chrome_trace(ChromeTraceWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool any_wall = false;
+  bool any_virtual = false;
+  for (const Record& r : records_) {
+    if (r.dur_s < 0.0) continue;
+    (r.simulated ? any_virtual : any_wall) = true;
+  }
+  if (any_wall) {
+    w.process_name(ChromeTraceWriter::kSearchPid, "search (host)");
+    for (const auto& [id, ts] : threads_)
+      w.thread_name(ChromeTraceWriter::kSearchPid, ts.tid,
+                    ts.tid == 0 ? "main" : "worker");
+  }
+  if (any_virtual)
+    w.process_name(ChromeTraceWriter::kModelPid, "model (simulated)");
+  for (const Record& r : records_) {
+    if (r.dur_s < 0.0) continue;  // open span: no duration to report
+    const int pid = r.simulated ? ChromeTraceWriter::kModelPid
+                                : ChromeTraceWriter::kSearchPid;
+    w.complete_event(r.name, r.simulated ? "model" : r.cat, pid, r.tid,
+                     r.start_s * 1e6, r.dur_s * 1e6);
+  }
+}
+
+std::string SpanTracer::to_chrome_trace_json() const {
+  ChromeTraceWriter w;
+  append_chrome_trace(w);
+  return w.finish();
+}
+
+}  // namespace kf

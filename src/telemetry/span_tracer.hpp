@@ -1,0 +1,144 @@
+// SpanTracer — bounded, thread-aware RAII span profiler for the search path.
+//
+// A span is one timed interval of the hot path ("hgga.generation",
+// "objective.plan_costs", ...). Spans nest: each thread keeps an open-span
+// stack, so a span's parent is whatever span the same thread had open when
+// it started. The tracer records into a preallocated ring-less bounded
+// buffer — once `capacity` spans are recorded further spans are counted as
+// dropped rather than reallocating, keeping worst-case memory fixed.
+//
+// Like every telemetry sink, the tracer is reached through the nullable
+// `Telemetry` context: `scoped_span(telemetry, "name")` (telemetry.hpp) is
+// a single branch and allocates nothing when no tracer is attached — the
+// same zero-overhead contract MetricsRegistry and TraceLog honour.
+//
+// Two span kinds share the buffer:
+//   * wall spans      opened/closed by `span()` Scopes, timed on the shared
+//                     steady-clock Stopwatch; exported under pid 2 "search".
+//   * virtual spans   pre-timed intervals appended by `virtual_span()`,
+//                     used for simulated-time attribution (the per-launch
+//                     TimeBreakdown components of the final plan); exported
+//                     under pid 3 "model". Their durations are *simulated*
+//                     seconds, so flame-table rows of cat "model" reconcile
+//                     exactly with TimeBreakdown sums.
+//
+// Export goes through the shared ChromeTraceWriter (util/chrome_trace.hpp)
+// so `--spans` output opens in one Perfetto view with the `--trace` device
+// timeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stopwatch.hpp"
+
+namespace kf {
+
+class ChromeTraceWriter;
+
+class SpanTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  explicit SpanTracer(std::size_t capacity = kDefaultCapacity);
+
+  /// RAII handle closing its span on destruction. A default-constructed
+  /// Scope (what `scoped_span` returns when telemetry is off, and what
+  /// `span()` returns once the buffer is full) is inert.
+  class [[nodiscard]] Scope {
+   public:
+    Scope() = default;
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { end(); }
+    /// Closes the span before scope exit (splitting one lexical scope into
+    /// consecutive spans); further end() calls are no-ops.
+    void end() noexcept {
+      if (tracer_ != nullptr) tracer_->close(index_);
+      tracer_ = nullptr;
+    }
+    bool active() const noexcept { return tracer_ != nullptr; }
+
+   private:
+    friend class SpanTracer;
+    Scope(SpanTracer* tracer, std::uint32_t index) noexcept
+        : tracer_(tracer), index_(index) {}
+    SpanTracer* tracer_ = nullptr;
+    std::uint32_t index_ = 0;
+  };
+
+  /// Opens a wall-clock span on the calling thread. `name`/`cat` must be
+  /// string literals (or otherwise outlive the tracer) — the hot path
+  /// stores the pointers without copying.
+  Scope span(const char* name, const char* cat = "search");
+
+  /// Appends a pre-timed simulated-time span (`start_s`/`dur_s` in
+  /// simulated seconds). Returns the record index — pass it as `parent` to
+  /// nest subsequent spans under it — or -1 when the buffer is full.
+  long virtual_span(std::string_view name, const char* cat, int tid,
+                    double start_s, double dur_s, long parent = -1);
+
+  /// One aggregated row of the self-time flame table. `self_s` is the
+  /// span's total duration minus the durations of its direct children —
+  /// time spent in the span itself rather than in instrumented callees.
+  struct FlameRow {
+    std::string name;
+    std::string cat;
+    long count = 0;
+    double total_s = 0.0;
+    double self_s = 0.0;
+  };
+
+  /// Aggregates closed spans by (cat, name), sorted by self-time
+  /// descending. Still-open spans are excluded.
+  std::vector<FlameRow> flame_table() const;
+
+  long recorded() const;  ///< spans in the buffer (open ones included)
+  long dropped() const;   ///< spans rejected because the buffer was full
+  std::size_t capacity() const noexcept { return capacity_; }
+  int threads_seen() const;  ///< distinct threads that opened wall spans
+
+  /// Appends this tracer's spans to `w`: wall spans under pid 2 "search
+  /// (host)", virtual spans under pid 3 "model (simulated)". Emits the
+  /// process/thread metadata for the pids it uses. Open spans are skipped.
+  void append_chrome_trace(ChromeTraceWriter& w) const;
+
+  /// Standalone Chrome trace-event document (convenience over
+  /// append_chrome_trace + finish).
+  std::string to_chrome_trace_json() const;
+
+ private:
+  struct Record {
+    const char* name = "";
+    const char* cat = "";
+    std::int32_t parent = -1;  ///< record index of enclosing span, -1 = root
+    std::int32_t tid = 0;      ///< dense thread index (wall) or given (virtual)
+    bool simulated = false;
+    double start_s = 0.0;
+    double dur_s = -1.0;  ///< -1 while open
+  };
+  struct ThreadState {
+    int tid = 0;
+    std::vector<std::uint32_t> open;  ///< indices of this thread's open spans
+  };
+
+  void close(std::uint32_t index);
+  ThreadState& state_for_current_thread();
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  Stopwatch watch_;
+  std::vector<Record> records_;
+  std::deque<std::string> owned_names_;  ///< stable storage for virtual-span names
+  std::unordered_map<std::thread::id, ThreadState> threads_;
+  long dropped_ = 0;
+};
+
+}  // namespace kf

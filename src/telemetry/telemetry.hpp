@@ -1,11 +1,14 @@
 // Telemetry — the nullable context instrumented code carries.
 //
-// One struct bundles the three observability sinks so a single pointer
-// threads through the search, objective and CLI layers:
+// One struct bundles the observability sinks so a single pointer threads
+// through the search, objective and CLI layers:
 //
-//   * metrics:  numeric series (counters/gauges/histograms) -> --metrics
-//   * trace:    structured JSONL event log                  -> --events
-//   * progress: human heartbeat every N generations          -> --progress
+//   * metrics:     numeric series (counters/gauges/histograms) -> --metrics
+//   * trace:       structured JSONL event log                  -> --events
+//   * progress:    human heartbeat every N generations         -> --progress
+//   * spans:       RAII span profiler                          -> --spans / kfc profile
+//   * decisions:   fusion decision provenance ring             -> kfc explain
+//   * calibration: projection-vs-simulator error tracker       -> metrics v2
 //
 // The contract for instrumented code is "check, then record":
 //
@@ -13,6 +16,7 @@
 //     telemetry->metrics->count("objective.evaluations");
 //   if (telemetry != nullptr && telemetry->wants_trace())
 //     telemetry->trace->emit("generation", [&](TraceEvent& e) { ... });
+//   SpanTracer::Scope s = scoped_span(telemetry, "hgga.generation");
 //
 // so a null context (the default everywhere) costs one branch per hook and
 // allocates nothing — the overhead budget DESIGN.md commits to.
@@ -20,7 +24,10 @@
 
 #include <iosfwd>
 
+#include "telemetry/calibration.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/provenance.hpp"
+#include "telemetry/span_tracer.hpp"
 #include "telemetry/trace_log.hpp"
 
 namespace kf {
@@ -30,12 +37,27 @@ struct Telemetry {
   TraceLog* trace = nullptr;           ///< null or disabled: no events
   int progress_every = 0;              ///< heartbeat cadence in generations; 0: off
   std::ostream* progress = nullptr;    ///< heartbeat sink; null: std::cerr
+  SpanTracer* spans = nullptr;         ///< null: no spans recorded
+  DecisionLog* decisions = nullptr;    ///< null: no decision provenance
+  CalibrationTracker* calibration = nullptr;  ///< null: no error tracking
 
   bool wants_trace() const noexcept { return trace != nullptr && trace->enabled(); }
   bool wants_progress() const noexcept { return progress_every > 0; }
+  bool wants_decisions() const noexcept { return decisions != nullptr; }
   bool active() const noexcept {
-    return metrics != nullptr || wants_trace() || wants_progress();
+    return metrics != nullptr || wants_trace() || wants_progress() ||
+           spans != nullptr || decisions != nullptr || calibration != nullptr;
   }
 };
+
+/// Null-safe span open: one branch and no allocation when `telemetry` (or
+/// its tracer) is absent — the disabled-path contract above.
+inline SpanTracer::Scope scoped_span(const Telemetry* telemetry,
+                                     const char* name,
+                                     const char* cat = "search") {
+  if (telemetry == nullptr || telemetry->spans == nullptr)
+    return SpanTracer::Scope();
+  return telemetry->spans->span(name, cat);
+}
 
 }  // namespace kf

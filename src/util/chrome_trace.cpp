@@ -1,0 +1,82 @@
+#include "util/chrome_trace.hpp"
+
+#include <cmath>
+
+#include "util/string_util.hpp"
+
+namespace kf {
+
+// Local minimal JSON string escape: util sits below telemetry in the layer
+// stack, so this cannot reuse telemetry/json.hpp. Names here are kernel and
+// phase identifiers, but escape defensively anyway.
+void ChromeTraceWriter::append_escaped(std::string_view s) {
+  out_ += '"';
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      case '\r': out_ += "\\r"; break;
+      default:
+        if (u < 0x20) {
+          out_ += strprintf("\\u%04x", u);
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void ChromeTraceWriter::begin_event() {
+  out_ += out_.empty() ? "[\n" : ",\n";
+  ++events_;
+}
+
+void ChromeTraceWriter::process_name(int pid, std::string_view name) {
+  begin_event();
+  out_ += strprintf(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+      "\"args\":{\"name\":",
+      pid);
+  append_escaped(name);
+  out_ += "}}";
+}
+
+void ChromeTraceWriter::thread_name(int pid, int tid, std::string_view name) {
+  begin_event();
+  out_ += strprintf(
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+      "\"args\":{\"name\":",
+      pid, tid);
+  append_escaped(name);
+  out_ += "}}";
+}
+
+void ChromeTraceWriter::complete_event(std::string_view name,
+                                       std::string_view cat, int pid, int tid,
+                                       double ts_us, double dur_us) {
+  // Non-finite coordinates would corrupt the document; clamp to zero so one
+  // bad sample cannot make the whole trace unloadable.
+  if (!std::isfinite(ts_us)) ts_us = 0.0;
+  if (!std::isfinite(dur_us)) dur_us = 0.0;
+  begin_event();
+  out_ += "{\"name\":";
+  append_escaped(name);
+  out_ += ",\"cat\":";
+  append_escaped(cat);
+  out_ += strprintf(",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
+                    pid, tid, ts_us, dur_us);
+}
+
+std::string ChromeTraceWriter::finish() {
+  std::string doc = std::move(out_);
+  out_.clear();
+  events_ = 0;
+  doc += doc.empty() ? "[]\n" : "\n]\n";
+  return doc;
+}
+
+}  // namespace kf

@@ -96,10 +96,13 @@ TEST_F(EventSimTest, ChromeTraceIsWellFormed) {
   const std::string json = trace.to_chrome_trace_json();
   EXPECT_EQ(json.front(), '[');
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
-  // Same number of events as block records.
+  // The device process is labelled for the shared-Perfetto-view convention.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"device\""), std::string::npos);
+  // Same number of complete events as block records (metadata aside).
   std::size_t events = 0;
-  for (std::size_t pos = json.find("{\"name\""); pos != std::string::npos;
-       pos = json.find("{\"name\"", pos + 1)) {
+  for (std::size_t pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1)) {
     ++events;
   }
   EXPECT_EQ(events, trace.launches[0].blocks.size());

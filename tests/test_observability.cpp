@@ -1,0 +1,572 @@
+// Tests for the observability layer added on top of the telemetry core:
+// the span profiler (nesting, self-time, bounded buffer, Chrome trace
+// export, simulated-time reconciliation), the fusion decision provenance
+// ring, the projection calibration tracker (bucket stats, drift latch,
+// metrics-v2 block), the zero-allocation disabled paths, bit-identical
+// same-seed searches with sinks attached vs. detached, and run-report
+// ingestion of the new "decision" / "calibration_drift" events.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kf.hpp"
+
+// ---- global allocation counter (for the disabled-path zero-alloc test) ----
+namespace {
+std::atomic<long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace kf {
+namespace {
+
+const SpanTracer::FlameRow* find_row(const std::vector<SpanTracer::FlameRow>& rows,
+                                     const std::string& cat,
+                                     const std::string& name) {
+  for (const SpanTracer::FlameRow& r : rows) {
+    if (r.cat == cat && r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------- spans
+
+TEST(SpanTracer, NestsAndComputesSelfTime) {
+  SpanTracer tracer;
+  {
+    SpanTracer::Scope outer = tracer.span("outer");
+    { SpanTracer::Scope inner = tracer.span("inner", "cache"); }
+    { SpanTracer::Scope inner = tracer.span("inner", "cache"); }
+  }
+  EXPECT_EQ(tracer.recorded(), 3);
+  EXPECT_EQ(tracer.dropped(), 0);
+  EXPECT_EQ(tracer.threads_seen(), 1);
+
+  const auto rows = tracer.flame_table();
+  ASSERT_EQ(rows.size(), 2u);
+  const SpanTracer::FlameRow* outer = find_row(rows, "search", "outer");
+  const SpanTracer::FlameRow* inner = find_row(rows, "cache", "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1);
+  EXPECT_EQ(inner->count, 2);
+  EXPECT_GE(outer->total_s, inner->total_s);
+  // Self time is the span's duration minus its direct children's.
+  EXPECT_NEAR(outer->self_s, outer->total_s - inner->total_s, 1e-15);
+  EXPECT_DOUBLE_EQ(inner->self_s, inner->total_s);
+}
+
+TEST(SpanTracer, ScopeEarlyEndIsIdempotentAndInertScopesAreInert) {
+  SpanTracer tracer;
+  SpanTracer::Scope s = tracer.span("a");
+  EXPECT_TRUE(s.active());
+  s.end();
+  EXPECT_FALSE(s.active());
+  s.end();  // second end() is a no-op
+  EXPECT_EQ(tracer.recorded(), 1);
+
+  SpanTracer::Scope inert;
+  EXPECT_FALSE(inert.active());
+  { SpanTracer::Scope none = scoped_span(nullptr, "x"); EXPECT_FALSE(none.active()); }
+  Telemetry no_spans;
+  { SpanTracer::Scope none = scoped_span(&no_spans, "x"); EXPECT_FALSE(none.active()); }
+}
+
+TEST(SpanTracer, BoundedBufferCountsDropsInsteadOfGrowing) {
+  SpanTracer tracer(4);
+  for (int i = 0; i < 10; ++i) {
+    SpanTracer::Scope s = tracer.span("s");
+  }
+  EXPECT_EQ(tracer.recorded(), 4);
+  EXPECT_EQ(tracer.dropped(), 6);
+  EXPECT_EQ(tracer.capacity(), 4u);
+  // Dropped spans return inert scopes, so closing them is harmless.
+  const auto rows = tracer.flame_table();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].count, 4);
+}
+
+TEST(SpanTracer, ChromeExportIsValidTraceEventJson) {
+  SpanTracer tracer;
+  {
+    SpanTracer::Scope a = tracer.span("a");
+    { SpanTracer::Scope b = tracer.span("b", "cache"); }
+  }
+  const long parent = tracer.virtual_span("launch", "model", 0, 0.0, 2e-3);
+  ASSERT_GE(parent, 0);
+  tracer.virtual_span("gmem_traffic", "model", 0, 0.0, 1e-3, parent);
+
+  const std::string json = tracer.to_chrome_trace_json();
+  const JsonValue doc = JsonValue::parse(json);
+  ASSERT_TRUE(doc.is_array());
+  int complete = 0;
+  int metadata = 0;
+  std::set<long> pids;
+  for (const JsonValue& event : doc.items()) {
+    const std::string ph = event.string_or("ph", "");
+    if (ph == "X") {
+      ++complete;
+      pids.insert(static_cast<long>(event.number_or("pid", -1)));
+      EXPECT_GE(event.number_or("dur", -1.0), 0.0);
+      EXPECT_GE(event.number_or("ts", -1.0), 0.0);
+      EXPECT_FALSE(event.string_or("name", "").empty());
+      EXPECT_FALSE(event.string_or("cat", "").empty());
+    } else if (ph == "M") {
+      ++metadata;
+    }
+  }
+  EXPECT_EQ(complete, 4);
+  EXPECT_GE(metadata, 2);  // at least both process_name records
+  // Wall spans under the search pid, virtual spans under the model pid.
+  EXPECT_TRUE(pids.count(ChromeTraceWriter::kSearchPid));
+  EXPECT_TRUE(pids.count(ChromeTraceWriter::kModelPid));
+  EXPECT_FALSE(pids.count(ChromeTraceWriter::kDevicePid));
+}
+
+TEST(SpanTracer, ThreadsGetDistinctDenseTids) {
+  SpanTracer tracer;
+  const int num_threads = 4;
+  std::vector<std::thread> workers;
+  for (int i = 0; i < num_threads; ++i) {
+    workers.emplace_back([&tracer] {
+      SpanTracer::Scope s = tracer.span("worker");
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(tracer.threads_seen(), num_threads);
+  EXPECT_EQ(tracer.recorded(), num_threads);
+
+  const JsonValue doc = JsonValue::parse(tracer.to_chrome_trace_json());
+  std::set<long> tids;
+  for (const JsonValue& event : doc.items()) {
+    if (event.string_or("ph", "") == "X") {
+      tids.insert(static_cast<long>(event.number_or("tid", -1)));
+    }
+  }
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(num_threads));
+}
+
+// ------------------------------------------------------------- model spans
+
+// The virtual spans emitted for the final plan must reconcile exactly with
+// the simulator's TimeBreakdown: per-component flame totals equal the
+// summed component seconds, and (since self-times over a span tree
+// telescope to the root totals) the "model" self-time sum equals the
+// summed launch totals. This is the invariant `kfc profile` asserts.
+TEST(ModelSpans, ReconcileWithTimeBreakdownSums) {
+  const Program program = motivating_example();
+  const DeviceSpec device = DeviceSpec::k20x();
+  const TimingSimulator sim(device);
+  const LegalityChecker checker(program, device);
+  const ProposedModel model(device);
+  Objective objective(checker, model, sim);
+  const SearchResult result = greedy_search(objective);
+  const FusedProgram fused = apply_fusion(checker, result.best);
+
+  SpanTracer tracer;
+  const ModelSpanSummary summary =
+      emit_model_spans(tracer, sim, program, fused.launches);
+  ASSERT_EQ(summary.launches, static_cast<int>(fused.launches.size()));
+  ASSERT_GT(summary.total_s, 0.0);
+  // TimeBreakdown's own invariant carries through the summary.
+  EXPECT_NEAR(summary.component_sum(), summary.total_s,
+              1e-9 * summary.total_s + 1e-15);
+
+  const auto rows = tracer.flame_table();
+  double model_self = 0.0;
+  for (const SpanTracer::FlameRow& r : rows) {
+    if (r.cat == "model") model_self += r.self_s;
+  }
+  EXPECT_NEAR(model_self, summary.total_s, 1e-9);
+
+  // Per-component rows match the summary sums bit-for-bit (identical
+  // accumulation order).
+  for (int c = 0; c < TimeBreakdown::kComponents; ++c) {
+    const SpanTracer::FlameRow* row =
+        find_row(rows, "model", TimeBreakdown::component_name(c));
+    const double row_total = row != nullptr ? row->total_s : 0.0;
+    EXPECT_DOUBLE_EQ(row_total, summary.component_s[c])
+        << TimeBreakdown::component_name(c);
+  }
+}
+
+TEST(TimeBreakdown, ComponentIndexingMatchesFields) {
+  TimeBreakdown b;
+  b.gmem_traffic_s = 1.0;
+  b.halo_s = 2.0;
+  b.latency_stall_s = 3.0;
+  b.smem_s = 4.0;
+  b.barrier_s = 5.0;
+  b.compute_s = 6.0;
+  b.launch_s = 7.0;
+  double sum = 0.0;
+  for (int c = 0; c < TimeBreakdown::kComponents; ++c) {
+    EXPECT_NE(TimeBreakdown::component_name(c), std::string("?"));
+    sum += b.component(c);
+  }
+  EXPECT_DOUBLE_EQ(sum, 28.0);
+  EXPECT_DOUBLE_EQ(b.component(0), 1.0);
+  EXPECT_DOUBLE_EQ(b.component(6), 7.0);
+  EXPECT_EQ(b.dominant_component(), 6);  // launch_s is the largest
+  EXPECT_STREQ(TimeBreakdown::component_name(b.dominant_component()), "launch");
+  b.halo_s = 100.0;
+  EXPECT_STREQ(TimeBreakdown::component_name(b.dominant_component()), "halo");
+}
+
+// ------------------------------------------------------------- provenance
+
+TEST(DecisionLog, RingOverwritesOldestAndExposesTruncation) {
+  DecisionLog log(4);
+  for (KernelId k = 0; k < 6; ++k) {
+    const KernelId members[] = {k, static_cast<KernelId>(k + 100)};
+    log.record(DecisionLog::Site::GreedyMerge, k % 2 == 0, members,
+               -1.0 * k, "halo");
+  }
+  EXPECT_EQ(log.recorded(), 6);
+  EXPECT_EQ(log.size(), 4u);
+
+  const auto held = log.snapshot();
+  ASSERT_EQ(held.size(), 4u);
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    EXPECT_EQ(held[i].seq, i + 2);  // oldest two were overwritten
+  }
+  EXPECT_TRUE(log.involving(0).empty());  // seq 0 is gone
+  const auto last = log.involving(5);
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0].seq, 5u);
+  EXPECT_FALSE(last[0].accepted);
+  EXPECT_DOUBLE_EQ(last[0].cost_delta_s, -5.0);
+  EXPECT_STREQ(last[0].dominant, "halo");
+  EXPECT_TRUE(last[0].involves(105));
+}
+
+TEST(DecisionLog, InlineMembersCappedButCountStaysExact) {
+  DecisionLog log;
+  std::vector<KernelId> members(DecisionLog::kMaxMembers + 4);
+  std::iota(members.begin(), members.end(), 0);
+  log.record(DecisionLog::Site::PolishMerge, true, members, -2.5);
+
+  const auto held = log.snapshot();
+  ASSERT_EQ(held.size(), 1u);
+  const DecisionLog::Decision& d = held[0];
+  EXPECT_EQ(d.member_count, DecisionLog::kMaxMembers + 4);
+  EXPECT_TRUE(d.involves(0));
+  EXPECT_TRUE(d.involves(DecisionLog::kMaxMembers - 1));
+  // Members past the inline cap are not held (the count still says so).
+  EXPECT_FALSE(d.involves(DecisionLog::kMaxMembers + 3));
+  EXPECT_STREQ(d.dominant, "");
+}
+
+TEST(DecisionLog, SiteNamesAreStable) {
+  // These strings are schema: they appear in "decision" events and in
+  // `kfc explain` output.
+  EXPECT_STREQ(DecisionLog::to_string(DecisionLog::Site::GreedyMerge),
+               "greedy_merge");
+  EXPECT_STREQ(DecisionLog::to_string(DecisionLog::Site::GreedyReject),
+               "greedy_reject");
+  EXPECT_STREQ(DecisionLog::to_string(DecisionLog::Site::CrossoverInject),
+               "crossover_inject");
+  EXPECT_STREQ(DecisionLog::to_string(DecisionLog::Site::MutationMerge),
+               "mutation_merge");
+  EXPECT_STREQ(DecisionLog::to_string(DecisionLog::Site::PolishSplit),
+               "polish_split");
+}
+
+// ------------------------------------------------------------ calibration
+
+TEST(Calibration, BucketsStatsAndSignBias) {
+  EXPECT_EQ(CalibrationTracker::bucket_of(2), 0);
+  EXPECT_EQ(CalibrationTracker::bucket_of(3), 1);
+  EXPECT_EQ(CalibrationTracker::bucket_of(4), 2);
+  EXPECT_EQ(CalibrationTracker::bucket_of(5), 3);
+  EXPECT_EQ(CalibrationTracker::bucket_of(8), 3);
+  EXPECT_EQ(CalibrationTracker::bucket_of(9), 4);
+  EXPECT_EQ(CalibrationTracker::bucket_of(100), 4);
+
+  CalibrationTracker tracker;
+  EXPECT_FALSE(tracker.record(2, 1.1, 1.0).has_value());  // +10%
+  EXPECT_FALSE(tracker.record(2, 0.9, 1.0).has_value());  // -10%
+  EXPECT_FALSE(tracker.record(6, 2.0, 1.0).has_value());  // +100%, bucket 5-8
+  // Invalid samples are ignored, not propagated.
+  tracker.record(2, 1.0, 0.0);
+  tracker.record(2, std::nan(""), 1.0);
+  EXPECT_EQ(tracker.samples(), 3);
+  EXPECT_FALSE(tracker.any_drift());
+
+  const auto stats = tracker.stats();
+  ASSERT_EQ(stats.size(), 2u);  // empty buckets omitted
+  const CalibrationTracker::BucketStats& pairs = stats[0];
+  EXPECT_STREQ(pairs.label, "2");
+  EXPECT_EQ(pairs.count, 2);
+  EXPECT_NEAR(pairs.mean_rel_error, 0.0, 1e-12);
+  EXPECT_NEAR(pairs.mean_abs_rel_error, 0.1, 1e-12);
+  EXPECT_NEAR(pairs.min_rel_error, -0.1, 1e-12);
+  EXPECT_NEAR(pairs.max_rel_error, 0.1, 1e-12);
+  EXPECT_EQ(pairs.overestimates, 1);
+  EXPECT_EQ(pairs.underestimates, 1);
+  EXPECT_DOUBLE_EQ(pairs.sign_bias(), 0.0);
+  const CalibrationTracker::BucketStats& mid = stats[1];
+  EXPECT_STREQ(mid.label, "5-8");
+  EXPECT_EQ(mid.count, 1);
+  EXPECT_NEAR(mid.mean_rel_error, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mid.sign_bias(), 1.0);
+}
+
+TEST(Calibration, DriftLatchesOncePerBucketAfterMinSamples) {
+  CalibrationTracker::Options options;
+  options.drift_band = 0.5;
+  options.min_samples = 4;
+  options.reservoir = 16;
+  CalibrationTracker tracker(options);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(tracker.record(2, 2.0, 1.0).has_value());  // +100%, n < min
+  }
+  const auto drift = tracker.record(2, 2.0, 1.0);  // 4th sample trips it
+  ASSERT_TRUE(drift.has_value());
+  EXPECT_EQ(drift->bucket, 0);
+  EXPECT_EQ(drift->count, 4);
+  EXPECT_NEAR(drift->mean_rel_error, 1.0, 1e-12);
+  // Latched: further samples in the same bucket never re-report.
+  EXPECT_FALSE(tracker.record(2, 2.0, 1.0).has_value());
+  EXPECT_TRUE(tracker.any_drift());
+  // Another bucket latches independently.
+  for (int i = 0; i < 3; ++i) tracker.record(9, 3.0, 1.0);
+  EXPECT_TRUE(tracker.record(9, 3.0, 1.0).has_value());
+
+  const auto stats = tracker.stats();
+  for (const auto& b : stats) EXPECT_TRUE(b.drift) << b.label;
+}
+
+TEST(Calibration, MetricsV2BlockCarriesPerBucketErrors) {
+  CalibrationTracker tracker;
+  tracker.record(2, 1.2, 1.0);
+  tracker.record(2, 1.1, 1.0);
+  tracker.record(4, 0.5, 1.0);
+
+  const JsonValue block = JsonValue::parse(tracker.to_json().to_string());
+  EXPECT_EQ(static_cast<long>(block.number_or("samples", 0)), 3);
+  EXPECT_GT(block.number_or("drift_band", 0.0), 0.0);
+  ASSERT_TRUE(block.find("drift") != nullptr);
+  EXPECT_FALSE(block.find("drift")->as_bool());
+  const JsonValue* buckets = block.find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->items().size(), 2u);
+  const JsonValue& pairs = buckets->items()[0];
+  EXPECT_EQ(pairs.string_or("group_size", ""), "2");
+  EXPECT_EQ(static_cast<long>(pairs.number_or("count", 0)), 2);
+  EXPECT_NEAR(pairs.number_or("mean_rel_error", 0.0), 0.15, 1e-12);
+  EXPECT_NEAR(pairs.number_or("sign_bias", 0.0), 1.0, 1e-12);
+  const JsonValue& quads = buckets->items()[1];
+  EXPECT_EQ(quads.string_or("group_size", ""), "4");
+  EXPECT_NEAR(quads.number_or("mean_rel_error", 0.0), -0.5, 1e-12);
+  EXPECT_NEAR(quads.number_or("sign_bias", 0.0), -1.0, 1e-12);
+}
+
+// ------------------------------------------------------------- zero-alloc
+
+TEST(Observability, DisabledPathsAllocateNothing) {
+  Telemetry none;  // all-null context, as carried by uninstrumented runs
+  EXPECT_FALSE(none.active());
+  EXPECT_FALSE(none.wants_decisions());
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    { SpanTracer::Scope s = scoped_span(&none, "hot"); }
+    { SpanTracer::Scope s = scoped_span(nullptr, "hot"); }
+    if (none.spans != nullptr) ADD_FAILURE() << "null context claims spans";
+    if (none.decisions != nullptr) ADD_FAILURE() << "null context claims decisions";
+    if (none.calibration != nullptr) ADD_FAILURE() << "null context claims calibration";
+  }
+  const long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+}
+
+// ------------------------------------------------------ search bit-identity
+
+// Attaching the new sinks must not change what the search computes: same
+// seed, same best plan, same cost. (Counters like model_evaluations may
+// legitimately differ — the calibration pass consumes 1-in-64 samples —
+// so the comparison is over the search outcome, not the meters.)
+TEST(Observability, HggaSameSeedBitIdenticalWithSinksAttached) {
+  const Program program = motivating_example();
+  const DeviceSpec device = DeviceSpec::k20x();
+  const TimingSimulator sim(device);
+  const LegalityChecker checker(program, device);
+  const ProposedModel model(device);
+
+  HggaConfig cfg;
+  cfg.population = 16;
+  cfg.max_generations = 10;
+  cfg.stall_generations = 10;
+  cfg.seed = 42;
+
+  Objective bare(checker, model, sim);
+  const SearchResult plain = Hgga(bare, cfg).run();
+
+  Objective instrumented(checker, model, sim);
+  SpanTracer spans;
+  DecisionLog decisions;
+  CalibrationTracker calibration;
+  Telemetry telemetry;
+  telemetry.spans = &spans;
+  telemetry.decisions = &decisions;
+  telemetry.calibration = &calibration;
+  EXPECT_TRUE(telemetry.active());
+  instrumented.set_telemetry(&telemetry);
+  const SearchResult traced = Hgga(instrumented, cfg).run(nullptr, nullptr, &telemetry);
+
+  // The outcome is bit-identical; meters (evaluations, cache counters) may
+  // legitimately differ since provenance/calibration consume cached lookups.
+  EXPECT_DOUBLE_EQ(traced.best_cost_s, plain.best_cost_s);
+  EXPECT_DOUBLE_EQ(traced.baseline_cost_s, plain.baseline_cost_s);
+  EXPECT_EQ(traced.generations, plain.generations);
+  EXPECT_EQ(traced.best.to_string(), plain.best.to_string());
+
+  // ...and the sinks actually observed the run.
+  EXPECT_GT(spans.recorded(), 0);
+  EXPECT_NE(find_row(spans.flame_table(), "search", "hgga.generation"), nullptr);
+  EXPECT_GT(decisions.recorded(), 0);
+  bool saw_crossover = false;
+  for (const auto& d : decisions.snapshot()) {
+    if (d.site == DecisionLog::Site::CrossoverInject) saw_crossover = true;
+  }
+  EXPECT_TRUE(saw_crossover);
+}
+
+TEST(Observability, GreedyBitIdenticalWithSinksAttachedAndProvenanceRecorded) {
+  const Program program = motivating_example();
+  const DeviceSpec device = DeviceSpec::k20x();
+  const TimingSimulator sim(device);
+  const LegalityChecker checker(program, device);
+  const ProposedModel model(device);
+
+  Objective bare(checker, model, sim);
+  const SearchResult plain = greedy_search(bare);
+
+  Objective instrumented(checker, model, sim);
+  SpanTracer spans;
+  DecisionLog decisions;
+  CalibrationTracker calibration;
+  MetricsRegistry metrics;
+  Telemetry telemetry;
+  telemetry.spans = &spans;
+  telemetry.decisions = &decisions;
+  telemetry.calibration = &calibration;
+  telemetry.metrics = &metrics;
+  instrumented.set_telemetry(&telemetry);
+  const SearchResult traced = greedy_search(instrumented, nullptr, &telemetry);
+
+  EXPECT_DOUBLE_EQ(traced.best_cost_s, plain.best_cost_s);
+  EXPECT_EQ(traced.best.to_string(), plain.best.to_string());
+
+  EXPECT_NE(find_row(spans.flame_table(), "search", "greedy.run"), nullptr);
+  EXPECT_NE(find_row(spans.flame_table(), "search", "greedy.pass"), nullptr);
+  long merges = 0;
+  long rejects = 0;
+  for (const auto& d : decisions.snapshot()) {
+    if (d.site == DecisionLog::Site::GreedyMerge) {
+      ++merges;
+      EXPECT_TRUE(d.accepted);
+      EXPECT_LT(d.cost_delta_s, 0.0);  // accepted merges reduce cost
+      EXPECT_STRNE(d.dominant, "");
+    }
+    if (d.site == DecisionLog::Site::GreedyReject) {
+      ++rejects;
+      EXPECT_FALSE(d.accepted);
+      EXPECT_GE(d.cost_delta_s, -1e-12);  // rejected merges would not help
+    }
+  }
+  // Greedy starts from singletons and each accepted merge removes one group.
+  EXPECT_EQ(merges,
+            static_cast<long>(program.num_kernels() - plain.best.num_groups()));
+  EXPECT_GT(rejects, 0);
+}
+
+// --------------------------------------------------------------- report
+
+TEST(RunReportObservability, IngestsDecisionAndDriftEvents) {
+  RunReport report;
+  report.ingest_event(JsonValue::parse(
+      R"({"ts":0.1,"type":"decision","site":"greedy_merge","accepted":true,)"
+      R"("cost_delta_s":-1.5,"dominant":"gmem_traffic","members":[0,1]})"));
+  report.ingest_event(JsonValue::parse(
+      R"({"ts":0.2,"type":"decision","site":"greedy_merge","accepted":false,)"
+      R"("cost_delta_s":0.5,"members":[2,3]})"));
+  report.ingest_event(JsonValue::parse(
+      R"({"ts":0.3,"type":"decision","site":"mutation_split","accepted":true,)"
+      R"("cost_delta_s":-0.25,"members":[4]})"));
+  report.ingest_event(JsonValue::parse(
+      R"({"ts":0.4,"type":"calibration_drift","bucket":"5-8","samples":16,)"
+      R"("mean_rel_error":1.5,"band":1.0})"));
+
+  EXPECT_EQ(report.decisions_total, 3);
+  ASSERT_EQ(report.decisions.size(), 2u);
+  EXPECT_EQ(report.decisions[0].site, "greedy_merge");
+  EXPECT_EQ(report.decisions[0].accepted, 1);
+  EXPECT_EQ(report.decisions[0].rejected, 1);
+  EXPECT_EQ(report.decisions[1].site, "mutation_split");
+  EXPECT_NEAR(report.accepted_cost_delta_s, -1.75, 1e-12);
+  ASSERT_EQ(report.drift_warnings.size(), 1u);
+
+  const std::string rendered = report.render();
+  EXPECT_NE(rendered.find("fusion decisions"), std::string::npos);
+  EXPECT_NE(rendered.find("greedy_merge"), std::string::npos);
+  EXPECT_NE(rendered.find("calibration drift"), std::string::npos);
+  EXPECT_NE(rendered.find("5-8"), std::string::npos);
+
+  const JsonValue json = report.to_json();
+  ASSERT_NE(json.find("decisions"), nullptr);
+  EXPECT_EQ(static_cast<long>(json.find("decisions")->number_or("total", 0)), 3);
+}
+
+TEST(RunReportObservability, ParsesCalibrationBlockFromMetricsV2) {
+  CalibrationTracker tracker;
+  tracker.record(2, 1.2, 1.0);
+  tracker.record(6, 0.8, 1.0);
+
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "kfc-metrics/v2");
+  JsonValue run = JsonValue::object();
+  run.set("program", "fig3");
+  run.set("best_cost_s", 1.0);
+  run.set("baseline_cost_s", 2.0);
+  doc.set("run", std::move(run));
+  doc.set("calibration", tracker.to_json());
+
+  RunReport report;
+  report.ingest_metrics(doc);
+  EXPECT_TRUE(report.has_calibration);
+  EXPECT_EQ(report.calibration_samples, 2);
+  ASSERT_EQ(report.calibration.size(), 2u);
+  EXPECT_EQ(report.calibration[0].group_size, "2");
+  EXPECT_NEAR(report.calibration[0].mean_rel_error, 0.2, 1e-12);
+  EXPECT_EQ(report.calibration[1].group_size, "5-8");
+  EXPECT_NEAR(report.calibration[1].mean_rel_error, -0.2, 1e-12);
+
+  const std::string rendered = report.render();
+  EXPECT_NE(rendered.find("projection calibration"), std::string::npos);
+  EXPECT_NE(rendered.find("drift band"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kf

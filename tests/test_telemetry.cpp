@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <new>
 #include <sstream>
@@ -101,6 +102,64 @@ TEST(Metrics, ConcurrentHammerLosesNothing) {
   EXPECT_EQ(reg.histogram("sample").count, static_cast<std::size_t>(iterations));
 }
 
+// Pinned small-count percentile behaviour: these exact results are part of
+// the HistogramSnapshot contract (documented in metrics.hpp) — consumers
+// like `kfc report` rely on them not to throw or surprise at n < 3.
+TEST(Metrics, PercentilePinnedAtSmallSampleCounts) {
+  MetricsRegistry reg;
+  // n = 0: no data -> 0.0 for every p, no throw.
+  const auto h0 = reg.histogram("absent");
+  EXPECT_EQ(h0.count, 0u);
+  EXPECT_DOUBLE_EQ(h0.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h0.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h0.percentile(100), 0.0);
+
+  // n = 1: the sample for every p.
+  reg.observe("one", 7.5);
+  const auto h1 = reg.histogram("one");
+  EXPECT_DOUBLE_EQ(h1.percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(h1.percentile(37), 7.5);
+  EXPECT_DOUBLE_EQ(h1.percentile(100), 7.5);
+
+  // n = 2: linear interpolation between the two.
+  reg.observe("two", 10.0);
+  reg.observe("two", 20.0);
+  const auto h2 = reg.histogram("two");
+  EXPECT_DOUBLE_EQ(h2.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(h2.percentile(25), 12.5);
+  EXPECT_DOUBLE_EQ(h2.percentile(50), 15.0);
+  EXPECT_DOUBLE_EQ(h2.percentile(100), 20.0);
+
+  // Out-of-range p is caller misuse.
+  EXPECT_THROW(h2.percentile(-1), PreconditionError);
+  EXPECT_THROW(h2.percentile(101), PreconditionError);
+}
+
+// Past reservoir overflow the sampled interior drifts, but p=0/p=100 must
+// keep reporting the exactly-tracked extremes, and the reservoir itself
+// must be deterministic (fixed-seed LCG) and bounded.
+TEST(Metrics, PercentileExtremesExactPastReservoirOverflow) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  const int n = static_cast<int>(MetricsRegistry::kReservoirCapacity) * 3;
+  for (int i = 0; i < n; ++i) {
+    const double sample = static_cast<double>((i * 7919) % n);
+    a.observe("x", sample);
+    b.observe("x", sample);
+  }
+  const auto ha = a.histogram("x");
+  EXPECT_EQ(ha.samples.size(), MetricsRegistry::kReservoirCapacity);
+  EXPECT_DOUBLE_EQ(ha.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(ha.percentile(100), n - 1.0);
+  // Survivor extremes need not be the true extremes, but the pinned
+  // endpoints must not depend on them.
+  EXPECT_GE(ha.samples.front(), ha.percentile(0));
+  EXPECT_LE(ha.samples.back(), ha.percentile(100));
+  // Identical input -> identical reservoir: Algorithm R runs on a fixed
+  // seed, so two registries agree sample-for-sample.
+  EXPECT_EQ(ha.samples, b.histogram("x").samples);
+}
+
 TEST(Metrics, ToJsonCarriesAllSeries) {
   MetricsRegistry reg;
   reg.count("c", 3, {{"k", "v"}});
@@ -136,6 +195,77 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW(JsonValue::parse("{"), RuntimeError);
   EXPECT_THROW(JsonValue::parse("[1,]"), RuntimeError);
   EXPECT_THROW(JsonValue::parse("{\"a\":1} trailing"), RuntimeError);
+}
+
+TEST(Json, StringEscapeEdgeCases) {
+  // Valid surrogate pair decodes to one supplementary-plane code point
+  // (U+1F600, 4 UTF-8 bytes).
+  EXPECT_EQ(JsonValue::parse(R"("\ud83d\ude00")").as_string(),
+            "\xF0\x9F\x98\x80");
+  // BMP escapes still work, upper- and lower-case hex alike.
+  EXPECT_EQ(JsonValue::parse(R"("\u00e9\u00C9")").as_string(), "\xC3\xA9\xC3\x89");
+  // Lone or mismatched surrogates are structural errors, not replacement
+  // characters.
+  EXPECT_THROW(JsonValue::parse(R"("\ud800")"), RuntimeError);
+  EXPECT_THROW(JsonValue::parse(R"("\udc00")"), RuntimeError);
+  EXPECT_THROW(JsonValue::parse(R"("\ud800A")"), RuntimeError);
+  EXPECT_THROW(JsonValue::parse(R"("\ud800x")"), RuntimeError);
+  // Truncated escapes.
+  EXPECT_THROW(JsonValue::parse(R"("\u00")"), RuntimeError);
+  EXPECT_THROW(JsonValue::parse("\"\\"), RuntimeError);
+  // Raw (unescaped) control characters are rejected; the writer always
+  // escapes them, so round-trips still work.
+  EXPECT_THROW(JsonValue::parse("\"a\nb\""), RuntimeError);
+  EXPECT_THROW(JsonValue::parse(std::string("\"a\0b\"", 5)), RuntimeError);
+  std::string written;
+  append_json_string(written, "a\nb\x01");
+  EXPECT_EQ(JsonValue::parse(written).as_string(), "a\nb\x01");
+}
+
+TEST(Json, NumberEdgeCases) {
+  // Out-of-double-range literals are rejected, not absorbed as inf.
+  EXPECT_THROW(JsonValue::parse("1e999"), RuntimeError);
+  EXPECT_THROW(JsonValue::parse("-1e999"), RuntimeError);
+  // JSON has no NaN/Infinity literals.
+  EXPECT_THROW(JsonValue::parse("NaN"), RuntimeError);
+  EXPECT_THROW(JsonValue::parse("Infinity"), RuntimeError);
+  EXPECT_THROW(JsonValue::parse("-Infinity"), RuntimeError);
+  // Leading zeros are not a number.
+  EXPECT_THROW(JsonValue::parse("01"), RuntimeError);
+  EXPECT_THROW(JsonValue::parse("-01"), RuntimeError);
+  // But a bare zero (with fraction/exponent) is.
+  EXPECT_DOUBLE_EQ(JsonValue::parse("0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-0.5e1").as_number(), -5.0);
+  // Denormal-range underflow parses (strtod saturates to 0 or a denormal).
+  EXPECT_NEAR(JsonValue::parse("1e-400").as_number(), 0.0, 1e-300);
+}
+
+// Every fixture in fixtures/bad/telemetry is a malformed telemetry-schema
+// document; the parser must reject each with RuntimeError — never a crash,
+// silent acceptance, or an unwrapped std exception.
+TEST(Json, BadTelemetryFixtureCorpusAllRejected) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(KF_FIXTURE_DIR) / "bad" / "telemetry";
+  int checked = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    const std::string name = entry.path().filename().string();
+    std::ifstream in(entry.path(), std::ios::binary);
+    ASSERT_TRUE(in) << "cannot open " << entry.path();
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      JsonValue::parse(text.str());
+      ADD_FAILURE() << name << " parsed without error";
+    } catch (const RuntimeError& e) {
+      EXPECT_NE(std::string(e.what()).find("JSON parse error"), std::string::npos)
+          << name << ": unexpected message '" << e.what() << "'";
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << name << " threw non-RuntimeError: " << e.what();
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 10) << "telemetry bad-input corpus shrank";
 }
 
 // ---------------------------------------------------------------- trace log

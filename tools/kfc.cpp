@@ -8,6 +8,8 @@
 //   kfc apply    (<file.kf> | --builtin <name>) --plan "{0,1} {2}..."
 //   kfc fuse     --builtin <name> [options]       search + emit CUDA source
 //   kfc report   --metrics FILE and/or --events FILE   summarize a past run
+//   kfc profile  (<file.kf> | --builtin <name>)   search + span flame table
+//   kfc explain  <kernel> (<file.kf> | --builtin <name>)   merge provenance
 //   kfc help                            print the full option list
 //
 // The option list lives in ONE place — the kFlags table below. The parser
@@ -15,8 +17,11 @@
 // drift from what the parser accepts. Run `kfc help` for the list.
 //
 // Observability (see README "Observability"): `--metrics FILE` writes a
-// kfc-metrics/v1 JSON document, `--events FILE` writes a JSONL event log
-// (one event per HGGA generation plus fault/checkpoint/breakdown events),
+// kfc-metrics/v2 JSON document (run summary + metric series + projection
+// calibration block), `--events FILE` writes a JSONL event log (one event
+// per HGGA generation plus fault/checkpoint/breakdown/decision events),
+// `--spans FILE` writes the span profile as Chrome trace-event JSON (opens
+// in one Perfetto view alongside a `--trace` file — distinct pids),
 // `--progress N` prints a heartbeat to stderr every N generations, and
 // `kfc report` rebuilds a human summary from those artifacts.
 //
@@ -25,6 +30,7 @@
 //
 // Program files use the text IR (see src/ir/program_io.hpp). Builtins:
 // rk18, cloverleaf, fig3, scale-les, homme, wrf, asuca, mitgcm, cosmo.
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -56,6 +62,9 @@ struct Options {
   // telemetry
   std::string metrics_file;
   std::string events_file;
+  std::string spans_file;
+  long explain_kernel = -1;       ///< `kfc explain <kernel>`
+  double calibration_band = 0.0;  ///< 0 = CalibrationTracker default
   int progress_every = 0;
   int top_k = 5;
 
@@ -145,6 +154,18 @@ const FlagSpec kFlags[] = {
     {"--events", "FILE",
      "write a JSONL structured event log (input to `kfc report`)",
      [](Options& o, const std::string& v) { o.events_file = v; }},
+    {"--spans", "FILE",
+     "write the span profile as Chrome trace-event JSON (Perfetto)",
+     [](Options& o, const std::string& v) { o.spans_file = v; }},
+    {"--kernel", "K", "explain: the kernel id to explain",
+     [](Options& o, const std::string& v) { o.explain_kernel = flag_long("--kernel", v); }},
+    {"--calibration-band", "X",
+     "flag projection drift when a bucket's |mean rel error| exceeds X",
+     [](Options& o, const std::string& v) {
+       o.calibration_band = flag_double("--calibration-band", v);
+       KF_REQUIRE(o.calibration_band > 0.0,
+                  "--calibration-band must be positive, got '" << v << "'");
+     }},
     {"--progress", "N", "print a heartbeat to stderr every N generations",
      [](Options& o, const std::string& v) { o.progress_every = flag_int("--progress", v); }},
     {"--top", "K", "report: rows in the per-group cost table (default 5)",
@@ -177,6 +198,8 @@ void print_usage(std::ostream& os) {
         "  apply         cost a fixed plan (--plan)\n"
         "  fuse          search + emit CUDA source\n"
         "  report        summarize a run from --metrics and/or --events files\n"
+        "  profile       search, then print the span self-time flame table\n"
+        "  explain K     search, then replay kernel K's merge decisions\n"
         "  help          print this message\n"
         "input: a .kf program file, or --builtin NAME\n"
         "options:\n";
@@ -243,6 +266,10 @@ Options parse(int argc, char** argv) {
       usage("unknown option " + arg);
     } else if (opt.command == "demo" && opt.builtin.empty()) {
       opt.builtin = arg;  // demo takes a bare builtin name
+    } else if (opt.command == "explain" && opt.explain_kernel < 0 &&
+               !arg.empty() &&
+               arg.find_first_not_of("0123456789") == std::string::npos) {
+      opt.explain_kernel = flag_long("explain <kernel>", arg);
     } else if (opt.input_file.empty()) {
       opt.input_file = arg;
     } else {
@@ -304,6 +331,14 @@ struct SearchOutcome {
   FusedProgram fused;
   Objective::CacheStats cache;  ///< evaluation-engine counters at run end
   bool expanded = false;
+
+  // Observability sinks, attached only when a flag or command asks for
+  // them (null otherwise); they outlive run_search so `kfc profile` /
+  // `kfc explain` can render from them.
+  std::unique_ptr<SpanTracer> spans;
+  std::unique_ptr<DecisionLog> decisions;
+  std::unique_ptr<CalibrationTracker> calibration;
+  ModelSpanSummary model;  ///< filled when spans are attached
 };
 
 /// Per-launch "group_breakdown" events: where the simulator says each
@@ -344,12 +379,13 @@ void emit_group_breakdowns(const Telemetry& telemetry, const TimingSimulator& si
   }
 }
 
-/// Writes the kfc-metrics/v1 document: a "run" summary block plus the
-/// registry's counters/gauges/histograms.
+/// Writes the kfc-metrics/v2 document: a "run" summary block, the
+/// registry's counters/gauges/histograms, and (when tracked) the
+/// projection-calibration block.
 void write_metrics_file(const Options& opt, const SearchOutcome& out,
                         const MetricsRegistry& metrics) {
   JsonValue root = JsonValue::object();
-  root.set("schema", "kfc-metrics/v1");
+  root.set("schema", "kfc-metrics/v2");
   JsonValue run = JsonValue::object();
   run.set("program", out.expansion.program.name());
   run.set("method", opt.method);
@@ -377,6 +413,9 @@ void write_metrics_file(const Options& opt, const SearchOutcome& out,
   const JsonValue series = metrics.to_json();
   for (const auto& [key, value] : series.members()) {
     root.set(key, value);
+  }
+  if (out.calibration != nullptr) {
+    root.set("calibration", out.calibration->to_json());
   }
   std::ofstream os(opt.metrics_file);
   KF_REQUIRE(static_cast<bool>(os), "cannot open metrics file '" << opt.metrics_file << "'");
@@ -411,15 +450,36 @@ SearchOutcome run_search(const Options& opt, const Program& program) {
   }
   Objective objective(checker, *model, sim);
 
-  // Telemetry sinks: only attached when a flag asks for them, so the
-  // default run keeps the one-branch disabled path everywhere.
+  // Telemetry sinks: only attached when a flag or command asks for them,
+  // so the default run keeps the one-branch disabled path everywhere.
   MetricsRegistry metrics;
   std::optional<TraceLog> trace_log;
+  SearchOutcome out;
   Telemetry telemetry;
   if (!opt.metrics_file.empty()) telemetry.metrics = &metrics;
   if (!opt.events_file.empty()) {
     trace_log.emplace(opt.events_file);
     telemetry.trace = &*trace_log;
+  }
+  if (!opt.spans_file.empty() || opt.command == "profile") {
+    out.spans = std::make_unique<SpanTracer>();
+    telemetry.spans = out.spans.get();
+  }
+  if (!opt.events_file.empty() || opt.command == "explain") {
+    // `explain` replays the full merge chain, so give it a deep ring —
+    // greedy rejects alone can evict the interesting merges from the
+    // default one on large programs.
+    out.decisions = std::make_unique<DecisionLog>(
+        opt.command == "explain" ? std::size_t{1} << 16
+                                 : DecisionLog::kDefaultCapacity);
+    telemetry.decisions = out.decisions.get();
+  }
+  if (!opt.metrics_file.empty() || !opt.events_file.empty() ||
+      opt.calibration_band > 0.0) {
+    CalibrationTracker::Options copts;
+    if (opt.calibration_band > 0.0) copts.drift_band = opt.calibration_band;
+    out.calibration = std::make_unique<CalibrationTracker>(copts);
+    telemetry.calibration = out.calibration.get();
   }
   telemetry.progress_every = opt.progress_every;
   const bool want_telemetry = telemetry.active();
@@ -452,7 +512,6 @@ SearchOutcome run_search(const Options& opt, const Program& program) {
     result = SearchDriver(objective, cfg).run();
   }
 
-  SearchOutcome out;
   out.result = std::move(result);
   out.fused = apply_fusion(checker, out.result.best);
   out.expansion = std::move(expansion);
@@ -498,8 +557,49 @@ SearchOutcome run_search(const Options& opt, const Program& program) {
               << human_time(trace.makespan_s) << ", utilisation "
               << fixed(100 * trace.utilisation(device), 1) << "%)\n";
   }
+  if (out.spans != nullptr) {
+    // Attribute the final plan's simulated time as virtual spans so the
+    // span export and `kfc profile` carry the model view too.
+    out.model = emit_model_spans(*out.spans, sim, out.expansion.program,
+                                 out.fused.launches);
+    if (!opt.spans_file.empty()) {
+      ChromeTraceWriter writer;
+      out.spans->append_chrome_trace(writer);
+      std::ofstream spans_out(opt.spans_file);
+      KF_REQUIRE(static_cast<bool>(spans_out),
+                 "cannot open spans file '" << opt.spans_file << "'");
+      spans_out << writer.finish();
+      std::cerr << "wrote " << opt.spans_file << " (" << out.spans->recorded()
+                << " spans, " << out.spans->threads_seen() << " threads";
+      if (out.spans->dropped() > 0) {
+        std::cerr << ", " << out.spans->dropped() << " dropped";
+      }
+      std::cerr << ")\n";
+    }
+  }
   if (want_telemetry) {
     emit_group_breakdowns(telemetry, sim, out.expansion.program, out.fused);
+    if (telemetry.wants_trace() && out.decisions != nullptr) {
+      // Persist the provenance ring alongside the event stream so `kfc
+      // report` (and any JSONL consumer) sees the decisions.
+      for (const DecisionLog::Decision& d : out.decisions->snapshot()) {
+        telemetry.trace->emit("decision", [&](TraceEvent& e) {
+          JsonValue members = JsonValue::array();
+          const int inline_count =
+              std::min<int>(d.member_count, DecisionLog::kMaxMembers);
+          for (int m = 0; m < inline_count; ++m) {
+            members.push_back(JsonValue(static_cast<long>(d.members[m])));
+          }
+          e.num("seq", static_cast<double>(d.seq))
+              .str("site", DecisionLog::to_string(d.site))
+              .boolean("accepted", d.accepted)
+              .num("cost_delta_s", d.cost_delta_s)
+              .str("dominant", d.dominant)
+              .num("member_count", static_cast<long>(d.member_count))
+              .json("members", members);
+        });
+      }
+    }
     if (!opt.metrics_file.empty()) write_metrics_file(opt, out, metrics);
     if (!opt.events_file.empty()) {
       std::cerr << "wrote " << opt.events_file << " (" << trace_log->events()
@@ -530,6 +630,108 @@ int cmd_report(const Options& opt) {
   }
   const RunReport report = RunReport::from_files(opt.metrics_file, opt.events_file);
   std::cout << report.render(opt.top_k);
+  return 0;
+}
+
+/// `kfc profile`: search with a span tracer attached, then print the
+/// self-time flame table plus the model's simulated-time attribution, and
+/// verify the two reconcile (span self-times telescope to the simulator's
+/// per-launch totals within 1e-9).
+int cmd_profile(const Options& opt) {
+  const Program program = load_input(opt);
+  const SearchOutcome out = run_search(opt, program);
+
+  const std::vector<SpanTracer::FlameRow> rows = out.spans->flame_table();
+  std::map<std::string, double> cat_self;
+  for (const SpanTracer::FlameRow& r : rows) cat_self[r.cat] += r.self_s;
+
+  TextTable table({"span", "cat", "count", "total", "self", "self %"});
+  for (const SpanTracer::FlameRow& r : rows) {
+    const double total_self = cat_self[r.cat];
+    table.add(r.name, r.cat, r.count, human_time(r.total_s), human_time(r.self_s),
+              fixed(total_self > 0.0 ? 100.0 * r.self_s / total_self : 0.0, 1));
+  }
+  std::cout << table.to_string();
+  std::cout << out.spans->recorded() << " spans on " << out.spans->threads_seen()
+            << " threads";
+  if (out.spans->dropped() > 0) std::cout << " (" << out.spans->dropped() << " dropped)";
+  std::cout << "\n\n";
+
+  TextTable model({"model component", "simulated", "share"});
+  for (int c = 0; c < TimeBreakdown::kComponents; ++c) {
+    const double share =
+        out.model.total_s > 0.0 ? out.model.component_s[c] / out.model.total_s : 0.0;
+    model.add(TimeBreakdown::component_name(c), human_time(out.model.component_s[c]),
+              fixed(100.0 * share, 1));
+  }
+  std::cout << model.to_string();
+
+  // Self-times over a span tree telescope to the root totals, so the
+  // "model" rows of the flame table must sum to the simulator's plan time.
+  const double model_flame_self = cat_self["model"];
+  const double diff = std::fabs(model_flame_self - out.model.total_s);
+  const bool ok = diff <= 1e-9;
+  std::cout << "reconciliation: model span self-time "
+            << strprintf("%.12g", model_flame_self) << " s vs simulator total "
+            << strprintf("%.12g", out.model.total_s) << " s, |diff| "
+            << strprintf("%.3g", diff) << (ok ? " (OK)" : " (FAIL)") << "\n";
+  return ok ? 0 : 1;
+}
+
+/// `kfc explain K`: search with a provenance ring attached, then replay
+/// every recorded decision that touched kernel K and show where it landed.
+int cmd_explain(const Options& opt) {
+  if (opt.explain_kernel < 0) {
+    usage("explain needs a kernel id: kfc explain <kernel> (<file.kf> | --builtin NAME)");
+  }
+  const Program program = load_input(opt);
+  if (opt.explain_kernel >= program.num_kernels()) {
+    usage(strprintf("kernel %ld out of range (program has %d kernels)",
+                    opt.explain_kernel, program.num_kernels()));
+  }
+  const SearchOutcome out = run_search(opt, program);
+  const KernelId k = static_cast<KernelId>(opt.explain_kernel);
+
+  const FusionPlan& best = out.result.best;
+  const int g = best.group_of(k);
+  std::cout << "kernel " << k << " '" << out.expansion.program.kernel(k).name
+            << "' final group: {";
+  std::span<const KernelId> members = best.group(g);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (i) std::cout << ",";
+    std::cout << members[i];
+  }
+  std::cout << "} (" << members.size() << " kernels)\n";
+
+  const std::vector<DecisionLog::Decision> chain = out.decisions->involving(k);
+  if (chain.empty()) {
+    std::cout << "no recorded decisions involve kernel " << k
+              << " (it stayed a singleton or the ring wrapped past them)\n";
+    return 0;
+  }
+  TextTable table({"seq", "site", "verdict", "delta cost", "dominant", "members"});
+  for (const DecisionLog::Decision& d : chain) {
+    std::string group_text;
+    const int inline_count = std::min<int>(d.member_count, DecisionLog::kMaxMembers);
+    for (int m = 0; m < inline_count; ++m) {
+      if (m) group_text += ',';
+      group_text += std::to_string(d.members[m]);
+    }
+    if (d.member_count > inline_count) group_text += ",...";
+    table.add(static_cast<long>(d.seq), DecisionLog::to_string(d.site),
+              d.accepted ? "accepted" : "rejected",
+              strprintf("%+.3e s", d.cost_delta_s),
+              *d.dominant != '\0' ? d.dominant : "-", group_text);
+  }
+  std::cout << table.to_string();
+  std::cout << chain.size() << " decisions involve kernel " << k << " ("
+            << out.decisions->recorded() << " recorded";
+  if (static_cast<std::size_t>(out.decisions->recorded()) > out.decisions->size()) {
+    std::cout << ", ring wrapped: oldest "
+              << out.decisions->recorded() - static_cast<long>(out.decisions->size())
+              << " overwritten";
+  }
+  std::cout << ")\n";
   return 0;
 }
 
@@ -574,6 +776,8 @@ int main(int argc, char** argv) {
     if (opt.command == "apply") return cmd_search(opt);  // --plan supplies it
     if (opt.command == "fuse") return cmd_fuse(opt);
     if (opt.command == "report") return cmd_report(opt);
+    if (opt.command == "profile") return cmd_profile(opt);
+    if (opt.command == "explain") return cmd_explain(opt);
     if (opt.command == "help" || opt.command == "--help" || opt.command == "-h") {
       print_usage(std::cout);
       return 0;
