@@ -1,0 +1,158 @@
+// Plan-store throughput: the serving path's persistence cost.
+//
+// The plan-service direction makes the store a per-request dependency —
+// every cache hit is a get(), every search result a put() — so this bench
+// measures the three operations that bound serving throughput:
+//
+//   put       journal append + index update, durable (fsync per commit)
+//             vs buffered (tests/benches mode);
+//   get       index lookup + StoredPlan copy on a populated store;
+//   recover   full open — scan, CRC-validate and re-parse every record —
+//             for a journal of N records, the cold-start cost of a box.
+//
+// The report is operations per second per mode plus the recovered-journal
+// size; the JSON mirror (BENCH_store_throughput.json) feeds the CI
+// perf-smoke job.
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "store/plan_store.hpp"
+
+namespace kf::bench {
+namespace {
+
+StoredPlan synthetic_plan(std::uint64_t i) {
+  StoredPlan p;
+  p.key = {mix64(i * 2 + 1), mix64(i * 2 + 2)};
+  p.num_kernels = 18;
+  // A realistic rk18-sized plan string (6 groups of 3).
+  p.plan_text =
+      "{0,1,2} {3,4,5} {6,7,8} {9,10,11} {12,13,14} {15,16,17}";
+  p.best_cost_s = 1.0e-3 + 1.0e-9 * static_cast<double>(i % 997);
+  p.baseline_cost_s = 2.0e-3;
+  return p;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = std::filesystem::temp_directory_path().string() +
+                          "/kf_bench_store_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+struct PutPhase {
+  long ops = 0;
+  double ops_per_s = 0.0;
+};
+
+PutPhase put_phase(bool durable, long ops) {
+  const std::string dir = fresh_dir(durable ? "durable" : "buffered");
+  PlanStore::Config cfg;
+  cfg.dir = dir;
+  cfg.durable = durable;
+  PlanStore store(cfg);
+  Stopwatch watch;
+  for (long i = 0; i < ops; ++i) store.put(synthetic_plan(static_cast<std::uint64_t>(i)));
+  PutPhase phase;
+  phase.ops = ops;
+  phase.ops_per_s = static_cast<double>(ops) / watch.elapsed_s();
+  std::filesystem::remove_all(dir);
+  return phase;
+}
+
+int run(int argc, char** argv) {
+  long records = small_scale() ? 500 : 5000;
+  long durable_records = small_scale() ? 50 : 400;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--records") == 0) records = std::atol(argv[i + 1]);
+  }
+
+  print_header("Plan-store throughput: put/get/recover",
+               "the crash-safe plan store behind the serving path");
+
+  // put: the durability tax is the fsync, so the two modes bracket the
+  // serving write-back cost on this filesystem.
+  const PutPhase buffered = put_phase(false, records);
+  const PutPhase durable = put_phase(true, durable_records);
+
+  // get + recover on a store of `records` plans.
+  const std::string dir = fresh_dir("readside");
+  PlanStore::Config cfg;
+  cfg.dir = dir;
+  cfg.durable = false;
+  long journal_bytes = 0;
+  {
+    PlanStore store(cfg);
+    for (long i = 0; i < records; ++i)
+      store.put(synthetic_plan(static_cast<std::uint64_t>(i)));
+    journal_bytes = store.stats().journal_bytes;
+  }
+  Stopwatch recover_watch;
+  PlanStore store(cfg);
+  const double recover_s = recover_watch.elapsed_s();
+
+  const long get_rounds = 20;
+  Stopwatch get_watch;
+  long hits = 0;
+  for (long round = 0; round < get_rounds; ++round) {
+    for (long i = 0; i < records; ++i) {
+      if (store.get(synthetic_plan(static_cast<std::uint64_t>(i)).key)) ++hits;
+    }
+  }
+  const double gets_per_s =
+      static_cast<double>(get_rounds * records) / get_watch.elapsed_s();
+
+  // Compaction folds the journal into a snapshot; reopening after it is the
+  // steady-state cold start.
+  store.compact();
+  Stopwatch reopen_watch;
+  PlanStore reopened(cfg);
+  const double reopen_compacted_s = reopen_watch.elapsed_s();
+
+  TextTable table({"operation", "ops", "ops/s"});
+  table.add("put (buffered)", buffered.ops, fixed(buffered.ops_per_s / 1e3, 1) + "k");
+  table.add("put (durable)", durable.ops, fixed(durable.ops_per_s / 1e3, 1) + "k");
+  table.add("get (hit)", get_rounds * records, fixed(gets_per_s / 1e6, 2) + "M");
+  std::cout << table;
+
+  std::cout << "\nrecovery: " << records << " journal records ("
+            << journal_bytes / 1024 << " KiB) in " << fixed(recover_s * 1e3, 2)
+            << " ms (" << fixed(static_cast<double>(records) / recover_s / 1e3, 1)
+            << "k records/s); compacted reopen "
+            << fixed(reopen_compacted_s * 1e3, 2) << " ms\n"
+            << "durability tax: " << fixed(buffered.ops_per_s / durable.ops_per_s, 1)
+            << "x puts/s buffered vs fsync-per-commit\n";
+
+  const bool consistent =
+      store.size() == static_cast<std::size_t>(records) &&
+      reopened.size() == static_cast<std::size_t>(records) &&
+      hits == get_rounds * records && reopened.recovery().clean();
+
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "kf-bench-metrics/v1");
+  doc.set("bench", "store_throughput");
+  doc.set("records", records);
+  doc.set("journal_bytes", journal_bytes);
+  doc.set("put_buffered_per_s", buffered.ops_per_s);
+  doc.set("put_durable_per_s", durable.ops_per_s);
+  doc.set("get_per_s", gets_per_s);
+  doc.set("recover_s", recover_s);
+  doc.set("reopen_compacted_s", reopen_compacted_s);
+  doc.set("consistent", consistent);
+  write_bench_metrics("store_throughput", doc);
+
+  std::filesystem::remove_all(dir);
+  if (!consistent) {
+    std::cerr << "FAIL: store lost or corrupted records during the bench\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kf::bench
+
+int main(int argc, char** argv) { return kf::bench::run(argc, argv); }

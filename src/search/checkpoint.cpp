@@ -1,15 +1,26 @@
 #include "search/checkpoint.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/fs_io.hpp"
 #include "util/string_util.hpp"
 
 namespace kf {
 namespace {
+
+/// Load-path hardening bounds: a checkpoint bigger than this, or declaring
+/// counts past these caps, is rejected as corrupt *before* any allocation
+/// is sized from its contents — a flipped bit in a count field must not
+/// turn into a multi-gigabyte vector reserve.
+constexpr long kMaxCheckpointBytes = 64L << 20;
+constexpr int kMaxKernels = 1 << 16;
+constexpr std::size_t kMaxPopulation = 1u << 20;
+constexpr std::size_t kMaxHistory = 1u << 22;
 
 std::string hexfloat(double value) { return strprintf("%a", value); }
 
@@ -37,7 +48,7 @@ double parse_hexfloat(std::string_view text, int line_no, const char* what) {
   char* end = nullptr;
   const double value = std::strtod(s.c_str(), &end);
   if (end == s.c_str() || *end != '\0') {
-    throw RuntimeError(strprintf("checkpoint line %d: bad %s value '%s'", line_no,
+    throw CheckpointError(strprintf("checkpoint line %d: bad %s value '%s'", line_no,
                                  what, s.c_str()));
   }
   return value;
@@ -51,16 +62,28 @@ std::uint64_t parse_u64(std::string_view text, int line_no, const char* what) {
     if (used != s.size()) throw std::invalid_argument("trailing junk");
     return value;
   } catch (const std::exception&) {
-    throw RuntimeError(strprintf("checkpoint line %d: bad %s value '%s'", line_no,
+    throw CheckpointError(strprintf("checkpoint line %d: bad %s value '%s'", line_no,
                                  what, s.c_str()));
   }
 }
 
 int parse_int(std::string_view text, int line_no, const char* what) {
   const std::uint64_t v = parse_u64(text, line_no, what);
-  KF_CHECK(v <= 1u << 30, "checkpoint line " << line_no << ": " << what
-                                             << " value " << v << " out of range");
+  if (v > 1u << 30) {
+    throw CheckpointError(strprintf("checkpoint line %d: %s value %llu out of range",
+                                    line_no, what,
+                                    static_cast<unsigned long long>(v)));
+  }
   return static_cast<int>(v);
+}
+
+double parse_finite(std::string_view text, int line_no, const char* what) {
+  const double value = parse_hexfloat(text, line_no, what);
+  if (!std::isfinite(value)) {
+    throw CheckpointError(strprintf("checkpoint line %d: non-finite %s value '%s'",
+                                    line_no, what, std::string(text).c_str()));
+  }
+  return value;
 }
 
 /// Splits "cost=<hex> plan=<rest of line>" records.
@@ -68,18 +91,18 @@ void parse_cost_plan(std::string_view rest, int line_no, int num_kernels,
                      double* cost, FusionPlan* plan) {
   const auto plan_pos = rest.find("plan=");
   if (plan_pos == std::string_view::npos || !starts_with(rest, "cost=")) {
-    throw RuntimeError(strprintf(
+    throw CheckpointError(strprintf(
         "checkpoint line %d: expected cost=... plan=..., got '%s'", line_no,
         std::string(rest).c_str()));
   }
   const std::string_view cost_text =
       trim(rest.substr(5, plan_pos - 5));
-  *cost = parse_hexfloat(cost_text, line_no, "cost");
+  *cost = parse_finite(cost_text, line_no, "cost");
   const std::string plan_text(trim(rest.substr(plan_pos + 5)));
   try {
     *plan = FusionPlan::parse(num_kernels, plan_text);
   } catch (const std::exception& e) {
-    throw RuntimeError(strprintf("checkpoint line %d: bad plan: %s", line_no,
+    throw CheckpointError(strprintf("checkpoint line %d: bad plan: %s", line_no,
                                  e.what()));
   }
 }
@@ -130,7 +153,7 @@ HggaCheckpoint read_checkpoint(std::istream& is) {
     if (t.empty() || t.front() == '#') continue;
     if (!saw_magic) {
       if (t != "hgga-checkpoint v1") {
-        throw RuntimeError(strprintf(
+        throw CheckpointError(strprintf(
             "checkpoint line %d: bad magic (expected 'hgga-checkpoint v1')", line_no));
       }
       saw_magic = true;
@@ -143,6 +166,11 @@ HggaCheckpoint read_checkpoint(std::istream& is) {
       ckpt.program_name = std::string(rest_after(t, word.size()));
     } else if (word == "kernels") {
       ckpt.num_kernels = parse_int(rest_after(t, word.size()), line_no, "kernels");
+      if (ckpt.num_kernels > kMaxKernels) {
+        throw CheckpointError(strprintf(
+            "checkpoint line %d: kernel count %d exceeds the %d cap", line_no,
+            ckpt.num_kernels, kMaxKernels));
+      }
     } else if (word == "seed") {
       ckpt.seed = parse_u64(rest_after(t, word.size()), line_no, "seed");
     } else if (word == "generation") {
@@ -152,15 +180,19 @@ HggaCheckpoint read_checkpoint(std::istream& is) {
     } else if (word == "rng") {
       std::string s0, s1, s2, s3;
       ls >> s0 >> s1 >> s2 >> s3;
-      if (!ls) throw RuntimeError(strprintf("checkpoint line %d: bad rng line", line_no));
+      if (!ls) throw CheckpointError(strprintf("checkpoint line %d: bad rng line", line_no));
       ckpt.rng_state = {parse_u64(s0, line_no, "rng"), parse_u64(s1, line_no, "rng"),
                         parse_u64(s2, line_no, "rng"), parse_u64(s3, line_no, "rng")};
     } else if (word == "best") {
       parse_cost_plan(rest_after(t, word.size()), line_no, ckpt.num_kernels,
                       &ckpt.best_cost, &ckpt.best);
     } else if (word == "history") {
+      if (ckpt.history.size() >= kMaxHistory) {
+        throw CheckpointError(strprintf(
+            "checkpoint line %d: history exceeds %zu entries", line_no, kMaxHistory));
+      }
       ckpt.history.push_back(
-          parse_hexfloat(rest_after(t, word.size()), line_no, "history"));
+          parse_finite(rest_after(t, word.size()), line_no, "history"));
     } else if (word == "trace") {
       GenerationStats s;
       std::string tok;
@@ -182,12 +214,17 @@ HggaCheckpoint read_checkpoint(std::istream& is) {
         } else if (starts_with(tok, "mut=")) {
           s.mutations = parse_int(tok.substr(4), line_no, "trace mut");
         } else {
-          throw RuntimeError(strprintf("checkpoint line %d: unknown trace field '%s'",
+          throw CheckpointError(strprintf("checkpoint line %d: unknown trace field '%s'",
                                        line_no, tok.c_str()));
         }
       }
       ckpt.trace.push_back(s);
     } else if (word == "individual") {
+      if (ckpt.population.size() >= kMaxPopulation) {
+        throw CheckpointError(strprintf(
+            "checkpoint line %d: population exceeds %zu individuals", line_no,
+            kMaxPopulation));
+      }
       double cost = 0.0;
       FusionPlan plan;
       parse_cost_plan(rest_after(t, word.size()), line_no, ckpt.num_kernels, &cost,
@@ -198,17 +235,18 @@ HggaCheckpoint read_checkpoint(std::istream& is) {
       saw_end = true;
       break;
     } else {
-      throw RuntimeError(strprintf("checkpoint line %d: unknown record '%s'", line_no,
+      throw CheckpointError(strprintf("checkpoint line %d: unknown record '%s'", line_no,
                                    word.c_str()));
     }
   }
-  if (!saw_magic) throw RuntimeError("checkpoint line 1: empty checkpoint");
+  if (!saw_magic) throw CheckpointError("checkpoint line 1: empty checkpoint");
   if (!saw_end) {
-    throw RuntimeError(strprintf(
+    throw CheckpointError(strprintf(
         "checkpoint line %d: truncated checkpoint (missing 'end')", line_no));
   }
-  KF_CHECK(ckpt.num_kernels > 0, "checkpoint has no kernels");
-  KF_CHECK(!ckpt.population.empty(), "checkpoint has an empty population");
+  if (ckpt.num_kernels <= 0) throw CheckpointError("checkpoint has no kernels");
+  if (ckpt.population.empty())
+    throw CheckpointError("checkpoint has an empty population");
   return ckpt;
 }
 
@@ -226,8 +264,17 @@ void save_checkpoint(const std::string& path, const HggaCheckpoint& ckpt) {
 }
 
 HggaCheckpoint load_checkpoint(const std::string& path) {
+  if (!file_exists(path))
+    throw CheckpointError("cannot open checkpoint file '" + path + "'");
+  const long bytes = file_size(path);
+  if (bytes > kMaxCheckpointBytes) {
+    throw CheckpointError(strprintf(
+        "checkpoint '%s' is %ld bytes — larger than the %ld-byte cap, refusing "
+        "to parse",
+        path.c_str(), bytes, kMaxCheckpointBytes));
+  }
   std::ifstream is(path);
-  KF_CHECK(static_cast<bool>(is), "cannot open checkpoint file '" << path << "'");
+  if (!is) throw CheckpointError("cannot open checkpoint file '" + path + "'");
   return read_checkpoint(is);
 }
 

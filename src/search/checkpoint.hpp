@@ -57,15 +57,20 @@ struct HggaCheckpoint {
 
 void write_checkpoint(std::ostream& os, const HggaCheckpoint& ckpt);
 
-/// Parses a checkpoint; throws kf::RuntimeError with a line number on
-/// malformed or truncated input.
+/// Parses a checkpoint; throws kf::CheckpointError (util/error.hpp) with a
+/// line number on malformed, truncated or out-of-range input. Every count
+/// is capped before it sizes an allocation and every cost must be finite,
+/// so corrupt bytes fail loud and early — never as an OOM or a poisoned
+/// resume (tests/fixtures/bad/checkpoint/ holds one specimen per failure
+/// mode).
 HggaCheckpoint read_checkpoint(std::istream& is);
 
 /// Atomic save: writes "<path>.tmp" then renames it over `path`.
 void save_checkpoint(const std::string& path, const HggaCheckpoint& ckpt);
 
-/// Loads and validates a checkpoint file; throws kf::RuntimeError when the
-/// file cannot be opened or parsed.
+/// Loads and validates a checkpoint file; throws kf::CheckpointError when
+/// the file is missing, oversized (64 MiB cap) or fails read_checkpoint's
+/// validation.
 HggaCheckpoint load_checkpoint(const std::string& path);
 
 }  // namespace kf

@@ -1,0 +1,47 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace kf {
+
+TokenBucket::TokenBucket(Config config) : config_(config) {
+  KF_REQUIRE(!(config_.rate_per_s > 0.0) || config_.burst >= 1.0,
+             "TokenBucket: burst must be >= 1 when rate limiting is on");
+  tokens_ = config_.burst;
+}
+
+double TokenBucket::refreshed(double now_s) const {
+  if (!started_) return tokens_;
+  const double dt = std::max(0.0, now_s - last_s_);
+  return std::min(config_.burst, tokens_ + dt * config_.rate_per_s);
+}
+
+double TokenBucket::level(double now_s) const {
+  if (config_.rate_per_s <= 0.0) return config_.burst;
+  return refreshed(now_s);
+}
+
+TokenBucket::Decision TokenBucket::admit(double now_s, int max_queue_depth) {
+  Decision d;
+  if (config_.rate_per_s <= 0.0) {
+    d.admitted = true;
+    return d;
+  }
+  const double level = refreshed(now_s);
+  d.queue_depth = std::max(0.0, -level);
+  // Taking a token would leave `level - 1`; debt beyond the queue bound is
+  // a full queue — reject without touching state.
+  if (level - 1.0 < -static_cast<double>(std::max(0, max_queue_depth))) {
+    return d;
+  }
+  started_ = true;
+  last_s_ = now_s;
+  tokens_ = level - 1.0;
+  d.admitted = true;
+  if (tokens_ < 0.0) d.wait_s = -tokens_ / config_.rate_per_s;
+  return d;
+}
+
+}  // namespace kf

@@ -1,0 +1,51 @@
+// Token-bucket admission control with a bounded virtual queue.
+//
+// The serving front door (serve/plan_server.hpp) must shed load instead of
+// queueing unboundedly: a request either takes a token now, reserves one of
+// the next few tokens (bounded queue — it waits for its reservation), or is
+// rejected outright. The bucket is the classic leaky counter: `burst`
+// capacity, refilled at `rate_per_s`, and allowed to go negative down to
+// the queue bound — a negative level *is* the queue, each whole token of
+// debt one queued request, so depth and wait time need no separate
+// bookkeeping and the whole decision is a pure function of (state, now).
+//
+// Time is supplied by the caller (monotone seconds), which keeps every
+// decision deterministic under test clocks.
+#pragma once
+
+namespace kf {
+
+class TokenBucket {
+ public:
+  struct Config {
+    double rate_per_s = 0.0;  ///< sustained admits per second; <= 0: unlimited
+    double burst = 1.0;       ///< bucket capacity (instantaneous admits)
+  };
+
+  explicit TokenBucket(Config config);
+
+  struct Decision {
+    bool admitted = false;
+    double wait_s = 0.0;      ///< time until the reserved token exists (0 = now)
+    double queue_depth = 0.0; ///< token debt ahead of this request at decision time
+  };
+
+  /// Decides one request at monotone time `now_s`. `max_queue_depth` bounds
+  /// the token debt: a request that would push the debt past it is rejected
+  /// (state unchanged). An admitted request with wait_s > 0 is queued — the
+  /// caller sleeps out the wait before proceeding.
+  Decision admit(double now_s, int max_queue_depth);
+
+  /// Current token level at `now_s` (negative = queued debt). Read-only.
+  double level(double now_s) const;
+
+ private:
+  Config config_;
+  double tokens_ = 0.0;
+  double last_s_ = 0.0;
+  bool started_ = false;
+
+  double refreshed(double now_s) const;
+};
+
+}  // namespace kf

@@ -1,0 +1,407 @@
+#include "serve/plan_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "graph/array_expansion.hpp"
+#include "model/proposed_model.hpp"
+#include "store/fingerprint.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace kf {
+
+const char* to_string(ServeRung rung) noexcept {
+  switch (rung) {
+    case ServeRung::StoreHit: return "store_hit";
+    case ServeRung::PolishedStored: return "polished_stored";
+    case ServeRung::FullSearch: return "full_search";
+    case ServeRung::TrivialFloor: return "trivial_floor";
+  }
+  return "?";
+}
+
+const char* to_string(AdmissionOutcome outcome) noexcept {
+  switch (outcome) {
+    case AdmissionOutcome::Admitted: return "admitted";
+    case AdmissionOutcome::Queued: return "queued";
+    case AdmissionOutcome::Rejected: return "rejected";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- ServeLog
+
+ServeLog::ServeLog(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void ServeLog::record(Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(entry);
+  } else {
+    ring_[static_cast<std::size_t>(recorded_) % capacity_] = entry;
+  }
+  ++recorded_;
+}
+
+long ServeLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::size_t ServeLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::vector<ServeLog::Entry> ServeLog::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    const std::size_t head = static_cast<std::size_t>(recorded_) % capacity_;
+    for (std::size_t i = 0; i < capacity_; ++i)
+      out.push_back(ring_[(head + i) % capacity_]);
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- PlanServer
+
+/// The per-(program, device) evaluation stack. Declaration order is
+/// construction order: the objective borrows everything above it.
+struct PlanServer::Context {
+  ExpansionResult expansion;
+  DeviceSpec device;
+  TimingSimulator simulator;
+  LegalityChecker checker;
+  ProposedModel model;
+  Objective objective;
+  PlanKey key;
+
+  Context(const Program& program, const DeviceSpec& dev,
+          const PlanServerConfig& config)
+      : expansion(config.expand
+                      ? expand_arrays(program, config.mem_budget)
+                      : ExpansionResult{.program = program,
+                                        .arrays_added = 0,
+                                        .extra_bytes = 0.0,
+                                        .versions = {}}),
+        device(dev),
+        simulator(device),
+        checker(expansion.program, device),
+        model(device),
+        objective(checker, model, simulator) {
+    key.program_fp = program_fingerprint(expansion.program);
+    key.device_fp = device_fingerprint(device);
+    objective.set_telemetry(config.telemetry);
+  }
+};
+
+PlanServer::PlanServer(PlanStore& store, PlanServerConfig config)
+    : store_(store), config_(std::move(config)), bucket_(config_.admission),
+      log_(config_.log_capacity) {
+  KF_REQUIRE(config_.default_deadline_s > 0.0,
+             "PlanServer: default_deadline_s must be > 0");
+  KF_REQUIRE(config_.search_budget_fraction > 0.0 &&
+                 config_.search_budget_fraction <= 1.0,
+             "PlanServer: search_budget_fraction must be in (0, 1]");
+  if (!config_.clock) {
+    auto watch = std::make_shared<Stopwatch>();
+    config_.clock = [watch] { return watch->elapsed_s(); };
+  }
+  if (!config_.sleep) {
+    config_.sleep = [](double s) {
+      if (s > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(s));
+    };
+  }
+}
+
+PlanServer::~PlanServer() = default;
+
+PlanServer::Context& PlanServer::context(const Program& program,
+                                         const DeviceSpec& device) {
+  // Keyed on the *raw* program so the lookup never re-runs expansion; the
+  // stored PlanKey inside uses the expanded fingerprint.
+  const auto cache_key = std::make_pair(program_fingerprint(program),
+                                        device_fingerprint(device));
+  auto it = contexts_.find(cache_key);
+  if (it == contexts_.end()) {
+    it = contexts_
+             .emplace(cache_key,
+                      std::make_unique<Context>(program, device, config_))
+             .first;
+  }
+  return *it->second;
+}
+
+bool PlanServer::plan_usable(const Context& ctx, const std::string& plan_text,
+                             FusionPlan* out) const {
+  const int n = ctx.expansion.program.num_kernels();
+  FusionPlan plan;
+  try {
+    plan = FusionPlan::parse(n, plan_text);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (!ctx.checker.plan_is_legal(plan)) return false;
+  *out = std::move(plan);
+  return true;
+}
+
+bool PlanServer::repair_plan(const Context& ctx, FusionPlan& plan) const {
+  // Split every illegal group into singletons (singletons are always
+  // legal), then demand schedulability — splitting only removes contracted
+  // precedence edges, so a repaired plan that still has a cycle is beyond
+  // this rung.
+  const int n = ctx.expansion.program.num_kernels();
+  FusionPlan repaired(n);
+  std::vector<KernelId> members;
+  for (int g = 0; g < plan.num_groups(); ++g) {
+    members.assign(plan.group(g).begin(), plan.group(g).end());
+    if (members.size() < 2 || !ctx.checker.group_is_legal(members)) continue;
+    for (std::size_t i = 1; i < members.size(); ++i)
+      repaired.merge_groups(repaired.group_of(members[0]),
+                            repaired.group_of(members[i]));
+  }
+  repaired.canonicalize();
+  if (!ctx.checker.plan_is_schedulable(repaired)) return false;
+  plan = std::move(repaired);
+  return true;
+}
+
+void PlanServer::write_back(Context& ctx, const ServeResult& result) {
+  if (!config_.write_back) return;
+  StoredPlan stored;
+  stored.key = ctx.key;
+  stored.num_kernels = ctx.expansion.program.num_kernels();
+  stored.plan_text = result.plan.to_string();
+  stored.best_cost_s = result.cost_s;
+  stored.baseline_cost_s = result.baseline_cost_s;
+  try {
+    store_.put(std::move(stored));
+    ++stats_.writebacks;
+  } catch (const StoreError&) {
+    // A torn/injected store write degrades durability, never the response.
+    ++stats_.writeback_failures;
+    const Telemetry* t = config_.telemetry;
+    if (t != nullptr && t->metrics != nullptr)
+      t->metrics->count("serve.store_writeback_failures");
+  }
+}
+
+void PlanServer::finish(ServeResult& result, const Context* ctx,
+                        double start_s) {
+  result.latency_s = std::max(0.0, config_.clock() - start_s);
+  result.deadline_met = result.latency_s <= result.deadline_s;
+  result.degraded = result.admission == AdmissionOutcome::Rejected ||
+                    result.rung == ServeRung::PolishedStored ||
+                    result.rung == ServeRung::TrivialFloor;
+  if (ctx != nullptr) result.key = ctx->key;
+
+  ++stats_.requests;
+  switch (result.rung) {
+    case ServeRung::StoreHit: ++stats_.store_hits; break;
+    case ServeRung::PolishedStored: ++stats_.polished; break;
+    case ServeRung::FullSearch: ++stats_.full_searches; break;
+    case ServeRung::TrivialFloor: ++stats_.trivial; break;
+  }
+  if (result.degraded) ++stats_.degraded;
+  if (result.admission == AdmissionOutcome::Queued) ++stats_.queued;
+  if (result.admission == AdmissionOutcome::Rejected) ++stats_.rejected;
+  stats_.retries += result.retries;
+  if (!result.deadline_met) ++stats_.deadline_missed;
+
+  ServeLog::Entry entry;
+  entry.seq = ++seq_;
+  entry.program_fp = result.key.program_fp;
+  entry.device_fp = result.key.device_fp;
+  entry.rung = result.rung;
+  entry.admission = result.admission;
+  entry.retries = result.retries;
+  entry.latency_s = result.latency_s;
+  entry.deadline_met = result.deadline_met;
+  entry.degraded = result.degraded;
+  log_.record(entry);
+
+  const Telemetry* t = config_.telemetry;
+  if (t != nullptr && t->metrics != nullptr) {
+    MetricsRegistry* m = t->metrics;
+    m->count("serve.requests_total");
+    m->count(std::string("serve.rung_total.") + to_string(result.rung));
+    if (result.degraded) m->count("serve.degraded_total");
+    if (result.admission == AdmissionOutcome::Queued)
+      m->count("serve.queued_total");
+    if (result.admission == AdmissionOutcome::Rejected)
+      m->count("serve.admission_rejected_total");
+    if (result.retries > 0) m->count("serve.retries_total", result.retries);
+    if (!result.deadline_met) m->count("serve.deadline_missed_total");
+    m->observe("serve.latency_seconds", result.latency_s);
+  }
+  if (t != nullptr && t->wants_trace()) {
+    t->trace->emit("serve_request", [&](TraceEvent& e) {
+      e.num("seq", entry.seq)
+          .str("rung", to_string(result.rung))
+          .str("admission", to_string(result.admission))
+          .boolean("degraded", result.degraded)
+          .num("retries", result.retries)
+          .num("latency_s", result.latency_s)
+          .num("deadline_s", result.deadline_s)
+          .boolean("deadline_met", result.deadline_met)
+          .num("cost_s", result.cost_s)
+          .num("baseline_cost_s", result.baseline_cost_s);
+    });
+  }
+}
+
+ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
+                              const ServeRequest& request) {
+  KF_REQUIRE(program.num_kernels() > 0, "PlanServer: empty program");
+  std::lock_guard<std::mutex> lock(mu_);
+
+  const double start = config_.clock();
+  ServeResult result;
+  result.deadline_s =
+      request.deadline_s > 0.0 ? request.deadline_s : config_.default_deadline_s;
+
+  // The context (and its baseline) is needed on every path — even a
+  // rejected request answers with a costed identity plan.
+  Context& ctx = context(program, device);
+  const int n = ctx.expansion.program.num_kernels();
+  result.num_kernels = n;
+  result.baseline_cost_s = ctx.objective.baseline_cost();
+
+  // ---- admission ----
+  TokenBucket::Decision decision =
+      bucket_.admit(start, config_.max_queue_depth);
+  // A queued request whose wait alone would blow the deadline is shed up
+  // front — honest rejection beats a guaranteed deadline miss.
+  if (decision.admitted && decision.wait_s >= result.deadline_s)
+    decision.admitted = false;
+  if (!decision.admitted) {
+    result.admission = AdmissionOutcome::Rejected;
+    result.rung = ServeRung::TrivialFloor;
+    result.plan = FusionPlan(n);
+    result.cost_s = result.baseline_cost_s;
+    finish(result, &ctx, start);
+    return result;
+  }
+  if (decision.wait_s > 0.0) {
+    result.admission = AdmissionOutcome::Queued;
+    result.queue_wait_s = decision.wait_s;
+    config_.sleep(decision.wait_s);
+  }
+
+  // ---- rung 1: exact store hit ----
+  if (std::optional<StoredPlan> stored = store_.get(ctx.key)) {
+    FusionPlan plan;
+    if (plan_usable(ctx, stored->plan_text, &plan)) {
+      result.rung = ServeRung::StoreHit;
+      result.plan = std::move(plan);
+      result.cost_s = ctx.objective.plan_cost(result.plan);
+      finish(result, &ctx, start);
+      return result;
+    }
+    // Stored but no longer legal under this process's checker: evict, and
+    // fall through the ladder as a miss.
+    ++stats_.invalid_stored;
+    try {
+      store_.erase(ctx.key);
+    } catch (const StoreError&) {
+      // eviction is advisory; a wedged store must not fail the request
+    }
+    const Telemetry* t = config_.telemetry;
+    if (t != nullptr && t->metrics != nullptr)
+      t->metrics->count("serve.invalid_stored_total");
+  }
+
+  // ---- rung 2: polish the nearest stored plan (same program, any device) ----
+  {
+    std::vector<StoredPlan> candidates =
+        store_.plans_for_program(ctx.key.program_fp);
+    // Newest revision first: the most recently found plan is the best guess.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const StoredPlan& a, const StoredPlan& b) {
+                return a.revision > b.revision;
+              });
+    for (const StoredPlan& candidate : candidates) {
+      if (candidate.key == ctx.key) continue;  // the evicted exact entry
+      if (candidate.num_kernels != n) continue;
+      FusionPlan plan;
+      try {
+        plan = FusionPlan::parse(n, candidate.plan_text);
+      } catch (const std::exception&) {
+        continue;
+      }
+      if (!ctx.checker.plan_is_legal(plan) && !repair_plan(ctx, plan))
+        continue;
+      double cost = 0.0;
+      local_polish(ctx.objective, plan, &cost, config_.telemetry);
+      result.rung = ServeRung::PolishedStored;
+      result.plan = std::move(plan);
+      result.cost_s = cost;
+      write_back(ctx, result);
+      finish(result, &ctx, start);
+      return result;
+    }
+  }
+
+  // ---- rung 3: full search under the remaining budget, with retries ----
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    const double remaining = result.deadline_s - (config_.clock() - start);
+    if (remaining < config_.min_search_budget_s) break;
+
+    DriverConfig driver;
+    driver.method = config_.method;
+    driver.hgga = config_.hgga;
+    driver.limits.deadline_s = remaining * config_.search_budget_fraction;
+    driver.limits.max_evaluations = request.max_evaluations > 0
+                                        ? request.max_evaluations
+                                        : config_.default_max_evaluations;
+    driver.limits.max_faults = config_.fault_storm_evals;
+    driver.telemetry = config_.telemetry;
+
+    SearchResult search = SearchDriver(ctx.objective, driver).run();
+    const bool stormed =
+        search.fault_report.stop_reason == StopReason::FaultStorm;
+    if (!stormed && ctx.checker.plan_is_legal(search.best)) {
+      result.rung = ServeRung::FullSearch;
+      result.plan = std::move(search.best);
+      result.cost_s = search.best_cost_s;
+      write_back(ctx, result);
+      finish(result, &ctx, start);
+      return result;
+    }
+    // Fault storm: back off exponentially and retry. The objective's
+    // quarantine survives the attempt, so the retry walks around the
+    // faulting groups instead of re-triggering them.
+    if (attempt < config_.max_retries) {
+      ++result.retries;
+      const double backoff = std::min(
+          config_.backoff_base_s * static_cast<double>(1 << attempt),
+          std::max(0.0, result.deadline_s - (config_.clock() - start)));
+      config_.sleep(backoff);
+    }
+  }
+
+  // ---- rung 4: the always-legal floor ----
+  result.rung = ServeRung::TrivialFloor;
+  result.plan = FusionPlan(n);
+  result.cost_s = result.baseline_cost_s;
+  finish(result, &ctx, start);
+  return result;
+}
+
+PlanServer::Stats PlanServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace kf

@@ -1,0 +1,221 @@
+// PlanServer — serving-grade request lifecycle in front of the search.
+//
+// The ROADMAP's plan-service direction turns fusion search into a request/
+// response system: callers ask "plan for (program, device), within this
+// deadline" and must ALWAYS get a legal plan back, on time, no matter what
+// the store, the injected faults, or the load are doing. The lifecycle:
+//
+//   1. Admission. A token bucket with a bounded virtual queue
+//      (serve/admission.hpp) decides admit / queue / reject before any work
+//      happens. A rejected request is still answered — with the always-legal
+//      identity plan — so overload sheds work, not correctness.
+//   2. Degradation ladder. An admitted request walks down until a rung
+//      succeeds:
+//        StoreHit        exact (program, device) fingerprint hit, re-validated
+//                        against this process's legality checker — a stored
+//                        plan that no longer checks out is evicted, never
+//                        served;
+//        PolishedStored  nearest stored plan for the same program (any
+//                        device), repaired to legality and improved by the
+//                        HGGA's steepest-descent local polish — the
+//                        cross-device warm start;
+//        FullSearch      SearchDriver under the request's remaining
+//                        deadline/eval budget, retried with exponential
+//                        backoff when a fault storm aborts an attempt
+//                        (quarantined groups persist across attempts, so a
+//                        retry converges instead of re-faulting);
+//        TrivialFloor    the identity (no-fusion) plan — always legal, always
+//                        available, the floor the ladder cannot fall past.
+//      A request is *degraded* when it was rejected or served below its
+//      natural rung (PolishedStored / TrivialFloor); FullSearch is the
+//      normal cache-miss path, not a degradation.
+//   3. Write-back. FullSearch / PolishedStored results are committed to the
+//      store so the next request for the pair is a StoreHit. A store write
+//      failure (torn/injected) degrades durability, never the response.
+//
+// Every request lands in a bounded provenance ring (ServeLog, the
+// DecisionLog idiom) and in kfc-metrics (serve.requests_total,
+// serve.rung_total.*, serve.degraded_total, ...); `kfc serve-batch` replays
+// a JSONL request stream through this class and reports the distribution.
+//
+// Time and sleep are injectable (monotone seconds), so tests drive the
+// bucket, deadlines and backoff with a fake clock. Thread-safe via one
+// mutex per serve() call — the store, not the server, is the shared state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "search/driver.hpp"
+#include "serve/admission.hpp"
+#include "store/plan_store.hpp"
+
+namespace kf {
+
+/// Which rung of the degradation ladder answered a request.
+enum class ServeRung { StoreHit, PolishedStored, FullSearch, TrivialFloor };
+const char* to_string(ServeRung rung) noexcept;
+
+enum class AdmissionOutcome { Admitted, Queued, Rejected };
+const char* to_string(AdmissionOutcome outcome) noexcept;
+
+struct ServeRequest {
+  double deadline_s = 0.0;   ///< wall budget; <= 0: server default
+  long max_evaluations = 0;  ///< eval budget for FullSearch; <= 0: server default
+};
+
+struct ServeResult {
+  FusionPlan plan;
+  double cost_s = 0.0;           ///< plan cost under this process's objective
+  double baseline_cost_s = 0.0;  ///< identity-plan cost (the floor's cost)
+  int num_kernels = 0;
+  PlanKey key;
+  ServeRung rung = ServeRung::TrivialFloor;
+  AdmissionOutcome admission = AdmissionOutcome::Admitted;
+  bool degraded = false;   ///< rejected, or served below the natural rung
+  int retries = 0;         ///< FullSearch attempts beyond the first
+  double queue_wait_s = 0.0;
+  double latency_s = 0.0;  ///< admission decision through response, waits included
+  double deadline_s = 0.0; ///< effective deadline this request ran under
+  bool deadline_met = true;
+
+  double speedup() const noexcept {
+    return cost_s > 0.0 ? baseline_cost_s / cost_s : 0.0;
+  }
+};
+
+/// Bounded ring of per-request provenance (the DecisionLog idiom): the last
+/// `capacity` requests with rung, admission, retries and latency, so an
+/// operator can ask "what has the server been doing" without a trace file.
+class ServeLog {
+ public:
+  struct Entry {
+    long seq = 0;  ///< 1-based request ordinal
+    std::uint64_t program_fp = 0;
+    std::uint64_t device_fp = 0;
+    ServeRung rung = ServeRung::TrivialFloor;
+    AdmissionOutcome admission = AdmissionOutcome::Admitted;
+    int retries = 0;
+    double latency_s = 0.0;
+    bool deadline_met = true;
+    bool degraded = false;
+  };
+
+  explicit ServeLog(std::size_t capacity = 256);
+
+  void record(Entry entry);
+  long recorded() const;             ///< total ever recorded (>= size())
+  std::size_t size() const;          ///< entries currently held
+  std::vector<Entry> entries() const;  ///< oldest-first snapshot
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Entry> ring_;
+  std::size_t capacity_;
+  long recorded_ = 0;
+};
+
+struct PlanServerConfig {
+  TokenBucket::Config admission;  ///< rate_per_s <= 0: admission off
+  int max_queue_depth = 8;
+
+  double default_deadline_s = 2.0;
+  long default_max_evaluations = 200000;
+
+  /// FullSearch retry policy: a fault-storm-aborted attempt is retried after
+  /// backoff_base_s * 2^attempt (quarantine persists, so retries converge).
+  int max_retries = 2;
+  double backoff_base_s = 0.005;
+  /// Faults per attempt before the driver declares a storm and the server
+  /// backs off.
+  long fault_storm_evals = 64;
+  /// Below this remaining budget the FullSearch rung is skipped entirely —
+  /// a search that cannot finish is worse than an honest degradation.
+  double min_search_budget_s = 0.010;
+  /// Fraction of the remaining deadline handed to each search attempt (the
+  /// rest is headroom for costing, write-back and the response path).
+  double search_budget_fraction = 0.8;
+
+  SearchMethod method = SearchMethod::Greedy;
+  HggaConfig hgga;          ///< used when method == Hgga
+  bool write_back = true;
+
+  /// Expandable-array relaxation applied to incoming programs (matches
+  /// `kfc search` defaults so served plans and offline plans share keys).
+  bool expand = true;
+  double mem_budget = -1.0;
+
+  std::size_t log_capacity = 256;
+
+  /// Observability (nullable, must outlive the server).
+  const Telemetry* telemetry = nullptr;
+
+  /// Monotone clock / sleep in seconds; defaults are real time. Tests
+  /// inject fakes to drive admission, deadlines and backoff deterministically.
+  std::function<double()> clock;
+  std::function<void(double)> sleep;
+};
+
+class PlanServer {
+ public:
+  /// `store` must outlive the server.
+  PlanServer(PlanStore& store, PlanServerConfig config);
+  ~PlanServer();
+
+  /// Serves one request: admission, then the degradation ladder. Never
+  /// throws on faults, storms, store corruption or overload — the result's
+  /// plan is always legal for the (expanded) program. Throws only on
+  /// precondition violations (e.g. an empty program).
+  ServeResult serve(const Program& program, const DeviceSpec& device,
+                    const ServeRequest& request = ServeRequest());
+
+  struct Stats {
+    long requests = 0;
+    long store_hits = 0;
+    long polished = 0;
+    long full_searches = 0;
+    long trivial = 0;
+    long degraded = 0;
+    long queued = 0;
+    long rejected = 0;
+    long retries = 0;
+    long deadline_missed = 0;
+    long writebacks = 0;
+    long writeback_failures = 0;  ///< store put faults survived
+    long invalid_stored = 0;      ///< stored plans evicted as no-longer-legal
+  };
+  Stats stats() const;
+
+  const ServeLog& log() const noexcept { return log_; }
+  PlanStore& store() noexcept { return store_; }
+
+ private:
+  /// Per-(program, device) evaluation stack, built once and reused across
+  /// requests: expansion, simulator, legality checker, projection model and
+  /// the Objective whose group-cost cache makes repeat requests cheap.
+  struct Context;
+
+  PlanStore& store_;
+  PlanServerConfig config_;
+  TokenBucket bucket_;
+  ServeLog log_;
+  mutable std::mutex mu_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::unique_ptr<Context>>
+      contexts_;
+  Stats stats_;
+  long seq_ = 0;
+
+  Context& context(const Program& program, const DeviceSpec& device);
+  bool plan_usable(const Context& ctx, const std::string& plan_text,
+                   FusionPlan* out) const;
+  bool repair_plan(const Context& ctx, FusionPlan& plan) const;
+  void write_back(Context& ctx, const ServeResult& result);
+  void finish(ServeResult& result, const Context* ctx, double start_s);
+};
+
+}  // namespace kf

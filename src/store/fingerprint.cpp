@@ -1,0 +1,100 @@
+#include "store/fingerprint.hpp"
+
+#include <bit>
+
+#include "util/rng.hpp"
+
+namespace kf {
+namespace {
+
+/// Order-sensitive running mix: every field contributes 64 fully-mixed bits.
+class Mixer {
+ public:
+  explicit Mixer(std::uint64_t salt) noexcept : state_(mix64(salt)) {}
+
+  void add(std::uint64_t v) noexcept { state_ = mix64(state_ ^ mix64(v + 0x9e3779b97f4a7c15ULL)); }
+  void add(long v) noexcept { add(static_cast<std::uint64_t>(v)); }
+  void add(int v) noexcept { add(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v))); }
+  void add(bool v) noexcept { add(static_cast<std::uint64_t>(v ? 1 : 2)); }
+  void add(double v) noexcept {
+    // +0.0 and -0.0 compare equal but differ bitwise; normalize so
+    // structurally equal specs fingerprint identically.
+    if (v == 0.0) v = 0.0;
+    add(std::bit_cast<std::uint64_t>(v));
+  }
+
+  std::uint64_t finish() const noexcept { return mix64(state_); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace
+
+std::uint64_t program_fingerprint(const Program& program) noexcept {
+  Mixer m(0x706c616e2d6b6579ULL);  // "plan-key"
+  m.add(program.grid().nx);
+  m.add(program.grid().ny);
+  m.add(program.grid().nz);
+  m.add(program.launch().block_x);
+  m.add(program.launch().block_y);
+  m.add(program.num_arrays());
+  for (const ArrayInfo& a : program.arrays()) {
+    m.add(a.elem_bytes);
+    m.add(a.readonly_cache_eligible);
+  }
+  m.add(program.num_kernels());
+  for (const KernelInfo& k : program.kernels()) {
+    m.add(k.regs_per_thread);
+    m.add(k.addr_regs);
+    m.add(k.active_threads);
+    m.add(k.phase);
+    m.add(k.flops_per_site);
+    m.add(k.smem_in_original);
+    m.add(static_cast<std::uint64_t>(k.accesses.size()));
+    for (const ArrayAccess& acc : k.accesses) {
+      m.add(static_cast<std::uint64_t>(static_cast<std::uint32_t>(acc.array)));
+      m.add(static_cast<int>(acc.mode));
+      m.add(acc.flops);
+      m.add(acc.reads_own_product);
+      m.add(static_cast<std::uint64_t>(acc.pattern.offsets().size()));
+      for (const Offset& o : acc.pattern.offsets()) {
+        m.add(o.dx);
+        m.add(o.dy);
+        m.add(o.dz);
+      }
+    }
+  }
+  return m.finish();
+}
+
+std::uint64_t device_fingerprint(const DeviceSpec& d) noexcept {
+  Mixer m(0x6465762d6b657931ULL);  // "dev-key1"
+  m.add(d.num_smx);
+  m.add(d.regs_per_smx);
+  m.add(d.smem_per_smx);
+  m.add(d.max_regs_per_thread);
+  m.add(d.peak_gflops);
+  m.add(d.gmem_bw_gbs);
+  m.add(d.max_blocks_per_smx);
+  m.add(d.readonly_cache_per_smx);
+  m.add(d.max_threads_per_smx);
+  m.add(d.max_threads_per_block);
+  m.add(d.warp_size);
+  m.add(d.smem_banks);
+  m.add(d.bank_width_bytes);
+  m.add(d.reg_alloc_granularity);
+  m.add(d.clock_ghz);
+  m.add(d.gmem_latency_cycles);
+  m.add(d.mlp_per_warp);
+  m.add(d.l2_hit_fraction);
+  m.add(d.barrier_cycles);
+  m.add(d.launch_overhead_s);
+  m.add(d.reg_reuse_factor);
+  m.add(d.smem_overlap_penalty);
+  m.add(d.regs_spill_to_l2);
+  m.add(d.spill_penalty);
+  return m.finish();
+}
+
+}  // namespace kf

@@ -1,0 +1,35 @@
+// Structural fingerprints for plan-store keys.
+//
+// A stored plan is only replayable against a (program, device) pair whose
+// search-relevant structure matches the one it was found for, so the store
+// keys on two 64-bit fingerprints:
+//
+//   * program_fingerprint — a walk over everything the legality checker and
+//     the cost models read: grid and launch configuration, per-array element
+//     width / read-only-cache eligibility, and per-kernel Table III metadata
+//     plus the full access list (array, mode, flops, every stencil offset,
+//     phases). Program and array *names* are deliberately excluded:
+//     structurally identical programs share plans.
+//   * device_fingerprint — every numeric field of DeviceSpec (name again
+//     excluded): any constant that changes the simulator or the projection
+//     model changes the fingerprint, so a plan tuned for one device variant
+//     is never silently replayed on another.
+//
+// Both reuse the allocation-free avalanche mix (util/rng.hpp mix64) the
+// evaluation engine's group fingerprints are built from: each field is
+// mixed into a running 64-bit state in a fixed order, giving the same
+// 2^-64 birthday-bound collision behaviour without hashing a serialized
+// text form.
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/device_spec.hpp"
+#include "ir/program.hpp"
+
+namespace kf {
+
+std::uint64_t program_fingerprint(const Program& program) noexcept;
+std::uint64_t device_fingerprint(const DeviceSpec& device) noexcept;
+
+}  // namespace kf

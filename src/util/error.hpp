@@ -24,6 +24,22 @@ class RuntimeError : public std::runtime_error {
   explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown by the checkpoint reader on truncated, oversized or corrupt
+/// checkpoint files (search/checkpoint.hpp). A distinct type so callers can
+/// tell "this checkpoint is bad input" from an internal invariant failure
+/// and react (refuse the resume, keep the old file) without string-matching.
+class CheckpointError : public RuntimeError {
+ public:
+  explicit CheckpointError(const std::string& what) : RuntimeError(what) {}
+};
+
+/// Thrown by the plan store and its durable-I/O helpers (store/plan_store.hpp,
+/// util/fs_io.hpp) on I/O failures, torn writes and corrupt store files.
+class StoreError : public RuntimeError {
+ public:
+  explicit StoreError(const std::string& what) : RuntimeError(what) {}
+};
+
 namespace detail {
 
 inline std::string format_check_message(const char* kind, const char* expr,

@@ -23,6 +23,7 @@ const char* to_string(FaultSite site) noexcept {
     case FaultSite::Projection: return "projection";
     case FaultSite::Simulator: return "simulator";
     case FaultSite::Parser: return "parser";
+    case FaultSite::Store: return "store";
   }
   return "?";
 }
@@ -32,8 +33,10 @@ FaultSite fault_site_from_string(const std::string& text) {
   if (text == "projection") return FaultSite::Projection;
   if (text == "simulator") return FaultSite::Simulator;
   if (text == "parser") return FaultSite::Parser;
-  throw PreconditionError("unknown fault site '" + text +
-                          "' (expected objective|projection|simulator|parser)");
+  if (text == "store") return FaultSite::Store;
+  throw PreconditionError(
+      "unknown fault site '" + text +
+      "' (expected objective|projection|simulator|parser|store)");
 }
 
 FaultPlan parse_fault_plan(const std::string& text) {

@@ -28,8 +28,9 @@ enum class FaultSite : int {
   Projection,     ///< ProjectionModel::project
   Simulator,      ///< TimingSimulator::run
   Parser,         ///< read_program, per input line
+  Store,          ///< PlanStore journal appends (torn mid-record writes)
 };
-inline constexpr int kNumFaultSites = 4;
+inline constexpr int kNumFaultSites = 5;
 
 const char* to_string(FaultSite site) noexcept;
 

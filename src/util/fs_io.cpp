@@ -1,0 +1,190 @@
+#include "util/fs_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace kf {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string errno_text() { return std::strerror(errno); }
+
+void fsync_fileno(std::FILE* file, const std::string& path) {
+  if (::fsync(fileno(file)) != 0) {
+    throw StoreError(strprintf("fsync '%s' failed: %s", path.c_str(),
+                               errno_text().c_str()));
+  }
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) noexcept {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+bool file_exists(const std::string& path) noexcept {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+long file_size(const std::string& path) noexcept {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return static_cast<long>(st.st_size);
+}
+
+std::string read_file(const std::string& path, std::size_t max_bytes) {
+  const long size = file_size(path);
+  if (size < 0) {
+    throw StoreError(strprintf("cannot stat '%s': %s", path.c_str(),
+                               errno_text().c_str()));
+  }
+  if (static_cast<std::size_t>(size) > max_bytes) {
+    throw StoreError(strprintf("'%s' is %ld bytes, over the %zu-byte limit",
+                               path.c_str(), size, max_bytes));
+  }
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw StoreError(strprintf("cannot open '%s': %s", path.c_str(),
+                               errno_text().c_str()));
+  }
+  std::string out(static_cast<std::size_t>(size), '\0');
+  const std::size_t got = std::fread(out.data(), 1, out.size(), file);
+  const bool error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (error) {
+    throw StoreError(strprintf("read '%s' failed", path.c_str()));
+  }
+  out.resize(got);  // file shrank between stat and read: keep what we got
+  return out;
+}
+
+void make_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
+  throw StoreError(strprintf("cannot create directory '%s': %s", path.c_str(),
+                             errno_text().c_str()));
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // e.g. filesystems without directory opens
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  // EINVAL: the filesystem does not support fsync on directories.
+  if (rc != 0 && saved != EINVAL) {
+    throw StoreError(strprintf("fsync directory '%s' failed: %s", dir.c_str(),
+                               std::strerror(saved)));
+  }
+}
+
+void write_file_atomic(const std::string& path, std::string_view data,
+                       bool durable) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    throw StoreError(strprintf("cannot open '%s': %s", tmp.c_str(),
+                               errno_text().c_str()));
+  }
+  const std::size_t wrote = std::fwrite(data.data(), 1, data.size(), file);
+  if (wrote != data.size() || std::fflush(file) != 0) {
+    std::fclose(file);
+    remove_file(tmp);
+    throw StoreError(strprintf("write '%s' failed", tmp.c_str()));
+  }
+  if (durable) {
+    try {
+      fsync_fileno(file, tmp);
+    } catch (...) {
+      std::fclose(file);
+      remove_file(tmp);
+      throw;
+    }
+  }
+  std::fclose(file);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string what = errno_text();
+    remove_file(tmp);
+    throw StoreError(strprintf("cannot rename '%s' to '%s': %s", tmp.c_str(),
+                               path.c_str(), what.c_str()));
+  }
+  if (durable) fsync_dir(parent_dir(path));
+}
+
+void remove_file(const std::string& path) noexcept { ::unlink(path.c_str()); }
+
+AppendFile::~AppendFile() { close(); }
+
+void AppendFile::open(const std::string& path) {
+  close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw StoreError(strprintf("cannot open '%s' for append: %s", path.c_str(),
+                               errno_text().c_str()));
+  }
+  path_ = path;
+}
+
+void AppendFile::append(std::string_view data, long tear_at) {
+  if (file_ == nullptr) throw StoreError("append on a closed file");
+  const bool torn = tear_at >= 0 && static_cast<std::size_t>(tear_at) < data.size();
+  const std::string_view effective =
+      torn ? data.substr(0, static_cast<std::size_t>(tear_at)) : data;
+  const std::size_t wrote = std::fwrite(effective.data(), 1, effective.size(), file_);
+  const bool flushed = std::fflush(file_) == 0;
+  if (wrote != effective.size() || !flushed) {
+    throw StoreError(strprintf("append to '%s' failed", path_.c_str()));
+  }
+  if (torn) {
+    throw StoreError(strprintf(
+        "torn write: crashed after %ld of %zu bytes appended to '%s'", tear_at,
+        data.size(), path_.c_str()));
+  }
+}
+
+void AppendFile::sync() {
+  if (file_ == nullptr) throw StoreError("sync on a closed file");
+  if (std::fflush(file_) != 0) {
+    throw StoreError(strprintf("flush '%s' failed", path_.c_str()));
+  }
+  fsync_fileno(file_, path_);
+}
+
+void AppendFile::close() noexcept {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace kf

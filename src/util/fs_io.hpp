@@ -1,0 +1,91 @@
+// Durable file I/O primitives for the crash-safe plan store.
+//
+// The store's correctness argument (see store/plan_store.hpp) rests on two
+// commit disciplines this header centralizes so they are testable on their
+// own:
+//
+//   * append-then-sync: journal records are appended to an open file and
+//     made durable with fflush + fsync. AppendFile exposes a torn-write
+//     hook — write only the first N bytes of a record, then fail — so
+//     crash-torture tests can materialize the exact file image a SIGKILL
+//     at any byte offset of a commit would leave behind.
+//   * write → fsync → atomic-rename: snapshots are written to "<path>.tmp",
+//     fsynced, renamed over the destination, and the parent directory is
+//     fsynced so the rename itself is durable. A crash at any point leaves
+//     either the old file or the new file, never a mix.
+//
+// Plus a table-driven CRC-32 (IEEE 802.3, the zlib polynomial) used to
+// frame journal records so truncation and bit-rot are detectable.
+//
+// All failures throw kf::StoreError (util/error.hpp).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace kf {
+
+/// CRC-32 (IEEE, reflected 0xEDB88320) of `data`, chainable via `seed`
+/// (pass a previous crc32 result to continue a running checksum).
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0) noexcept;
+
+bool file_exists(const std::string& path) noexcept;
+
+/// Size in bytes, or -1 when the file does not exist / cannot be stat'ed.
+long file_size(const std::string& path) noexcept;
+
+/// Reads a whole file; throws StoreError when it cannot be opened or read,
+/// or when it is larger than `max_bytes`.
+std::string read_file(const std::string& path, std::size_t max_bytes = 1u << 30);
+
+/// Creates one directory level (parents must exist); ok if already present.
+void make_dir(const std::string& path);
+
+/// fsyncs a directory so a rename/create inside it is durable. Best-effort
+/// on filesystems that reject O_DIRECTORY opens; throws only on real I/O
+/// errors reported by fsync.
+void fsync_dir(const std::string& dir);
+
+/// Write → fsync → atomic-rename commit: writes `data` to "<path>.tmp",
+/// fsyncs it (when `durable`), renames it over `path`, and fsyncs the
+/// parent directory. After it returns, readers see either the previous
+/// file or the complete new one — never a torn intermediate.
+void write_file_atomic(const std::string& path, std::string_view data,
+                       bool durable = true);
+
+void remove_file(const std::string& path) noexcept;
+
+/// Append-only file handle with explicit durability and a torn-write test
+/// hook. Not thread-safe; the owner serializes.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Opens (creating if absent) for appending. Throws StoreError.
+  void open(const std::string& path);
+  bool is_open() const noexcept { return file_ != nullptr; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Appends `data` fully and flushes to the OS. With `tear_at` in
+  /// [0, data.size()), writes only the first `tear_at` bytes, flushes, and
+  /// throws StoreError — the on-disk image is exactly what a crash after
+  /// `tear_at` durable bytes of this record would leave.
+  void append(std::string_view data, long tear_at = -1);
+
+  /// fsync: makes every appended byte durable. Throws StoreError.
+  void sync();
+
+  void close() noexcept;
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace kf

@@ -552,6 +552,64 @@ TEST(Checkpoint, RejectsTruncatedAndCorruptInput) {
   }
 }
 
+/// Every checked-in bad checkpoint must fail with the typed CheckpointError
+/// — one specimen per load-path failure mode (bad magic, truncation,
+/// non-finite costs, oversized counts, non-partition plans, ...), so a
+/// refactor of the parser cannot silently downgrade an error to a crash or
+/// an accept.
+class BadCheckpoint : public testing::TestWithParam<const char*> {};
+
+TEST_P(BadCheckpoint, LoadFailsWithTheTypedError) {
+  const std::string path =
+      std::string(KF_FIXTURE_DIR) + "/bad/checkpoint/" + GetParam();
+  EXPECT_THROW(load_checkpoint(path), CheckpointError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, BadCheckpoint,
+    testing::Values("empty.ckpt", "bad_magic.ckpt", "truncated.ckpt",
+                    "bad_rng.ckpt", "bad_cost.ckpt", "nonfinite_cost.ckpt",
+                    "oversized_count.ckpt", "oversized_kernels.ckpt",
+                    "no_population.ckpt", "bad_plan.ckpt"),
+    [](const auto& info) {
+      std::string name = info.param;
+      return name.substr(0, name.find('.'));
+    });
+
+TEST(Checkpoint, CheckpointErrorIsARuntimeError) {
+  // Callers that catch the repo-wide RuntimeError keep working; callers that
+  // want the load path specifically can catch the derived type.
+  EXPECT_THROW(load_checkpoint("/nonexistent-dir/x.ckpt"), CheckpointError);
+  EXPECT_THROW(load_checkpoint("/nonexistent-dir/x.ckpt"), RuntimeError);
+}
+
+TEST(Checkpoint, OversizedFileIsRefusedBeforeParsing) {
+  const std::string path = testing::TempDir() + "kf_ckpt_oversized.ckpt";
+  {
+    std::ofstream os(path, std::ios::trunc);
+    os << "hgga-checkpoint v1\n";
+    const std::string filler(1 << 20, '#');  // comment lines, never parsed
+    for (int i = 0; i < 65; ++i) os << filler << '\n';
+  }
+  try {
+    load_checkpoint(path);
+    FAIL() << "a >64 MiB checkpoint must be refused";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("refusing to parse"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeWithACorruptCheckpointAbortsBeforeSearching) {
+  Rig rig(scale_les_rk18());
+  DriverConfig cfg;
+  cfg.method = SearchMethod::Hgga;
+  cfg.checkpointing.file =
+      std::string(KF_FIXTURE_DIR) + "/bad/checkpoint/bad_plan.ckpt";
+  cfg.checkpointing.resume = true;
+  EXPECT_THROW(SearchDriver(rig.objective, cfg).run(), CheckpointError);
+}
+
 TEST(Checkpoint, SaveIsAtomicAndLoadable) {
   const std::string path = testing::TempDir() + "kf_ckpt_atomic.ckpt";
   HggaCheckpoint ck;

@@ -1,0 +1,435 @@
+// Serving-lifecycle tests: token-bucket admission, the degradation ladder
+// (store hit → polished stored plan → full search → trivial floor), fault-
+// storm retries with exponential backoff, store write-fault survival, and
+// the invariant the whole layer exists for — every request, under any mix
+// of faults and overload, gets a legal plan within its deadline. Time and
+// sleep are injected, so every admission/deadline/backoff decision here is
+// driven by a fake clock.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/motivating_example.hpp"
+#include "apps/scale_les.hpp"
+#include "fusion/legality.hpp"
+#include "gpu/device_spec.hpp"
+#include "graph/array_expansion.hpp"
+#include "serve/admission.hpp"
+#include "serve/plan_server.hpp"
+#include "store/fingerprint.hpp"
+#include "store/plan_store.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+#include "util/fault_injection.hpp"
+
+namespace kf {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------- TokenBucket
+
+TEST(TokenBucket, RateZeroMeansUnlimited) {
+  TokenBucket bucket({.rate_per_s = 0.0, .burst = 1.0});
+  for (int i = 0; i < 100; ++i) {
+    const auto d = bucket.admit(0.0, 0);
+    EXPECT_TRUE(d.admitted);
+    EXPECT_EQ(d.wait_s, 0.0);
+  }
+}
+
+TEST(TokenBucket, BurstThenQueueThenReject) {
+  TokenBucket bucket({.rate_per_s = 1.0, .burst = 2.0});
+  // Two instant admits out of the burst.
+  EXPECT_TRUE(bucket.admit(0.0, 2).admitted);
+  auto d = bucket.admit(0.0, 2);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.wait_s, 0.0);
+  // Third and fourth go into token debt — the virtual queue.
+  d = bucket.admit(0.0, 2);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_DOUBLE_EQ(d.wait_s, 1.0);
+  EXPECT_EQ(d.queue_depth, 0.0);
+  d = bucket.admit(0.0, 2);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_DOUBLE_EQ(d.wait_s, 2.0);
+  EXPECT_DOUBLE_EQ(d.queue_depth, 1.0);
+  // Fifth would push the debt past the bound: rejected, state untouched.
+  d = bucket.admit(0.0, 2);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_DOUBLE_EQ(d.queue_depth, 2.0);
+  EXPECT_DOUBLE_EQ(bucket.level(0.0), -2.0);
+  // Time refills the bucket; the same request admits later with less wait.
+  d = bucket.admit(2.5, 2);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_DOUBLE_EQ(d.wait_s, 0.5);
+}
+
+TEST(TokenBucket, RejectsBurstBelowOneWhenRateLimiting) {
+  EXPECT_THROW(TokenBucket({.rate_per_s = 1.0, .burst = 0.5}), PreconditionError);
+}
+
+// ------------------------------------------------------------ PlanServer
+
+/// Injectable monotone time shared between the server's clock and sleep.
+struct FakeTime {
+  double now = 0.0;
+  std::vector<double> sleeps;
+};
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "kf_serve_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+PlanStore::Config store_config(const std::string& dir) {
+  PlanStore::Config c;
+  c.dir = dir;
+  c.durable = false;
+  return c;
+}
+
+PlanServerConfig server_config(FakeTime& time) {
+  PlanServerConfig cfg;
+  cfg.clock = [&time] { return time.now; };
+  cfg.sleep = [&time](double s) {
+    time.sleeps.push_back(s);
+    time.now += s;
+  };
+  return cfg;
+}
+
+/// Independent legality stack (mirrors `kfc serve-batch`): the served plan
+/// is checked by an expansion + checker the server did not build.
+struct Validator {
+  ExpansionResult expansion;
+  LegalityChecker checker;
+
+  Validator(const Program& program, const DeviceSpec& device)
+      : expansion(expand_arrays(program, -1.0)),
+        checker(expansion.program, device) {}
+
+  bool legal(const FusionPlan& plan) const { return checker.plan_is_legal(plan); }
+};
+
+TEST(PlanServer, MissSearchesThenHitsTheStore) {
+  const std::string dir = fresh_dir("miss_hit");
+  PlanStore store(store_config(dir));
+  FakeTime time;
+  PlanServer server(store, server_config(time));
+  const Program program = motivating_example();
+  const DeviceSpec device = DeviceSpec::k20x();
+  Validator validator(program, device);
+
+  const ServeResult miss = server.serve(program, device);
+  EXPECT_EQ(miss.rung, ServeRung::FullSearch);
+  EXPECT_FALSE(miss.degraded);
+  EXPECT_TRUE(miss.deadline_met);
+  EXPECT_TRUE(validator.legal(miss.plan));
+  EXPECT_GT(miss.baseline_cost_s, 0.0);
+  EXPECT_LE(miss.cost_s, miss.baseline_cost_s) << "search must not lose to identity";
+
+  const ServeResult hit = server.serve(program, device);
+  EXPECT_EQ(hit.rung, ServeRung::StoreHit);
+  EXPECT_FALSE(hit.degraded);
+  EXPECT_TRUE(validator.legal(hit.plan));
+  EXPECT_EQ(hit.plan.to_string(), miss.plan.to_string());
+  EXPECT_EQ(hit.key.program_fp, miss.key.program_fp);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.full_searches, 1);
+  EXPECT_EQ(stats.store_hits, 1);
+  EXPECT_EQ(stats.writebacks, 1);
+  EXPECT_EQ(stats.degraded, 0);
+}
+
+TEST(PlanServer, CrossDeviceRequestPolishesTheStoredPlan) {
+  const std::string dir = fresh_dir("polish");
+  PlanStore store(store_config(dir));
+  FakeTime time;
+  PlanServer server(store, server_config(time));
+  const Program program = scale_les_rk18();
+
+  ASSERT_EQ(server.serve(program, DeviceSpec::k20x()).rung, ServeRung::FullSearch);
+
+  // Same program, different device: the k20x plan is the warm start.
+  const ServeResult polished = server.serve(program, DeviceSpec::k40());
+  EXPECT_EQ(polished.rung, ServeRung::PolishedStored);
+  EXPECT_TRUE(polished.degraded) << "served below the natural rung";
+  Validator validator(program, DeviceSpec::k40());
+  EXPECT_TRUE(validator.legal(polished.plan));
+  EXPECT_LE(polished.cost_s, polished.baseline_cost_s);
+
+  // The polished result was written back: the pair now hits exactly.
+  EXPECT_EQ(server.serve(program, DeviceSpec::k40()).rung, ServeRung::StoreHit);
+  EXPECT_EQ(server.stats().polished, 1);
+  EXPECT_EQ(server.stats().writebacks, 2);
+}
+
+TEST(PlanServer, TinyDeadlineOnAnEmptyStoreFallsToTheFloor) {
+  const std::string dir = fresh_dir("floor");
+  PlanStore store(store_config(dir));
+  FakeTime time;
+  PlanServer server(store, server_config(time));
+  const Program program = motivating_example();
+
+  ServeRequest request;
+  request.deadline_s = 0.001;  // below min_search_budget_s: search is skipped
+  const ServeResult r = server.serve(program, DeviceSpec::k20x(), request);
+  EXPECT_EQ(r.rung, ServeRung::TrivialFloor);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_TRUE(r.deadline_met) << "the floor answers instantly";
+  EXPECT_EQ(static_cast<int>(r.plan.groups().size()), r.num_kernels)
+      << "the floor is the identity plan";
+  EXPECT_DOUBLE_EQ(r.cost_s, r.baseline_cost_s);
+  EXPECT_EQ(server.stats().trivial, 1);
+}
+
+TEST(PlanServer, RejectedRequestStillGetsALegalPlan) {
+  const std::string dir = fresh_dir("reject");
+  PlanStore store(store_config(dir));
+  FakeTime time;
+  PlanServerConfig cfg = server_config(time);
+  cfg.admission = {.rate_per_s = 1.0, .burst = 1.0};
+  cfg.max_queue_depth = 0;  // no queue: second request at t=0 must shed
+  PlanServer server(store, cfg);
+  const Program program = motivating_example();
+  Validator validator(program, DeviceSpec::k20x());
+
+  EXPECT_TRUE(server.serve(program, DeviceSpec::k20x()).admission ==
+              AdmissionOutcome::Admitted);
+  const ServeResult shed = server.serve(program, DeviceSpec::k20x());
+  EXPECT_EQ(shed.admission, AdmissionOutcome::Rejected);
+  EXPECT_EQ(shed.rung, ServeRung::TrivialFloor);
+  EXPECT_TRUE(shed.degraded);
+  EXPECT_TRUE(validator.legal(shed.plan));
+  EXPECT_EQ(static_cast<int>(shed.plan.groups().size()), shed.num_kernels);
+  EXPECT_EQ(server.stats().rejected, 1);
+}
+
+TEST(PlanServer, QueuedRequestSleepsOutItsReservation) {
+  const std::string dir = fresh_dir("queued");
+  PlanStore store(store_config(dir));
+  FakeTime time;
+  PlanServerConfig cfg = server_config(time);
+  cfg.admission = {.rate_per_s = 100.0, .burst = 1.0};
+  PlanServer server(store, cfg);
+  const Program program = motivating_example();
+
+  ASSERT_EQ(server.serve(program, DeviceSpec::k20x()).admission,
+            AdmissionOutcome::Admitted);
+  const ServeResult queued = server.serve(program, DeviceSpec::k20x());
+  EXPECT_EQ(queued.admission, AdmissionOutcome::Queued);
+  EXPECT_DOUBLE_EQ(queued.queue_wait_s, 0.01);  // one token at 100/s
+  EXPECT_GE(queued.latency_s, 0.01) << "the wait is part of the latency";
+  EXPECT_TRUE(queued.deadline_met);
+  ASSERT_FALSE(time.sleeps.empty());
+  EXPECT_DOUBLE_EQ(time.sleeps.front(), 0.01);
+  EXPECT_EQ(server.stats().queued, 1);
+}
+
+TEST(PlanServer, QueuedWaitPastTheDeadlineIsShedUpFront) {
+  const std::string dir = fresh_dir("shed");
+  PlanStore store(store_config(dir));
+  FakeTime time;
+  PlanServerConfig cfg = server_config(time);
+  cfg.admission = {.rate_per_s = 0.1, .burst = 1.0};  // 10 s per token
+  PlanServer server(store, cfg);
+  const Program program = motivating_example();
+
+  ASSERT_EQ(server.serve(program, DeviceSpec::k20x()).admission,
+            AdmissionOutcome::Admitted);
+  ServeRequest request;
+  request.deadline_s = 1.0;  // the 10 s token wait alone would blow it
+  const ServeResult shed = server.serve(program, DeviceSpec::k20x(), request);
+  EXPECT_EQ(shed.admission, AdmissionOutcome::Rejected);
+  EXPECT_TRUE(shed.deadline_met) << "shedding answers instantly";
+  EXPECT_TRUE(time.sleeps.empty()) << "a shed request must not sleep";
+}
+
+TEST(PlanServer, FaultStormRetriesWithExponentialBackoffThenFloors) {
+  const std::string dir = fresh_dir("storm");
+  PlanStore store(store_config(dir));
+  FakeTime time;
+  PlanServerConfig cfg = server_config(time);
+  cfg.fault_storm_evals = 1;  // the first fault aborts the attempt
+  cfg.max_retries = 2;
+  cfg.backoff_base_s = 0.25;
+  PlanServer server(store, cfg);
+  const Program program = motivating_example();
+  Validator validator(program, DeviceSpec::k20x());
+
+  ScopedFaultInjection inject(FaultPlan{FaultSite::Objective, 1.0, 42});
+  const ServeResult r = server.serve(program, DeviceSpec::k20x());
+  // Every attempt storms (rate 1.0 faults each new group), so the ladder
+  // retries max_retries times and lands on the floor — still legal.
+  EXPECT_EQ(r.retries, 2);
+  EXPECT_EQ(r.rung, ServeRung::TrivialFloor);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_TRUE(validator.legal(r.plan));
+  ASSERT_EQ(time.sleeps.size(), 2u);
+  EXPECT_DOUBLE_EQ(time.sleeps[0], 0.25);
+  EXPECT_DOUBLE_EQ(time.sleeps[1], 0.5) << "backoff doubles per attempt";
+  EXPECT_TRUE(r.deadline_met) << "0.75 s of backoff fits the 2 s default";
+  EXPECT_EQ(server.stats().retries, 2);
+}
+
+TEST(PlanServer, QuarantinePersistsAcrossAttemptsSoRetriesConverge) {
+  const std::string dir = fresh_dir("converge");
+  PlanStore store(store_config(dir));
+  FakeTime time;
+  PlanServerConfig cfg = server_config(time);
+  cfg.fault_storm_evals = 1000;  // faults quarantine but never storm
+  PlanServer server(store, cfg);
+  const Program program = motivating_example();
+  Validator validator(program, DeviceSpec::k20x());
+
+  ScopedFaultInjection inject(FaultPlan{FaultSite::Objective, 1.0, 42});
+  const ServeResult r = server.serve(program, DeviceSpec::k20x());
+  // With every fused evaluation quarantined, the search completes and falls
+  // back to the (legal) identity — a FullSearch answer, zero retries.
+  EXPECT_EQ(r.rung, ServeRung::FullSearch);
+  EXPECT_EQ(r.retries, 0);
+  EXPECT_TRUE(validator.legal(r.plan));
+}
+
+TEST(PlanServer, StoreWriteFaultDegradesDurabilityNotTheResponse) {
+  const std::string dir = fresh_dir("writeback");
+  PlanStore store(store_config(dir));
+  FakeTime time;
+  PlanServer server(store, server_config(time));
+  const Program program = motivating_example();
+  Validator validator(program, DeviceSpec::k20x());
+
+  {
+    ScopedFaultInjection inject(FaultPlan{FaultSite::Store, 1.0, 7});
+    const ServeResult r = server.serve(program, DeviceSpec::k20x());
+    EXPECT_EQ(r.rung, ServeRung::FullSearch) << "the search result still serves";
+    EXPECT_FALSE(r.degraded);
+    EXPECT_TRUE(validator.legal(r.plan));
+  }
+  EXPECT_EQ(server.stats().writeback_failures, 1);
+  EXPECT_EQ(server.stats().writebacks, 0);
+  EXPECT_EQ(store.size(), 0u) << "the torn write-back never reached the index";
+  EXPECT_EQ(store.stats().write_faults, 1);
+
+  // With faults disarmed the next request misses, searches and writes back.
+  const ServeResult retry = server.serve(program, DeviceSpec::k20x());
+  EXPECT_EQ(retry.rung, ServeRung::FullSearch);
+  EXPECT_EQ(server.stats().writebacks, 1);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(PlanServer, InvalidStoredPlanIsEvictedNeverServed) {
+  const std::string dir = fresh_dir("evict");
+  PlanStore store(store_config(dir));
+  FakeTime time;
+  PlanServerConfig cfg = server_config(time);
+  cfg.expand = false;  // keys computed on the raw program below must match
+  PlanServer server(store, cfg);
+  const Program program = motivating_example();
+  ASSERT_NE(program.num_kernels(), 2);
+
+  // Poison the exact key with a plan whose kernel count cannot parse
+  // against this program — "stored but no longer legal".
+  StoredPlan poison;
+  poison.key = {program_fingerprint(program),
+                device_fingerprint(DeviceSpec::k20x())};
+  poison.num_kernels = 2;
+  poison.plan_text = "{0} {1}";
+  poison.best_cost_s = 1e-3;
+  poison.baseline_cost_s = 2e-3;
+  store.put(poison);
+
+  const ServeResult r = server.serve(program, DeviceSpec::k20x());
+  EXPECT_EQ(r.rung, ServeRung::FullSearch) << "the poisoned hit fell through";
+  EXPECT_EQ(server.stats().invalid_stored, 1);
+  // The eviction and the write-back both committed: the key now holds the
+  // fresh result, and it round-trips as a hit.
+  const auto now_stored = store.get(poison.key);
+  ASSERT_TRUE(now_stored.has_value());
+  EXPECT_EQ(now_stored->num_kernels, program.num_kernels());
+  EXPECT_EQ(server.serve(program, DeviceSpec::k20x()).rung, ServeRung::StoreHit);
+}
+
+TEST(PlanServer, ServeLogIsABoundedRing) {
+  const std::string dir = fresh_dir("log");
+  PlanStore store(store_config(dir));
+  FakeTime time;
+  PlanServerConfig cfg = server_config(time);
+  cfg.log_capacity = 4;
+  PlanServer server(store, cfg);
+  const Program program = motivating_example();
+
+  for (int i = 0; i < 6; ++i) server.serve(program, DeviceSpec::k20x());
+  EXPECT_EQ(server.log().recorded(), 6);
+  EXPECT_EQ(server.log().size(), 4u);
+  const auto entries = server.log().entries();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries.front().seq, 3) << "oldest surviving request";
+  EXPECT_EQ(entries.back().seq, 6);
+  EXPECT_EQ(entries.front().rung, ServeRung::StoreHit);
+}
+
+TEST(PlanServer, EmptyProgramIsAPreconditionViolation) {
+  const std::string dir = fresh_dir("precondition");
+  PlanStore store(store_config(dir));
+  FakeTime time;
+  PlanServer server(store, server_config(time));
+  EXPECT_THROW(server.serve(Program{}, DeviceSpec::k20x()), PreconditionError);
+}
+
+/// The acceptance invariant, in miniature: a mixed hit/miss/cross-device
+/// stream under elevated objective + simulator + store faults must return a
+/// legal plan for every request within its deadline.
+TEST(PlanServer, MixedFaultyStreamAlwaysReturnsLegalPlansOnTime) {
+  const std::string dir = fresh_dir("mixed");
+  PlanStore store(store_config(dir));
+  FakeTime time;
+  PlanServer server(store, server_config(time));
+
+  const std::vector<Program> programs = {motivating_example(), scale_les_rk18()};
+  const std::vector<DeviceSpec> devices = {DeviceSpec::k20x(), DeviceSpec::k40()};
+  std::vector<std::unique_ptr<Validator>> validators;
+  for (const Program& p : programs)
+    for (const DeviceSpec& d : devices)
+      validators.push_back(std::make_unique<Validator>(p, d));
+
+  ScopedFaultInjection inject(std::vector<FaultPlan>{
+      {FaultSite::Objective, 0.3, 42},
+      {FaultSite::Simulator, 0.1, 7},
+      {FaultSite::Store, 0.2, 11},
+  });
+  int served = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t p = 0; p < programs.size(); ++p) {
+      for (std::size_t d = 0; d < devices.size(); ++d) {
+        ServeRequest request;
+        if (round == 3) request.deadline_s = 0.001;  // force some floors
+        const ServeResult r =
+            server.serve(programs[p], devices[d], request);
+        ++served;
+        EXPECT_TRUE(validators[p * devices.size() + d]->legal(r.plan))
+            << "request " << served << " served an illegal plan";
+        EXPECT_TRUE(r.deadline_met) << "request " << served << " missed";
+        EXPECT_GT(r.cost_s, 0.0);
+      }
+    }
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, served);
+  EXPECT_EQ(stats.deadline_missed, 0);
+  EXPECT_EQ(stats.store_hits + stats.polished + stats.full_searches +
+                stats.trivial,
+            served);
+  EXPECT_GT(stats.store_hits, 0) << "repeat requests must hit";
+}
+
+}  // namespace
+}  // namespace kf

@@ -10,6 +10,8 @@
 //   kfc report   --metrics FILE and/or --events FILE   summarize a past run
 //   kfc profile  (<file.kf> | --builtin <name>)   search + span flame table
 //   kfc explain  <kernel> (<file.kf> | --builtin <name>)   merge provenance
+//   kfc serve-batch FILE.jsonl --store DIR   replay a request stream
+//   kfc store (stats|verify|compact) --store DIR   plan-store maintenance
 //   kfc help                            print the full option list
 //
 // The option list lives in ONE place — the kFlags table below. The parser
@@ -25,11 +27,15 @@
 // `--progress N` prints a heartbeat to stderr every N generations, and
 // `kfc report` rebuilds a human summary from those artifacts.
 //
-// exit codes: 0 success, 1 verification failure, 2 usage/precondition
-// error, 3 runtime error (bad input data, I/O, unrecovered fault).
+// exit codes (rendered by `kfc help`): 0 success, 1 verification failure,
+// 2 usage/precondition error, 3 runtime error (bad input data, I/O,
+// unrecovered fault), 4 store corruption salvaged, 5 degraded serve,
+// 6 admission rejected. When several serving conditions apply the most
+// urgent wins: 6 > 5 > 4.
 //
 // Program files use the text IR (see src/ir/program_io.hpp). Builtins:
 // rk18, cloverleaf, fig3, scale-les, homme, wrf, asuca, mitgcm, cosmo.
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -76,6 +82,15 @@ struct Options {
   int checkpoint_every = 5;
   bool resume = false;
   std::vector<FaultPlan> injections;
+
+  // serving (serve-batch / store)
+  std::string store_dir;
+  double serve_rate = 0.0;  ///< admits/s; 0 = admission off
+  double serve_burst = 8.0;
+  int serve_queue = 8;
+  double serve_deadline = 0.0;  ///< default per-request deadline; 0 = server default
+  int serve_retries = 2;
+  double min_search_budget = 0.010;
 };
 
 void print_usage(std::ostream& os);
@@ -183,8 +198,25 @@ const FlagSpec kFlags[] = {
     {"--resume", nullptr, "HGGA: continue from --checkpoint FILE",
      [](Options& o, const std::string&) { o.resume = true; }},
     {"--inject", "KIND:RATE[:SEED]",
-     "arm fault injection (kind: objective|projection|simulator|parser)",
+     "arm fault injection (kind: objective|projection|simulator|parser|store)",
      [](Options& o, const std::string& v) { o.injections.push_back(parse_fault_plan(v)); }},
+    {"--store", "DIR", "plan-store directory (serve-batch, store)",
+     [](Options& o, const std::string& v) { o.store_dir = v; }},
+    {"--rate", "R", "admission: sustained admits per second (default off)",
+     [](Options& o, const std::string& v) { o.serve_rate = flag_double("--rate", v); }},
+    {"--burst", "N", "admission: token-bucket burst capacity (default 8)",
+     [](Options& o, const std::string& v) { o.serve_burst = flag_double("--burst", v); }},
+    {"--queue", "N", "admission: bounded queue depth (default 8)",
+     [](Options& o, const std::string& v) { o.serve_queue = flag_int("--queue", v); }},
+    {"--serve-deadline", "S", "default per-request deadline in seconds (default 2)",
+     [](Options& o, const std::string& v) { o.serve_deadline = flag_double("--serve-deadline", v); }},
+    {"--retries", "N", "serve: FullSearch retries after a fault storm (default 2)",
+     [](Options& o, const std::string& v) { o.serve_retries = flag_int("--retries", v); }},
+    {"--min-search-budget", "S",
+     "serve: skip FullSearch when less budget remains (default 0.01)",
+     [](Options& o, const std::string& v) {
+       o.min_search_budget = flag_double("--min-search-budget", v);
+     }},
 };
 
 void print_usage(std::ostream& os) {
@@ -200,6 +232,8 @@ void print_usage(std::ostream& os) {
         "  report        summarize a run from --metrics and/or --events files\n"
         "  profile       search, then print the span self-time flame table\n"
         "  explain K     search, then replay kernel K's merge decisions\n"
+        "  serve-batch   replay a JSONL request stream through the plan server\n"
+        "  store SUB     plan-store maintenance: stats | verify | compact\n"
         "  help          print this message\n"
         "input: a .kf program file, or --builtin NAME\n"
         "options:\n";
@@ -210,6 +244,21 @@ void print_usage(std::ostream& os) {
       head += f.value;
     }
     os << strprintf("  %-28s %s\n", head.c_str(), f.help);
+  }
+  // The exit-code table lives here, next to the flag table, for the same
+  // reason: one rendered source of truth (tests assert on this text).
+  static const struct { int code; const char* meaning; } kExitCodes[] = {
+      {0, "success"},
+      {1, "verification failure (illegal plan, equivalence/reconcile FAIL)"},
+      {2, "usage or precondition error"},
+      {3, "runtime error (bad input data, I/O, unrecovered fault)"},
+      {4, "store corruption detected and salvaged (recovery not clean)"},
+      {5, "degraded serve (some request answered below its natural rung)"},
+      {6, "admission rejected (some request shed by the token bucket)"},
+  };
+  os << "exit codes (serving conditions by precedence 6 > 5 > 4):\n";
+  for (const auto& e : kExitCodes) {
+    os << strprintf("  %d  %s\n", e.code, e.meaning);
   }
 }
 
@@ -759,6 +808,247 @@ int cmd_fuse(const Options& opt) {
   return report.equivalent ? 0 : 1;
 }
 
+// ---- plan store & serving ------------------------------------------------
+
+void print_recovery(std::ostream& os, const StoreRecovery& r) {
+  os << "recovery: " << r.snapshot_records << " snapshot + " << r.journal_records
+     << " journal records, " << r.quarantined << " quarantined, " << r.salvaged
+     << " salvaged";
+  if (r.torn_tail) os << ", torn tail dropped";
+  if (r.snapshot_header_bad) os << ", snapshot header bad";
+  os << (r.clean() ? " (clean)" : " (salvaged)") << "\n";
+}
+
+/// `kfc store stats|verify|compact --store DIR`.
+int cmd_store(const Options& opt) {
+  const std::string& sub = opt.input_file;  // bare argument after `store`
+  if (opt.store_dir.empty()) usage("store needs --store DIR");
+  if (sub.empty()) usage("store needs a subcommand: stats | verify | compact");
+
+  if (sub == "verify") {
+    // Read-only: same validation as recovery, no repair, no journal open.
+    const StoreRecovery r = PlanStore::verify(opt.store_dir);
+    std::cout << "store " << opt.store_dir << "\n";
+    print_recovery(std::cout, r);
+    return r.clean() ? 0 : 4;
+  }
+  if (sub != "stats" && sub != "compact") {
+    usage("unknown store subcommand '" + sub + "' (stats | verify | compact)");
+  }
+
+  PlanStore store(PlanStore::Config{.dir = opt.store_dir});
+  if (sub == "compact") {
+    const PlanStore::Stats before = store.stats();
+    store.compact();
+    const PlanStore::Stats after = store.stats();
+    std::cout << "compacted " << opt.store_dir << ": journal "
+              << human_bytes(static_cast<double>(before.journal_bytes)) << " -> "
+              << human_bytes(static_cast<double>(after.journal_bytes))
+              << ", snapshot "
+              << human_bytes(static_cast<double>(after.snapshot_bytes)) << " ("
+              << after.plans << " plans)\n";
+  } else {
+    const PlanStore::Stats s = store.stats();
+    TextTable table({"metric", "value"});
+    table.add("plans", static_cast<long>(s.plans));
+    table.add("journal records", static_cast<long>(s.journal_records));
+    table.add("journal bytes", s.journal_bytes);
+    table.add("snapshot bytes", s.snapshot_bytes);
+    table.add("salvaged records", static_cast<long>(s.recovery.salvaged));
+    table.add("quarantined records", static_cast<long>(s.recovery.quarantined));
+    std::cout << "store " << opt.store_dir << "\n" << table.to_string();
+  }
+  print_recovery(std::cout, store.recovery());
+  return store.recovery().clean() ? 0 : 4;
+}
+
+/// One parsed line of a serve-batch JSONL stream.
+struct BatchRequest {
+  std::string program = "rk18";
+  std::string device;
+  double deadline_s = 0.0;
+  long max_evaluations = 0;
+  int count = 1;
+};
+
+/// The tool's own validation stack for one (program, device) pair —
+/// deliberately rebuilt from scratch, independent of the server's internal
+/// context, so "the served plan is legal" is checked by code the server
+/// did not touch.
+struct ValidationStack {
+  Program program;
+  ExpansionResult expansion;
+  DeviceSpec device;
+  LegalityChecker checker;
+
+  ValidationStack(Program p, const Options& opt, DeviceSpec dev)
+      : program(std::move(p)),
+        expansion(opt.expand ? expand_arrays(program, opt.mem_budget)
+                             : ExpansionResult{.program = program,
+                                               .arrays_added = 0,
+                                               .extra_bytes = 0.0,
+                                               .versions = {}}),
+        device(std::move(dev)),
+        checker(expansion.program, device) {}
+};
+
+/// `kfc serve-batch FILE.jsonl --store DIR`: replay a request stream
+/// through the PlanServer and report the hit/degrade/latency distribution.
+int cmd_serve_batch(const Options& opt) {
+  if (opt.store_dir.empty()) usage("serve-batch needs --store DIR");
+  if (opt.input_file.empty()) usage("serve-batch needs a FILE.jsonl request stream");
+  std::ifstream in(opt.input_file);
+  if (!in) usage("cannot open '" + opt.input_file + "'");
+
+  // Telemetry: same opt-in sinks as run_search.
+  MetricsRegistry metrics;
+  std::optional<TraceLog> trace_log;
+  Telemetry telemetry;
+  if (!opt.metrics_file.empty()) telemetry.metrics = &metrics;
+  if (!opt.events_file.empty()) {
+    trace_log.emplace(opt.events_file);
+    telemetry.trace = &*trace_log;
+  }
+  const bool want_telemetry = telemetry.active();
+
+  PlanStore store(PlanStore::Config{
+      .dir = opt.store_dir,
+      .telemetry = want_telemetry ? &telemetry : nullptr});
+
+  PlanServerConfig cfg;
+  cfg.admission.rate_per_s = opt.serve_rate;
+  cfg.admission.burst = opt.serve_burst;
+  cfg.max_queue_depth = opt.serve_queue;
+  if (opt.serve_deadline > 0.0) cfg.default_deadline_s = opt.serve_deadline;
+  cfg.max_retries = opt.serve_retries;
+  cfg.min_search_budget_s = opt.min_search_budget;
+  cfg.method = search_method_from_string(opt.method);
+  cfg.hgga.population = opt.population;
+  cfg.hgga.max_generations = opt.generations;
+  cfg.hgga.stall_generations = opt.stall;
+  cfg.hgga.seed = opt.seed;
+  if (opt.max_evals > 0) cfg.default_max_evaluations = opt.max_evals;
+  cfg.expand = opt.expand;
+  cfg.mem_budget = opt.mem_budget;
+  if (want_telemetry) cfg.telemetry = &telemetry;
+  PlanServer server(store, cfg);
+
+  std::map<std::string, ValidationStack> stacks;  // keyed program|device
+  std::vector<double> latencies;
+  long total = 0;
+  long legal = 0;
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view t = trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    BatchRequest req;
+    try {
+      const JsonValue v = JsonValue::parse(t);
+      req.program = v.string_or("program", req.program);
+      req.device = v.string_or("device", opt.device);
+      req.deadline_s = v.number_or("deadline_s", 0.0);
+      req.max_evaluations = static_cast<long>(v.number_or("max_evaluations", 0.0));
+      req.count = static_cast<int>(v.number_or("count", 1.0));
+    } catch (const RuntimeError& e) {
+      throw RuntimeError(strprintf("%s line %d: %s", opt.input_file.c_str(),
+                                   line_no, e.what()));
+    }
+    const std::string stack_key = req.program + "|" + req.device;
+    auto it = stacks.find(stack_key);
+    if (it == stacks.end()) {
+      // "program" is a .kf path when one exists, a builtin name otherwise.
+      Program program;
+      if (std::ifstream pf(req.program); pf) {
+        program = read_program(pf);
+      } else {
+        program = load_builtin(req.program);
+      }
+      it = stacks
+               .emplace(std::piecewise_construct, std::forward_as_tuple(stack_key),
+                        std::forward_as_tuple(std::move(program), opt,
+                                              load_device(req.device)))
+               .first;
+    }
+    ValidationStack& stack = it->second;
+    for (int c = 0; c < req.count; ++c) {
+      ServeRequest serve_req;
+      serve_req.deadline_s = req.deadline_s;
+      serve_req.max_evaluations = req.max_evaluations;
+      const ServeResult r = server.serve(stack.program, stack.device, serve_req);
+      ++total;
+      if (stack.checker.plan_is_legal(r.plan)) ++legal;
+      latencies.push_back(r.latency_s);
+    }
+  }
+  if (total == 0) usage("'" + opt.input_file + "' holds no requests");
+
+  const PlanServer::Stats s = server.stats();
+  std::sort(latencies.begin(), latencies.end());
+  auto pct = [&](double p) {
+    const std::size_t i = static_cast<std::size_t>(
+        p * static_cast<double>(latencies.size() - 1) + 0.5);
+    return latencies[std::min(i, latencies.size() - 1)];
+  };
+
+  std::cout << "serve-batch: " << total << " requests (" << opt.input_file
+            << " -> " << opt.store_dir << ")\n";
+  TextTable rungs({"rung", "requests", "share"});
+  const struct { const char* name; long n; } kRungRows[] = {
+      {"store_hit", s.store_hits},
+      {"polished_stored", s.polished},
+      {"full_search", s.full_searches},
+      {"trivial_floor", s.trivial},
+  };
+  for (const auto& row : kRungRows) {
+    rungs.add(row.name, row.n,
+              fixed(100.0 * static_cast<double>(row.n) / static_cast<double>(total), 1));
+  }
+  std::cout << rungs.to_string();
+  std::cout << "admission: " << total - s.queued - s.rejected << " admitted, "
+            << s.queued << " queued, " << s.rejected << " rejected\n";
+  std::cout << "degraded " << s.degraded << ", retries " << s.retries
+            << ", deadline_misses " << s.deadline_missed << "\n";
+  std::cout << "latency: p50 " << human_time(pct(0.50)) << ", p95 "
+            << human_time(pct(0.95)) << ", max " << human_time(latencies.back())
+            << "\n";
+  const PlanStore::Stats ss = store.stats();
+  std::cout << "store: " << ss.plans << " plans, " << ss.hits << "/" << ss.gets
+            << " hits, " << s.writebacks << " write-backs";
+  if (s.writeback_failures > 0)
+    std::cout << " (" << s.writeback_failures << " failed)";
+  if (ss.write_faults > 0) std::cout << ", " << ss.write_faults << " write faults";
+  std::cout << "\n";
+  print_recovery(std::cout, store.recovery());
+  std::cout << "legal " << legal << "/" << total << "\n";
+
+  if (!opt.metrics_file.empty()) {
+    JsonValue root = JsonValue::object();
+    root.set("schema", "kfc-metrics/v2");
+    const JsonValue series = metrics.to_json();
+    for (const auto& [key, value] : series.members()) root.set(key, value);
+    std::ofstream os(opt.metrics_file);
+    KF_REQUIRE(static_cast<bool>(os),
+               "cannot open metrics file '" << opt.metrics_file << "'");
+    os << root.to_string(2) << "\n";
+    std::cerr << "wrote " << opt.metrics_file << "\n";
+  }
+  if (!opt.events_file.empty()) {
+    std::cerr << "wrote " << opt.events_file << " (" << trace_log->events()
+              << " events)\n";
+  }
+
+  // Exit-code ladder (documented in `kfc help`): a verification failure
+  // trumps everything, then rejected > degraded > salvaged.
+  if (legal != total) return 1;
+  if (s.rejected > 0) return 6;
+  if (s.degraded > 0) return 5;
+  if (!store.recovery().clean()) return 4;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -778,6 +1068,8 @@ int main(int argc, char** argv) {
     if (opt.command == "report") return cmd_report(opt);
     if (opt.command == "profile") return cmd_profile(opt);
     if (opt.command == "explain") return cmd_explain(opt);
+    if (opt.command == "serve-batch") return cmd_serve_batch(opt);
+    if (opt.command == "store") return cmd_store(opt);
     if (opt.command == "help" || opt.command == "--help" || opt.command == "-h") {
       print_usage(std::cout);
       return 0;
