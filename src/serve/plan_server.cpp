@@ -11,6 +11,7 @@
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
 
 namespace kf {
 
@@ -122,6 +123,15 @@ PlanServer::PlanServer(PlanStore& store, PlanServerConfig config)
       if (s > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(s));
     };
   }
+  if (config_.telemetry != nullptr && config_.telemetry->metrics != nullptr) {
+    // Explicit buckets so the Prometheus exporter can render the serve
+    // latency histogram (with per-bucket trace-id exemplars). Declared
+    // before the first request for exact bucket counts.
+    config_.telemetry->metrics->declare_buckets(
+        "serve.latency_seconds",
+        {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+         5.0, 10.0});
+  }
 }
 
 PlanServer::~PlanServer() = default;
@@ -177,8 +187,12 @@ bool PlanServer::repair_plan(const Context& ctx, FusionPlan& plan) const {
   return true;
 }
 
-void PlanServer::write_back(Context& ctx, const ServeResult& result) {
+void PlanServer::write_back(Context& ctx, const ServeResult& result,
+                            RequestContext& rc) {
   if (!config_.write_back) return;
+  const double mark = config_.clock();
+  SpanTracer::Scope span =
+      scoped_span(config_.telemetry, "serve.write_back", "serve");
   StoredPlan stored;
   stored.key = ctx.key;
   stored.num_kernels = ctx.expansion.program.num_kernels();
@@ -195,16 +209,20 @@ void PlanServer::write_back(Context& ctx, const ServeResult& result) {
     if (t != nullptr && t->metrics != nullptr)
       t->metrics->count("serve.store_writeback_failures");
   }
+  rc.charge(RequestContext::kWriteBack, config_.clock() - mark);
 }
 
 void PlanServer::finish(ServeResult& result, const Context* ctx,
-                        double start_s) {
+                        double start_s, const RequestContext& rc) {
   result.latency_s = std::max(0.0, config_.clock() - start_s);
   result.deadline_met = result.latency_s <= result.deadline_s;
   result.degraded = result.admission == AdmissionOutcome::Rejected ||
                     result.rung == ServeRung::PolishedStored ||
                     result.rung == ServeRung::TrivialFloor;
   if (ctx != nullptr) result.key = ctx->key;
+  result.trace_id = rc.trace_id;
+  for (int s = 0; s < RequestContext::kNumStages; ++s)
+    result.stage_s[s] = rc.stage_s[s];
 
   ++stats_.requests;
   switch (result.rung) {
@@ -220,7 +238,7 @@ void PlanServer::finish(ServeResult& result, const Context* ctx,
   if (!result.deadline_met) ++stats_.deadline_missed;
 
   ServeLog::Entry entry;
-  entry.seq = ++seq_;
+  entry.seq = rc.seq;
   entry.program_fp = result.key.program_fp;
   entry.device_fp = result.key.device_fp;
   entry.rung = result.rung;
@@ -229,9 +247,19 @@ void PlanServer::finish(ServeResult& result, const Context* ctx,
   entry.latency_s = result.latency_s;
   entry.deadline_met = result.deadline_met;
   entry.degraded = result.degraded;
+  entry.trace = rc.trace_id;
   log_.record(entry);
 
   const Telemetry* t = config_.telemetry;
+  if (t != nullptr && t->slo != nullptr) {
+    SloTracker::Sample sample;
+    sample.t_s = config_.clock();
+    sample.latency_s = result.latency_s;
+    sample.deadline_met = result.deadline_met;
+    sample.degraded = result.degraded;
+    sample.rung = static_cast<int>(result.rung);
+    t->slo->record(sample);
+  }
   if (t != nullptr && t->metrics != nullptr) {
     MetricsRegistry* m = t->metrics;
     m->count("serve.requests_total");
@@ -243,20 +271,42 @@ void PlanServer::finish(ServeResult& result, const Context* ctx,
       m->count("serve.admission_rejected_total");
     if (result.retries > 0) m->count("serve.retries_total", result.retries);
     if (!result.deadline_met) m->count("serve.deadline_missed_total");
+    // Observed while the request's TraceScope is active: the histogram
+    // bucket this sample lands in captures the trace id as its exemplar.
     m->observe("serve.latency_seconds", result.latency_s);
+    m->gauge("serve.inflight", 0.0);
   }
   if (t != nullptr && t->wants_trace()) {
+    // The request's single canonical wide event: identity, rung, hit
+    // state, per-stage deadline budget, retries and final cost on one
+    // line. (The line's "trace" field is stamped by TraceLog itself.)
     t->trace->emit("serve_request", [&](TraceEvent& e) {
       e.num("seq", entry.seq)
+          .str("program_fp", strprintf("%016llx",
+               static_cast<unsigned long long>(result.key.program_fp)))
+          .str("device_fp", strprintf("%016llx",
+               static_cast<unsigned long long>(result.key.device_fp)))
+          .num("num_kernels", result.num_kernels)
           .str("rung", to_string(result.rung))
           .str("admission", to_string(result.admission))
+          .boolean("store_hit", result.rung == ServeRung::StoreHit)
           .boolean("degraded", result.degraded)
           .num("retries", result.retries)
+          .num("queue_wait_s", result.queue_wait_s)
           .num("latency_s", result.latency_s)
           .num("deadline_s", result.deadline_s)
           .boolean("deadline_met", result.deadline_met)
-          .num("cost_s", result.cost_s)
-          .num("baseline_cost_s", result.baseline_cost_s);
+          .num("deadline_frac_used",
+               result.deadline_s > 0.0 ? result.latency_s / result.deadline_s
+                                       : 0.0);
+      for (int s = 0; s < RequestContext::kNumStages; ++s) {
+        if (rc.stage_s[s] > 0.0)
+          e.num(std::string("stage_") + RequestContext::stage_name(s) + "_s",
+                rc.stage_s[s]);
+      }
+      e.num("cost_s", result.cost_s)
+          .num("baseline_cost_s", result.baseline_cost_s)
+          .num("speedup", result.speedup());
     });
   }
 }
@@ -278,52 +328,101 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
   result.num_kernels = n;
   result.baseline_cost_s = ctx.objective.baseline_cost();
 
+  // Request identity, created at admission: a deterministic trace id,
+  // installed thread-locally so every sink reached below this frame
+  // (spans, decisions, trace events, store journal, histogram exemplars)
+  // stamps it without any parameter threading. TraceScope costs a 16-byte
+  // TLS swap — nothing when telemetry is off.
+  RequestContext rc;
+  rc.seq = ++seq_;
+  rc.deadline_s = result.deadline_s;
+  rc.trace_id = TraceId::derive(static_cast<std::uint64_t>(rc.seq),
+                                ctx.key.program_fp, ctx.key.device_fp,
+                                config_.trace_salt);
+  TraceScope trace_scope(rc.trace_id);
+  SpanTracer::Scope request_span =
+      scoped_span(config_.telemetry, "serve.request", "serve");
+  if (const Telemetry* t = config_.telemetry;
+      t != nullptr && t->metrics != nullptr)
+    t->metrics->gauge("serve.inflight", 1.0);
+  if (const Telemetry* t = config_.telemetry; t != nullptr && t->wants_trace()) {
+    // Admission-side marker: `kfc top` pairs these with "serve_request"
+    // completions (same trace id) to count in-flight requests.
+    t->trace->emit("serve_start", [&](TraceEvent& e) {
+      e.num("seq", rc.seq).num("deadline_s", result.deadline_s);
+    });
+  }
+
   // ---- admission ----
-  TokenBucket::Decision decision =
-      bucket_.admit(start, config_.max_queue_depth);
-  // A queued request whose wait alone would blow the deadline is shed up
-  // front — honest rejection beats a guaranteed deadline miss.
-  if (decision.admitted && decision.wait_s >= result.deadline_s)
-    decision.admitted = false;
+  double mark = config_.clock();
+  TokenBucket::Decision decision;
+  {
+    SpanTracer::Scope span =
+        scoped_span(config_.telemetry, "serve.admission", "serve");
+    decision = bucket_.admit(start, config_.max_queue_depth);
+    // A queued request whose wait alone would blow the deadline is shed up
+    // front — honest rejection beats a guaranteed deadline miss.
+    if (decision.admitted && decision.wait_s >= result.deadline_s)
+      decision.admitted = false;
+  }
+  rc.charge(RequestContext::kAdmission, config_.clock() - mark);
   if (!decision.admitted) {
     result.admission = AdmissionOutcome::Rejected;
     result.rung = ServeRung::TrivialFloor;
     result.plan = FusionPlan(n);
     result.cost_s = result.baseline_cost_s;
-    finish(result, &ctx, start);
+    finish(result, &ctx, start, rc);
     return result;
   }
   if (decision.wait_s > 0.0) {
     result.admission = AdmissionOutcome::Queued;
     result.queue_wait_s = decision.wait_s;
-    config_.sleep(decision.wait_s);
+    mark = config_.clock();
+    {
+      SpanTracer::Scope span =
+          scoped_span(config_.telemetry, "serve.queue_wait", "serve");
+      config_.sleep(decision.wait_s);
+    }
+    rc.charge(RequestContext::kQueueWait, config_.clock() - mark);
   }
 
   // ---- rung 1: exact store hit ----
-  if (std::optional<StoredPlan> stored = store_.get(ctx.key)) {
-    FusionPlan plan;
-    if (plan_usable(ctx, stored->plan_text, &plan)) {
-      result.rung = ServeRung::StoreHit;
-      result.plan = std::move(plan);
-      result.cost_s = ctx.objective.plan_cost(result.plan);
-      finish(result, &ctx, start);
-      return result;
+  {
+    mark = config_.clock();
+    SpanTracer::Scope span =
+        scoped_span(config_.telemetry, "serve.store_get", "serve");
+    if (std::optional<StoredPlan> stored = store_.get(ctx.key)) {
+      FusionPlan plan;
+      if (plan_usable(ctx, stored->plan_text, &plan)) {
+        result.rung = ServeRung::StoreHit;
+        result.plan = std::move(plan);
+        result.cost_s = ctx.objective.plan_cost(result.plan);
+        span.end();
+        rc.charge(RequestContext::kStoreGet, config_.clock() - mark);
+        finish(result, &ctx, start, rc);
+        return result;
+      }
+      // Stored but no longer legal under this process's checker: evict, and
+      // fall through the ladder as a miss.
+      ++stats_.invalid_stored;
+      try {
+        store_.erase(ctx.key);
+      } catch (const StoreError&) {
+        // eviction is advisory; a wedged store must not fail the request
+      }
+      const Telemetry* t = config_.telemetry;
+      if (t != nullptr && t->metrics != nullptr)
+        t->metrics->count("serve.invalid_stored_total");
     }
-    // Stored but no longer legal under this process's checker: evict, and
-    // fall through the ladder as a miss.
-    ++stats_.invalid_stored;
-    try {
-      store_.erase(ctx.key);
-    } catch (const StoreError&) {
-      // eviction is advisory; a wedged store must not fail the request
-    }
-    const Telemetry* t = config_.telemetry;
-    if (t != nullptr && t->metrics != nullptr)
-      t->metrics->count("serve.invalid_stored_total");
+    span.end();
+    rc.charge(RequestContext::kStoreGet, config_.clock() - mark);
   }
 
   // ---- rung 2: polish the nearest stored plan (same program, any device) ----
   {
+    mark = config_.clock();
+    SpanTracer::Scope span =
+        scoped_span(config_.telemetry, "serve.polish_stored", "serve");
     std::vector<StoredPlan> candidates =
         store_.plans_for_program(ctx.key.program_fp);
     // Newest revision first: the most recently found plan is the best guess.
@@ -347,10 +446,14 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
       result.rung = ServeRung::PolishedStored;
       result.plan = std::move(plan);
       result.cost_s = cost;
-      write_back(ctx, result);
-      finish(result, &ctx, start);
+      span.end();
+      rc.charge(RequestContext::kPolish, config_.clock() - mark);
+      write_back(ctx, result, rc);
+      finish(result, &ctx, start, rc);
       return result;
     }
+    span.end();
+    rc.charge(RequestContext::kPolish, config_.clock() - mark);
   }
 
   // ---- rung 3: full search under the remaining budget, with retries ----
@@ -368,15 +471,20 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
     driver.limits.max_faults = config_.fault_storm_evals;
     driver.telemetry = config_.telemetry;
 
+    mark = config_.clock();
+    SpanTracer::Scope span =
+        scoped_span(config_.telemetry, "serve.search_attempt", "serve");
     SearchResult search = SearchDriver(ctx.objective, driver).run();
+    span.end();
+    rc.charge(RequestContext::kSearch, config_.clock() - mark);
     const bool stormed =
         search.fault_report.stop_reason == StopReason::FaultStorm;
     if (!stormed && ctx.checker.plan_is_legal(search.best)) {
       result.rung = ServeRung::FullSearch;
       result.plan = std::move(search.best);
       result.cost_s = search.best_cost_s;
-      write_back(ctx, result);
-      finish(result, &ctx, start);
+      write_back(ctx, result, rc);
+      finish(result, &ctx, start, rc);
       return result;
     }
     // Fault storm: back off exponentially and retry. The objective's
@@ -387,7 +495,13 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
       const double backoff = std::min(
           config_.backoff_base_s * static_cast<double>(1 << attempt),
           std::max(0.0, result.deadline_s - (config_.clock() - start)));
-      config_.sleep(backoff);
+      mark = config_.clock();
+      {
+        SpanTracer::Scope span2 =
+            scoped_span(config_.telemetry, "serve.backoff", "serve");
+        config_.sleep(backoff);
+      }
+      rc.charge(RequestContext::kBackoff, config_.clock() - mark);
     }
   }
 
@@ -395,7 +509,7 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
   result.rung = ServeRung::TrivialFloor;
   result.plan = FusionPlan(n);
   result.cost_s = result.baseline_cost_s;
-  finish(result, &ctx, start);
+  finish(result, &ctx, start, rc);
   return result;
 }
 

@@ -38,6 +38,19 @@
 // serve.rung_total.*, serve.degraded_total, ...); `kfc serve-batch` replays
 // a JSONL request stream through this class and reports the distribution.
 //
+// Observability (PR "serving-grade observability"): each request gets a
+// RequestContext at admission — a deterministic 128-bit trace id installed
+// thread-locally (TraceScope) for the request's duration, so every span,
+// decision, metric exemplar and store journal event recorded downstream
+// (SearchDriver, Objective, GroupCostCache, PlanStore) stamps the owning
+// id with no API threading. The lifecycle itself is spanned (cat "serve",
+// exported under Chrome-trace pid 4), each stage's deadline-budget
+// consumption is charged to the context's ledger, and finish() emits the
+// request's single canonical *wide event* ("serve_request" JSONL line:
+// rung, stage budgets, hit state, retries, final cost) plus the SLO sample
+// (telemetry->slo) and the latency histogram observation whose bucket
+// exemplar carries the trace id.
+//
 // Time and sleep are injectable (monotone seconds), so tests drive the
 // bucket, deadlines and backoff with a fake clock. Thread-safe via one
 // mutex per serve() call — the store, not the server, is the shared state.
@@ -54,6 +67,7 @@
 #include "search/driver.hpp"
 #include "serve/admission.hpp"
 #include "store/plan_store.hpp"
+#include "telemetry/request_context.hpp"
 
 namespace kf {
 
@@ -83,6 +97,10 @@ struct ServeResult {
   double latency_s = 0.0;  ///< admission decision through response, waits included
   double deadline_s = 0.0; ///< effective deadline this request ran under
   bool deadline_met = true;
+  TraceId trace_id;        ///< this request's 128-bit trace identity
+  /// Deadline budget consumed per lifecycle stage (RequestContext::Stage
+  /// order); sums to <= latency_s.
+  double stage_s[RequestContext::kNumStages] = {};
 
   double speedup() const noexcept {
     return cost_s > 0.0 ? baseline_cost_s / cost_s : 0.0;
@@ -104,6 +122,7 @@ class ServeLog {
     double latency_s = 0.0;
     bool deadline_met = true;
     bool degraded = false;
+    TraceId trace;  ///< the request's trace id (links to spans/wide events)
   };
 
   explicit ServeLog(std::size_t capacity = 256);
@@ -154,6 +173,10 @@ struct PlanServerConfig {
 
   /// Observability (nullable, must outlive the server).
   const Telemetry* telemetry = nullptr;
+
+  /// Extra entropy folded into derived trace ids so two servers replaying
+  /// the same batch can be told apart; 0 keeps traces replay-stable.
+  std::uint64_t trace_salt = 0;
 
   /// Monotone clock / sleep in seconds; defaults are real time. Tests
   /// inject fakes to drive admission, deadlines and backoff deterministically.
@@ -214,8 +237,9 @@ class PlanServer {
   bool plan_usable(const Context& ctx, const std::string& plan_text,
                    FusionPlan* out) const;
   bool repair_plan(const Context& ctx, FusionPlan& plan) const;
-  void write_back(Context& ctx, const ServeResult& result);
-  void finish(ServeResult& result, const Context* ctx, double start_s);
+  void write_back(Context& ctx, const ServeResult& result, RequestContext& rc);
+  void finish(ServeResult& result, const Context* ctx, double start_s,
+              const RequestContext& rc);
 };
 
 }  // namespace kf

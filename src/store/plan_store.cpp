@@ -378,10 +378,24 @@ void PlanStore::append_record(const std::string& payload,
     }
     const Telemetry* t = config_.telemetry;
     if (t != nullptr && t->metrics != nullptr) t->metrics->count("store.write_faults");
+    if (t != nullptr && t->wants_trace()) {
+      t->trace->emit("store_write_fault", [&](TraceEvent& e) {
+        e.num("bytes", frame.size()).boolean("injected", injected);
+      });
+    }
     throw;
   }
   if (config_.durable) journal_.sync();
   ++journal_records_;
+  // Journal telemetry: emitted while a request trace is active (serve
+  // write-back), the line carries the owning trace id, tying store I/O into
+  // the request's causal trace.
+  const Telemetry* t = config_.telemetry;
+  if (t != nullptr && t->wants_trace()) {
+    t->trace->emit("store_commit", [&](TraceEvent& e) {
+      e.num("bytes", frame.size()).num("journal_records", journal_records_);
+    });
+  }
 }
 
 void PlanStore::put(StoredPlan plan) {

@@ -1,5 +1,6 @@
 #include "telemetry/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -11,6 +12,17 @@ namespace kf {
 
 void append_json_string(std::string& out, std::string_view text) {
   out += '"';
+  // Fast path: event types, keys and hex trace ids never need escaping, so
+  // one scan + one bulk append covers almost every string on the wide-event
+  // emission path.
+  std::size_t clean = 0;
+  while (clean < text.size()) {
+    const unsigned char c = static_cast<unsigned char>(text[clean]);
+    if (c == '"' || c == '\\' || c < 0x20) break;
+    ++clean;
+  }
+  out.append(text.data(), clean);
+  text.remove_prefix(clean);
   for (unsigned char c : text) {
     switch (c) {
       case '"': out += "\\\""; break;
@@ -36,12 +48,19 @@ void append_json_number(std::string& out, double v) {
     out += "null";  // JSON has no NaN/Inf; null keeps consumers parsing
     return;
   }
+  // std::to_chars, not snprintf: number formatting is the hot path of the
+  // per-request wide event, and to_chars is an order of magnitude cheaper.
+  char buf[32];
   // Integers print as integers so counters read naturally.
   if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
-    out += strprintf("%lld", static_cast<long long>(v));
+    const auto r = std::to_chars(buf, buf + sizeof(buf),
+                                 static_cast<long long>(v));
+    out.append(buf, r.ptr);
     return;
   }
-  out += strprintf("%.17g", v);
+  // Shortest form that parses back to exactly `v` (round-trip safe).
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, r.ptr);
 }
 
 // ---- accessors ----

@@ -16,6 +16,14 @@
 // so unbounded runs cannot grow memory without bound while short runs
 // (fewer samples than the reservoir) get exact percentiles.
 //
+// A histogram may additionally carry *explicit buckets*
+// (declare_buckets()): exact per-bucket counts over fixed upper bounds —
+// what the Prometheus text exporter (telemetry/prometheus.hpp) renders as
+// the `_bucket{le="..."}` series. Each bucket remembers the most recent
+// sample observed while a request trace was active (telemetry/
+// request_context.hpp) as its *exemplar*, linking the scrape surface back
+// to individual request traces.
+//
 // All mutators are thread-safe (one registry mutex — the instrumented
 // paths record at generation/evaluation granularity, not per-instruction).
 // Disabled telemetry never reaches the registry: callers hold a nullable
@@ -24,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -32,6 +41,7 @@
 #include <vector>
 
 #include "telemetry/json.hpp"
+#include "telemetry/request_context.hpp"
 
 namespace kf {
 
@@ -47,9 +57,25 @@ class MetricsRegistry {
   void gauge(std::string_view name, double value, const MetricLabels& labels = {});
   void observe(std::string_view name, double sample, const MetricLabels& labels = {});
 
+  /// Declares explicit buckets (strictly increasing finite upper bounds;
+  /// +Inf is implicit) for every histogram series named `name`. Applies to
+  /// series created afterwards and retrofits already-existing series whose
+  /// bucket counts are rebuilt from nothing — so declare before the first
+  /// observe for exact counts. Idempotent for identical bounds.
+  void declare_buckets(std::string_view name, std::vector<double> upper_bounds);
+
   // ---- reading (snapshots) ----
   long counter_value(std::string_view name, const MetricLabels& labels = {}) const;
   double gauge_value(std::string_view name, const MetricLabels& labels = {}) const;
+
+  /// One explicit bucket of a snapshot: samples <= `le`, plus the last
+  /// sample observed under an active request trace (the exemplar).
+  struct Bucket {
+    double le = 0.0;       ///< upper bound (inclusive)
+    long count = 0;        ///< non-cumulative occupancy of this bucket
+    TraceId exemplar_trace;  ///< null when no traced sample landed here
+    double exemplar_value = 0.0;
+  };
 
   struct HistogramSnapshot {
     std::size_t count = 0;
@@ -57,6 +83,8 @@ class MetricsRegistry {
     double min = 0.0;
     double max = 0.0;
     std::vector<double> samples;  ///< sorted reservoir (<= kReservoirCapacity)
+    std::vector<Bucket> buckets;  ///< empty unless declare_buckets() was used;
+                                  ///< last entry is the implicit +Inf bucket
 
     double mean() const noexcept { return count ? sum / static_cast<double>(count) : 0.0; }
     /// Linear-interpolation percentile over the reservoir, p in [0, 100].
@@ -69,6 +97,19 @@ class MetricsRegistry {
   HistogramSnapshot histogram(std::string_view name, const MetricLabels& labels = {}) const;
 
   bool empty() const;
+
+  /// Full point-in-time copy of every series, for exporters (the
+  /// Prometheus renderer, RunReport) that need to iterate rather than
+  /// probe by name. Series appear in deterministic key order.
+  struct Snapshot {
+    struct Counter { std::string name; MetricLabels labels; long value = 0; };
+    struct Gauge { std::string name; MetricLabels labels; double value = 0.0; };
+    struct Histo { std::string name; MetricLabels labels; HistogramSnapshot snap; };
+    std::vector<Counter> counters;
+    std::vector<Gauge> gauges;
+    std::vector<Histo> histograms;
+  };
+  Snapshot snapshot() const;
 
   /// {"counters": [...], "gauges": [...], "histograms": [...]} — each entry
   /// carries name, labels and its data (histograms: count/sum/min/max/mean
@@ -84,6 +125,7 @@ class MetricsRegistry {
     double max = 0.0;
     std::vector<double> reservoir;
     std::uint64_t lcg = 0x243f6a8885a308d3ULL;  ///< fixed seed: deterministic
+    std::vector<Bucket> buckets;  ///< explicit buckets (+Inf last); may be empty
   };
   template <typename T>
   struct Series {
@@ -92,10 +134,13 @@ class MetricsRegistry {
     T value{};
   };
 
+  // std::less<> so the hot label-less path probes by string_view without
+  // materialising a key string (the per-request serving counters).
   mutable std::mutex mutex_;
-  std::map<std::string, Series<long>> counters_;
-  std::map<std::string, Series<double>> gauges_;
-  std::map<std::string, Series<Histogram>> histograms_;
+  std::map<std::string, Series<long>, std::less<>> counters_;
+  std::map<std::string, Series<double>, std::less<>> gauges_;
+  std::map<std::string, Series<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::vector<double>, std::less<>> bucket_bounds_;
 
   static std::string series_key(std::string_view name, const MetricLabels& labels);
 };

@@ -1,0 +1,159 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cmath>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "util/fs_io.hpp"
+#include "util/string_util.hpp"
+
+namespace kf {
+
+namespace {
+
+void append_escaped_label_value(std::string& out, std::string_view v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+/// `{k1="v1",k2="v2"}` or "" for label-less series; `extra` appends one
+/// more pair (the histogram `le`).
+std::string label_block(const MetricLabels& labels, std::string_view extra_key,
+                        std::string_view extra_value) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prometheus_name(k).substr(3);  // labels get no kf_ prefix
+    out += "=\"";
+    append_escaped_label_value(out, v);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    append_escaped_label_value(out, extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string format_value(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15)
+    return strprintf("%lld", static_cast<long long>(v));
+  return strprintf("%.9g", v);
+}
+
+std::string exemplar_suffix(const MetricsRegistry::Bucket& b) {
+  if (!b.exemplar_trace.valid()) return "";
+  return strprintf(" # {trace_id=\"%s\"} %s", b.exemplar_trace.to_hex().c_str(),
+                   format_value(b.exemplar_value).c_str());
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "kf_";
+  out.reserve(name.size() + 3);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_render(const MetricsRegistry& metrics) {
+  const MetricsRegistry::Snapshot snap = metrics.snapshot();
+  std::string out;
+  out.reserve(4096);
+
+  // Group by exposition name so each family gets exactly one TYPE line even
+  // when its labeled series do not sort adjacently in the snapshot.
+  std::map<std::string, std::vector<const MetricsRegistry::Snapshot::Counter*>>
+      counters;
+  for (const auto& c : snap.counters)
+    counters[prometheus_name(c.name)].push_back(&c);
+  for (const auto& [name, series] : counters) {
+    out += strprintf("# HELP %s kfc counter %s\n", name.c_str(),
+                     series.front()->name.c_str());
+    out += strprintf("# TYPE %s counter\n", name.c_str());
+    for (const auto* c : series)
+      out += strprintf("%s%s %ld\n", name.c_str(),
+                       label_block(c->labels, "", "").c_str(), c->value);
+  }
+
+  std::map<std::string, std::vector<const MetricsRegistry::Snapshot::Gauge*>>
+      gauges;
+  for (const auto& g : snap.gauges)
+    gauges[prometheus_name(g.name)].push_back(&g);
+  for (const auto& [name, series] : gauges) {
+    out += strprintf("# HELP %s kfc gauge %s\n", name.c_str(),
+                     series.front()->name.c_str());
+    out += strprintf("# TYPE %s gauge\n", name.c_str());
+    for (const auto* g : series)
+      out += strprintf("%s%s %s\n", name.c_str(),
+                       label_block(g->labels, "", "").c_str(),
+                       format_value(g->value).c_str());
+  }
+
+  std::map<std::string, std::vector<const MetricsRegistry::Snapshot::Histo*>>
+      histograms;
+  for (const auto& h : snap.histograms)
+    histograms[prometheus_name(h.name)].push_back(&h);
+  for (const auto& [name, series] : histograms) {
+    out += strprintf("# HELP %s kfc histogram %s\n", name.c_str(),
+                     series.front()->name.c_str());
+    out += strprintf("# TYPE %s histogram\n", name.c_str());
+    for (const auto* h : series) {
+      long cumulative = 0;
+      if (!h->snap.buckets.empty()) {
+        for (const auto& b : h->snap.buckets) {
+          cumulative += b.count;
+          out += strprintf(
+              "%s_bucket%s %ld%s\n", name.c_str(),
+              label_block(h->labels, "le", format_value(b.le)).c_str(),
+              cumulative, exemplar_suffix(b).c_str());
+        }
+      } else {
+        // No declared buckets: the lone +Inf bucket keeps the family a
+        // well-formed histogram.
+        out += strprintf("%s_bucket%s %zu\n", name.c_str(),
+                         label_block(h->labels, "le", "+Inf").c_str(),
+                         h->snap.count);
+      }
+      out += strprintf("%s_sum%s %s\n", name.c_str(),
+                       label_block(h->labels, "", "").c_str(),
+                       format_value(h->snap.sum).c_str());
+      out += strprintf("%s_count%s %zu\n", name.c_str(),
+                       label_block(h->labels, "", "").c_str(), h->snap.count);
+    }
+  }
+
+  out += "# EOF\n";
+  return out;
+}
+
+void prometheus_write_file(const MetricsRegistry& metrics,
+                           const std::string& path) {
+  // Non-durable atomic replace: a crash loses at most the last snapshot,
+  // and concurrent readers never observe a torn document.
+  write_file_atomic(path, prometheus_render(metrics), /*durable=*/false);
+}
+
+}  // namespace kf

@@ -1,0 +1,47 @@
+// Prometheus text-format exposition over MetricsRegistry.
+//
+// Renders the whole registry as an OpenMetrics-compatible text document so
+// long-running serve processes have a scrape-able (or node-exporter
+// textfile-collector-able) metrics surface:
+//
+//   * counters  -> `# TYPE kf_serve_requests_total counter` + one sample
+//   * gauges    -> gauge samples
+//   * histograms with explicit buckets (MetricsRegistry::declare_buckets)
+//     -> cumulative `_bucket{le="..."}` series, `_sum`, `_count`, with the
+//     implicit `+Inf` bucket always present; buckets that hold a trace-id
+//     exemplar append the OpenMetrics exemplar form
+//         ` # {trace_id="<32 hex>"} <value>`
+//     linking the scrape surface to individual request traces.
+//   * histograms without explicit buckets -> `_sum`/`_count` plus the lone
+//     `+Inf` bucket (still a valid histogram).
+//
+// Naming convention (documented in README "Observability v3"): metric names
+// are prefixed `kf_` and every character outside [a-zA-Z0-9_:] becomes
+// `_`, so `serve.latency_seconds` exports as `kf_serve_latency_seconds`.
+// Labels pass through with values escaped per the exposition format. The
+// document ends with `# EOF` (OpenMetrics terminator).
+//
+// prometheus_write_file commits via write -> atomic rename (util/fs_io),
+// so a scraper or `kfc top` reading mid-run never sees a torn document —
+// the pattern for continuous export during long serve-batch runs.
+#pragma once
+
+#include <string>
+
+namespace kf {
+
+class MetricsRegistry;
+
+/// Canonical exposition name for a registry metric name ("serve.latency"
+/// -> "kf_serve_latency").
+std::string prometheus_name(const std::string& name);
+
+/// Renders the full exposition document (ends with "# EOF\n").
+std::string prometheus_render(const MetricsRegistry& metrics);
+
+/// Renders and atomically replaces `path` (write tmp -> rename). Throws
+/// kf::StoreError on I/O failure.
+void prometheus_write_file(const MetricsRegistry& metrics,
+                           const std::string& path);
+
+}  // namespace kf

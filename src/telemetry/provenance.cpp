@@ -48,6 +48,7 @@ void DecisionLog::record(Site site, bool accepted,
   for (std::size_t i = held; i < kMaxMembers; ++i) d.members[i] = kInvalidKernel;
   d.cost_delta_s = cost_delta_s;
   d.dominant = dominant == nullptr ? "" : dominant;
+  d.trace = current_trace();  // 16-byte POD copy; still allocation-free
 }
 
 long DecisionLog::recorded() const {

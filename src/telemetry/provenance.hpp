@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "ir/ids.hpp"
+#include "telemetry/request_context.hpp"
 
 namespace kf {
 
@@ -60,6 +61,7 @@ class DecisionLog {
     KernelId members[kMaxMembers] = {};
     double cost_delta_s = 0.0;
     const char* dominant = "";  ///< dominant TimeBreakdown component, "" unknown
+    TraceId trace;  ///< owning request trace at record time; null = none
 
     bool involves(KernelId k) const noexcept;
   };

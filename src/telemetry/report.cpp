@@ -47,6 +47,33 @@ std::string bar(double value, double lo, double hi) {
          std::string(static_cast<std::size_t>(width - fill), '.');
 }
 
+bool bool_or(const JsonValue& event, const char* key, bool fallback) {
+  const JsonValue* v = event.find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+/// Linear-interpolation percentile over an already-sorted sample vector
+/// (same convention as MetricsRegistry::HistogramSnapshot::percentile).
+double pct_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+RunReport::ServeRungStats& rung_row(std::vector<RunReport::ServeRungStats>& rungs,
+                                    const std::string& name) {
+  for (RunReport::ServeRungStats& r : rungs) {
+    if (r.rung == name) return r;
+  }
+  rungs.push_back(RunReport::ServeRungStats{});
+  rungs.back().rung = name;
+  return rungs.back();
+}
+
 }  // namespace
 
 RunReport RunReport::from_files(const std::string& metrics_path,
@@ -148,6 +175,27 @@ void RunReport::ingest_event(const JsonValue& event) {
     ++checkpoint_saves;
   } else if (type == "checkpoint_resume") {
     resumed = true;
+  } else if (type == "serve_request") {
+    // The per-request wide event: one line per served request carrying the
+    // rung taken, latency, deadline budget state and the owning trace id.
+    has_serve = true;
+    ++serve_wide_events;
+    ServeRungStats& row = rung_row(serve_rungs, event.string_or("rung", "?"));
+    row.latencies_s.push_back(event.number_or("latency_s", 0.0));
+    if (!bool_or(event, "deadline_met", true)) {
+      ++row.deadline_misses;
+      ++serve_event_misses;
+    }
+    if (bool_or(event, "degraded", false)) ++serve_event_degraded;
+    if (!event.string_or("trace", "").empty()) {
+      ++serve_traced;
+      ++row.traced;
+    }
+    if (event.number_or("deadline_s", 0.0) > 0.0) {
+      row.has_headroom = true;
+      row.worst_headroom = std::min(
+          row.worst_headroom, 1.0 - event.number_or("deadline_frac_used", 0.0));
+    }
   } else if (type == "search_end") {
     has_summary = true;
     stop_reason = event.string_or("stop_reason", stop_reason);
@@ -180,6 +228,52 @@ void RunReport::ingest_metrics(const JsonValue& metrics) {
         calibration.push_back(std::move(row));
       }
     }
+  }
+  if (const JsonValue* counters = metrics.find("counters");
+      counters != nullptr && counters->is_array()) {
+    for (const JsonValue& c : counters->items()) {
+      const std::string name = c.string_or("name", "");
+      const long value = static_cast<long>(c.number_or("value", 0.0));
+      static const std::string kRungPrefix = "serve.rung_total.";
+      if (!name.starts_with("serve.") && !name.starts_with("store.")) continue;
+      has_serve = true;
+      if (name == "serve.requests_total") {
+        serve_requests = value;
+      } else if (name == "serve.deadline_missed_total") {
+        serve_deadline_misses = value;
+      } else if (name == "serve.degraded_total") {
+        serve_degraded = value;
+      } else if (name == "serve.queued_total") {
+        serve_queued = value;
+      } else if (name == "serve.admission_rejected_total") {
+        serve_rejected = value;
+      } else if (name == "serve.retries_total") {
+        serve_retries = value;
+      } else if (name.starts_with(kRungPrefix)) {
+        rung_row(serve_rungs, name.substr(kRungPrefix.size())).counter_requests =
+            value;
+      } else {
+        serving_counters.emplace_back(name, value);
+      }
+    }
+  }
+  if (const JsonValue* hists = metrics.find("histograms");
+      hists != nullptr && hists->is_array()) {
+    for (const JsonValue& h : hists->items()) {
+      if (h.string_or("name", "") != "serve.latency_seconds") continue;
+      has_serve = true;
+      has_serve_latency = true;
+      serve_latency_count = static_cast<long>(h.number_or("count", 0.0));
+      serve_latency_mean = h.number_or("mean", 0.0);
+      serve_latency_p50 = h.number_or("p50", 0.0);
+      serve_latency_p90 = h.number_or("p90", 0.0);
+      serve_latency_p99 = h.number_or("p99", 0.0);
+      serve_latency_max = h.number_or("max", 0.0);
+    }
+  }
+  if (const JsonValue* slo_block = metrics.find("slo"); slo_block != nullptr) {
+    slo = SloTracker::from_json(*slo_block);
+    has_slo = true;
   }
   const JsonValue* run = metrics.find("run");
   if (run == nullptr) return;
@@ -340,6 +434,65 @@ std::string RunReport::render(int top_k) const {
     os << table;
   }
 
+  // ---- serving: totals, per-rung latency percentiles, SLO burn ----
+  if (has_serve) {
+    const bool from_counters = serve_requests > 0;
+    const long requests = from_counters ? serve_requests : serve_wide_events;
+    const long misses = from_counters ? serve_deadline_misses : serve_event_misses;
+    const long degraded = from_counters ? serve_degraded : serve_event_degraded;
+    os << "\nserving: " << requests << " requests, " << misses
+       << " deadline misses, " << degraded << " degraded";
+    if (serve_queued > 0) os << ", " << serve_queued << " queued";
+    if (serve_rejected > 0) os << ", " << serve_rejected << " rejected";
+    if (serve_retries > 0) os << ", " << serve_retries << " retries";
+    os << "\n";
+    if (has_serve_latency) {
+      os << "latency histogram: " << serve_latency_count << " samples, mean "
+         << human_time(serve_latency_mean) << ", p50 "
+         << human_time(serve_latency_p50) << ", p90 "
+         << human_time(serve_latency_p90) << ", p99 "
+         << human_time(serve_latency_p99) << ", max "
+         << human_time(serve_latency_max) << "\n";
+    }
+    if (!serve_rungs.empty()) {
+      if (serve_wide_events > 0) {
+        os << "per-rung latency (" << serve_wide_events << " wide events, "
+           << serve_traced << " traced):\n";
+        TextTable table({"rung", "requests", "p50", "p95", "p99", "misses",
+                         "min headroom"});
+        for (const ServeRungStats& r : serve_rungs) {
+          std::vector<double> sorted = r.latencies_s;
+          std::sort(sorted.begin(), sorted.end());
+          const long n = r.counter_requests > 0
+                             ? r.counter_requests
+                             : static_cast<long>(sorted.size());
+          table.add(r.rung, n, human_time(pct_sorted(sorted, 50)),
+                    human_time(pct_sorted(sorted, 95)),
+                    human_time(pct_sorted(sorted, 99)), r.deadline_misses,
+                    r.has_headroom ? fixed(100.0 * r.worst_headroom, 1) + "%"
+                                   : "-");
+        }
+        os << table;
+      } else {
+        // Metrics only: the rung distribution without per-request latencies.
+        TextTable table({"rung", "requests"});
+        for (const ServeRungStats& r : serve_rungs) {
+          table.add(r.rung, r.counter_requests);
+        }
+        os << table;
+      }
+    }
+    if (!serving_counters.empty()) {
+      os << "serving counters:";
+      for (std::size_t i = 0; i < serving_counters.size(); ++i) {
+        os << (i ? ", " : " ") << serving_counters[i].first << " "
+           << serving_counters[i].second;
+      }
+      os << "\n";
+    }
+  }
+  if (has_slo) os << "\n" << slo.render();
+
   // ---- projection calibration ----
   if (has_calibration) {
     os << "\nprojection calibration (" << calibration_samples
@@ -362,7 +515,8 @@ std::string RunReport::render(int top_k) const {
   }
 
   if (!has_summary && convergence.empty() && groups.empty() &&
-      quarantines.empty() && decisions.empty() && !has_calibration) {
+      quarantines.empty() && decisions.empty() && !has_calibration &&
+      !has_serve && !has_slo) {
     os << "(no recognised telemetry in the given files)\n";
   }
   return os.str();
@@ -439,6 +593,41 @@ JsonValue RunReport::to_json() const {
     block.set("buckets", std::move(buckets));
     root.set("calibration", std::move(block));
   }
+  if (has_serve) {
+    JsonValue block = JsonValue::object();
+    block.set("requests", serve_requests > 0 ? serve_requests : serve_wide_events);
+    block.set("deadline_misses",
+              serve_requests > 0 ? serve_deadline_misses : serve_event_misses);
+    block.set("degraded",
+              serve_requests > 0 ? serve_degraded : serve_event_degraded);
+    block.set("queued", serve_queued);
+    block.set("rejected", serve_rejected);
+    block.set("retries", serve_retries);
+    block.set("wide_events", serve_wide_events);
+    block.set("traced", serve_traced);
+    JsonValue rungs = JsonValue::array();
+    for (const ServeRungStats& r : serve_rungs) {
+      JsonValue row = JsonValue::object();
+      row.set("rung", r.rung);
+      row.set("requests", r.counter_requests > 0
+                              ? r.counter_requests
+                              : static_cast<long>(r.latencies_s.size()));
+      row.set("deadline_misses", r.deadline_misses);
+      row.set("traced", r.traced);
+      if (!r.latencies_s.empty()) {
+        std::vector<double> sorted = r.latencies_s;
+        std::sort(sorted.begin(), sorted.end());
+        row.set("p50_s", pct_sorted(sorted, 50));
+        row.set("p95_s", pct_sorted(sorted, 95));
+        row.set("p99_s", pct_sorted(sorted, 99));
+      }
+      if (r.has_headroom) row.set("min_headroom", r.worst_headroom);
+      rungs.push_back(std::move(row));
+    }
+    block.set("rungs", std::move(rungs));
+    root.set("serve", std::move(block));
+  }
+  if (has_slo) root.set("slo", slo.to_json());
   return root;
 }
 

@@ -5,15 +5,20 @@
 // trace (--events). Either input alone renders a partial report — the
 // metrics file carries the run-summary block and final series, the event
 // log carries the convergence curve, fault quarantines and per-group cost
-// breakdowns. The renderer produces the human tables (convergence curve,
-// stop reason, fault clusters, top-k groups by predicted-time component);
+// breakdowns. Serving runs (`kfc serve-batch`) are first-class too: the
+// serve.*/store.* metric families, the per-request "serve_request" wide
+// events and the kfc-metrics/v3 "slo" block fold into a per-rung latency
+// percentile table. The renderer produces the human tables (convergence
+// curve, stop reason, fault clusters, top-k groups, serving rungs);
 // to_json() re-exports the aggregate for machine consumers.
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "telemetry/json.hpp"
+#include "telemetry/slo.hpp"
 
 namespace kf {
 
@@ -100,6 +105,47 @@ struct RunReport {
   long checkpoint_saves = 0;
   bool resumed = false;
 
+  // ---- serving (serve.*/store.* counters plus "serve_request" wide
+  //      events; `kfc serve-batch --metrics/--events` artifacts) ----
+  struct ServeRungStats {
+    std::string rung;                 ///< ladder rung name, first-seen order
+    std::vector<double> latencies_s;  ///< one per wide event (unsorted)
+    long counter_requests = 0;  ///< serve.rung_total.<rung>; 0 = no metrics
+    long deadline_misses = 0;   ///< from wide events
+    long traced = 0;            ///< wide events carrying a trace id
+    double worst_headroom = 1.0;  ///< min of 1 - deadline_frac_used
+    bool has_headroom = false;    ///< any event ran under a real deadline
+  };
+  std::vector<ServeRungStats> serve_rungs;  ///< in first-seen rung order
+  bool has_serve = false;
+  // Counter-derived totals (0 when the metrics file was not given).
+  long serve_requests = 0;
+  long serve_deadline_misses = 0;
+  long serve_degraded = 0;
+  long serve_queued = 0;
+  long serve_rejected = 0;
+  long serve_retries = 0;
+  // Event-derived totals (0 when the events file was not given).
+  long serve_wide_events = 0;
+  long serve_traced = 0;        ///< wide events with a "trace" id stamped
+  long serve_event_misses = 0;
+  long serve_event_degraded = 0;
+  /// Raw serve.*/store.* counters not folded into a field above, for the
+  /// operational table (e.g. store.write_faults, serve.retries_total).
+  std::vector<std::pair<std::string, long>> serving_counters;
+  // serve.latency_seconds histogram summary (metrics file).
+  bool has_serve_latency = false;
+  long serve_latency_count = 0;
+  double serve_latency_mean = 0.0;
+  double serve_latency_p50 = 0.0;
+  double serve_latency_p90 = 0.0;
+  double serve_latency_p99 = 0.0;
+  double serve_latency_max = 0.0;
+
+  // ---- SLO (metrics "slo" block, kfc-metrics/v3) ----
+  bool has_slo = false;
+  SloTracker::Report slo;
+
   /// Loads whichever paths are non-empty; throws kf::RuntimeError on
   /// unreadable files or malformed JSON (a malformed JSONL *line* names
   /// its line number).
@@ -109,8 +155,8 @@ struct RunReport {
   /// Folds one parsed trace event into the report.
   void ingest_event(const JsonValue& event);
 
-  /// Folds a parsed metrics document in (kfc-metrics/v2; v1 documents
-  /// simply lack the calibration block).
+  /// Folds a parsed metrics document in (kfc-metrics/v3; older documents
+  /// simply lack the calibration / serving / slo blocks).
   void ingest_metrics(const JsonValue& metrics);
 
   double projected_speedup() const noexcept {
@@ -118,7 +164,8 @@ struct RunReport {
   }
 
   /// Human-readable summary: run header, convergence table (downsampled),
-  /// fault clusters, top_k groups by predicted-time component.
+  /// fault clusters, top_k groups by predicted-time component, and (for
+  /// serving runs) the per-rung latency percentile table plus SLO burn.
   std::string render(int top_k = 5) const;
 
   JsonValue to_json() const;

@@ -1,0 +1,91 @@
+#include "telemetry/request_context.hpp"
+
+#include <string_view>
+
+namespace kf {
+
+namespace {
+
+// The active trace for this thread. Trivially copyable + trivially
+// destructible, so access is a plain TLS load — no guard variable, no
+// allocation.
+thread_local TraceId g_current_trace;
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void TraceId::format(char out[33]) const noexcept {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (int i = 0; i < 16; ++i)
+    out[i] = kHex[(hi >> (60 - 4 * i)) & 0xF];
+  for (int i = 0; i < 16; ++i)
+    out[16 + i] = kHex[(lo >> (60 - 4 * i)) & 0xF];
+  out[32] = '\0';
+}
+
+std::string TraceId::to_hex() const {
+  char buf[33];
+  format(buf);
+  return std::string(buf, 32);
+}
+
+TraceId TraceId::from_hex(std::string_view hex) noexcept {
+  if (hex.size() != 32) return TraceId{};
+  std::uint64_t words[2] = {0, 0};
+  for (int w = 0; w < 2; ++w) {
+    for (int i = 0; i < 16; ++i) {
+      const char c = hex[static_cast<std::size_t>(w * 16 + i)];
+      std::uint64_t nibble = 0;
+      if (c >= '0' && c <= '9') nibble = static_cast<std::uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') nibble = static_cast<std::uint64_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') nibble = static_cast<std::uint64_t>(c - 'A' + 10);
+      else return TraceId{};
+      words[w] = (words[w] << 4) | nibble;
+    }
+  }
+  return TraceId{words[0], words[1]};
+}
+
+TraceId TraceId::derive(std::uint64_t seq, std::uint64_t program_fp,
+                        std::uint64_t device_fp, std::uint64_t salt) noexcept {
+  // Two independent splitmix chains over the same inputs with distinct
+  // domain constants: collisions between requests require a 128-bit
+  // coincidence, and the same (seq, fingerprints, salt) always reproduces
+  // the same id so replayed batches line up with archived traces.
+  TraceId id;
+  id.hi = splitmix64(splitmix64(seq ^ 0x7265717565737431ULL) ^
+                     splitmix64(program_fp) ^ salt);
+  id.lo = splitmix64(splitmix64(device_fp ^ 0x74726163655f6964ULL) ^
+                     splitmix64(seq + 0x632a9d6e) ^ splitmix64(salt));
+  if (!id.valid()) id.lo = 1;  // never emit the "no trace" sentinel
+  return id;
+}
+
+TraceId current_trace() noexcept { return g_current_trace; }
+
+TraceScope::TraceScope(TraceId id) noexcept : prev_(g_current_trace) {
+  g_current_trace = id;
+}
+
+TraceScope::~TraceScope() { g_current_trace = prev_; }
+
+const char* RequestContext::stage_name(int stage) noexcept {
+  switch (stage) {
+    case kAdmission: return "admission";
+    case kQueueWait: return "queue_wait";
+    case kStoreGet: return "store_get";
+    case kPolish: return "polish";
+    case kSearch: return "search";
+    case kBackoff: return "backoff";
+    case kWriteBack: return "write_back";
+  }
+  return "?";
+}
+
+}  // namespace kf

@@ -1,0 +1,123 @@
+// RequestContext — per-request tracing identity and stage budget ledger.
+//
+// The serving path (serve/plan_server.hpp) creates one RequestContext at
+// admission. It carries:
+//
+//   * a 128-bit TraceId, derived deterministically from the request ordinal
+//     and the (program, device) fingerprints so replayed batches produce
+//     identical traces, and
+//   * a per-stage ledger of how much of the request's deadline each
+//     lifecycle stage consumed (admission, queue wait, store lookup, polish,
+//     search, backoff, write-back).
+//
+// The trace id propagates *implicitly*: `TraceScope` installs it in a
+// thread-local slot for the duration of the request, and every sink that
+// records during that window stamps it —
+//
+//   * SpanTracer stamps each opened span (exported as a "trace_id" arg in
+//     the Chrome trace),
+//   * DecisionLog stamps each decision,
+//   * TraceLog stamps each emitted event line ("trace":"<32 hex>"),
+//   * MetricsRegistry captures it as the exemplar of histogram buckets.
+//
+// so SearchDriver, Objective, GroupCostCache and PlanStore need no API
+// change to participate: their existing telemetry calls inherit the owning
+// request's id. The thread-local is a trivially-copyable 16-byte value;
+// reading or scoping it allocates nothing, keeping the disabled-telemetry
+// path at the usual one-branch/zero-allocation contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kf {
+
+/// 128-bit trace identifier. Zero (the default) means "no active trace";
+/// derive() never returns zero.
+struct TraceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool valid() const noexcept { return (hi | lo) != 0; }
+
+  /// Writes the canonical 32-char lowercase hex form plus a NUL terminator
+  /// into `out` (no allocation — usable on hot paths).
+  void format(char out[33]) const noexcept;
+
+  /// Allocating convenience over format().
+  std::string to_hex() const;
+
+  /// Parses the 32-hex-char form; returns the null id on malformed input.
+  static TraceId from_hex(std::string_view hex) noexcept;
+
+  /// Deterministic derivation (splitmix64 mixing) from a request ordinal
+  /// and the (program, device) fingerprints. Never returns the null id.
+  static TraceId derive(std::uint64_t seq, std::uint64_t program_fp,
+                        std::uint64_t device_fp,
+                        std::uint64_t salt = 0) noexcept;
+
+  friend bool operator==(const TraceId& a, const TraceId& b) noexcept {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const TraceId& a, const TraceId& b) noexcept {
+    return !(a == b);
+  }
+  friend bool operator<(const TraceId& a, const TraceId& b) noexcept {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+/// The calling thread's active trace id (the null id when no request is in
+/// flight on this thread). Never allocates.
+TraceId current_trace() noexcept;
+
+/// RAII installer for the thread-local active trace; restores the previous
+/// value on destruction so nested scopes (a request served from inside
+/// another instrumented region) unwind correctly.
+class [[nodiscard]] TraceScope {
+ public:
+  explicit TraceScope(TraceId id) noexcept;
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceId prev_;
+};
+
+/// Per-request context created at admission: identity plus the stage
+/// ledger the wide event reports as "deadline budget consumed per stage".
+struct RequestContext {
+  /// Lifecycle stages of one served request, in ladder order.
+  enum Stage {
+    kAdmission = 0,  ///< admission decision (token bucket)
+    kQueueWait,      ///< time parked in the virtual queue
+    kStoreGet,       ///< rung 1 store lookup + re-validation
+    kPolish,         ///< rung 2 repair + local polish
+    kSearch,         ///< rung 3 full search attempts
+    kBackoff,        ///< inter-attempt fault-storm backoff
+    kWriteBack,      ///< store write-back of the result
+    kNumStages
+  };
+  static const char* stage_name(int stage) noexcept;
+
+  TraceId trace_id;
+  long seq = 0;            ///< 1-based request ordinal on the owning server
+  double deadline_s = 0.0; ///< effective deadline the request ran under
+  double stage_s[kNumStages] = {};
+
+  /// Adds `seconds` (clamped at zero) to a stage's ledger entry.
+  void charge(Stage stage, double seconds) noexcept {
+    if (seconds > 0.0) stage_s[stage] += seconds;
+  }
+
+  /// Total seconds attributed across all stages (<= latency; the remainder
+  /// is uninstrumented response-path time).
+  double consumed_s() const noexcept {
+    double total = 0.0;
+    for (double s : stage_s) total += s;
+    return total;
+  }
+};
+
+}  // namespace kf

@@ -1,7 +1,9 @@
 #include "telemetry/span_tracer.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
+#include <string_view>
 #include <utility>
 
 #include "util/chrome_trace.hpp"
@@ -34,6 +36,7 @@ SpanTracer::Scope SpanTracer::span(const char* name, const char* cat) {
   Record r;
   r.name = name;
   r.cat = cat;
+  r.trace = current_trace();  // null outside a request; 16-byte POD copy
   r.tid = ts.tid;
   r.parent = ts.open.empty() ? -1 : static_cast<std::int32_t>(ts.open.back());
   r.start_s = watch_.elapsed_s();
@@ -89,6 +92,14 @@ int SpanTracer::threads_seen() const {
   return static_cast<int>(threads_.size());
 }
 
+long SpanTracer::spans_with_trace(const TraceId& trace) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  long n = 0;
+  for (const Record& r : records_)
+    if (r.dur_s >= 0.0 && !r.simulated && r.trace == trace) ++n;
+  return n;
+}
+
 std::vector<SpanTracer::FlameRow> SpanTracer::flame_table() const {
   std::lock_guard<std::mutex> lock(mu_);
   // Self time = own duration minus direct children's durations. Children of
@@ -122,18 +133,35 @@ std::vector<SpanTracer::FlameRow> SpanTracer::flame_table() const {
   return out;
 }
 
+namespace {
+
+bool is_serve_cat(const char* cat) noexcept {
+  return std::string_view(cat) == "serve";
+}
+
+}  // namespace
+
 void SpanTracer::append_chrome_trace(ChromeTraceWriter& w) const {
   std::lock_guard<std::mutex> lock(mu_);
-  bool any_wall = false;
+  bool any_search = false;
+  bool any_serve = false;
   bool any_virtual = false;
   for (const Record& r : records_) {
     if (r.dur_s < 0.0) continue;
-    (r.simulated ? any_virtual : any_wall) = true;
+    if (r.simulated) any_virtual = true;
+    else if (is_serve_cat(r.cat)) any_serve = true;
+    else any_search = true;
   }
-  if (any_wall) {
+  if (any_search) {
     w.process_name(ChromeTraceWriter::kSearchPid, "search (host)");
     for (const auto& [id, ts] : threads_)
       w.thread_name(ChromeTraceWriter::kSearchPid, ts.tid,
+                    ts.tid == 0 ? "main" : "worker");
+  }
+  if (any_serve) {
+    w.process_name(ChromeTraceWriter::kServePid, "serve (requests)");
+    for (const auto& [id, ts] : threads_)
+      w.thread_name(ChromeTraceWriter::kServePid, ts.tid,
                     ts.tid == 0 ? "main" : "worker");
   }
   if (any_virtual)
@@ -141,9 +169,19 @@ void SpanTracer::append_chrome_trace(ChromeTraceWriter& w) const {
   for (const Record& r : records_) {
     if (r.dur_s < 0.0) continue;  // open span: no duration to report
     const int pid = r.simulated ? ChromeTraceWriter::kModelPid
-                                : ChromeTraceWriter::kSearchPid;
-    w.complete_event(r.name, r.simulated ? "model" : r.cat, pid, r.tid,
-                     r.start_s * 1e6, r.dur_s * 1e6);
+                   : is_serve_cat(r.cat) ? ChromeTraceWriter::kServePid
+                                         : ChromeTraceWriter::kSearchPid;
+    if (r.trace.valid() && !r.simulated) {
+      char hex[33];
+      r.trace.format(hex);
+      char args[64];
+      std::snprintf(args, sizeof args, "{\"trace_id\":\"%s\"}", hex);
+      w.complete_event(r.name, r.simulated ? "model" : r.cat, pid, r.tid,
+                       r.start_s * 1e6, r.dur_s * 1e6, args);
+    } else {
+      w.complete_event(r.name, r.simulated ? "model" : r.cat, pid, r.tid,
+                       r.start_s * 1e6, r.dur_s * 1e6);
+    }
   }
 }
 

@@ -14,13 +14,22 @@
 //
 // Two span kinds share the buffer:
 //   * wall spans      opened/closed by `span()` Scopes, timed on the shared
-//                     steady-clock Stopwatch; exported under pid 2 "search".
+//                     steady-clock Stopwatch; exported under pid 2 "search"
+//                     — except cat "serve" spans (the request lifecycle
+//                     stages PlanServer opens), which export under pid 4
+//                     "serve (requests)" so request rows sit in their own
+//                     process lane.
 //   * virtual spans   pre-timed intervals appended by `virtual_span()`,
 //                     used for simulated-time attribution (the per-launch
 //                     TimeBreakdown components of the final plan); exported
 //                     under pid 3 "model". Their durations are *simulated*
 //                     seconds, so flame-table rows of cat "model" reconcile
 //                     exactly with TimeBreakdown sums.
+//
+// Wall spans opened while a request trace is active (TraceScope,
+// telemetry/request_context.hpp) are stamped with the owning 128-bit trace
+// id and export it as a `"trace_id"` arg, so a wide event's trace id finds
+// its spans in the Chrome stream.
 //
 // Export goes through the shared ChromeTraceWriter (util/chrome_trace.hpp)
 // so `--spans` output opens in one Perfetto view with the `--trace` device
@@ -37,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "telemetry/request_context.hpp"
 #include "util/stopwatch.hpp"
 
 namespace kf {
@@ -106,9 +116,14 @@ class SpanTracer {
   int threads_seen() const;  ///< distinct threads that opened wall spans
 
   /// Appends this tracer's spans to `w`: wall spans under pid 2 "search
-  /// (host)", virtual spans under pid 3 "model (simulated)". Emits the
-  /// process/thread metadata for the pids it uses. Open spans are skipped.
+  /// (host)" (cat "serve" spans under pid 4 "serve (requests)"), virtual
+  /// spans under pid 3 "model (simulated)". Emits the process/thread
+  /// metadata for the pids it uses; spans stamped with a request trace
+  /// carry a "trace_id" arg. Open spans are skipped.
   void append_chrome_trace(ChromeTraceWriter& w) const;
+
+  /// Closed wall spans stamped with `trace` (tests and linkage audits).
+  long spans_with_trace(const TraceId& trace) const;
 
   /// Standalone Chrome trace-event document (convenience over
   /// append_chrome_trace + finish).
@@ -123,6 +138,7 @@ class SpanTracer {
     bool simulated = false;
     double start_s = 0.0;
     double dur_s = -1.0;  ///< -1 while open
+    TraceId trace;        ///< owning request trace at open; null = none
   };
   struct ThreadState {
     int tid = 0;

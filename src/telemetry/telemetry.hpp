@@ -9,6 +9,7 @@
 //   * spans:       RAII span profiler                          -> --spans / kfc profile
 //   * decisions:   fusion decision provenance ring             -> kfc explain
 //   * calibration: projection-vs-simulator error tracker       -> metrics v2
+//   * slo:         rolling-window SLO / burn-rate tracker      -> kfc slo / metrics v3
 //
 // The contract for instrumented code is "check, then record":
 //
@@ -27,6 +28,8 @@
 #include "telemetry/calibration.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/provenance.hpp"
+#include "telemetry/request_context.hpp"
+#include "telemetry/slo.hpp"
 #include "telemetry/span_tracer.hpp"
 #include "telemetry/trace_log.hpp"
 
@@ -40,13 +43,15 @@ struct Telemetry {
   SpanTracer* spans = nullptr;         ///< null: no spans recorded
   DecisionLog* decisions = nullptr;    ///< null: no decision provenance
   CalibrationTracker* calibration = nullptr;  ///< null: no error tracking
+  SloTracker* slo = nullptr;  ///< null: no SLO accounting (serving path)
 
   bool wants_trace() const noexcept { return trace != nullptr && trace->enabled(); }
   bool wants_progress() const noexcept { return progress_every > 0; }
   bool wants_decisions() const noexcept { return decisions != nullptr; }
   bool active() const noexcept {
     return metrics != nullptr || wants_trace() || wants_progress() ||
-           spans != nullptr || decisions != nullptr || calibration != nullptr;
+           spans != nullptr || decisions != nullptr || calibration != nullptr ||
+           slo != nullptr;
   }
 };
 

@@ -1,7 +1,9 @@
 #include "telemetry/trace_log.hpp"
 
+#include <charconv>
 #include <fstream>
 
+#include "telemetry/request_context.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 
@@ -16,8 +18,22 @@ TraceLog::TraceLog(const std::string& path) {
 
 std::string TraceLog::begin_line(std::string_view type) const {
   std::string line;
-  line.reserve(160);
-  line += strprintf("{\"ts\":%.9f", watch_.elapsed_s());
+  line.reserve(192);
+  line += "{\"ts\":";
+  char ts[40];
+  const auto r = std::to_chars(ts, ts + sizeof(ts), watch_.elapsed_s(),
+                               std::chars_format::fixed, 9);
+  line.append(ts, r.ptr);
+  // Events emitted while a request trace is active (serve path) stamp the
+  // owning trace id, linking every store/search/fault event line to the
+  // request's wide event.
+  if (const TraceId trace = current_trace(); trace.valid()) {
+    char hex[33];
+    trace.format(hex);
+    line += ",\"trace\":\"";
+    line += hex;
+    line += '"';
+  }
   line += ",\"type\":";
   append_json_string(line, type);
   return line;

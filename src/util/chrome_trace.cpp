@@ -57,7 +57,8 @@ void ChromeTraceWriter::thread_name(int pid, int tid, std::string_view name) {
 
 void ChromeTraceWriter::complete_event(std::string_view name,
                                        std::string_view cat, int pid, int tid,
-                                       double ts_us, double dur_us) {
+                                       double ts_us, double dur_us,
+                                       std::string_view args_json) {
   // Non-finite coordinates would corrupt the document; clamp to zero so one
   // bad sample cannot make the whole trace unloadable.
   if (!std::isfinite(ts_us)) ts_us = 0.0;
@@ -67,8 +68,13 @@ void ChromeTraceWriter::complete_event(std::string_view name,
   append_escaped(name);
   out_ += ",\"cat\":";
   append_escaped(cat);
-  out_ += strprintf(",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
+  out_ += strprintf(",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f",
                     pid, tid, ts_us, dur_us);
+  if (!args_json.empty()) {
+    out_ += ",\"args\":";
+    out_ += args_json;  // caller-supplied pre-rendered JSON object
+  }
+  out_ += '}';
 }
 
 std::string ChromeTraceWriter::finish() {

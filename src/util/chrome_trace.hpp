@@ -15,8 +15,14 @@
 //                             first-span order
 //   pid 3 "model (simulated)" per-launch TimeBreakdown component spans of
 //                             the final plan; tid 0, ts in simulated time
+//   pid 4 "serve (requests)"  wall-clock request-lifecycle spans opened by
+//                             PlanServer (admission, rung stages); tid =
+//                             the same dense thread index as pid 2, ts in
+//                             wall time, trace-id args link spans to wide
+//                             events
 //
-// `cat` mirrors the process: "device" | "search" | "model". All timestamps
+// `cat` mirrors the process: "device" | "search" | "model" | "serve". All
+// timestamps
 // and durations are microseconds (trace-event convention); simulated time is
 // mapped 1 s -> 1e6 us so device and model rows align.
 //
@@ -36,6 +42,7 @@ class ChromeTraceWriter {
   static constexpr int kDevicePid = 1;
   static constexpr int kSearchPid = 2;
   static constexpr int kModelPid = 3;
+  static constexpr int kServePid = 4;
 
   /// Labels a process row in the Perfetto UI ("M" metadata event).
   void process_name(int pid, std::string_view name);
@@ -44,8 +51,11 @@ class ChromeTraceWriter {
   void thread_name(int pid, int tid, std::string_view name);
 
   /// One complete ("ph":"X") event; `ts_us`/`dur_us` in microseconds.
+  /// `args_json`, when non-empty, must be a pre-rendered JSON object (e.g.
+  /// `{"trace_id":"..."}`) and is emitted verbatim as the event's "args".
   void complete_event(std::string_view name, std::string_view cat, int pid,
-                      int tid, double ts_us, double dur_us);
+                      int tid, double ts_us, double dur_us,
+                      std::string_view args_json = {});
 
   /// Events written so far (metadata included).
   long events() const noexcept { return events_; }

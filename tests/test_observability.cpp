@@ -10,13 +10,17 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <limits>
+#include <map>
 #include <new>
 #include <numeric>
 #include <set>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "kf.hpp"
@@ -566,6 +570,563 @@ TEST(RunReportObservability, ParsesCalibrationBlockFromMetricsV2) {
   const std::string rendered = report.render();
   EXPECT_NE(rendered.find("projection calibration"), std::string::npos);
   EXPECT_NE(rendered.find("drift band"), std::string::npos);
+}
+
+// ------------------------------------------------------------- trace ids
+
+TEST(TraceId, DeriveIsDeterministicNonNullAndInputSensitive) {
+  const TraceId a = TraceId::derive(1, 0xdeadbeefULL, 0xfeedfaceULL);
+  const TraceId b = TraceId::derive(1, 0xdeadbeefULL, 0xfeedfaceULL);
+  const TraceId c = TraceId::derive(2, 0xdeadbeefULL, 0xfeedfaceULL);
+  const TraceId d = TraceId::derive(1, 0xdeadbeefULL, 0xfeedfaceULL, 7);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a, b);  // replayed batches reproduce identical trace ids
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  // derive() never returns the null id, even for all-zero inputs.
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    EXPECT_TRUE(TraceId::derive(seq, 0, 0).valid());
+  }
+}
+
+TEST(TraceId, HexRoundTripAndMalformedInputParsesToNull) {
+  const TraceId id = TraceId::derive(42, 0x1234, 0x5678);
+  const std::string hex = id.to_hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (char ch : hex) {
+    EXPECT_TRUE((ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f'))
+        << "non-hex char in " << hex;
+  }
+  EXPECT_EQ(TraceId::from_hex(hex), id);
+
+  char buf[33];
+  id.format(buf);
+  EXPECT_EQ(std::string(buf), hex);
+
+  EXPECT_FALSE(TraceId().valid());
+  EXPECT_FALSE(TraceId::from_hex("").valid());
+  EXPECT_FALSE(TraceId::from_hex("not hex").valid());
+  EXPECT_FALSE(TraceId::from_hex(hex.substr(0, 31)).valid());
+  EXPECT_FALSE(TraceId::from_hex(hex + "0").valid());
+}
+
+TEST(TraceScope, NestedScopesInstallAndRestore) {
+  EXPECT_FALSE(current_trace().valid());
+  const TraceId outer_id = TraceId::derive(1, 2, 3);
+  const TraceId inner_id = TraceId::derive(4, 5, 6);
+  {
+    TraceScope outer(outer_id);
+    EXPECT_EQ(current_trace(), outer_id);
+    {
+      TraceScope inner(inner_id);
+      EXPECT_EQ(current_trace(), inner_id);
+    }
+    EXPECT_EQ(current_trace(), outer_id);
+  }
+  EXPECT_FALSE(current_trace().valid());
+}
+
+TEST(TraceScope, IsThreadLocalAndAllocationFree) {
+  const TraceId id = TraceId::derive(9, 9, 9);
+  TraceScope scope(id);
+  // Other threads never see this thread's trace.
+  std::thread([] {
+    if (current_trace().valid()) ADD_FAILURE() << "trace leaked across threads";
+  }).join();
+  EXPECT_EQ(current_trace(), id);
+
+  // Scoping, reading and formatting the id are hot-path operations: zero
+  // allocations, same contract as the disabled telemetry sinks.
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  char buf[33];
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    TraceScope s(TraceId{1, i + 1});
+    if (!current_trace().valid()) ADD_FAILURE() << "scope not installed";
+    current_trace().format(buf);
+  }
+  const long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+}
+
+// ------------------------------------------------- span trace propagation
+
+TEST(SpanTracer, SpansStampActiveRequestTraceAndExportIt) {
+  SpanTracer tracer;
+  const TraceId id = TraceId::derive(3, 0xaaa, 0xbbb);
+  {
+    TraceScope scope(id);
+    { SpanTracer::Scope s = tracer.span("serve.store_get", "serve"); }
+    { SpanTracer::Scope s = tracer.span("objective.plan_costs"); }
+  }
+  { SpanTracer::Scope s = tracer.span("untraced"); }
+  EXPECT_EQ(tracer.spans_with_trace(id), 2);
+  EXPECT_EQ(tracer.spans_with_trace(TraceId::derive(99, 0, 0)), 0);
+
+  const JsonValue doc = JsonValue::parse(tracer.to_chrome_trace_json());
+  ASSERT_TRUE(doc.is_array());
+  bool saw_serve_process = false;
+  int stamped = 0;
+  for (const JsonValue& event : doc.items()) {
+    const std::string ph = event.string_or("ph", "");
+    if (ph == "M" && event.string_or("name", "") == "process_name") {
+      const JsonValue* args = event.find("args");
+      if (args != nullptr && args->string_or("name", "") == "serve (requests)") {
+        EXPECT_EQ(static_cast<int>(event.number_or("pid", -1)),
+                  ChromeTraceWriter::kServePid);
+        saw_serve_process = true;
+      }
+    }
+    if (ph != "X") continue;
+    // Request-lifecycle spans (cat "serve") live in their own process lane.
+    if (event.string_or("cat", "") == "serve") {
+      EXPECT_EQ(static_cast<int>(event.number_or("pid", -1)),
+                ChromeTraceWriter::kServePid);
+    }
+    if (const JsonValue* args = event.find("args"); args != nullptr) {
+      const std::string trace_hex = args->string_or("trace_id", "");
+      if (!trace_hex.empty()) {
+        ++stamped;
+        EXPECT_EQ(TraceId::from_hex(trace_hex), id);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_serve_process);
+  EXPECT_EQ(stamped, 2);  // the untraced span exports no trace_id arg
+}
+
+// Satellite: the shared ChromeTraceWriter must stay well-formed under
+// concurrent multi-threaded serve traffic — the whole document parses,
+// per-thread timestamps are monotone non-decreasing, every span lands in
+// one of the fixed process lanes, and threads keep distinct dense tids.
+TEST(SpanTracer, ChromeExportWellFormedUnderConcurrentServeTraffic) {
+  SpanTracer tracer;
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 25;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracer, t] {
+      for (int r = 0; r < kRequestsPerThread; ++r) {
+        TraceScope scope(TraceId::derive(
+            static_cast<std::uint64_t>(t) * 1000 + static_cast<std::uint64_t>(r),
+            0x11, 0x22));
+        SpanTracer::Scope request = tracer.span("serve.request", "serve");
+        { SpanTracer::Scope stage = tracer.span("serve.store_get", "serve"); }
+        { SpanTracer::Scope stage = tracer.span("objective.eval"); }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  ASSERT_EQ(tracer.recorded(), kThreads * kRequestsPerThread * 3);
+  EXPECT_EQ(tracer.dropped(), 0);
+  EXPECT_EQ(tracer.threads_seen(), kThreads);
+
+  const JsonValue doc = JsonValue::parse(tracer.to_chrome_trace_json());
+  ASSERT_TRUE(doc.is_array());
+  std::map<std::pair<long, long>, double> last_ts;  // (pid, tid) -> last ts
+  std::set<long> tids;
+  long complete = 0;
+  for (const JsonValue& event : doc.items()) {
+    if (event.string_or("ph", "") != "X") continue;
+    ++complete;
+    const long pid = static_cast<long>(event.number_or("pid", -1));
+    const long tid = static_cast<long>(event.number_or("tid", -1));
+    const double ts = event.number_or("ts", -1.0);
+    ASSERT_GE(ts, 0.0);
+    ASSERT_GE(event.number_or("dur", -1.0), 0.0);
+    tids.insert(tid);
+    const std::string cat = event.string_or("cat", "");
+    EXPECT_EQ(pid, cat == "serve" ? ChromeTraceWriter::kServePid
+                                  : ChromeTraceWriter::kSearchPid);
+    auto [it, inserted] = last_ts.try_emplace({pid, tid}, ts);
+    if (!inserted) {
+      EXPECT_GE(ts, it->second) << "timestamps regressed on tid " << tid;
+      it->second = ts;
+    }
+  }
+  EXPECT_EQ(complete, tracer.recorded());
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+// ------------------------------------------------- buckets and exemplars
+
+TEST(Metrics, ExplicitBucketsCountExactlyAndCaptureTracedExemplars) {
+  MetricsRegistry metrics;
+  metrics.declare_buckets("serve.latency_seconds", {0.001, 0.01, 0.1});
+  metrics.observe("serve.latency_seconds", 0.0005);  // untraced
+  metrics.observe("serve.latency_seconds", 0.005);   // untraced
+  const TraceId id = TraceId::derive(5, 6, 7);
+  {
+    TraceScope scope(id);
+    metrics.observe("serve.latency_seconds", 0.05);
+    metrics.observe("serve.latency_seconds", 5.0);  // beyond the last bound
+  }
+
+  const MetricsRegistry::HistogramSnapshot snap =
+      metrics.histogram("serve.latency_seconds");
+  EXPECT_EQ(snap.count, 4u);
+  ASSERT_EQ(snap.buckets.size(), 4u);  // 3 declared + implicit +Inf
+  EXPECT_DOUBLE_EQ(snap.buckets[0].le, 0.001);
+  EXPECT_DOUBLE_EQ(snap.buckets[1].le, 0.01);
+  EXPECT_DOUBLE_EQ(snap.buckets[2].le, 0.1);
+  EXPECT_TRUE(std::isinf(snap.buckets[3].le));
+  EXPECT_EQ(snap.buckets[0].count, 1);
+  EXPECT_EQ(snap.buckets[1].count, 1);
+  EXPECT_EQ(snap.buckets[2].count, 1);
+  EXPECT_EQ(snap.buckets[3].count, 1);
+  // Exemplars only where a sample landed while a request trace was active.
+  EXPECT_FALSE(snap.buckets[0].exemplar_trace.valid());
+  EXPECT_FALSE(snap.buckets[1].exemplar_trace.valid());
+  EXPECT_EQ(snap.buckets[2].exemplar_trace, id);
+  EXPECT_DOUBLE_EQ(snap.buckets[2].exemplar_value, 0.05);
+  EXPECT_EQ(snap.buckets[3].exemplar_trace, id);
+  EXPECT_DOUBLE_EQ(snap.buckets[3].exemplar_value, 5.0);
+
+  EXPECT_THROW(metrics.declare_buckets("x", {}), PreconditionError);
+  EXPECT_THROW(metrics.declare_buckets("x", {1.0, 1.0}), PreconditionError);
+  EXPECT_THROW(
+      metrics.declare_buckets("x", {1.0, std::numeric_limits<double>::infinity()}),
+      PreconditionError);
+}
+
+TEST(Metrics, DeclareBucketsRetrofitsExistingSeriesAndStaysIdempotent) {
+  MetricsRegistry metrics;
+  metrics.observe("serve.latency_seconds", 0.5);
+  EXPECT_TRUE(metrics.histogram("serve.latency_seconds").buckets.empty());
+  // Retrofit rebuilds the bucket vector (counts start from nothing — the
+  // documented contract is "declare before the first observe for exact
+  // counts"), after which new samples land in buckets.
+  metrics.declare_buckets("serve.latency_seconds", {1.0});
+  metrics.observe("serve.latency_seconds", 0.25);
+  metrics.declare_buckets("serve.latency_seconds", {1.0});  // idempotent
+  const MetricsRegistry::HistogramSnapshot snap =
+      metrics.histogram("serve.latency_seconds");
+  ASSERT_EQ(snap.buckets.size(), 2u);
+  EXPECT_EQ(snap.buckets[0].count, 1);
+  EXPECT_EQ(snap.count, 2u);  // exact totals are unaffected by the retrofit
+}
+
+TEST(Metrics, HistogramPercentilesInterpolateWithExactExtremes) {
+  MetricsRegistry metrics;
+  for (int i = 1; i <= 100; ++i) {
+    metrics.observe("lat", static_cast<double>(i));
+  }
+  const MetricsRegistry::HistogramSnapshot snap = metrics.histogram("lat");
+  EXPECT_DOUBLE_EQ(snap.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(100), 100.0);
+  EXPECT_NEAR(snap.percentile(50), 50.5, 1.0);
+  EXPECT_NEAR(snap.percentile(95), 95.0, 1.5);
+  EXPECT_THROW(snap.percentile(-1.0), PreconditionError);
+  EXPECT_THROW(snap.percentile(101.0), PreconditionError);
+  const MetricsRegistry::HistogramSnapshot empty = metrics.histogram("absent");
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+}
+
+// ------------------------------------------------------------ prometheus
+
+TEST(Prometheus, NamesAreSanitisedWithKfPrefix) {
+  EXPECT_EQ(prometheus_name("serve.latency_seconds"), "kf_serve_latency_seconds");
+  EXPECT_EQ(prometheus_name("serve.rung_total.store_hit"),
+            "kf_serve_rung_total_store_hit");
+  EXPECT_EQ(prometheus_name("weird-name with spaces"),
+            "kf_weird_name_with_spaces");
+}
+
+TEST(Prometheus, RendersValidExpositionWithExemplarsAndEofTerminator) {
+  MetricsRegistry metrics;
+  metrics.count("serve.requests_total", 3);
+  metrics.gauge("serve.inflight", 2.0);
+  metrics.declare_buckets("serve.latency_seconds", {0.01, 0.1});
+  metrics.observe("serve.latency_seconds", 0.005);
+  const TraceId id = TraceId::derive(11, 12, 13);
+  {
+    TraceScope scope(id);
+    metrics.observe("serve.latency_seconds", 0.05);
+  }
+
+  const std::string text = prometheus_render(metrics);
+  const auto count_of = [&text](const std::string& needle) {
+    long n = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+
+  EXPECT_NE(text.find("# TYPE kf_serve_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kf_serve_requests_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE kf_serve_inflight gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE kf_serve_latency_seconds histogram\n"),
+            std::string::npos);
+  // Bucket series are cumulative; the traced bucket carries its exemplar.
+  EXPECT_NE(text.find("kf_serve_latency_seconds_bucket{le=\"0.01\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kf_serve_latency_seconds_bucket{le=\"0.1\"} 2 "
+                      "# {trace_id=\"" + id.to_hex() + "\"} 0.05\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kf_serve_latency_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kf_serve_latency_seconds_count 2\n"), std::string::npos);
+  // Exactly one HELP/TYPE pair per family.
+  EXPECT_EQ(count_of("# TYPE kf_serve_latency_seconds histogram"), 1);
+  EXPECT_EQ(count_of("# HELP kf_serve_latency_seconds"), 1);
+  // OpenMetrics terminator, and nothing after it.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(Prometheus, HistogramWithoutDeclaredBucketsStaysWellFormed) {
+  MetricsRegistry metrics;
+  metrics.observe("objective.eval_seconds", 0.25);
+  metrics.observe("objective.eval_seconds", 0.75);
+  const std::string text = prometheus_render(metrics);
+  EXPECT_NE(text.find("kf_objective_eval_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kf_objective_eval_seconds_sum 1\n"), std::string::npos);
+  EXPECT_NE(text.find("kf_objective_eval_seconds_count 2\n"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- slo
+
+TEST(Slo, BurnRatesPerWindowMatchHandComputedBudgetMath) {
+  SloTracker::Config cfg;
+  cfg.deadline_miss_budget = 0.001;
+  cfg.degraded_budget = 0.05;
+  cfg.latency_target_s = 0.1;
+  cfg.slow_budget = 0.05;
+  cfg.windows_s = {100.0, 10000.0};
+  SloTracker slo(cfg);
+  // 1000 requests at 1 Hz: 2 deadline misses (one inside the short window),
+  // 10 degraded, 5 slow.
+  for (int i = 0; i < 1000; ++i) {
+    SloTracker::Sample s;
+    s.t_s = static_cast<double>(i);
+    s.latency_s = (i % 200 == 0) ? 0.2 : 0.01;
+    s.deadline_met = !(i == 10 || i == 990);
+    s.degraded = (i % 100 == 0);
+    s.rung = i % SloTracker::kNumRungs;
+    slo.record(s);
+  }
+  EXPECT_EQ(slo.recorded(), 1000);
+
+  const SloTracker::Report rep = slo.report(999.0);
+  EXPECT_EQ(rep.total_requests, 1000);
+  EXPECT_EQ(rep.total_deadline_misses, 2);
+  EXPECT_EQ(rep.total_degraded, 10);
+  EXPECT_EQ(rep.total_slow, 5);
+  EXPECT_EQ(rep.evicted, 0);
+  for (int r = 0; r < SloTracker::kNumRungs; ++r) {
+    EXPECT_EQ(rep.rung_count[r], 250);
+  }
+  ASSERT_EQ(rep.windows.size(), 2u);
+
+  // Short window [899, 999]: 101 requests, 1 miss, 1 degraded, 0 slow.
+  const SloTracker::WindowReport& fast = rep.windows[0];
+  EXPECT_DOUBLE_EQ(fast.window_s, 100.0);
+  EXPECT_EQ(fast.requests, 101);
+  EXPECT_EQ(fast.deadline_misses, 1);
+  EXPECT_EQ(fast.degraded, 1);
+  EXPECT_EQ(fast.slow, 0);
+  EXPECT_NEAR(fast.deadline_burn, (1.0 / 101.0) / 0.001, 1e-9);
+  EXPECT_NEAR(fast.degraded_burn, (1.0 / 101.0) / 0.05, 1e-9);
+  EXPECT_DOUBLE_EQ(fast.latency_burn, 0.0);
+
+  // Long window covers everything: burn = (bad fraction) / budget.
+  const SloTracker::WindowReport& slow = rep.windows[1];
+  EXPECT_EQ(slow.requests, 1000);
+  EXPECT_NEAR(slow.deadline_burn, 2.0, 1e-12);
+  EXPECT_NEAR(slow.degraded_burn, (10.0 / 1000.0) / 0.05, 1e-12);
+  EXPECT_NEAR(slow.latency_burn, (5.0 / 1000.0) / 0.05, 1e-12);
+
+  // worst_burn is the max over windows and objectives: the fast window's
+  // deadline burn (~9.9) dominates.
+  EXPECT_NEAR(rep.worst_burn, fast.deadline_burn, 1e-9);
+
+  const std::string rendered = rep.render();
+  EXPECT_NE(rendered.find("slo: 1000 requests"), std::string::npos);
+  EXPECT_NE(rendered.find("worst burn rate"), std::string::npos);
+  EXPECT_NE(rendered.find("error budget burning"), std::string::npos);
+}
+
+TEST(Slo, RingEvictionKeepsExactTotalsWhileWindowsUndercount) {
+  SloTracker::Config cfg;
+  cfg.capacity = 8;
+  cfg.windows_s = {1000.0};
+  SloTracker slo(cfg);
+  for (int i = 0; i < 20; ++i) {
+    SloTracker::Sample s;
+    s.t_s = static_cast<double>(i);
+    s.deadline_met = (i % 2 == 0);  // 10 misses total
+    slo.record(s);
+  }
+  const SloTracker::Report rep = slo.report(19.0);
+  EXPECT_EQ(rep.total_requests, 20);       // exact counters survive eviction
+  EXPECT_EQ(rep.total_deadline_misses, 10);
+  EXPECT_EQ(rep.evicted, 12);
+  ASSERT_EQ(rep.windows.size(), 1u);
+  EXPECT_EQ(rep.windows[0].requests, 8);   // only the ring feeds the windows
+  const std::string rendered = rep.render();
+  EXPECT_NE(rendered.find("evicted"), std::string::npos);
+}
+
+TEST(Slo, ReportJsonRoundTripsThroughTheV3Block) {
+  SloTracker::Config cfg;
+  cfg.latency_target_s = 0.05;
+  cfg.windows_s = {60.0, 3600.0};
+  SloTracker slo(cfg);
+  for (int i = 0; i < 50; ++i) {
+    SloTracker::Sample s;
+    s.t_s = static_cast<double>(i);
+    s.latency_s = 0.01 * (i % 7);
+    s.deadline_met = (i % 10 != 3);
+    s.degraded = (i % 25 == 0);
+    s.rung = i % SloTracker::kNumRungs;
+    slo.record(s);
+  }
+  const SloTracker::Report rep = slo.report(49.0);
+  // Serialise, reparse through the JSON layer, rebuild.
+  const JsonValue reparsed = JsonValue::parse(rep.to_json().to_string());
+  const SloTracker::Report back = SloTracker::from_json(reparsed);
+  EXPECT_EQ(back.total_requests, rep.total_requests);
+  EXPECT_EQ(back.total_deadline_misses, rep.total_deadline_misses);
+  EXPECT_EQ(back.total_degraded, rep.total_degraded);
+  EXPECT_EQ(back.total_slow, rep.total_slow);
+  EXPECT_EQ(back.evicted, rep.evicted);
+  EXPECT_DOUBLE_EQ(back.worst_burn, rep.worst_burn);
+  EXPECT_DOUBLE_EQ(back.config.deadline_miss_budget,
+                   rep.config.deadline_miss_budget);
+  EXPECT_DOUBLE_EQ(back.config.latency_target_s, rep.config.latency_target_s);
+  ASSERT_EQ(back.config.windows_s.size(), rep.config.windows_s.size());
+  ASSERT_EQ(back.windows.size(), rep.windows.size());
+  for (std::size_t w = 0; w < rep.windows.size(); ++w) {
+    EXPECT_EQ(back.windows[w].requests, rep.windows[w].requests);
+    EXPECT_EQ(back.windows[w].deadline_misses, rep.windows[w].deadline_misses);
+    EXPECT_DOUBLE_EQ(back.windows[w].worst_burn, rep.windows[w].worst_burn);
+  }
+  for (int r = 0; r < SloTracker::kNumRungs; ++r) {
+    EXPECT_EQ(back.rung_count[r], rep.rung_count[r]);
+  }
+  EXPECT_THROW(SloTracker::from_json(JsonValue::object()), RuntimeError);
+}
+
+TEST(Slo, ConfigValidationRejectsDegenerateSetups) {
+  SloTracker::Config no_windows;
+  no_windows.windows_s.clear();
+  EXPECT_THROW(SloTracker{no_windows}, PreconditionError);
+  SloTracker::Config bad_window;
+  bad_window.windows_s = {-1.0};
+  EXPECT_THROW(SloTracker{bad_window}, PreconditionError);
+  SloTracker::Config no_capacity;
+  no_capacity.capacity = 0;
+  EXPECT_THROW(SloTracker{no_capacity}, PreconditionError);
+}
+
+// -------------------------------------------------------- serving report
+
+TEST(RunReportServing, IngestsWideEventsIntoPerRungStats) {
+  const std::string trace = TraceId::derive(1, 2, 3).to_hex();
+  RunReport report;
+  report.ingest_event(JsonValue::parse(
+      R"({"ts":0.1,"type":"serve_request","trace":")" + trace +
+      R"(","seq":1,"rung":"store_hit","latency_s":0.002,"deadline_s":0.05,)"
+      R"("deadline_met":true,"deadline_frac_used":0.04,"degraded":false})"));
+  report.ingest_event(JsonValue::parse(
+      R"({"ts":0.2,"type":"serve_request","trace":")" + trace +
+      R"(","seq":2,"rung":"full_search","latency_s":0.08,"deadline_s":0.05,)"
+      R"("deadline_met":false,"deadline_frac_used":1.6,"degraded":true})"));
+  report.ingest_event(JsonValue::parse(
+      R"({"ts":0.3,"type":"serve_request","seq":3,"rung":"store_hit",)"
+      R"("latency_s":0.003,"deadline_s":0.05,"deadline_met":true,)"
+      R"("deadline_frac_used":0.06,"degraded":false})"));
+
+  EXPECT_TRUE(report.has_serve);
+  EXPECT_EQ(report.serve_wide_events, 3);
+  EXPECT_EQ(report.serve_traced, 2);
+  EXPECT_EQ(report.serve_event_misses, 1);
+  EXPECT_EQ(report.serve_event_degraded, 1);
+  ASSERT_EQ(report.serve_rungs.size(), 2u);  // first-seen order
+  EXPECT_EQ(report.serve_rungs[0].rung, "store_hit");
+  EXPECT_EQ(report.serve_rungs[0].latencies_s.size(), 2u);
+  EXPECT_EQ(report.serve_rungs[0].deadline_misses, 0);
+  EXPECT_NEAR(report.serve_rungs[0].worst_headroom, 1.0 - 0.06, 1e-12);
+  EXPECT_EQ(report.serve_rungs[1].rung, "full_search");
+  EXPECT_EQ(report.serve_rungs[1].deadline_misses, 1);
+  EXPECT_NEAR(report.serve_rungs[1].worst_headroom, 1.0 - 1.6, 1e-12);
+
+  const std::string rendered = report.render();
+  EXPECT_NE(rendered.find("serving:"), std::string::npos);
+  EXPECT_NE(rendered.find("per-rung latency"), std::string::npos);
+  EXPECT_NE(rendered.find("store_hit"), std::string::npos);
+  EXPECT_NE(rendered.find("full_search"), std::string::npos);
+
+  const JsonValue json = report.to_json();
+  const JsonValue* serve = json.find("serve");
+  ASSERT_NE(serve, nullptr);
+  EXPECT_EQ(static_cast<long>(serve->number_or("requests", 0)), 3);
+  EXPECT_EQ(static_cast<long>(serve->number_or("deadline_misses", 0)), 1);
+  EXPECT_EQ(static_cast<long>(serve->number_or("traced", 0)), 2);
+  const JsonValue* rungs = serve->find("rungs");
+  ASSERT_NE(rungs, nullptr);
+  ASSERT_TRUE(rungs->is_array());
+  EXPECT_EQ(rungs->items().size(), 2u);
+}
+
+TEST(RunReportServing, IngestsV3MetricsCountersHistogramAndSloBlock) {
+  // Build the document the way `kfc serve-batch --metrics` does: the
+  // registry's JSON plus the schema tag and the SLO block.
+  MetricsRegistry metrics;
+  metrics.count("serve.requests_total", 13);
+  metrics.count("serve.deadline_missed_total", 2);
+  metrics.count("serve.degraded_total", 1);
+  metrics.count("serve.rung_total.store_hit", 8);
+  metrics.count("serve.rung_total.full_search", 5);
+  metrics.count("store.write_faults", 3);
+  metrics.declare_buckets("serve.latency_seconds", {0.01, 0.1});
+  for (int i = 0; i < 13; ++i) {
+    metrics.observe("serve.latency_seconds", 0.005 + 0.001 * i);
+  }
+
+  SloTracker slo;
+  for (int i = 0; i < 13; ++i) {
+    SloTracker::Sample s;
+    s.t_s = static_cast<double>(i);
+    s.deadline_met = (i >= 2);
+    s.degraded = (i == 5);
+    slo.record(s);
+  }
+
+  JsonValue doc = metrics.to_json();
+  doc.set("schema", "kfc-metrics/v3");
+  doc.set("slo", slo.report(12.0).to_json());
+
+  RunReport report;
+  report.ingest_metrics(JsonValue::parse(doc.to_string()));
+  EXPECT_TRUE(report.has_serve);
+  EXPECT_EQ(report.serve_requests, 13);
+  EXPECT_EQ(report.serve_deadline_misses, 2);
+  EXPECT_EQ(report.serve_degraded, 1);
+  ASSERT_EQ(report.serve_rungs.size(), 2u);
+  EXPECT_EQ(report.serve_rungs[0].counter_requests +
+                report.serve_rungs[1].counter_requests,
+            13);
+  EXPECT_TRUE(report.has_serve_latency);
+  EXPECT_EQ(report.serve_latency_count, 13);
+  EXPECT_GT(report.serve_latency_p50, 0.0);
+  // Counters not folded into named fields surface in the operational list.
+  bool saw_write_faults = false;
+  for (const auto& [name, value] : report.serving_counters) {
+    if (name == "store.write_faults" && value == 3) saw_write_faults = true;
+  }
+  EXPECT_TRUE(saw_write_faults);
+  ASSERT_TRUE(report.has_slo);
+  EXPECT_EQ(report.slo.total_requests, 13);
+  EXPECT_EQ(report.slo.total_deadline_misses, 2);
+
+  const std::string rendered = report.render();
+  EXPECT_NE(rendered.find("serving:"), std::string::npos);
+  EXPECT_NE(rendered.find("slo: 13 requests"), std::string::npos);
+  EXPECT_NE(rendered.find("latency histogram"), std::string::npos);
 }
 
 }  // namespace

@@ -7,9 +7,12 @@
 // driven by a fake clock.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <functional>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +25,8 @@
 #include "serve/plan_server.hpp"
 #include "store/fingerprint.hpp"
 #include "store/plan_store.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/fault_injection.hpp"
@@ -429,6 +434,259 @@ TEST(PlanServer, MixedFaultyStreamAlwaysReturnsLegalPlansOnTime) {
                 stats.trivial,
             served);
   EXPECT_GT(stats.store_hits, 0) << "repeat requests must hit";
+}
+
+// ------------------------------------------- request-scoped observability
+
+/// The full sink stack one server carries under `kfc serve-batch --events
+/// --spans`: wide-event JSONL, spans, decision provenance, metrics with
+/// latency buckets, and the SLO tracker.
+struct ServeSinks {
+  std::ostringstream events;
+  TraceLog trace{events};
+  SpanTracer spans;
+  DecisionLog decisions{std::size_t{1} << 16};
+  MetricsRegistry metrics;
+  SloTracker slo;
+  Telemetry telemetry;
+
+  ServeSinks() {
+    telemetry.trace = &trace;
+    telemetry.spans = &spans;
+    telemetry.decisions = &decisions;
+    telemetry.metrics = &metrics;
+    telemetry.slo = &slo;
+  }
+};
+
+/// Parses the JSONL buffer and keeps the events of one type.
+std::vector<JsonValue> events_of_type(const std::string& text,
+                                      const std::string& type) {
+  std::vector<JsonValue> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue event = JsonValue::parse(line);
+    if (event.string_or("type", "") == type) out.push_back(std::move(event));
+  }
+  return out;
+}
+
+// The acceptance invariant of the tracing PR: replaying a faulty mixed
+// stream emits exactly one wide event per request, and each wide event's
+// trace id links at least one lifecycle span — plus, on search rungs, at
+// least one fusion-decision provenance entry recorded under that trace.
+TEST(ServeObservability, FaultyStreamEmitsOneLinkedWideEventPerRequest) {
+  const std::string dir = fresh_dir("wide_events");
+  PlanStore store(store_config(dir));
+  ServeSinks sinks;
+  FakeTime time;
+  PlanServerConfig cfg = server_config(time);
+  cfg.telemetry = &sinks.telemetry;
+  PlanServer server(store, cfg);
+
+  const std::vector<Program> programs = {motivating_example(), scale_les_rk18()};
+  const std::vector<DeviceSpec> devices = {DeviceSpec::k20x(), DeviceSpec::k40()};
+  std::vector<std::unique_ptr<Validator>> validators;
+  for (const Program& p : programs)
+    for (const DeviceSpec& d : devices)
+      validators.push_back(std::make_unique<Validator>(p, d));
+
+  ScopedFaultInjection inject(std::vector<FaultPlan>{
+      {FaultSite::Objective, 0.3, 42},
+      {FaultSite::Simulator, 0.1, 7},
+      {FaultSite::Store, 0.2, 11},
+  });
+  int served = 0;
+  std::set<std::string> result_traces;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t p = 0; p < programs.size(); ++p) {
+      for (std::size_t d = 0; d < devices.size(); ++d) {
+        ServeRequest request;
+        if (round == 2) request.deadline_s = 0.001;  // force some floors
+        const ServeResult r = server.serve(programs[p], devices[d], request);
+        ++served;
+        EXPECT_TRUE(validators[p * devices.size() + d]->legal(r.plan));
+        EXPECT_TRUE(r.trace_id.valid());
+        result_traces.insert(r.trace_id.to_hex());
+      }
+    }
+  }
+  // Trace ids are unique per request.
+  EXPECT_EQ(static_cast<int>(result_traces.size()), served);
+
+  const std::vector<JsonValue> wide =
+      events_of_type(sinks.events.str(), "serve_request");
+  ASSERT_EQ(static_cast<int>(wide.size()), served);
+  // One admission-side marker per request too (`kfc top` pairs the two).
+  EXPECT_EQ(static_cast<int>(
+                events_of_type(sinks.events.str(), "serve_start").size()),
+            served);
+
+  std::set<std::string> decision_traces;
+  for (const auto& d : sinks.decisions.snapshot()) {
+    if (d.trace.valid()) decision_traces.insert(d.trace.to_hex());
+  }
+
+  bool saw_full_search = false;
+  for (const JsonValue& event : wide) {
+    const std::string hex = event.string_or("trace", "");
+    ASSERT_EQ(hex.size(), 32u);
+    const TraceId id = TraceId::from_hex(hex);
+    ASSERT_TRUE(id.valid());
+    EXPECT_TRUE(result_traces.count(hex))
+        << "wide event names a trace no ServeResult carries";
+    EXPECT_GE(sinks.spans.spans_with_trace(id), 1)
+        << "no lifecycle spans recorded under trace " << hex;
+    if (event.string_or("rung", "") == "full_search") {
+      saw_full_search = true;
+      EXPECT_TRUE(decision_traces.count(hex))
+          << "search-rung request left no decision provenance, trace " << hex;
+    }
+  }
+  EXPECT_TRUE(saw_full_search) << "the stream never exercised the search rung";
+}
+
+TEST(ServeObservability, SloAndMetricsReconcileExactlyWithServerStats) {
+  const std::string dir = fresh_dir("slo_stats");
+  PlanStore store(store_config(dir));
+  ServeSinks sinks;
+  FakeTime time;
+  PlanServerConfig cfg = server_config(time);
+  cfg.telemetry = &sinks.telemetry;
+  PlanServer server(store, cfg);
+
+  const Program program = motivating_example();
+  const std::vector<DeviceSpec> devices = {DeviceSpec::k20x(), DeviceSpec::k40()};
+  for (int round = 0; round < 3; ++round) {
+    for (const DeviceSpec& d : devices) {
+      ServeRequest request;
+      if (round == 1) request.deadline_s = 0.001;  // trivial floors
+      server.serve(program, d, request);
+    }
+  }
+
+  const PlanServer::Stats stats = server.stats();
+  const SloTracker::Report rep = sinks.slo.report(time.now);
+  EXPECT_EQ(rep.total_requests, stats.requests);
+  EXPECT_EQ(rep.total_deadline_misses, stats.deadline_missed);
+  EXPECT_EQ(rep.total_degraded, stats.degraded);
+  // SLO rung ordinals mirror the ServeRung ladder order.
+  EXPECT_EQ(rep.rung_count[0], stats.store_hits);
+  EXPECT_EQ(rep.rung_count[1], stats.polished);
+  EXPECT_EQ(rep.rung_count[2], stats.full_searches);
+  EXPECT_EQ(rep.rung_count[3], stats.trivial);
+
+  EXPECT_EQ(sinks.metrics.counter_value("serve.requests_total"), stats.requests);
+  EXPECT_EQ(sinks.metrics.counter_value("serve.deadline_missed_total"),
+            stats.deadline_missed);
+  EXPECT_EQ(sinks.metrics.counter_value("serve.degraded_total"), stats.degraded);
+  const MetricsRegistry::HistogramSnapshot latency =
+      sinks.metrics.histogram("serve.latency_seconds");
+  EXPECT_EQ(static_cast<long>(latency.count), stats.requests);
+  ASSERT_FALSE(latency.buckets.empty());  // the server declares the buckets
+}
+
+TEST(ServeObservability, ServingIsBitIdenticalWithTelemetryAttached) {
+  struct Observation {
+    std::string plan;
+    double cost_s = 0.0;
+    ServeRung rung = ServeRung::TrivialFloor;
+  };
+  const Program program = motivating_example();
+  const std::vector<DeviceSpec> devices = {DeviceSpec::k20x(), DeviceSpec::k40()};
+
+  const auto run_stream = [&](const std::string& dir, const Telemetry* telemetry) {
+    PlanStore store(store_config(dir));
+    FakeTime time;
+    PlanServerConfig cfg = server_config(time);
+    cfg.telemetry = telemetry;
+    PlanServer server(store, cfg);
+    std::vector<Observation> out;
+    for (int round = 0; round < 2; ++round) {
+      for (const DeviceSpec& d : devices) {
+        const ServeResult r = server.serve(program, d);
+        out.push_back({r.plan.to_string(), r.cost_s, r.rung});
+      }
+    }
+    return out;
+  };
+
+  const std::vector<Observation> plain =
+      run_stream(fresh_dir("ident_plain"), nullptr);
+  ServeSinks sinks;
+  const std::vector<Observation> traced =
+      run_stream(fresh_dir("ident_traced"), &sinks.telemetry);
+
+  ASSERT_EQ(plain.size(), traced.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(traced[i].plan, plain[i].plan) << "request " << i;
+    EXPECT_DOUBLE_EQ(traced[i].cost_s, plain[i].cost_s) << "request " << i;
+    EXPECT_EQ(traced[i].rung, plain[i].rung) << "request " << i;
+  }
+  // ...and the sinks actually observed the traced stream.
+  EXPECT_GT(sinks.spans.recorded(), 0);
+  EXPECT_GT(sinks.slo.recorded(), 0);
+}
+
+TEST(ServeObservability, TraceIdsAreReplayStableAndStageLedgerIsBounded) {
+  const Program program = motivating_example();
+  const DeviceSpec device = DeviceSpec::k20x();
+
+  const auto run_stream = [&](const std::string& dir, std::uint64_t salt) {
+    PlanStore store(store_config(dir));
+    FakeTime time;
+    PlanServerConfig cfg = server_config(time);
+    cfg.trace_salt = salt;
+    PlanServer server(store, cfg);
+    std::vector<ServeResult> out;
+    for (int i = 0; i < 3; ++i) out.push_back(server.serve(program, device));
+    return out;
+  };
+
+  const std::vector<ServeResult> first = run_stream(fresh_dir("replay_a"), 0);
+  const std::vector<ServeResult> second = run_stream(fresh_dir("replay_b"), 0);
+  const std::vector<ServeResult> salted = run_stream(fresh_dir("replay_c"), 99);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(first[i].trace_id.valid());
+    // Same batch, same ordinal -> same trace id; a salt tells servers apart.
+    EXPECT_EQ(first[i].trace_id, second[i].trace_id) << "request " << i;
+    EXPECT_NE(first[i].trace_id, salted[i].trace_id) << "request " << i;
+    // The stage ledger never claims more than the measured latency.
+    double consumed = 0.0;
+    for (double s : first[i].stage_s) {
+      EXPECT_GE(s, 0.0);
+      consumed += s;
+    }
+    EXPECT_LE(consumed, first[i].latency_s + 1e-9);
+  }
+}
+
+TEST(ServeObservability, PrometheusExportCoversServeFamiliesWithExemplars) {
+  const std::string dir = fresh_dir("prom");
+  PlanStore store(store_config(dir));
+  ServeSinks sinks;
+  FakeTime time;
+  PlanServerConfig cfg = server_config(time);
+  cfg.telemetry = &sinks.telemetry;
+  PlanServer server(store, cfg);
+
+  const Program program = motivating_example();
+  for (int i = 0; i < 4; ++i) server.serve(program, DeviceSpec::k20x());
+
+  const std::string text = prometheus_render(sinks.metrics);
+  EXPECT_NE(text.find("# TYPE kf_serve_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kf_serve_requests_total 4\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE kf_serve_latency_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("kf_serve_latency_seconds_count 4\n"), std::string::npos);
+  // At least one latency bucket carries a request trace as its exemplar.
+  EXPECT_NE(text.find(" # {trace_id=\""), std::string::npos);
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
 }
 
 }  // namespace

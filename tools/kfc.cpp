@@ -12,36 +12,43 @@
 //   kfc explain  <kernel> (<file.kf> | --builtin <name>)   merge provenance
 //   kfc serve-batch FILE.jsonl --store DIR   replay a request stream
 //   kfc store (stats|verify|compact) --store DIR   plan-store maintenance
+//   kfc slo (--metrics FILE | --events FILE)   SLO burn-rate report
+//   kfc top --events FILE               terminal view of a serve event log
 //   kfc help                            print the full option list
 //
 // The option list lives in ONE place — the kFlags table below. The parser
 // dispatches through it and usage() renders it, so the help text cannot
 // drift from what the parser accepts. Run `kfc help` for the list.
 //
-// Observability (see README "Observability"): `--metrics FILE` writes a
-// kfc-metrics/v2 JSON document (run summary + metric series + projection
-// calibration block), `--events FILE` writes a JSONL event log (one event
-// per HGGA generation plus fault/checkpoint/breakdown/decision events),
+// Observability (see README "Observability v3"): `--metrics FILE` writes a
+// kfc-metrics/v3 JSON document (run summary + metric series + projection
+// calibration + SLO blocks), `--events FILE` writes a JSONL event log (one
+// event per HGGA generation plus fault/checkpoint/breakdown/decision
+// events; serve-batch adds one "serve_request" wide event per request),
 // `--spans FILE` writes the span profile as Chrome trace-event JSON (opens
 // in one Perfetto view alongside a `--trace` file — distinct pids),
-// `--progress N` prints a heartbeat to stderr every N generations, and
-// `kfc report` rebuilds a human summary from those artifacts.
+// `--prom FILE` exports the registry in Prometheus text format (rewritten
+// periodically during serve-batch), `--progress N` prints a heartbeat to
+// stderr every N generations, and `kfc report` rebuilds a human summary
+// from those artifacts.
 //
 // exit codes (rendered by `kfc help`): 0 success, 1 verification failure,
 // 2 usage/precondition error, 3 runtime error (bad input data, I/O,
 // unrecovered fault), 4 store corruption salvaged, 5 degraded serve,
-// 6 admission rejected. When several serving conditions apply the most
-// urgent wins: 6 > 5 > 4.
+// 6 admission rejected, 7 SLO burn above --slo-max-burn. When several
+// serving conditions apply the most urgent wins: 7 > 6 > 5 > 4.
 //
 // Program files use the text IR (see src/ir/program_io.hpp). Builtins:
 // rk18, cloverleaf, fig3, scale-les, homme, wrf, asuca, mitgcm, cosmo.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "kf.hpp"
 
@@ -69,6 +76,12 @@ struct Options {
   std::string metrics_file;
   std::string events_file;
   std::string spans_file;
+  std::string prom_file;
+  int prom_every = 64;             ///< serve-batch Prometheus rewrite cadence
+  double slo_max_burn = 0.0;       ///< 0 = SLO exit-code gate off
+  double slo_latency_target = 0.0; ///< 0 = latency SLO objective off
+  bool follow = false;             ///< top: keep refreshing
+  double interval_s = 2.0;         ///< top --follow refresh period
   long explain_kernel = -1;       ///< `kfc explain <kernel>`
   double calibration_band = 0.0;  ///< 0 = CalibrationTracker default
   int progress_every = 0;
@@ -164,7 +177,7 @@ const FlagSpec kFlags[] = {
     {"--trace", "FILE", "write a Chrome-trace JSON of the fused schedule",
      [](Options& o, const std::string& v) { o.trace_file = v; }},
     {"--metrics", "FILE",
-     "write run metrics as kfc-metrics/v1 JSON (input to `kfc report`)",
+     "write run metrics as kfc-metrics/v3 JSON (input to `kfc report`)",
      [](Options& o, const std::string& v) { o.metrics_file = v; }},
     {"--events", "FILE",
      "write a JSONL structured event log (input to `kfc report`)",
@@ -172,6 +185,32 @@ const FlagSpec kFlags[] = {
     {"--spans", "FILE",
      "write the span profile as Chrome trace-event JSON (Perfetto)",
      [](Options& o, const std::string& v) { o.spans_file = v; }},
+    {"--prom", "FILE",
+     "write metrics in Prometheus text format (serve-batch: periodic rewrite)",
+     [](Options& o, const std::string& v) { o.prom_file = v; }},
+    {"--prom-every", "N",
+     "serve-batch: requests between Prometheus rewrites (default 64)",
+     [](Options& o, const std::string& v) {
+       o.prom_every = flag_int("--prom-every", v);
+       KF_REQUIRE(o.prom_every > 0, "--prom-every must be positive, got '" << v << "'");
+     }},
+    {"--slo-max-burn", "X",
+     "slo/serve-batch: exit 7 when the worst SLO burn rate exceeds X",
+     [](Options& o, const std::string& v) {
+       o.slo_max_burn = flag_double("--slo-max-burn", v);
+     }},
+    {"--slo-latency-target", "S",
+     "SLO latency objective: budget the fraction of requests slower than S",
+     [](Options& o, const std::string& v) {
+       o.slo_latency_target = flag_double("--slo-latency-target", v);
+     }},
+    {"--follow", nullptr, "top: keep refreshing until interrupted",
+     [](Options& o, const std::string&) { o.follow = true; }},
+    {"--interval", "S", "top --follow refresh period in seconds (default 2)",
+     [](Options& o, const std::string& v) {
+       o.interval_s = flag_double("--interval", v);
+       KF_REQUIRE(o.interval_s > 0.0, "--interval must be positive, got '" << v << "'");
+     }},
     {"--kernel", "K", "explain: the kernel id to explain",
      [](Options& o, const std::string& v) { o.explain_kernel = flag_long("--kernel", v); }},
     {"--calibration-band", "X",
@@ -234,6 +273,8 @@ void print_usage(std::ostream& os) {
         "  explain K     search, then replay kernel K's merge decisions\n"
         "  serve-batch   replay a JSONL request stream through the plan server\n"
         "  store SUB     plan-store maintenance: stats | verify | compact\n"
+        "  slo           SLO burn-rate report from --metrics and/or --events\n"
+        "  top           terminal view of a serve event log (--events FILE)\n"
         "  help          print this message\n"
         "input: a .kf program file, or --builtin NAME\n"
         "options:\n";
@@ -255,8 +296,9 @@ void print_usage(std::ostream& os) {
       {4, "store corruption detected and salvaged (recovery not clean)"},
       {5, "degraded serve (some request answered below its natural rung)"},
       {6, "admission rejected (some request shed by the token bucket)"},
+      {7, "SLO burn rate above --slo-max-burn (slo, serve-batch)"},
   };
-  os << "exit codes (serving conditions by precedence 6 > 5 > 4):\n";
+  os << "exit codes (serving conditions by precedence 7 > 6 > 5 > 4):\n";
   for (const auto& e : kExitCodes) {
     os << strprintf("  %d  %s\n", e.code, e.meaning);
   }
@@ -428,13 +470,13 @@ void emit_group_breakdowns(const Telemetry& telemetry, const TimingSimulator& si
   }
 }
 
-/// Writes the kfc-metrics/v2 document: a "run" summary block, the
+/// Writes the kfc-metrics/v3 document: a "run" summary block, the
 /// registry's counters/gauges/histograms, and (when tracked) the
 /// projection-calibration block.
 void write_metrics_file(const Options& opt, const SearchOutcome& out,
                         const MetricsRegistry& metrics) {
   JsonValue root = JsonValue::object();
-  root.set("schema", "kfc-metrics/v2");
+  root.set("schema", "kfc-metrics/v3");
   JsonValue run = JsonValue::object();
   run.set("program", out.expansion.program.name());
   run.set("method", opt.method);
@@ -505,7 +547,8 @@ SearchOutcome run_search(const Options& opt, const Program& program) {
   std::optional<TraceLog> trace_log;
   SearchOutcome out;
   Telemetry telemetry;
-  if (!opt.metrics_file.empty()) telemetry.metrics = &metrics;
+  if (!opt.metrics_file.empty() || !opt.prom_file.empty())
+    telemetry.metrics = &metrics;
   if (!opt.events_file.empty()) {
     trace_log.emplace(opt.events_file);
     telemetry.trace = &*trace_log;
@@ -650,6 +693,10 @@ SearchOutcome run_search(const Options& opt, const Program& program) {
       }
     }
     if (!opt.metrics_file.empty()) write_metrics_file(opt, out, metrics);
+    if (!opt.prom_file.empty()) {
+      prometheus_write_file(metrics, opt.prom_file);
+      std::cerr << "wrote " << opt.prom_file << " (Prometheus text format)\n";
+    }
     if (!opt.events_file.empty()) {
       std::cerr << "wrote " << opt.events_file << " (" << trace_log->events()
                 << " events)\n";
@@ -900,22 +947,38 @@ int cmd_serve_batch(const Options& opt) {
   std::ifstream in(opt.input_file);
   if (!in) usage("cannot open '" + opt.input_file + "'");
 
-  // Telemetry: same opt-in sinks as run_search.
+  // Telemetry: metrics and the SLO tracker are always on for serve-batch
+  // (the latency percentiles, per-rung headroom and burn-rate report below
+  // come from them); the trace log and span tracer stay opt-in.
   MetricsRegistry metrics;
   std::optional<TraceLog> trace_log;
+  std::unique_ptr<SpanTracer> spans;
+  SloTracker::Config slo_cfg;
+  if (opt.slo_latency_target > 0.0)
+    slo_cfg.latency_target_s = opt.slo_latency_target;
+  SloTracker slo(slo_cfg);
   Telemetry telemetry;
-  if (!opt.metrics_file.empty()) telemetry.metrics = &metrics;
+  telemetry.metrics = &metrics;
+  telemetry.slo = &slo;
   if (!opt.events_file.empty()) {
     trace_log.emplace(opt.events_file);
     telemetry.trace = &*trace_log;
   }
-  const bool want_telemetry = telemetry.active();
+  if (!opt.spans_file.empty()) {
+    spans = std::make_unique<SpanTracer>();
+    telemetry.spans = spans.get();
+  }
 
   PlanStore store(PlanStore::Config{
       .dir = opt.store_dir,
-      .telemetry = want_telemetry ? &telemetry : nullptr});
+      .telemetry = &telemetry});
+
+  // One clock domain for the server, the SLO sample timestamps and the
+  // report's "now", so rolling windows line up with the batch.
+  Stopwatch batch_clock;
 
   PlanServerConfig cfg;
+  cfg.clock = [&batch_clock] { return batch_clock.elapsed_s(); };
   cfg.admission.rate_per_s = opt.serve_rate;
   cfg.admission.burst = opt.serve_burst;
   cfg.max_queue_depth = opt.serve_queue;
@@ -930,11 +993,17 @@ int cmd_serve_batch(const Options& opt) {
   if (opt.max_evals > 0) cfg.default_max_evaluations = opt.max_evals;
   cfg.expand = opt.expand;
   cfg.mem_budget = opt.mem_budget;
-  if (want_telemetry) cfg.telemetry = &telemetry;
+  cfg.telemetry = &telemetry;
   PlanServer server(store, cfg);
 
   std::map<std::string, ValidationStack> stacks;  // keyed program|device
-  std::vector<double> latencies;
+  /// Per-rung latency/headroom aggregation, indexed by ServeRung ordinal.
+  struct RungAgg {
+    std::vector<double> latencies_s;
+    double min_headroom = 1.0;  ///< min of 1 - latency/deadline
+    long deadline_misses = 0;
+  };
+  RungAgg rung_agg[SloTracker::kNumRungs];
   long total = 0;
   long legal = 0;
 
@@ -980,40 +1049,72 @@ int cmd_serve_batch(const Options& opt) {
       const ServeResult r = server.serve(stack.program, stack.device, serve_req);
       ++total;
       if (stack.checker.plan_is_legal(r.plan)) ++legal;
-      latencies.push_back(r.latency_s);
+      RungAgg& agg = rung_agg[static_cast<int>(r.rung)];
+      agg.latencies_s.push_back(r.latency_s);
+      if (r.deadline_s > 0.0) {
+        agg.min_headroom =
+            std::min(agg.min_headroom, 1.0 - r.latency_s / r.deadline_s);
+      }
+      if (!r.deadline_met) ++agg.deadline_misses;
+      // Continuous export: a scraper (or a human with `watch cat`) sees the
+      // registry progress while the batch runs, not just at the end.
+      if (!opt.prom_file.empty() && total % opt.prom_every == 0) {
+        prometheus_write_file(metrics, opt.prom_file);
+      }
     }
   }
   if (total == 0) usage("'" + opt.input_file + "' holds no requests");
 
   const PlanServer::Stats s = server.stats();
-  std::sort(latencies.begin(), latencies.end());
-  auto pct = [&](double p) {
-    const std::size_t i = static_cast<std::size_t>(
-        p * static_cast<double>(latencies.size() - 1) + 0.5);
-    return latencies[std::min(i, latencies.size() - 1)];
+  // Latency percentiles come from the same histogram Prometheus exports
+  // (serve.latency_seconds), not a side vector — one source of truth.
+  const MetricsRegistry::HistogramSnapshot lat =
+      metrics.histogram("serve.latency_seconds");
+  // Per-rung percentiles still need the exact per-request samples.
+  auto pct = [](std::vector<double>& sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    const double rank =
+        (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    return sorted[lo] + (rank - static_cast<double>(lo)) *
+                            (sorted[hi] - sorted[lo]);
   };
 
   std::cout << "serve-batch: " << total << " requests (" << opt.input_file
             << " -> " << opt.store_dir << ")\n";
-  TextTable rungs({"rung", "requests", "share"});
+  TextTable rungs({"rung", "requests", "share", "p50", "p95", "p99", "misses",
+                   "min headroom"});
   const struct { const char* name; long n; } kRungRows[] = {
       {"store_hit", s.store_hits},
       {"polished_stored", s.polished},
       {"full_search", s.full_searches},
       {"trivial_floor", s.trivial},
   };
-  for (const auto& row : kRungRows) {
-    rungs.add(row.name, row.n,
-              fixed(100.0 * static_cast<double>(row.n) / static_cast<double>(total), 1));
+  for (int r = 0; r < SloTracker::kNumRungs; ++r) {
+    RungAgg& agg = rung_agg[r];
+    std::sort(agg.latencies_s.begin(), agg.latencies_s.end());
+    const bool any = !agg.latencies_s.empty();
+    rungs.add(kRungRows[r].name, kRungRows[r].n,
+              fixed(100.0 * static_cast<double>(kRungRows[r].n) /
+                        static_cast<double>(total), 1),
+              any ? human_time(pct(agg.latencies_s, 50)) : "-",
+              any ? human_time(pct(agg.latencies_s, 95)) : "-",
+              any ? human_time(pct(agg.latencies_s, 99)) : "-",
+              agg.deadline_misses,
+              any ? fixed(100.0 * agg.min_headroom, 1) + "%" : "-");
   }
   std::cout << rungs.to_string();
   std::cout << "admission: " << total - s.queued - s.rejected << " admitted, "
             << s.queued << " queued, " << s.rejected << " rejected\n";
   std::cout << "degraded " << s.degraded << ", retries " << s.retries
             << ", deadline_misses " << s.deadline_missed << "\n";
-  std::cout << "latency: p50 " << human_time(pct(0.50)) << ", p95 "
-            << human_time(pct(0.95)) << ", max " << human_time(latencies.back())
+  std::cout << "latency: p50 " << human_time(lat.percentile(50)) << ", p95 "
+            << human_time(lat.percentile(95)) << ", p99 "
+            << human_time(lat.percentile(99)) << ", max " << human_time(lat.max)
             << "\n";
+  const SloTracker::Report slo_report = slo.report(batch_clock.elapsed_s());
+  std::cout << slo_report.render();
   const PlanStore::Stats ss = store.stats();
   std::cout << "store: " << ss.plans << " plans, " << ss.hits << "/" << ss.gets
             << " hits, " << s.writebacks << " write-backs";
@@ -1026,14 +1127,29 @@ int cmd_serve_batch(const Options& opt) {
 
   if (!opt.metrics_file.empty()) {
     JsonValue root = JsonValue::object();
-    root.set("schema", "kfc-metrics/v2");
+    root.set("schema", "kfc-metrics/v3");
     const JsonValue series = metrics.to_json();
     for (const auto& [key, value] : series.members()) root.set(key, value);
+    root.set("slo", slo_report.to_json());
     std::ofstream os(opt.metrics_file);
     KF_REQUIRE(static_cast<bool>(os),
                "cannot open metrics file '" << opt.metrics_file << "'");
     os << root.to_string(2) << "\n";
     std::cerr << "wrote " << opt.metrics_file << "\n";
+  }
+  if (!opt.prom_file.empty()) {
+    prometheus_write_file(metrics, opt.prom_file);
+    std::cerr << "wrote " << opt.prom_file << " (Prometheus text format)\n";
+  }
+  if (spans != nullptr) {
+    ChromeTraceWriter writer;
+    spans->append_chrome_trace(writer);
+    std::ofstream spans_out(opt.spans_file);
+    KF_REQUIRE(static_cast<bool>(spans_out),
+               "cannot open spans file '" << opt.spans_file << "'");
+    spans_out << writer.finish();
+    std::cerr << "wrote " << opt.spans_file << " (" << spans->recorded()
+              << " spans, " << spans->threads_seen() << " threads)\n";
   }
   if (!opt.events_file.empty()) {
     std::cerr << "wrote " << opt.events_file << " (" << trace_log->events()
@@ -1041,11 +1157,202 @@ int cmd_serve_batch(const Options& opt) {
   }
 
   // Exit-code ladder (documented in `kfc help`): a verification failure
-  // trumps everything, then rejected > degraded > salvaged.
+  // trumps everything, then SLO burn (only when the caller armed the gate
+  // with --slo-max-burn) > rejected > degraded > salvaged.
   if (legal != total) return 1;
+  if (opt.slo_max_burn > 0.0 && slo_report.worst_burn > opt.slo_max_burn) {
+    std::cerr << strprintf(
+        "slo: worst burn rate %.3f exceeds --slo-max-burn %.3f\n",
+        slo_report.worst_burn, opt.slo_max_burn);
+    return 7;
+  }
   if (s.rejected > 0) return 6;
   if (s.degraded > 0) return 5;
   if (!store.recovery().clean()) return 4;
+  return 0;
+}
+
+/// ServeRung ordinal for a wide event's "rung" string; -1 when unknown
+/// (SloTracker ignores out-of-range rungs, so forward-compatible).
+int rung_index(const std::string& name) {
+  static const char* const kNames[SloTracker::kNumRungs] = {
+      "store_hit", "polished_stored", "full_search", "trivial_floor"};
+  for (int r = 0; r < SloTracker::kNumRungs; ++r) {
+    if (name == kNames[r]) return r;
+  }
+  return -1;
+}
+
+/// Replays a wide-event JSONL file through an SloTracker. Returns the
+/// latest event timestamp (the report's "now"); torn/malformed lines are
+/// skipped so a live file mid-append still reads.
+double replay_wide_events(const std::string& path, SloTracker& tracker) {
+  std::ifstream in(path);
+  KF_CHECK(static_cast<bool>(in), "cannot open events file '" << path << "'");
+  double last_ts = 0.0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    JsonValue event;
+    try {
+      event = JsonValue::parse(line);
+    } catch (const RuntimeError&) {
+      continue;  // torn tail of a live file
+    }
+    if (event.string_or("type", "") != "serve_request") continue;
+    SloTracker::Sample sample;
+    sample.t_s = event.number_or("ts", 0.0);
+    sample.latency_s = event.number_or("latency_s", 0.0);
+    const JsonValue* met = event.find("deadline_met");
+    sample.deadline_met = met == nullptr || !met->is_bool() || met->as_bool();
+    const JsonValue* degraded = event.find("degraded");
+    sample.degraded =
+        degraded != nullptr && degraded->is_bool() && degraded->as_bool();
+    sample.rung = rung_index(event.string_or("rung", ""));
+    tracker.record(sample);
+    last_ts = std::max(last_ts, sample.t_s);
+  }
+  return last_ts;
+}
+
+/// `kfc slo`: render the SLO burn-rate report — from a kfc-metrics/v3
+/// "slo" block (--metrics) or recomputed from the wide events (--events).
+/// Exit 7 when --slo-max-burn is set and exceeded.
+int cmd_slo(const Options& opt) {
+  if (opt.metrics_file.empty() && opt.events_file.empty()) {
+    usage("slo needs --metrics FILE (v3 slo block) and/or --events FILE "
+          "(serve_request wide events)");
+  }
+  SloTracker::Report report;
+  if (!opt.metrics_file.empty()) {
+    std::ifstream in(opt.metrics_file);
+    KF_CHECK(static_cast<bool>(in),
+             "cannot open metrics file '" << opt.metrics_file << "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    const JsonValue doc = JsonValue::parse(text.str());
+    const JsonValue* block = doc.find("slo");
+    KF_CHECK(block != nullptr,
+             "no \"slo\" block in '" << opt.metrics_file
+                                     << "' (needs a kfc-metrics/v3 document "
+                                        "from `kfc serve-batch --metrics`)");
+    report = SloTracker::from_json(*block);
+  } else {
+    SloTracker::Config cfg;
+    if (opt.slo_latency_target > 0.0)
+      cfg.latency_target_s = opt.slo_latency_target;
+    SloTracker tracker(cfg);
+    const double last_ts = replay_wide_events(opt.events_file, tracker);
+    KF_CHECK(tracker.recorded() > 0,
+             "'" << opt.events_file << "' holds no serve_request wide events");
+    report = tracker.report(last_ts);
+  }
+  std::cout << report.render();
+  if (opt.slo_max_burn > 0.0 && report.worst_burn > opt.slo_max_burn) {
+    std::cout << strprintf("worst burn rate %.3f exceeds --slo-max-burn %.3f\n",
+                           report.worst_burn, opt.slo_max_burn);
+    return 7;
+  }
+  return 0;
+}
+
+/// `kfc top --events FILE`: a terminal view of a serve event log —
+/// in-flight requests ("serve_start" markers minus "serve_request"
+/// completions), the rung distribution, SLO burn over the rolling windows
+/// and the most recent requests. One-shot by default; --follow re-reads
+/// the (possibly still growing) file every --interval seconds.
+int cmd_top(const Options& opt) {
+  if (opt.events_file.empty())
+    usage("top needs --events FILE (a serve-batch event log)");
+  struct Recent {
+    long seq = 0;
+    std::string rung;
+    double latency_s = 0.0;
+    bool deadline_met = true;
+    std::string trace;
+  };
+  for (;;) {
+    std::ifstream in(opt.events_file);
+    KF_CHECK(static_cast<bool>(in),
+             "cannot open events file '" << opt.events_file << "'");
+    long started = 0;
+    long completed = 0;
+    long rung_counts[SloTracker::kNumRungs] = {};
+    std::vector<Recent> recent;  // bounded ring, newest last
+    const std::size_t kRecent = 10;
+    SloTracker::Config slo_cfg;
+    if (opt.slo_latency_target > 0.0)
+      slo_cfg.latency_target_s = opt.slo_latency_target;
+    SloTracker tracker(slo_cfg);
+    double last_ts = 0.0;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (trim(line).empty()) continue;
+      JsonValue event;
+      try {
+        event = JsonValue::parse(line);
+      } catch (const RuntimeError&) {
+        continue;  // torn tail of a live file
+      }
+      const std::string type = event.string_or("type", "");
+      if (type == "serve_start") {
+        ++started;
+      } else if (type == "serve_request") {
+        ++completed;
+        const std::string rung = event.string_or("rung", "?");
+        if (const int r = rung_index(rung); r >= 0) ++rung_counts[r];
+        SloTracker::Sample sample;
+        sample.t_s = event.number_or("ts", 0.0);
+        sample.latency_s = event.number_or("latency_s", 0.0);
+        const JsonValue* met = event.find("deadline_met");
+        sample.deadline_met =
+            met == nullptr || !met->is_bool() || met->as_bool();
+        const JsonValue* degraded = event.find("degraded");
+        sample.degraded =
+            degraded != nullptr && degraded->is_bool() && degraded->as_bool();
+        sample.rung = rung_index(rung);
+        tracker.record(sample);
+        last_ts = std::max(last_ts, sample.t_s);
+        Recent r;
+        r.seq = static_cast<long>(event.number_or("seq", 0.0));
+        r.rung = rung;
+        r.latency_s = sample.latency_s;
+        r.deadline_met = sample.deadline_met;
+        r.trace = event.string_or("trace", "");
+        if (recent.size() == kRecent) recent.erase(recent.begin());
+        recent.push_back(std::move(r));
+      }
+    }
+    std::ostringstream os;
+    os << "kfc top — " << opt.events_file << "\n";
+    os << "in-flight " << std::max<long>(0, started - completed)
+       << ", completed " << completed << "\n";
+    if (completed > 0) {
+      static const char* const kNames[SloTracker::kNumRungs] = {
+          "store_hit", "polished_stored", "full_search", "trivial_floor"};
+      TextTable rungs({"rung", "requests", "share"});
+      for (int r = 0; r < SloTracker::kNumRungs; ++r) {
+        rungs.add(kNames[r], rung_counts[r],
+                  fixed(100.0 * static_cast<double>(rung_counts[r]) /
+                            static_cast<double>(completed), 1));
+      }
+      os << rungs.to_string();
+      os << tracker.report(last_ts).render();
+      TextTable table({"seq", "rung", "latency", "deadline", "trace"});
+      for (const Recent& r : recent) {
+        table.add(r.seq, r.rung, human_time(r.latency_s),
+                  r.deadline_met ? "ok" : "MISS",
+                  r.trace.empty() ? "-" : r.trace.substr(0, 16));
+      }
+      os << "last " << recent.size() << " requests:\n" << table.to_string();
+    } else {
+      os << "(no serve_request wide events yet)\n";
+    }
+    if (opt.follow) std::cout << "\033[H\033[2J";  // home + clear
+    std::cout << os.str() << std::flush;
+    if (!opt.follow) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(opt.interval_s));
+  }
   return 0;
 }
 
@@ -1070,6 +1377,8 @@ int main(int argc, char** argv) {
     if (opt.command == "explain") return cmd_explain(opt);
     if (opt.command == "serve-batch") return cmd_serve_batch(opt);
     if (opt.command == "store") return cmd_store(opt);
+    if (opt.command == "slo") return cmd_slo(opt);
+    if (opt.command == "top") return cmd_top(opt);
     if (opt.command == "help" || opt.command == "--help" || opt.command == "-h") {
       print_usage(std::cout);
       return 0;
