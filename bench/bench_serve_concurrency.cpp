@@ -1,0 +1,167 @@
+// Worker-pool serving throughput: serial replay vs. the concurrent
+// ServeEngine on a warmed-store workload.
+//
+// The concurrency PR's contract is that the worker pool scales the
+// steady-state (store-hit) serving path: a store hit re-validates and
+// re-costs a stored plan — pure CPU work over read-mostly shared state
+// (shared_mutex store reads, per-context call_once, atomic stats) — so N
+// workers over the bounded queue should approach Nx a single worker. This
+// bench warms ONE shared store, replays the same request stream serially
+// and through the engine interleaved best-of-N, checks the responses are
+// bit-identical in submission order (replay stability), and reports the
+// speedup. With --min-speedup S > 0 it fails below S; the default 0 keeps
+// local runs on small machines report-only — CI passes the committed
+// baseline contract (bench/baselines/serve_concurrency_baseline.json).
+//
+// The JSON mirror (BENCH_serve_concurrency.json) feeds the CI perf-smoke job.
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/plan_server.hpp"
+#include "serve/serve_engine.hpp"
+#include "store/plan_store.hpp"
+
+namespace kf::bench {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = std::filesystem::temp_directory_path().string() +
+                          "/kf_bench_serve_conc_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+int run(int argc, char** argv) {
+  int workers = 8;
+  double min_speedup = 0.0;  // report-only unless a gate is requested
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0) workers = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--min-speedup") == 0)
+      min_speedup = std::atof(argv[i + 1]);
+  }
+  if (workers < 1) workers = 1;
+
+  print_header("Worker-pool serving throughput (serial vs. concurrent engine)",
+               "the serving engine's linear-scaling contract on store hits");
+
+  // Same application-scale program as the tracing bench: a 256-kernel
+  // test-suite instance keeps the per-request work (validate + re-cost a
+  // real plan) representative of the paper's apps, not an empty loop.
+  TestSuiteConfig suite;
+  suite.kernels = 256;
+  suite.arrays = 512;
+  suite.seed = 7;
+  const Program program = make_testsuite_program(suite);
+  const std::vector<DeviceSpec> devices = {DeviceSpec::k20x(),
+                                           DeviceSpec::k40()};
+  const long requests = small_scale() ? 200 : 1000;
+  const int reps = small_scale() ? 3 : 5;
+
+  // ONE shared store, warmed once: the warming search is deadline-bounded
+  // (anytime), so independent stores could legally hold different plans and
+  // the bit-identical check would compare search nondeterminism instead of
+  // scheduling. Sharing means both loops replay hits on the same plans.
+  PlanStore store({.dir = fresh_dir("shared"), .durable = false});
+  PlanServer server(store, PlanServerConfig{});
+  for (const DeviceSpec& d : devices) server.serve(program, d);
+
+  double serial_best_s = 1e300;
+  double pool_best_s = 1e300;
+  std::vector<std::string> serial_plans;
+  std::vector<std::string> pool_plans;
+  for (int rep = 0; rep < reps; ++rep) {
+    // Interleave serial and pooled runs so drift (thermal, noisy
+    // neighbours) hits both evenly.
+    {
+      serial_plans.clear();
+      Stopwatch watch;
+      for (long i = 0; i < requests; ++i) {
+        const ServeResult r = server.serve(
+            program, devices[static_cast<std::size_t>(i) % devices.size()]);
+        serial_plans.push_back(r.plan.to_string() + "|" + to_string(r.rung));
+      }
+      const double secs = watch.elapsed_s();
+      if (secs < serial_best_s) serial_best_s = secs;
+    }
+    {
+      pool_plans.clear();
+      ServeEngine engine(
+          server,
+          ServeEngineConfig{.workers = workers,
+                            .queue_capacity = static_cast<std::size_t>(
+                                std::max<long>(requests, 64)),
+                            .shed_on_full = false});
+      std::vector<std::future<ServeResult>> futures;
+      futures.reserve(static_cast<std::size_t>(requests));
+      Stopwatch watch;
+      for (long i = 0; i < requests; ++i)
+        futures.push_back(engine.submit(
+            program, devices[static_cast<std::size_t>(i) % devices.size()]));
+      for (auto& f : futures) {
+        const ServeResult r = f.get();
+        pool_plans.push_back(r.plan.to_string() + "|" + to_string(r.rung));
+      }
+      const double secs = watch.elapsed_s();
+      engine.drain();
+      if (secs < pool_best_s) pool_best_s = secs;
+    }
+  }
+
+  const double speedup = serial_best_s / pool_best_s;
+  const bool identical = serial_plans == pool_plans;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  TextTable table({"configuration", "best-of-" + std::to_string(reps), "req/s",
+                   "speedup"});
+  table.add("serial (1 worker)", human_time(serial_best_s),
+            fixed(static_cast<double>(requests) / serial_best_s, 0), "--");
+  table.add("pool (" + std::to_string(workers) + " workers)",
+            human_time(pool_best_s),
+            fixed(static_cast<double>(requests) / pool_best_s, 0),
+            fixed(speedup, 2) + "x");
+  std::cout << table;
+  std::cout << "\nresponses bit-identical to serial replay: "
+            << (identical ? "yes" : "NO — BUG") << "\n"
+            << "hardware threads: " << hw << ", speedup gate: "
+            << (min_speedup > 0.0 ? fixed(min_speedup, 2) + "x"
+                                  : std::string("none (report-only)"))
+            << "\n";
+
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "kf-bench-metrics/v1");
+  doc.set("bench", "serve_concurrency");
+  doc.set("program", testsuite_id(suite));
+  doc.set("requests", requests);
+  doc.set("reps", static_cast<long>(reps));
+  doc.set("workers", static_cast<long>(workers));
+  doc.set("hardware_threads", static_cast<long>(hw));
+  doc.set("serial_best_s", serial_best_s);
+  doc.set("pool_best_s", pool_best_s);
+  doc.set("speedup", speedup);
+  doc.set("serial_req_per_s", static_cast<double>(requests) / serial_best_s);
+  doc.set("pool_req_per_s", static_cast<double>(requests) / pool_best_s);
+  doc.set("identical_outcome", identical);
+  write_bench_metrics("serve_concurrency", doc);
+
+  if (!identical) {
+    std::cerr << "FAIL: pooled responses diverged from the serial replay\n";
+    return 1;
+  }
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::cerr << "FAIL: speedup " << fixed(speedup, 2) << "x at " << workers
+              << " workers below the " << fixed(min_speedup, 2)
+              << "x floor\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kf::bench
+
+int main(int argc, char** argv) { return kf::bench::run(argc, argv); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <thread>
 #include <utility>
 
@@ -30,6 +31,7 @@ const char* to_string(AdmissionOutcome outcome) noexcept {
     case AdmissionOutcome::Admitted: return "admitted";
     case AdmissionOutcome::Queued: return "queued";
     case AdmissionOutcome::Rejected: return "rejected";
+    case AdmissionOutcome::RejectedOverload: return "rejected_overload";
   }
   return "?";
 }
@@ -77,7 +79,10 @@ std::vector<ServeLog::Entry> ServeLog::entries() const {
 // -------------------------------------------------------------- PlanServer
 
 /// The per-(program, device) evaluation stack. Declaration order is
-/// construction order: the objective borrows everything above it.
+/// construction order: the objective borrows everything above it. Immutable
+/// after construction apart from the Objective's internally-synchronised
+/// state (atomic counters, lock-striped group-cost cache), so concurrent
+/// requests share one Context freely.
 struct PlanServer::Context {
   ExpansionResult expansion;
   DeviceSpec device;
@@ -106,9 +111,53 @@ struct PlanServer::Context {
   }
 };
 
+struct PlanServer::ContextSlot {
+  std::once_flag once;
+  std::unique_ptr<Context> ctx;
+};
+
+/// Rendezvous between a coalescing leader and its waiters. The leader
+/// fills the outcome under `mu` and flips `done`; waiters time out against
+/// their own remaining deadline, so a stuck leader degrades its waiters to
+/// the floor instead of hanging them.
+struct PlanServer::InFlight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  ServeRung rung = ServeRung::TrivialFloor;
+  FusionPlan plan;
+  double cost_s = 0.0;
+  int retries = 0;
+};
+
+namespace {
+
+/// serve.inflight as a real concurrent-request count (it was a 0/1 marker
+/// when serve() was serial).
+class InflightGauge {
+ public:
+  InflightGauge(std::atomic<int>& count, const Telemetry* telemetry)
+      : count_(count), telemetry_(telemetry) {
+    set(count_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+  ~InflightGauge() {
+    set(count_.fetch_sub(1, std::memory_order_relaxed) - 1);
+  }
+
+ private:
+  void set(int value) const {
+    if (telemetry_ != nullptr && telemetry_->metrics != nullptr)
+      telemetry_->metrics->gauge("serve.inflight", static_cast<double>(value));
+  }
+  std::atomic<int>& count_;
+  const Telemetry* telemetry_;
+};
+
+}  // namespace
+
 PlanServer::PlanServer(PlanStore& store, PlanServerConfig config)
-    : store_(store), config_(std::move(config)), bucket_(config_.admission),
-      log_(config_.log_capacity) {
+    : store_(store), config_(std::move(config)), log_(config_.log_capacity),
+      bucket_(config_.admission) {
   KF_REQUIRE(config_.default_deadline_s > 0.0,
              "PlanServer: default_deadline_s must be > 0");
   KF_REQUIRE(config_.search_budget_fraction > 0.0 &&
@@ -125,12 +174,16 @@ PlanServer::PlanServer(PlanStore& store, PlanServerConfig config)
   }
   if (config_.telemetry != nullptr && config_.telemetry->metrics != nullptr) {
     // Explicit buckets so the Prometheus exporter can render the serve
-    // latency histogram (with per-bucket trace-id exemplars). Declared
-    // before the first request for exact bucket counts.
+    // latency and queue-wait histograms (with per-bucket trace-id
+    // exemplars). Declared before the first request for exact counts.
     config_.telemetry->metrics->declare_buckets(
         "serve.latency_seconds",
         {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
          5.0, 10.0});
+    config_.telemetry->metrics->declare_buckets(
+        "serve.queue_wait_seconds",
+        {0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+         0.1, 0.25, 0.5, 1.0});
   }
 }
 
@@ -140,16 +193,22 @@ PlanServer::Context& PlanServer::context(const Program& program,
                                          const DeviceSpec& device) {
   // Keyed on the *raw* program so the lookup never re-runs expansion; the
   // stored PlanKey inside uses the expanded fingerprint.
-  const auto cache_key = std::make_pair(program_fingerprint(program),
-                                        device_fingerprint(device));
-  auto it = contexts_.find(cache_key);
-  if (it == contexts_.end()) {
-    it = contexts_
-             .emplace(cache_key,
-                      std::make_unique<Context>(program, device, config_))
-             .first;
+  const ContextKey cache_key = std::make_pair(program_fingerprint(program),
+                                              device_fingerprint(device));
+  std::shared_ptr<ContextSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(contexts_mu_);
+    std::shared_ptr<ContextSlot>& entry = contexts_[cache_key];
+    if (!entry) entry = std::make_shared<ContextSlot>();
+    slot = entry;
   }
-  return *it->second;
+  // Expansion + checker construction run outside the map lock; racing
+  // requests on a brand-new key build the stack exactly once and the
+  // losers block only on this key, not on the whole map.
+  std::call_once(slot->once, [&] {
+    slot->ctx = std::make_unique<Context>(program, device, config_);
+  });
+  return *slot->ctx;
 }
 
 bool PlanServer::plan_usable(const Context& ctx, const std::string& plan_text,
@@ -201,10 +260,14 @@ void PlanServer::write_back(Context& ctx, const ServeResult& result,
   stored.baseline_cost_s = result.baseline_cost_s;
   try {
     store_.put(std::move(stored));
+    std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.writebacks;
   } catch (const StoreError&) {
     // A torn/injected store write degrades durability, never the response.
-    ++stats_.writeback_failures;
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.writeback_failures;
+    }
     const Telemetry* t = config_.telemetry;
     if (t != nullptr && t->metrics != nullptr)
       t->metrics->count("serve.store_writeback_failures");
@@ -217,6 +280,7 @@ void PlanServer::finish(ServeResult& result, const Context* ctx,
   result.latency_s = std::max(0.0, config_.clock() - start_s);
   result.deadline_met = result.latency_s <= result.deadline_s;
   result.degraded = result.admission == AdmissionOutcome::Rejected ||
+                    result.admission == AdmissionOutcome::RejectedOverload ||
                     result.rung == ServeRung::PolishedStored ||
                     result.rung == ServeRung::TrivialFloor;
   if (ctx != nullptr) result.key = ctx->key;
@@ -224,18 +288,24 @@ void PlanServer::finish(ServeResult& result, const Context* ctx,
   for (int s = 0; s < RequestContext::kNumStages; ++s)
     result.stage_s[s] = rc.stage_s[s];
 
-  ++stats_.requests;
-  switch (result.rung) {
-    case ServeRung::StoreHit: ++stats_.store_hits; break;
-    case ServeRung::PolishedStored: ++stats_.polished; break;
-    case ServeRung::FullSearch: ++stats_.full_searches; break;
-    case ServeRung::TrivialFloor: ++stats_.trivial; break;
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.requests;
+    switch (result.rung) {
+      case ServeRung::StoreHit: ++stats_.store_hits; break;
+      case ServeRung::PolishedStored: ++stats_.polished; break;
+      case ServeRung::FullSearch: ++stats_.full_searches; break;
+      case ServeRung::TrivialFloor: ++stats_.trivial; break;
+    }
+    if (result.degraded) ++stats_.degraded;
+    if (result.admission == AdmissionOutcome::Queued) ++stats_.queued;
+    if (result.admission == AdmissionOutcome::Rejected) ++stats_.rejected;
+    if (result.admission == AdmissionOutcome::RejectedOverload)
+      ++stats_.rejected_overload;
+    if (result.coalesced) ++stats_.coalesced;
+    stats_.retries += result.retries;
+    if (!result.deadline_met) ++stats_.deadline_missed;
   }
-  if (result.degraded) ++stats_.degraded;
-  if (result.admission == AdmissionOutcome::Queued) ++stats_.queued;
-  if (result.admission == AdmissionOutcome::Rejected) ++stats_.rejected;
-  stats_.retries += result.retries;
-  if (!result.deadline_met) ++stats_.deadline_missed;
 
   ServeLog::Entry entry;
   entry.seq = rc.seq;
@@ -269,12 +339,14 @@ void PlanServer::finish(ServeResult& result, const Context* ctx,
       m->count("serve.queued_total");
     if (result.admission == AdmissionOutcome::Rejected)
       m->count("serve.admission_rejected_total");
+    if (result.admission == AdmissionOutcome::RejectedOverload)
+      m->count("serve.queue_rejected_total");
+    if (result.coalesced) m->count("serve.coalesced_total");
     if (result.retries > 0) m->count("serve.retries_total", result.retries);
     if (!result.deadline_met) m->count("serve.deadline_missed_total");
     // Observed while the request's TraceScope is active: the histogram
     // bucket this sample lands in captures the trace id as its exemplar.
     m->observe("serve.latency_seconds", result.latency_s);
-    m->gauge("serve.inflight", 0.0);
   }
   if (t != nullptr && t->wants_trace()) {
     // The request's single canonical wide event: identity, rung, hit
@@ -291,6 +363,8 @@ void PlanServer::finish(ServeResult& result, const Context* ctx,
           .str("admission", to_string(result.admission))
           .boolean("store_hit", result.rung == ServeRung::StoreHit)
           .boolean("degraded", result.degraded)
+          .boolean("coalesced", result.coalesced)
+          .num("worker_id", result.worker_id)
           .num("retries", result.retries)
           .num("queue_wait_s", result.queue_wait_s)
           .num("latency_s", result.latency_s)
@@ -311,116 +385,14 @@ void PlanServer::finish(ServeResult& result, const Context* ctx,
   }
 }
 
-ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
-                              const ServeRequest& request) {
-  KF_REQUIRE(program.num_kernels() > 0, "PlanServer: empty program");
-  std::lock_guard<std::mutex> lock(mu_);
-
-  const double start = config_.clock();
-  ServeResult result;
-  result.deadline_s =
-      request.deadline_s > 0.0 ? request.deadline_s : config_.default_deadline_s;
-
-  // The context (and its baseline) is needed on every path — even a
-  // rejected request answers with a costed identity plan.
-  Context& ctx = context(program, device);
+void PlanServer::miss_ladder(Context& ctx, const ServeRequest& request,
+                             double start_s, ServeResult& result,
+                             RequestContext& rc) {
   const int n = ctx.expansion.program.num_kernels();
-  result.num_kernels = n;
-  result.baseline_cost_s = ctx.objective.baseline_cost();
-
-  // Request identity, created at admission: a deterministic trace id,
-  // installed thread-locally so every sink reached below this frame
-  // (spans, decisions, trace events, store journal, histogram exemplars)
-  // stamps it without any parameter threading. TraceScope costs a 16-byte
-  // TLS swap — nothing when telemetry is off.
-  RequestContext rc;
-  rc.seq = ++seq_;
-  rc.deadline_s = result.deadline_s;
-  rc.trace_id = TraceId::derive(static_cast<std::uint64_t>(rc.seq),
-                                ctx.key.program_fp, ctx.key.device_fp,
-                                config_.trace_salt);
-  TraceScope trace_scope(rc.trace_id);
-  SpanTracer::Scope request_span =
-      scoped_span(config_.telemetry, "serve.request", "serve");
-  if (const Telemetry* t = config_.telemetry;
-      t != nullptr && t->metrics != nullptr)
-    t->metrics->gauge("serve.inflight", 1.0);
-  if (const Telemetry* t = config_.telemetry; t != nullptr && t->wants_trace()) {
-    // Admission-side marker: `kfc top` pairs these with "serve_request"
-    // completions (same trace id) to count in-flight requests.
-    t->trace->emit("serve_start", [&](TraceEvent& e) {
-      e.num("seq", rc.seq).num("deadline_s", result.deadline_s);
-    });
-  }
-
-  // ---- admission ----
-  double mark = config_.clock();
-  TokenBucket::Decision decision;
-  {
-    SpanTracer::Scope span =
-        scoped_span(config_.telemetry, "serve.admission", "serve");
-    decision = bucket_.admit(start, config_.max_queue_depth);
-    // A queued request whose wait alone would blow the deadline is shed up
-    // front — honest rejection beats a guaranteed deadline miss.
-    if (decision.admitted && decision.wait_s >= result.deadline_s)
-      decision.admitted = false;
-  }
-  rc.charge(RequestContext::kAdmission, config_.clock() - mark);
-  if (!decision.admitted) {
-    result.admission = AdmissionOutcome::Rejected;
-    result.rung = ServeRung::TrivialFloor;
-    result.plan = FusionPlan(n);
-    result.cost_s = result.baseline_cost_s;
-    finish(result, &ctx, start, rc);
-    return result;
-  }
-  if (decision.wait_s > 0.0) {
-    result.admission = AdmissionOutcome::Queued;
-    result.queue_wait_s = decision.wait_s;
-    mark = config_.clock();
-    {
-      SpanTracer::Scope span =
-          scoped_span(config_.telemetry, "serve.queue_wait", "serve");
-      config_.sleep(decision.wait_s);
-    }
-    rc.charge(RequestContext::kQueueWait, config_.clock() - mark);
-  }
-
-  // ---- rung 1: exact store hit ----
-  {
-    mark = config_.clock();
-    SpanTracer::Scope span =
-        scoped_span(config_.telemetry, "serve.store_get", "serve");
-    if (std::optional<StoredPlan> stored = store_.get(ctx.key)) {
-      FusionPlan plan;
-      if (plan_usable(ctx, stored->plan_text, &plan)) {
-        result.rung = ServeRung::StoreHit;
-        result.plan = std::move(plan);
-        result.cost_s = ctx.objective.plan_cost(result.plan);
-        span.end();
-        rc.charge(RequestContext::kStoreGet, config_.clock() - mark);
-        finish(result, &ctx, start, rc);
-        return result;
-      }
-      // Stored but no longer legal under this process's checker: evict, and
-      // fall through the ladder as a miss.
-      ++stats_.invalid_stored;
-      try {
-        store_.erase(ctx.key);
-      } catch (const StoreError&) {
-        // eviction is advisory; a wedged store must not fail the request
-      }
-      const Telemetry* t = config_.telemetry;
-      if (t != nullptr && t->metrics != nullptr)
-        t->metrics->count("serve.invalid_stored_total");
-    }
-    span.end();
-    rc.charge(RequestContext::kStoreGet, config_.clock() - mark);
-  }
 
   // ---- rung 2: polish the nearest stored plan (same program, any device) ----
   {
-    mark = config_.clock();
+    double mark = config_.clock();
     SpanTracer::Scope span =
         scoped_span(config_.telemetry, "serve.polish_stored", "serve");
     std::vector<StoredPlan> candidates =
@@ -448,9 +420,7 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
       result.cost_s = cost;
       span.end();
       rc.charge(RequestContext::kPolish, config_.clock() - mark);
-      write_back(ctx, result, rc);
-      finish(result, &ctx, start, rc);
-      return result;
+      return;
     }
     span.end();
     rc.charge(RequestContext::kPolish, config_.clock() - mark);
@@ -458,7 +428,7 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
 
   // ---- rung 3: full search under the remaining budget, with retries ----
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
-    const double remaining = result.deadline_s - (config_.clock() - start);
+    const double remaining = result.deadline_s - (config_.clock() - start_s);
     if (remaining < config_.min_search_budget_s) break;
 
     DriverConfig driver;
@@ -471,7 +441,7 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
     driver.limits.max_faults = config_.fault_storm_evals;
     driver.telemetry = config_.telemetry;
 
-    mark = config_.clock();
+    double mark = config_.clock();
     SpanTracer::Scope span =
         scoped_span(config_.telemetry, "serve.search_attempt", "serve");
     SearchResult search = SearchDriver(ctx.objective, driver).run();
@@ -483,9 +453,7 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
       result.rung = ServeRung::FullSearch;
       result.plan = std::move(search.best);
       result.cost_s = search.best_cost_s;
-      write_back(ctx, result, rc);
-      finish(result, &ctx, start, rc);
-      return result;
+      return;
     }
     // Fault storm: back off exponentially and retry. The objective's
     // quarantine survives the attempt, so the retry walks around the
@@ -494,14 +462,14 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
       ++result.retries;
       const double backoff = std::min(
           config_.backoff_base_s * static_cast<double>(1 << attempt),
-          std::max(0.0, result.deadline_s - (config_.clock() - start)));
-      mark = config_.clock();
+          std::max(0.0, result.deadline_s - (config_.clock() - start_s)));
+      double mark2 = config_.clock();
       {
         SpanTracer::Scope span2 =
             scoped_span(config_.telemetry, "serve.backoff", "serve");
         config_.sleep(backoff);
       }
-      rc.charge(RequestContext::kBackoff, config_.clock() - mark);
+      rc.charge(RequestContext::kBackoff, config_.clock() - mark2);
     }
   }
 
@@ -509,13 +477,293 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
   result.rung = ServeRung::TrivialFloor;
   result.plan = FusionPlan(n);
   result.cost_s = result.baseline_cost_s;
+}
+
+void PlanServer::publish_flight(const std::shared_ptr<InFlight>& flight,
+                                const ContextKey& key,
+                                const ServeResult& result) {
+  // Retire the entry first so a request arriving after publication starts a
+  // fresh flight (it will usually be a StoreHit by then anyway) instead of
+  // joining a finished one.
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->rung = result.rung;
+    flight->plan = result.plan;
+    flight->cost_s = result.cost_s;
+    flight->retries = result.retries;
+  }
+  flight->cv.notify_all();
+}
+
+ServeResult PlanServer::reject_overload(const Program& program,
+                                        const DeviceSpec& device,
+                                        const ServeRequest& request) {
+  KF_REQUIRE(program.num_kernels() > 0, "PlanServer: empty program");
+  const double dequeue_s = config_.clock();
+  const double start = request.enqueue_s >= 0.0
+                           ? std::min(request.enqueue_s, dequeue_s)
+                           : dequeue_s;
+  ServeResult result;
+  result.worker_id = request.worker_id;
+  result.deadline_s =
+      request.deadline_s > 0.0 ? request.deadline_s : config_.default_deadline_s;
+
+  Context& ctx = context(program, device);
+  const int n = ctx.expansion.program.num_kernels();
+  result.num_kernels = n;
+  result.baseline_cost_s = ctx.objective.baseline_cost();
+
+  RequestContext rc;
+  rc.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  rc.deadline_s = result.deadline_s;
+  rc.trace_id = TraceId::derive(static_cast<std::uint64_t>(rc.seq),
+                                ctx.key.program_fp, ctx.key.device_fp,
+                                config_.trace_salt);
+  TraceScope trace_scope(rc.trace_id);
+  InflightGauge gauge(inflight_requests_, config_.telemetry);
+
+  result.admission = AdmissionOutcome::RejectedOverload;
+  result.rung = ServeRung::TrivialFloor;
+  result.plan = FusionPlan(n);
+  result.cost_s = result.baseline_cost_s;
+  finish(result, &ctx, start, rc);
+  return result;
+}
+
+ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
+                              const ServeRequest& request) {
+  KF_REQUIRE(program.num_kernels() > 0, "PlanServer: empty program");
+
+  // Engine-submitted requests carry their enqueue timestamp: the latency
+  // and deadline clocks start when the request entered the system, not
+  // when a worker picked it up, so time spent queued counts against the
+  // deadline exactly like time spent searching.
+  const double dequeue_s = config_.clock();
+  const double start = request.enqueue_s >= 0.0
+                           ? std::min(request.enqueue_s, dequeue_s)
+                           : dequeue_s;
+  ServeResult result;
+  result.worker_id = request.worker_id;
+  result.deadline_s =
+      request.deadline_s > 0.0 ? request.deadline_s : config_.default_deadline_s;
+
+  // The context (and its baseline) is needed on every path — even a
+  // rejected request answers with a costed identity plan.
+  Context& ctx = context(program, device);
+  const int n = ctx.expansion.program.num_kernels();
+  result.num_kernels = n;
+  result.baseline_cost_s = ctx.objective.baseline_cost();
+
+  // Request identity, created at admission: a deterministic trace id,
+  // installed thread-locally so every sink reached below this frame
+  // (spans, decisions, trace events, store journal, histogram exemplars)
+  // stamps it without any parameter threading. TraceScope costs a 16-byte
+  // TLS swap — nothing when telemetry is off.
+  RequestContext rc;
+  rc.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  rc.deadline_s = result.deadline_s;
+  rc.trace_id = TraceId::derive(static_cast<std::uint64_t>(rc.seq),
+                                ctx.key.program_fp, ctx.key.device_fp,
+                                config_.trace_salt);
+  TraceScope trace_scope(rc.trace_id);
+  SpanTracer::Scope request_span =
+      scoped_span(config_.telemetry, "serve.request", "serve");
+  InflightGauge gauge(inflight_requests_, config_.telemetry);
+  if (const Telemetry* t = config_.telemetry; t != nullptr && t->wants_trace()) {
+    // Admission-side marker: `kfc top` pairs these with "serve_request"
+    // completions (same trace id) to count in-flight requests.
+    t->trace->emit("serve_start", [&](TraceEvent& e) {
+      e.num("seq", rc.seq).num("deadline_s", result.deadline_s);
+    });
+  }
+
+  // ---- engine queue wait (already spent before this frame) ----
+  if (request.enqueue_s >= 0.0 && dequeue_s > request.enqueue_s) {
+    const double waited = dequeue_s - request.enqueue_s;
+    result.queue_wait_s += waited;
+    rc.charge(RequestContext::kQueueWait, waited);
+    if (const Telemetry* t = config_.telemetry;
+        t != nullptr && t->metrics != nullptr)
+      t->metrics->observe("serve.queue_wait_seconds", waited);
+  }
+
+  // ---- admission ----
+  double mark = config_.clock();
+  TokenBucket::Decision decision;
+  {
+    SpanTracer::Scope span =
+        scoped_span(config_.telemetry, "serve.admission", "serve");
+    {
+      // The token bucket is cheap arithmetic but not thread-safe itself.
+      std::lock_guard<std::mutex> bucket_lock(bucket_mu_);
+      decision = bucket_.admit(mark, config_.max_queue_depth);
+    }
+    // A queued request whose wait alone would blow the (remaining) deadline
+    // is shed up front — honest rejection beats a guaranteed miss.
+    const double remaining = result.deadline_s - (config_.clock() - start);
+    if (decision.admitted && decision.wait_s >= remaining)
+      decision.admitted = false;
+  }
+  rc.charge(RequestContext::kAdmission, config_.clock() - mark);
+  if (!decision.admitted) {
+    result.admission = AdmissionOutcome::Rejected;
+    result.rung = ServeRung::TrivialFloor;
+    result.plan = FusionPlan(n);
+    result.cost_s = result.baseline_cost_s;
+    finish(result, &ctx, start, rc);
+    return result;
+  }
+  if (decision.wait_s > 0.0) {
+    result.admission = AdmissionOutcome::Queued;
+    result.queue_wait_s += decision.wait_s;
+    mark = config_.clock();
+    {
+      SpanTracer::Scope span =
+          scoped_span(config_.telemetry, "serve.queue_wait", "serve");
+      config_.sleep(decision.wait_s);
+    }
+    rc.charge(RequestContext::kQueueWait, config_.clock() - mark);
+  }
+
+  // ---- rung 1: exact store hit ----
+  {
+    mark = config_.clock();
+    SpanTracer::Scope span =
+        scoped_span(config_.telemetry, "serve.store_get", "serve");
+    if (std::optional<StoredPlan> stored = store_.get(ctx.key)) {
+      FusionPlan plan;
+      if (plan_usable(ctx, stored->plan_text, &plan)) {
+        result.rung = ServeRung::StoreHit;
+        result.plan = std::move(plan);
+        result.cost_s = ctx.objective.plan_cost(result.plan);
+        span.end();
+        rc.charge(RequestContext::kStoreGet, config_.clock() - mark);
+        finish(result, &ctx, start, rc);
+        return result;
+      }
+      // Stored but no longer legal under this process's checker: evict, and
+      // fall through the ladder as a miss.
+      {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.invalid_stored;
+      }
+      try {
+        store_.erase(ctx.key);
+      } catch (const StoreError&) {
+        // eviction is advisory; a wedged store must not fail the request
+      }
+      const Telemetry* t = config_.telemetry;
+      if (t != nullptr && t->metrics != nullptr)
+        t->metrics->count("serve.invalid_stored_total");
+    }
+    span.end();
+    rc.charge(RequestContext::kStoreGet, config_.clock() - mark);
+  }
+
+  // ---- coalescing: concurrent misses on one key collapse to one search ----
+  const ContextKey flight_key{ctx.key.program_fp, ctx.key.device_fp};
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    std::shared_ptr<InFlight>& entry = inflight_[flight_key];
+    if (!entry) {
+      entry = std::make_shared<InFlight>();
+      leader = true;
+    }
+    flight = entry;
+  }
+
+  if (!leader) {
+    // Follower: park until the leader publishes, bounded by this request's
+    // own remaining deadline (real-time wait — coalescing only happens
+    // under real concurrency, never under the tests' fake clocks).
+    mark = config_.clock();
+    SpanTracer::Scope span =
+        scoped_span(config_.telemetry, "serve.coalesce_wait", "serve");
+    const double remaining =
+        std::max(0.0, result.deadline_s - (config_.clock() - start));
+    bool published = false;
+    {
+      std::unique_lock<std::mutex> fl(flight->mu);
+      coalesce_waiting_.fetch_add(1, std::memory_order_relaxed);
+      published = flight->cv.wait_for(
+          fl, std::chrono::duration<double>(remaining),
+          [&] { return flight->done; });
+      coalesce_waiting_.fetch_sub(1, std::memory_order_relaxed);
+      if (published) {
+        result.coalesced = true;
+        result.rung = flight->rung;
+        result.plan = flight->plan;
+        result.cost_s = flight->cost_s;
+        result.retries = flight->retries;
+      }
+    }
+    span.end();
+    rc.charge(RequestContext::kCoalesceWait, config_.clock() - mark);
+    if (!published) {
+      // The leader could not publish inside OUR deadline: honest floor.
+      {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.coalesce_timeouts;
+      }
+      result.rung = ServeRung::TrivialFloor;
+      result.plan = FusionPlan(n);
+      result.cost_s = result.baseline_cost_s;
+    }
+    finish(result, &ctx, start, rc);
+    return result;
+  }
+
+  // Leader. Between our store miss and winning the flight, a previous
+  // leader may have published and written back — re-probe once so that
+  // race serves a StoreHit instead of re-searching.
+  if (std::optional<StoredPlan> stored = store_.get(ctx.key)) {
+    FusionPlan plan;
+    if (plan_usable(ctx, stored->plan_text, &plan)) {
+      result.rung = ServeRung::StoreHit;
+      result.plan = std::move(plan);
+      result.cost_s = ctx.objective.plan_cost(result.plan);
+      publish_flight(flight, flight_key, result);
+      finish(result, &ctx, start, rc);
+      return result;
+    }
+  }
+  if (config_.test_coalesce_hold) config_.test_coalesce_hold();
+
+  try {
+    miss_ladder(ctx, request, start, result, rc);
+    if (result.rung == ServeRung::PolishedStored ||
+        result.rung == ServeRung::FullSearch)
+      write_back(ctx, result, rc);
+  } catch (...) {
+    // The ladder is no-throw by design; if that ever breaks, waiters still
+    // get the always-legal floor instead of hanging to their deadlines.
+    ServeResult floor;
+    floor.rung = ServeRung::TrivialFloor;
+    floor.plan = FusionPlan(n);
+    floor.cost_s = result.baseline_cost_s;
+    publish_flight(flight, flight_key, floor);
+    throw;
+  }
+  publish_flight(flight, flight_key, result);
   finish(result, &ctx, start, rc);
   return result;
 }
 
 PlanServer::Stats PlanServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.coalesce_waiting = coalesce_waiting_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace kf

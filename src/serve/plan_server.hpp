@@ -51,11 +51,27 @@
 // (telemetry->slo) and the latency histogram observation whose bucket
 // exemplar carries the trace id.
 //
+// Concurrency (PR "worker-pool serving engine"): serve() is fully
+// concurrent — many workers (serve/serve_engine.hpp) run requests at once.
+// The shared state is fine-grained: per-(program, device) evaluation
+// contexts are built once under a std::call_once slot and then immutable;
+// Stats sit behind their own mutex; the token bucket (not itself
+// thread-safe) behind another; the sequence counter is atomic; the store
+// and every telemetry sink are thread-safe on their own. Concurrent misses
+// on the same (program fingerprint, device) key *coalesce*: the first
+// becomes the leader and runs the miss ladder, the rest park on a
+// condition variable and receive the leader's plan when it publishes
+// (result.coalesced = true) — one search fans out to all waiters, which is
+// the microseconds-repeat-program story under load. Requests arriving
+// through the engine additionally carry their enqueue time (queue wait is
+// charged against the deadline and the stage ledger) and a worker id, and
+// a full engine queue is answered with the rejected_overload floor.
+//
 // Time and sleep are injectable (monotone seconds), so tests drive the
-// bucket, deadlines and backoff with a fake clock. Thread-safe via one
-// mutex per serve() call — the store, not the server, is the shared state.
+// bucket, deadlines and backoff with a fake clock.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -75,12 +91,21 @@ namespace kf {
 enum class ServeRung { StoreHit, PolishedStored, FullSearch, TrivialFloor };
 const char* to_string(ServeRung rung) noexcept;
 
-enum class AdmissionOutcome { Admitted, Queued, Rejected };
+/// RejectedOverload is the queue-full outcome: the request never reached
+/// the token bucket because the engine's bounded queue was full (or the
+/// engine was drained) — it is still answered, with the identity floor.
+enum class AdmissionOutcome { Admitted, Queued, Rejected, RejectedOverload };
 const char* to_string(AdmissionOutcome outcome) noexcept;
 
 struct ServeRequest {
   double deadline_s = 0.0;   ///< wall budget; <= 0: server default
   long max_evaluations = 0;  ///< eval budget for FullSearch; <= 0: server default
+
+  // Stamped by the serving engine, not by callers: when a request arrives
+  // through a worker pool, latency and the deadline clock start at enqueue
+  // time, and the result records which worker served it.
+  double enqueue_s = -1.0;  ///< server-clock enqueue time; < 0: direct call
+  int worker_id = -1;       ///< serving worker; -1: direct call
 };
 
 struct ServeResult {
@@ -97,6 +122,8 @@ struct ServeResult {
   double latency_s = 0.0;  ///< admission decision through response, waits included
   double deadline_s = 0.0; ///< effective deadline this request ran under
   bool deadline_met = true;
+  bool coalesced = false;  ///< answered by another request's in-flight search
+  int worker_id = -1;      ///< engine worker that served this; -1: direct call
   TraceId trace_id;        ///< this request's 128-bit trace identity
   /// Deadline budget consumed per lifecycle stage (RequestContext::Stage
   /// order); sums to <= latency_s.
@@ -182,6 +209,12 @@ struct PlanServerConfig {
   /// inject fakes to drive admission, deadlines and backoff deterministically.
   std::function<double()> clock;
   std::function<void(double)> sleep;
+
+  /// TEST ONLY (the PlanStore::test_tear_next_append idiom): called by a
+  /// coalescing *leader* right before it runs the miss ladder, so tests can
+  /// hold the leader until followers are provably parked and make the
+  /// fan-out deterministic instead of timing-dependent.
+  std::function<void()> test_coalesce_hold;
 };
 
 class PlanServer {
@@ -197,6 +230,14 @@ class PlanServer {
   ServeResult serve(const Program& program, const DeviceSpec& device,
                     const ServeRequest& request = ServeRequest());
 
+  /// Answers a request that never made it into the system (full engine
+  /// queue, or a drained engine) with the rejected_overload floor: an
+  /// always-legal identity plan, fully accounted (ServeLog, stats, SLO
+  /// sample, wide event) like any other response. Cheap — no admission, no
+  /// ladder — so it is safe to call inline on a submitter's thread.
+  ServeResult reject_overload(const Program& program, const DeviceSpec& device,
+                              const ServeRequest& request = ServeRequest());
+
   struct Stats {
     long requests = 0;
     long store_hits = 0;
@@ -206,37 +247,73 @@ class PlanServer {
     long degraded = 0;
     long queued = 0;
     long rejected = 0;
+    long rejected_overload = 0;  ///< shed at the engine queue mouth
     long retries = 0;
     long deadline_missed = 0;
     long writebacks = 0;
     long writeback_failures = 0;  ///< store put faults survived
     long invalid_stored = 0;      ///< stored plans evicted as no-longer-legal
+    long coalesced = 0;           ///< requests answered by another's search
+    long coalesce_timeouts = 0;   ///< waiters whose leader missed their deadline
+    long coalesce_waiting = 0;    ///< waiters parked right now (point-in-time)
   };
   Stats stats() const;
 
   const ServeLog& log() const noexcept { return log_; }
   PlanStore& store() noexcept { return store_; }
+  const Telemetry* telemetry() const noexcept { return config_.telemetry; }
+  /// The server's monotone clock (the injected one in tests) — the engine
+  /// stamps ServeRequest::enqueue_s in this domain.
+  double now() const { return config_.clock(); }
 
  private:
   /// Per-(program, device) evaluation stack, built once and reused across
   /// requests: expansion, simulator, legality checker, projection model and
   /// the Objective whose group-cost cache makes repeat requests cheap.
   struct Context;
+  /// Map slot for a Context: the slot is created under the map lock, the
+  /// (expensive) Context inside it under std::call_once — so two requests
+  /// racing on a new key build it exactly once, without holding the map
+  /// lock across expansion + checker construction.
+  struct ContextSlot;
+  /// One in-flight miss per key: the leader's rendezvous with its waiters.
+  struct InFlight;
+
+  using ContextKey = std::pair<std::uint64_t, std::uint64_t>;
 
   PlanStore& store_;
   PlanServerConfig config_;
-  TokenBucket bucket_;
   ServeLog log_;
-  mutable std::mutex mu_;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, std::unique_ptr<Context>>
-      contexts_;
+
+  std::mutex bucket_mu_;  ///< TokenBucket is not itself thread-safe
+  TokenBucket bucket_;
+
+  std::mutex contexts_mu_;
+  std::map<ContextKey, std::shared_ptr<ContextSlot>> contexts_;
+
+  std::mutex inflight_mu_;
+  std::map<ContextKey, std::shared_ptr<InFlight>> inflight_;
+
+  mutable std::mutex stats_mu_;
   Stats stats_;
-  long seq_ = 0;
+
+  std::atomic<long> seq_{0};
+  std::atomic<int> inflight_requests_{0};  ///< serve.inflight gauge source
+  std::atomic<long> coalesce_waiting_{0};
 
   Context& context(const Program& program, const DeviceSpec& device);
   bool plan_usable(const Context& ctx, const std::string& plan_text,
                    FusionPlan* out) const;
   bool repair_plan(const Context& ctx, FusionPlan& plan) const;
+  /// Rungs 2..4 (polish / full search / floor) for a confirmed store miss;
+  /// sets result.{rung, plan, cost_s, retries}. Write-back and waiter
+  /// publication happen in the caller.
+  void miss_ladder(Context& ctx, const ServeRequest& request, double start_s,
+                   ServeResult& result, RequestContext& rc);
+  /// Hands the leader's outcome to every parked waiter and retires the
+  /// in-flight entry for `key`.
+  void publish_flight(const std::shared_ptr<InFlight>& flight,
+                      const ContextKey& key, const ServeResult& result);
   void write_back(Context& ctx, const ServeResult& result, RequestContext& rc);
   void finish(ServeResult& result, const Context* ctx, double start_s,
               const RequestContext& rc);

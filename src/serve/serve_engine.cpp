@@ -1,0 +1,95 @@
+#include "serve/serve_engine.hpp"
+
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+
+namespace kf {
+
+ServeEngine::ServeEngine(PlanServer& server, ServeEngineConfig config)
+    : server_(server),
+      config_(config),
+      queue_(config.queue_capacity) {
+  KF_REQUIRE(config_.workers >= 1, "ServeEngine: workers must be >= 1");
+  threads_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ServeEngine::~ServeEngine() { drain(); }
+
+void ServeEngine::gauge_queue_depth() const {
+  const Telemetry* t = server_.telemetry();
+  if (t != nullptr && t->metrics != nullptr)
+    t->metrics->gauge("serve.queue_depth",
+                      static_cast<double>(queue_.size()));
+}
+
+std::future<ServeResult> ServeEngine::submit(const Program& program,
+                                             const DeviceSpec& device,
+                                             ServeRequest request) {
+  KF_REQUIRE(program.num_kernels() > 0, "ServeEngine: empty program");
+  Job job;
+  job.program = &program;
+  job.device = &device;
+  job.request = request;
+  // Stamped in the server's clock domain so serve() can charge the queue
+  // wait against this request's deadline (fake clocks in tests included).
+  job.request.enqueue_s = server_.now();
+  std::future<ServeResult> future = job.promise.get_future();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  const bool pushed = config_.shed_on_full
+                          ? queue_.try_push(std::move(job))
+                          : queue_.push(std::move(job));
+  if (!pushed) {
+    // Queue full (daemon posture) or engine drained: the request is still
+    // answered — with the rejected_overload floor, inline on the
+    // submitter's thread, so overload sheds work, never correctness.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(server_.reject_overload(program, device,
+                                                  job.request));
+    return future;
+  }
+  gauge_queue_depth();
+  return future;
+}
+
+void ServeEngine::worker_loop(int worker_id) {
+  while (std::optional<Job> job = queue_.pop()) {
+    gauge_queue_depth();
+    job->request.worker_id = worker_id;
+    try {
+      job->promise.set_value(
+          server_.serve(*job->program, *job->device, job->request));
+    } catch (...) {
+      job->promise.set_exception(std::current_exception());
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ServeEngine::drain() {
+  if (drained_.exchange(true)) {
+    // Already drained — but a concurrent drain() must still not return
+    // before the workers are gone; joining is handled by the first caller,
+    // and threads_ is only mutated after every join completes.
+    return;
+  }
+  queue_.close();
+  for (std::thread& t : threads_)
+    if (t.joinable()) t.join();
+  gauge_queue_depth();
+}
+
+ServeEngine::Stats ServeEngine::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected_overload = rejected_.load(std::memory_order_relaxed);
+  s.peak_queue_depth = queue_.peak_size();
+  return s;
+}
+
+}  // namespace kf

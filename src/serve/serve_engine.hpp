@@ -1,0 +1,106 @@
+// ServeEngine — fixed worker pool over a bounded MPMC queue, in front of
+// PlanServer.
+//
+// The ROADMAP's plan-service daemon serves many tenants at once; this class
+// is its concurrency core. submit() stamps the request with its enqueue
+// time (in the server's clock domain, so queue wait counts against the
+// deadline and shows up in the wide event's stage ledger) and hands it to a
+// bounded queue; N workers pull, stamp their worker id, and run
+// PlanServer::serve — which is itself concurrent (snapshot store reads,
+// shared GroupCostCache, per-key coalescing), so the pool scales the
+// store-hit path roughly linearly with cores.
+//
+// Overload is answered, never queued without bound: when the queue is full
+// (shed_on_full, the daemon posture) submit() answers the request inline on
+// the submitter's thread with PlanServer::reject_overload — the
+// rejected_overload rung of the degradation ladder, an always-legal
+// identity plan. With shed_on_full=false (the `kfc serve-batch` posture)
+// submit() instead blocks for space: a file replay wants backpressure and
+// bit-identical outcomes, not shedding.
+//
+// drain() closes the queue and joins the pool; everything already queued or
+// in flight completes first (BoundedQueue's close-then-drain protocol), and
+// submits after drain are answered with rejected_overload. The destructor
+// drains.
+//
+// Lifetime: the caller keeps each submitted (program, device) alive until
+// that request's future resolves — the queue holds pointers, not copies,
+// because programs are hundreds of kernels and the batch replay path
+// submits the same few programs thousands of times.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "serve/plan_server.hpp"
+#include "serve/request_queue.hpp"
+
+namespace kf {
+
+struct ServeEngineConfig {
+  int workers = 4;
+  std::size_t queue_capacity = 64;
+  /// true (daemon posture): a full queue sheds the request to the
+  /// rejected_overload floor. false (batch-replay posture): submit()
+  /// blocks for queue space instead.
+  bool shed_on_full = true;
+};
+
+class ServeEngine {
+ public:
+  /// `server` must outlive the engine. Workers start immediately.
+  ServeEngine(PlanServer& server, ServeEngineConfig config);
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Enqueues one request; the future resolves to the same ServeResult a
+  /// direct serve() call would produce, plus queue_wait_s/worker_id. On a
+  /// full queue (shed_on_full) or after drain(), the future is already
+  /// resolved with the rejected_overload floor when submit returns.
+  /// `program` and `device` must stay alive until the future resolves.
+  std::future<ServeResult> submit(const Program& program,
+                                  const DeviceSpec& device,
+                                  ServeRequest request = ServeRequest());
+
+  /// Graceful shutdown: refuse new work, serve everything queued and in
+  /// flight, join the workers. Idempotent.
+  void drain();
+
+  struct Stats {
+    long submitted = 0;           ///< submit() calls, shed or not
+    long completed = 0;           ///< requests served by a worker
+    long rejected_overload = 0;   ///< shed at the queue mouth (or post-drain)
+    std::size_t peak_queue_depth = 0;
+  };
+  Stats stats() const;
+
+  int workers() const noexcept { return static_cast<int>(threads_.size()); }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  struct Job {
+    const Program* program = nullptr;
+    const DeviceSpec* device = nullptr;
+    ServeRequest request;
+    std::promise<ServeResult> promise;
+  };
+
+  void worker_loop(int worker_id);
+  void gauge_queue_depth() const;
+
+  PlanServer& server_;
+  ServeEngineConfig config_;
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> threads_;
+  std::atomic<long> submitted_{0};
+  std::atomic<long> completed_{0};
+  std::atomic<long> rejected_{0};
+  std::atomic<bool> drained_{false};
+};
+
+}  // namespace kf

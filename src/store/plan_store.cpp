@@ -315,7 +315,8 @@ void PlanStore::emit_recovery_telemetry() const {
 }
 
 std::optional<StoredPlan> PlanStore::get(const PlanKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Snapshot-read fast path: concurrent serving workers share the lock.
+  std::shared_lock<std::shared_mutex> lock(mu_);
   gets_.fetch_add(1, std::memory_order_relaxed);
   const auto it = index_.find({key.program_fp, key.device_fp});
   if (it == index_.end()) return std::nullopt;
@@ -325,7 +326,7 @@ std::optional<StoredPlan> PlanStore::get(const PlanKey& key) const {
 
 std::vector<StoredPlan> PlanStore::plans_for_program(
     std::uint64_t program_fp) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<StoredPlan> out;
   for (auto it = index_.lower_bound({program_fp, 0});
        it != index_.end() && it->first.first == program_fp; ++it) {
@@ -349,8 +350,7 @@ void PlanStore::append_record(const std::string& payload,
                                payload.size(), config_.max_record_bytes));
   }
   const std::string frame = frame_record(payload);
-  long tear = tear_next_;
-  tear_next_ = -1;
+  long tear = tear_next_.exchange(-1, std::memory_order_relaxed);
   bool injected = false;
   if (tear < 0 &&
       FaultInjector::instance().should_inject(FaultSite::Store, fault_draw_key)) {
@@ -409,7 +409,8 @@ void PlanStore::put(StoredPlan plan) {
   parsed.canonicalize();
   plan.plan_text = parsed.to_string();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  // Single-writer journal append: exclusive over index + journal.
+  std::unique_lock<std::shared_mutex> lock(mu_);
   plan.revision = next_revision_;
   const std::uint64_t draw_key =
       mix64(plan.key.program_fp ^ mix64(plan.key.device_fp) ^ plan.revision);
@@ -420,7 +421,7 @@ void PlanStore::put(StoredPlan plan) {
 }
 
 bool PlanStore::erase(const PlanKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   const auto it = index_.find({key.program_fp, key.device_fp});
   if (it == index_.end()) return false;
   const std::uint64_t revision = next_revision_;
@@ -433,12 +434,12 @@ bool PlanStore::erase(const PlanKey& key) {
 }
 
 std::size_t PlanStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return index_.size();
 }
 
 void PlanStore::compact() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (wedged_) {
     throw StoreError("plan store is wedged after a torn write; reopen to recover");
   }
@@ -459,7 +460,7 @@ void PlanStore::compact() {
 }
 
 PlanStore::Stats PlanStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   Stats s;
   s.plans = index_.size();
   s.journal_records = journal_records_;

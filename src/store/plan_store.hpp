@@ -31,8 +31,12 @@
 // the line ending so a *surviving* process keeps appending parseable
 // records; either way the record is not applied to the index.
 //
-// Thread-safe: one mutex over index + journal (the serving path touches the
-// store once per request, not per evaluation).
+// Thread-safe, read-mostly: a shared_mutex over index + journal. Reads
+// (get / plans_for_program / size / stats — the serving hot path, many
+// workers at once) take the lock shared and return value snapshots;
+// mutations (put / erase / compact — the write-back path) take it exclusive,
+// so the journal has exactly one appender at a time and the append→fsync→
+// index-update commit protocol stays atomic under concurrency.
 #pragma once
 
 #include <atomic>
@@ -40,6 +44,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -160,14 +165,15 @@ class PlanStore {
 
  private:
   Config config_;
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, StoredPlan> index_;
   AppendFile journal_;
   StoreRecovery recovery_;
   std::uint64_t next_revision_ = 1;
   std::size_t journal_records_ = 0;
-  long tear_next_ = -1;
-  bool wedged_ = false;
+  // Atomic so the unlocked test hook / accessor race cleanly with writers.
+  std::atomic<long> tear_next_{-1};
+  std::atomic<bool> wedged_{false};
   mutable std::atomic<long> puts_{0};
   mutable std::atomic<long> gets_{0};
   mutable std::atomic<long> hits_{0};

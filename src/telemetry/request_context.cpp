@@ -83,6 +83,7 @@ const char* RequestContext::stage_name(int stage) noexcept {
     case kPolish: return "polish";
     case kSearch: return "search";
     case kBackoff: return "backoff";
+    case kCoalesceWait: return "coalesce_wait";
     case kWriteBack: return "write_back";
   }
   return "?";

@@ -96,6 +96,7 @@ struct RequestContext {
     kPolish,         ///< rung 2 repair + local polish
     kSearch,         ///< rung 3 full search attempts
     kBackoff,        ///< inter-attempt fault-storm backoff
+    kCoalesceWait,   ///< parked on another request's in-flight search
     kWriteBack,      ///< store write-back of the result
     kNumStages
   };

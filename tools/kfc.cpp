@@ -104,6 +104,8 @@ struct Options {
   double serve_deadline = 0.0;  ///< default per-request deadline; 0 = server default
   int serve_retries = 2;
   double min_search_budget = 0.010;
+  int workers = 1;       ///< serve-batch worker pool size; 1 = serial replay
+  int queue_cap = 256;   ///< serve-batch engine queue capacity
 };
 
 void print_usage(std::ostream& os);
@@ -256,6 +258,12 @@ const FlagSpec kFlags[] = {
      [](Options& o, const std::string& v) {
        o.min_search_budget = flag_double("--min-search-budget", v);
      }},
+    {"--workers", "N",
+     "serve-batch: worker-pool size (default 1 = serial replay)",
+     [](Options& o, const std::string& v) { o.workers = flag_int("--workers", v); }},
+    {"--queue-cap", "N",
+     "serve-batch: engine request-queue capacity (default 256)",
+     [](Options& o, const std::string& v) { o.queue_cap = flag_int("--queue-cap", v); }},
 };
 
 void print_usage(std::ostream& os) {
@@ -1007,6 +1015,15 @@ int cmd_serve_batch(const Options& opt) {
   long total = 0;
   long legal = 0;
 
+  // Parse the whole stream up front (std::map nodes are address-stable, so
+  // items can point into `stacks`): the serial path replays in file order
+  // exactly as before, and the worker path needs the full submission list
+  // before fanning out.
+  struct Item {
+    const ValidationStack* stack = nullptr;
+    ServeRequest req;
+  };
+  std::vector<Item> items;
   std::string line;
   int line_no = 0;
   while (std::getline(in, line)) {
@@ -1041,29 +1058,63 @@ int cmd_serve_batch(const Options& opt) {
                                               load_device(req.device)))
                .first;
     }
-    ValidationStack& stack = it->second;
     for (int c = 0; c < req.count; ++c) {
-      ServeRequest serve_req;
-      serve_req.deadline_s = req.deadline_s;
-      serve_req.max_evaluations = req.max_evaluations;
-      const ServeResult r = server.serve(stack.program, stack.device, serve_req);
-      ++total;
-      if (stack.checker.plan_is_legal(r.plan)) ++legal;
-      RungAgg& agg = rung_agg[static_cast<int>(r.rung)];
-      agg.latencies_s.push_back(r.latency_s);
-      if (r.deadline_s > 0.0) {
-        agg.min_headroom =
-            std::min(agg.min_headroom, 1.0 - r.latency_s / r.deadline_s);
-      }
-      if (!r.deadline_met) ++agg.deadline_misses;
-      // Continuous export: a scraper (or a human with `watch cat`) sees the
-      // registry progress while the batch runs, not just at the end.
-      if (!opt.prom_file.empty() && total % opt.prom_every == 0) {
-        prometheus_write_file(metrics, opt.prom_file);
-      }
+      Item item;
+      item.stack = &it->second;
+      item.req.deadline_s = req.deadline_s;
+      item.req.max_evaluations = req.max_evaluations;
+      items.push_back(item);
     }
   }
-  if (total == 0) usage("'" + opt.input_file + "' holds no requests");
+  if (items.empty()) usage("'" + opt.input_file + "' holds no requests");
+
+  auto record = [&](const ValidationStack& stack, const ServeResult& r) {
+    ++total;
+    if (stack.checker.plan_is_legal(r.plan)) ++legal;
+    RungAgg& agg = rung_agg[static_cast<int>(r.rung)];
+    agg.latencies_s.push_back(r.latency_s);
+    if (r.deadline_s > 0.0) {
+      agg.min_headroom =
+          std::min(agg.min_headroom, 1.0 - r.latency_s / r.deadline_s);
+    }
+    if (!r.deadline_met) ++agg.deadline_misses;
+    // Continuous export: a scraper (or a human with `watch cat`) sees the
+    // registry progress while the batch runs, not just at the end.
+    if (!opt.prom_file.empty() && total % opt.prom_every == 0) {
+      prometheus_write_file(metrics, opt.prom_file);
+    }
+  };
+
+  ServeEngine::Stats engine_stats;
+  if (opt.workers <= 1) {
+    // Serial replay: requests hit the server in file order, one at a time —
+    // the deterministic reference the worker path is measured against.
+    for (const Item& item : items)
+      record(*item.stack, server.serve(item.stack->program, item.stack->device,
+                                       item.req));
+  } else {
+    // Worker-pool replay. Backpressure, not shedding (shed_on_full=false):
+    // a file replay wants every request served and outcomes bit-identical
+    // to the serial path on store-hit workloads; use `--rate` admission to
+    // exercise load shedding instead. Futures are collected in submission
+    // order, so the report aggregates in file order no matter which worker
+    // finished first.
+    ServeEngine engine(server,
+                       ServeEngineConfig{
+                           .workers = opt.workers,
+                           .queue_capacity =
+                               static_cast<std::size_t>(std::max(1, opt.queue_cap)),
+                           .shed_on_full = false});
+    std::vector<std::future<ServeResult>> futures;
+    futures.reserve(items.size());
+    for (const Item& item : items)
+      futures.push_back(
+          engine.submit(item.stack->program, item.stack->device, item.req));
+    for (std::size_t i = 0; i < futures.size(); ++i)
+      record(*items[i].stack, futures[i].get());
+    engine.drain();
+    engine_stats = engine.stats();
+  }
 
   const PlanServer::Stats s = server.stats();
   // Latency percentiles come from the same histogram Prometheus exports
@@ -1105,8 +1156,16 @@ int cmd_serve_batch(const Options& opt) {
               any ? fixed(100.0 * agg.min_headroom, 1) + "%" : "-");
   }
   std::cout << rungs.to_string();
-  std::cout << "admission: " << total - s.queued - s.rejected << " admitted, "
-            << s.queued << " queued, " << s.rejected << " rejected\n";
+  std::cout << "admission: "
+            << total - s.queued - s.rejected - s.rejected_overload
+            << " admitted, " << s.queued << " queued, " << s.rejected
+            << " rejected, " << s.rejected_overload << " rejected_overload\n";
+  if (opt.workers > 1) {
+    std::cout << "workers: " << opt.workers << ", queue peak "
+              << engine_stats.peak_queue_depth << "/" << opt.queue_cap
+              << ", coalesced " << s.coalesced << " ("
+              << s.coalesce_timeouts << " timed out)\n";
+  }
   std::cout << "degraded " << s.degraded << ", retries " << s.retries
             << ", deadline_misses " << s.deadline_missed << "\n";
   std::cout << "latency: p50 " << human_time(lat.percentile(50)) << ", p95 "
@@ -1166,7 +1225,7 @@ int cmd_serve_batch(const Options& opt) {
         slo_report.worst_burn, opt.slo_max_burn);
     return 7;
   }
-  if (s.rejected > 0) return 6;
+  if (s.rejected + s.rejected_overload > 0) return 6;
   if (s.degraded > 0) return 5;
   if (!store.recovery().clean()) return 4;
   return 0;
