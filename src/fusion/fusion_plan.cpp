@@ -1,6 +1,7 @@
 #include "fusion/fusion_plan.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -10,45 +11,75 @@ namespace kf {
 
 FusionPlan::FusionPlan(int num_kernels) : num_kernels_(num_kernels) {
   KF_REQUIRE(num_kernels >= 0, "negative kernel count");
-  groups_.reserve(static_cast<std::size_t>(num_kernels));
+  members_.resize(static_cast<std::size_t>(num_kernels));
+  begin_.resize(static_cast<std::size_t>(num_kernels) + 1);
   owner_.resize(static_cast<std::size_t>(num_kernels));
   for (KernelId k = 0; k < num_kernels; ++k) {
-    groups_.push_back({k});
+    members_[static_cast<std::size_t>(k)] = k;
+    begin_[static_cast<std::size_t>(k)] = k;
     owner_[static_cast<std::size_t>(k)] = k;
   }
+  begin_[static_cast<std::size_t>(num_kernels)] = num_kernels;
+}
+
+void FusionPlan::validate_partition() {
+  // Shares owner_ as the seen-marker so validation allocates nothing.
+  owner_.assign(static_cast<std::size_t>(num_kernels_), -1);
+  int total = 0;
+  for (int g = 0; g < num_groups(); ++g) {
+    for (KernelId k : group(g)) {
+      KF_REQUIRE(k >= 0 && k < num_kernels_, "kernel id " << k << " out of range");
+      KF_REQUIRE(owner_[static_cast<std::size_t>(k)] < 0,
+                 "kernel " << k << " appears in two groups");
+      owner_[static_cast<std::size_t>(k)] = g;
+      ++total;
+    }
+  }
+  KF_REQUIRE(total == num_kernels_,
+             "groups cover " << total << " kernels, expected " << num_kernels_);
 }
 
 FusionPlan FusionPlan::from_groups(int num_kernels,
                                    std::vector<std::vector<KernelId>> groups) {
   FusionPlan plan;
   plan.num_kernels_ = num_kernels;
-  plan.groups_ = std::move(groups);
-  plan.groups_.erase(
-      std::remove_if(plan.groups_.begin(), plan.groups_.end(),
-                     [](const auto& g) { return g.empty(); }),
-      plan.groups_.end());
-  std::vector<char> seen(static_cast<std::size_t>(num_kernels), 0);
-  int total = 0;
-  for (const auto& g : plan.groups_) {
-    for (KernelId k : g) {
-      KF_REQUIRE(k >= 0 && k < num_kernels, "kernel id " << k << " out of range");
-      KF_REQUIRE(!seen[static_cast<std::size_t>(k)],
-                 "kernel " << k << " appears in two groups");
-      seen[static_cast<std::size_t>(k)] = 1;
-      ++total;
-    }
+  plan.members_.reserve(static_cast<std::size_t>(num_kernels));
+  plan.begin_.push_back(0);
+  for (const auto& g : groups) {
+    if (g.empty()) continue;
+    plan.members_.insert(plan.members_.end(), g.begin(), g.end());
+    plan.begin_.push_back(static_cast<std::int32_t>(plan.members_.size()));
   }
-  KF_REQUIRE(total == num_kernels,
-             "groups cover " << total << " kernels, expected " << num_kernels);
-  plan.rebuild_owners();
+  plan.validate_partition();
   return plan;
+}
+
+void FusionPlan::assign_flat(int num_kernels, std::span<const KernelId> members,
+                             std::span<const std::int32_t> offsets) {
+  KF_REQUIRE(num_kernels >= 0, "negative kernel count");
+  KF_REQUIRE(!offsets.empty() && offsets.front() == 0 &&
+                 offsets.back() == static_cast<std::int32_t>(members.size()),
+             "flat group offsets do not cover the member array");
+  num_kernels_ = num_kernels;
+  members_.assign(members.begin(), members.end());
+  begin_.clear();
+  begin_.push_back(0);
+  for (std::size_t g = 0; g + 1 < offsets.size(); ++g) {
+    KF_REQUIRE(offsets[g] <= offsets[g + 1], "flat group offsets not monotone");
+    if (offsets[g] == offsets[g + 1]) continue;  // drop empty groups
+    begin_.push_back(offsets[g + 1]);
+  }
+  // Dropping empty groups leaves members_ contiguous already (an empty group
+  // contributes no members), so only the boundaries needed rewriting.
+  validate_partition();
 }
 
 void FusionPlan::rebuild_owners() {
   owner_.assign(static_cast<std::size_t>(num_kernels_), -1);
-  for (std::size_t g = 0; g < groups_.size(); ++g) {
-    for (KernelId k : groups_[g]) {
-      owner_[static_cast<std::size_t>(k)] = static_cast<int>(g);
+  for (int g = 0; g < num_groups(); ++g) {
+    for (std::int32_t i = begin_[static_cast<std::size_t>(g)];
+         i < begin_[static_cast<std::size_t>(g) + 1]; ++i) {
+      owner_[static_cast<std::size_t>(members_[static_cast<std::size_t>(i)])] = g;
     }
   }
 }
@@ -57,9 +88,21 @@ void FusionPlan::check_group_index(int g) const {
   KF_REQUIRE(g >= 0 && g < num_groups(), "group index " << g << " out of range");
 }
 
+std::vector<std::vector<KernelId>> FusionPlan::groups() const {
+  std::vector<std::vector<KernelId>> out;
+  out.reserve(static_cast<std::size_t>(num_groups()));
+  for (int g = 0; g < num_groups(); ++g) {
+    const auto span = group(g);
+    out.emplace_back(span.begin(), span.end());
+  }
+  return out;
+}
+
 std::span<const KernelId> FusionPlan::group(int g) const {
   check_group_index(g);
-  return groups_[static_cast<std::size_t>(g)];
+  const auto b = static_cast<std::size_t>(begin_[static_cast<std::size_t>(g)]);
+  const auto e = static_cast<std::size_t>(begin_[static_cast<std::size_t>(g) + 1]);
+  return std::span<const KernelId>(members_.data() + b, e - b);
 }
 
 int FusionPlan::group_of(KernelId k) const {
@@ -69,13 +112,23 @@ int FusionPlan::group_of(KernelId k) const {
 
 int FusionPlan::fused_group_count() const noexcept {
   int count = 0;
-  for (const auto& g : groups_) count += g.size() >= 2 ? 1 : 0;
+  for (int g = 0; g < num_groups(); ++g) {
+    count += begin_[static_cast<std::size_t>(g) + 1] -
+                     begin_[static_cast<std::size_t>(g)] >=
+                 2
+                 ? 1
+                 : 0;
+  }
   return count;
 }
 
 int FusionPlan::fused_kernel_count() const noexcept {
   int count = 0;
-  for (const auto& g : groups_) count += g.size() >= 2 ? static_cast<int>(g.size()) : 0;
+  for (int g = 0; g < num_groups(); ++g) {
+    const int size = begin_[static_cast<std::size_t>(g) + 1] -
+                     begin_[static_cast<std::size_t>(g)];
+    count += size >= 2 ? size : 0;
+  }
   return count;
 }
 
@@ -84,11 +137,17 @@ int FusionPlan::merge_groups(int a, int b) {
   check_group_index(b);
   KF_REQUIRE(a != b, "cannot merge a group with itself");
   if (a > b) std::swap(a, b);
-  auto& ga = groups_[static_cast<std::size_t>(a)];
-  auto& gb = groups_[static_cast<std::size_t>(b)];
-  ga.insert(ga.end(), gb.begin(), gb.end());
-  std::sort(ga.begin(), ga.end());
-  groups_.erase(groups_.begin() + b);
+  const auto ia = static_cast<std::size_t>(a);
+  const auto ib = static_cast<std::size_t>(b);
+  const std::int32_t sb = begin_[ib + 1] - begin_[ib];
+  // Bring b's members adjacent to a's, then sort the union in place — the
+  // flat-storage equivalent of append-and-sort, with no heap traffic.
+  std::rotate(members_.begin() + begin_[ia + 1], members_.begin() + begin_[ib],
+              members_.begin() + begin_[ib + 1]);
+  std::sort(members_.begin() + begin_[ia],
+            members_.begin() + begin_[ia + 1] + sb);
+  for (std::size_t g = ia + 1; g < ib; ++g) begin_[g] += sb;
+  begin_.erase(begin_.begin() + static_cast<std::ptrdiff_t>(ib));
   rebuild_owners();
   return a;
 }
@@ -97,50 +156,108 @@ void FusionPlan::move_kernel(KernelId k, int g) {
   check_group_index(g);
   const int from = group_of(k);
   if (from == g) return;
-  auto& src = groups_[static_cast<std::size_t>(from)];
-  src.erase(std::remove(src.begin(), src.end(), k), src.end());
-  groups_[static_cast<std::size_t>(g)].push_back(k);
-  std::sort(groups_[static_cast<std::size_t>(g)].begin(),
-            groups_[static_cast<std::size_t>(g)].end());
-  if (src.empty()) groups_.erase(groups_.begin() + from);
+  const auto ifrom = static_cast<std::size_t>(from);
+  const auto ig = static_cast<std::size_t>(g);
+  const auto p = static_cast<std::ptrdiff_t>(
+      std::find(members_.begin() + begin_[ifrom], members_.begin() + begin_[ifrom + 1], k) -
+      members_.begin());
+  if (from < g) {
+    // Slide k right to the end of group g; everything between shifts left.
+    std::rotate(members_.begin() + p, members_.begin() + p + 1,
+                members_.begin() + begin_[ig + 1]);
+    for (std::size_t i = ifrom + 1; i <= ig; ++i) begin_[i] -= 1;
+    std::sort(members_.begin() + begin_[ig], members_.begin() + begin_[ig + 1]);
+  } else {
+    // Slide k left to the front of group g; everything between shifts right.
+    std::rotate(members_.begin() + begin_[ig + 1], members_.begin() + p,
+                members_.begin() + p + 1);
+    for (std::size_t i = ig + 1; i <= ifrom; ++i) begin_[i] += 1;
+    std::sort(members_.begin() + begin_[ig], members_.begin() + begin_[ig + 1]);
+  }
+  // An emptied source group collapses to a zero-width boundary; drop it.
+  if (begin_[ifrom] == begin_[ifrom + 1]) {
+    begin_.erase(begin_.begin() + static_cast<std::ptrdiff_t>(ifrom));
+  }
   rebuild_owners();
 }
 
 int FusionPlan::isolate_kernel(KernelId k) {
   const int from = group_of(k);
-  if (groups_[static_cast<std::size_t>(from)].size() == 1) return from;
-  auto& src = groups_[static_cast<std::size_t>(from)];
-  src.erase(std::remove(src.begin(), src.end(), k), src.end());
-  groups_.push_back({k});
+  const auto ifrom = static_cast<std::size_t>(from);
+  if (begin_[ifrom + 1] - begin_[ifrom] == 1) return from;
+  const auto p = static_cast<std::ptrdiff_t>(
+      std::find(members_.begin() + begin_[ifrom], members_.begin() + begin_[ifrom + 1], k) -
+      members_.begin());
+  // Slide k to the very end; it becomes a fresh singleton group.
+  std::rotate(members_.begin() + p, members_.begin() + p + 1, members_.end());
+  for (std::size_t i = ifrom + 1; i < begin_.size(); ++i) begin_[i] -= 1;
+  begin_.push_back(static_cast<std::int32_t>(num_kernels_));
   rebuild_owners();
   return num_groups() - 1;
 }
 
 void FusionPlan::split_group(int g) {
   check_group_index(g);
-  std::vector<KernelId> members = groups_[static_cast<std::size_t>(g)];
-  if (members.size() <= 1) return;
-  groups_.erase(groups_.begin() + g);
-  for (KernelId k : members) groups_.push_back({k});
+  const auto ig = static_cast<std::size_t>(g);
+  const std::int32_t sz = begin_[ig + 1] - begin_[ig];
+  if (sz <= 1) return;
+  // Slide the group's members to the end (stored order preserved) and turn
+  // each into a singleton boundary.
+  std::rotate(members_.begin() + begin_[ig], members_.begin() + begin_[ig + 1],
+              members_.end());
+  for (std::size_t i = ig + 1; i + 1 < begin_.size(); ++i) {
+    begin_[i] = begin_[i + 1] - sz;
+  }
+  begin_.pop_back();
+  const auto n = static_cast<std::int32_t>(num_kernels_);
+  for (std::int32_t v = n - sz + 1; v <= n; ++v) begin_.push_back(v);
   rebuild_owners();
 }
 
 void FusionPlan::canonicalize() {
-  for (auto& g : groups_) std::sort(g.begin(), g.end());
-  std::sort(groups_.begin(), groups_.end(),
-            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  const int n = num_groups();
+  for (int g = 0; g < n; ++g) {
+    std::sort(members_.begin() + begin_[static_cast<std::size_t>(g)],
+              members_.begin() + begin_[static_cast<std::size_t>(g) + 1]);
+  }
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return members_[static_cast<std::size_t>(begin_[static_cast<std::size_t>(a)])] <
+           members_[static_cast<std::size_t>(begin_[static_cast<std::size_t>(b)])];
+  });
+  std::vector<KernelId> new_members;
+  new_members.reserve(members_.size());
+  std::vector<std::int32_t> new_begin;
+  new_begin.reserve(begin_.size());
+  new_begin.push_back(0);
+  for (int g : order) {
+    const auto span = group(g);
+    new_members.insert(new_members.end(), span.begin(), span.end());
+    new_begin.push_back(static_cast<std::int32_t>(new_members.size()));
+  }
+  members_ = std::move(new_members);
+  begin_ = std::move(new_begin);
   rebuild_owners();
 }
 
 std::uint64_t FusionPlan::fingerprint() const {
   // Order-insensitive: combine per-group hashes with XOR; group hash mixes
-  // sorted member ids sequentially.
+  // sorted member ids sequentially. Members are kept sorted by every editing
+  // operation; the rare unsorted group (from_groups with raw input) takes a
+  // small copy-and-sort detour so the value matches the canonical form.
   std::uint64_t acc = 0x5bd1e995u ^ static_cast<std::uint64_t>(num_kernels_);
-  for (const auto& g : groups_) {
-    std::vector<KernelId> sorted = g;
-    std::sort(sorted.begin(), sorted.end());
+  std::vector<KernelId> scratch;
+  for (int g = 0; g < num_groups(); ++g) {
+    const auto span = group(g);
     std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (KernelId k : sorted) h = mix64(h ^ (static_cast<std::uint64_t>(k) + 0x100));
+    if (std::is_sorted(span.begin(), span.end())) {
+      for (KernelId k : span) h = mix64(h ^ (static_cast<std::uint64_t>(k) + 0x100));
+    } else {
+      scratch.assign(span.begin(), span.end());
+      std::sort(scratch.begin(), scratch.end());
+      for (KernelId k : scratch) h = mix64(h ^ (static_cast<std::uint64_t>(k) + 0x100));
+    }
     acc ^= h;
   }
   return acc;
@@ -150,12 +267,13 @@ std::string FusionPlan::to_string() const {
   FusionPlan canon = *this;
   canon.canonicalize();
   std::ostringstream os;
-  for (std::size_t g = 0; g < canon.groups_.size(); ++g) {
+  for (int g = 0; g < canon.num_groups(); ++g) {
     if (g) os << ' ';
     os << '{';
-    for (std::size_t i = 0; i < canon.groups_[g].size(); ++i) {
+    const auto span = canon.group(g);
+    for (std::size_t i = 0; i < span.size(); ++i) {
       if (i) os << ',';
-      os << canon.groups_[g][i];
+      os << span[i];
     }
     os << '}';
   }
@@ -203,7 +321,7 @@ bool operator==(const FusionPlan& a, const FusionPlan& b) {
   FusionPlan cb = b;
   ca.canonicalize();
   cb.canonicalize();
-  return ca.groups_ == cb.groups_;
+  return ca.members_ == cb.members_ && ca.begin_ == cb.begin_;
 }
 
 }  // namespace kf

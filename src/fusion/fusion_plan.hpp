@@ -6,6 +6,14 @@
 // maintains the partition invariant under the editing operations the HGGA's
 // operators use (merge / move / split), and provides a canonical form and a
 // fingerprint so populations can deduplicate and memoise solutions.
+//
+// Storage is SoA: one flat member array plus a group-boundary array (group g
+// is members_[begin_[g], begin_[g+1])) and the kernel->group owner map. A
+// plan is three flat vectors, so copy-assignment into a recycled individual
+// reuses capacity instead of allocating one vector per group, and the
+// editing operations are in-place rotations — no per-edit heap traffic.
+// That is what lets the population arena (search/population.hpp) run
+// offspring churn allocation-free.
 #pragma once
 
 #include <cstdint>
@@ -28,11 +36,25 @@ class FusionPlan {
   /// [0, num_kernels).
   static FusionPlan from_groups(int num_kernels, std::vector<std::vector<KernelId>> groups);
 
-  int num_kernels() const noexcept { return num_kernels_; }
-  int num_groups() const noexcept { return static_cast<int>(groups_.size()); }
+  /// Rebuilds this plan in place from flat group storage — group g is
+  /// members[offsets[g], offsets[g+1]) — reusing this plan's capacity.
+  /// Throws unless the groups form a partition of [0, num_kernels).
+  void assign_flat(int num_kernels, std::span<const KernelId> members,
+                   std::span<const std::int32_t> offsets);
 
-  const std::vector<std::vector<KernelId>>& groups() const noexcept { return groups_; }
+  int num_kernels() const noexcept { return num_kernels_; }
+  int num_groups() const noexcept {
+    return begin_.empty() ? 0 : static_cast<int>(begin_.size()) - 1;
+  }
+
+  /// Materialized copy of the groups (cold paths: checkpointing, tests).
+  std::vector<std::vector<KernelId>> groups() const;
   std::span<const KernelId> group(int g) const;
+
+  /// The flat SoA view: all members in group order, and the boundary array
+  /// (size num_groups()+1). Invalidated by any editing operation.
+  std::span<const KernelId> flat_members() const noexcept { return members_; }
+  std::span<const std::int32_t> flat_offsets() const noexcept { return begin_; }
 
   int group_of(KernelId k) const;
 
@@ -73,11 +95,13 @@ class FusionPlan {
 
  private:
   int num_kernels_ = 0;
-  std::vector<std::vector<KernelId>> groups_;
-  std::vector<int> owner_;  // kernel -> group index
+  std::vector<KernelId> members_;     // all members, grouped contiguously
+  std::vector<std::int32_t> begin_;   // group boundaries; size num_groups()+1
+  std::vector<int> owner_;            // kernel -> group index
 
   void rebuild_owners();
   void check_group_index(int g) const;
+  void validate_partition();
 };
 
 }  // namespace kf

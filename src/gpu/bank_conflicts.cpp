@@ -1,28 +1,41 @@
 #include "gpu/bank_conflicts.hpp"
 
 #include <algorithm>
-#include <vector>
 
 #include "util/error.hpp"
 
 namespace kf {
 namespace {
 
+/// Stack bounds for the per-warp scratch below. The analysis sits on the
+/// simulator's hot path (every objective miss runs it), so the histograms
+/// live in fixed stack arrays instead of per-call heap vectors, and the
+/// bank computation is a separate branch-free pass the compiler can
+/// vectorize (all-integer, so the result is exact either way).
+constexpr int kMaxWarpLanes = 128;
+constexpr int kMaxBanks = 128;
+
+int max_lanes_on_one_bank(const int* bank, int lanes, int num_banks) {
+  int lanes_per_bank[kMaxBanks] = {0};
+  for (int lane = 0; lane < lanes; ++lane) ++lanes_per_bank[bank[lane]];
+  return *std::max_element(lanes_per_bank, lanes_per_bank + num_banks);
+}
+
 /// Max lanes of one warp hitting the same bank for a row-major tile of
 /// `row_elems` elements per row, accessed row-wise (lane -> (tx, ty)).
 int row_conflict_degree(const DeviceSpec& device, int row_elems, int elem_bytes,
                         int block_x) {
-  std::vector<int> lanes_per_bank(static_cast<std::size_t>(device.smem_banks), 0);
   const int words_per_elem = std::max(1, elem_bytes / device.bank_width_bytes);
+  int bank[kMaxWarpLanes];
+#pragma omp simd
   for (int lane = 0; lane < device.warp_size; ++lane) {
     const int tx = lane % block_x;
     const int ty = lane / block_x;
     const long elem_index = static_cast<long>(ty) * row_elems + tx;
     const long word = elem_index * words_per_elem;
-    const int bank = static_cast<int>(word % device.smem_banks);
-    ++lanes_per_bank[static_cast<std::size_t>(bank)];
+    bank[lane] = static_cast<int>(word % device.smem_banks);
   }
-  return *std::max_element(lanes_per_bank.begin(), lanes_per_bank.end());
+  return max_lanes_on_one_bank(bank, device.warp_size, device.smem_banks);
 }
 
 /// Column-wise access (specialised halo warps walk a tile column:
@@ -30,15 +43,15 @@ int row_conflict_degree(const DeviceSpec& device, int row_elems, int elem_bytes,
 /// +1-column padding exists for.
 int column_conflict_degree(const DeviceSpec& device, int row_elems, int elem_bytes,
                            int tile_height) {
-  std::vector<int> lanes_per_bank(static_cast<std::size_t>(device.smem_banks), 0);
   const int words_per_elem = std::max(1, elem_bytes / device.bank_width_bytes);
   const int lanes = std::min(device.warp_size, tile_height);
+  int bank[kMaxWarpLanes];
+#pragma omp simd
   for (int lane = 0; lane < lanes; ++lane) {
     const long word = static_cast<long>(lane) * row_elems * words_per_elem;
-    const int bank = static_cast<int>(word % device.smem_banks);
-    ++lanes_per_bank[static_cast<std::size_t>(bank)];
+    bank[lane] = static_cast<int>(word % device.smem_banks);
   }
-  return *std::max_element(lanes_per_bank.begin(), lanes_per_bank.end());
+  return max_lanes_on_one_bank(bank, lanes, device.smem_banks);
 }
 
 int conflict_degree(const DeviceSpec& device, int row_elems, int elem_bytes,
@@ -55,6 +68,10 @@ BankConflictAnalysis analyze_bank_conflicts(const DeviceSpec& device, int tile_w
   KF_REQUIRE(tile_width > 0 && tile_height > 0, "tile dims must be positive");
   KF_REQUIRE(block_x > 0, "block_x must be positive");
   KF_REQUIRE(elem_bytes == 4 || elem_bytes == 8, "elem_bytes must be 4 or 8");
+  KF_REQUIRE(device.warp_size > 0 && device.warp_size <= kMaxWarpLanes,
+             "warp size exceeds analysis scratch");
+  KF_REQUIRE(device.smem_banks > 0 && device.smem_banks <= kMaxBanks,
+             "bank count exceeds analysis scratch");
 
   BankConflictAnalysis out;
   out.degree_unpadded =

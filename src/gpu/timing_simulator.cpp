@@ -44,18 +44,21 @@ int TimeBreakdown::dominant_component() const noexcept {
 }
 
 TimingSimulator::TimingSimulator(DeviceSpec device, Options options)
-    : device_(std::move(device)), options_(options) {
+    : device_(std::move(device)),
+      options_(options),
+      device_name_hash_(mix64(std::hash<std::string>{}(device_.name))) {
   KF_REQUIRE(options_.noise_amplitude >= 0.0 && options_.noise_amplitude < 0.5,
              "noise amplitude out of range");
   KF_REQUIRE(options_.flop_efficiency > 0.0 && options_.flop_efficiency <= 1.0,
              "flop efficiency out of range");
 }
 
-double TimingSimulator::noise_factor(const LaunchDescriptor& launch) const {
+double TimingSimulator::noise_factor(std::uint64_t launch_name_hash,
+                                     std::span<const KernelId> members) const {
   if (options_.noise_amplitude == 0.0) return 1.0;
-  std::uint64_t h = mix64(std::hash<std::string>{}(device_.name));
-  h ^= mix64(std::hash<std::string>{}(launch.name));
-  for (KernelId k : launch.members) h = mix64(h + static_cast<std::uint64_t>(k) + 1);
+  std::uint64_t h = device_name_hash_;
+  h ^= mix64(launch_name_hash);
+  for (KernelId k : members) h = mix64(h + static_cast<std::uint64_t>(k) + 1);
   const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
   return 1.0 + options_.noise_amplitude * (2.0 * u - 1.0);
 }
@@ -80,9 +83,10 @@ SimResult TimingSimulator::run(const Program& program,
   // per-kernel deviation, biased upward, stands in for that: fusions whose
   // estimate sits near a resource cliff sometimes cross it on real
   // hardware — the source of the paper's unproductive new kernels.
+  const std::uint64_t launch_name_hash = std::hash<std::string>{}(launch.name);
   int regs = launch.regs_per_thread;
   {
-    std::uint64_t h = mix64(std::hash<std::string>{}(launch.name) ^ 0x9e37u);
+    std::uint64_t h = mix64(launch_name_hash ^ 0x9e37u);
     for (KernelId k : launch.members) h = mix64(h + static_cast<std::uint64_t>(k) + 17);
     const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
     const double deviation = 0.08 * (1.5 * u - 0.5);            // [-4%, +8%)
@@ -176,10 +180,14 @@ SimResult TimingSimulator::run(const Program& program,
 
   r.launch_time_s = device_.launch_overhead_s;
 
+  // One jitter draw per simulation, shared with the breakdown scaling below
+  // (the factor is a pure function of device + launch, so reusing the value
+  // is bit-identical to recomputing it).
+  const double noise = noise_factor(launch_name_hash, launch.members);
   r.time_s = (std::max({r.mem_time_s, r.compute_time_s, r.smem_time_s}) +
               device_.smem_overlap_penalty * r.smem_time_s + r.barrier_time_s +
               r.launch_time_s) *
-             noise_factor(launch);
+             noise;
 
   // ---- cost attribution (TimeBreakdown) ----
   // Charge only the winner of the max(mem, compute, smem) race — the losing
@@ -214,7 +222,6 @@ SimResult TimingSimulator::run(const Program& program,
     } else {
       b.smem_s += r.smem_time_s;
     }
-    const double noise = noise_factor(launch);
     b.gmem_traffic_s *= noise;
     b.halo_s *= noise;
     b.latency_stall_s *= noise;

@@ -22,6 +22,7 @@
 // staying exactly reproducible.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "gpu/bank_conflicts.hpp"
@@ -119,8 +120,13 @@ class TimingSimulator {
  private:
   DeviceSpec device_;
   Options options_;
+  std::uint64_t device_name_hash_ = 0;  ///< mixed once at construction
 
-  double noise_factor(const LaunchDescriptor& launch) const;
+  /// Deterministic jitter factor. Takes the launch-name hash precomputed by
+  /// run() (the name is also hashed for the register-deviation draw) so one
+  /// simulation hashes each string exactly once.
+  double noise_factor(std::uint64_t launch_name_hash,
+                      std::span<const KernelId> members) const;
 };
 
 }  // namespace kf

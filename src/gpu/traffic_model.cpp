@@ -1,6 +1,7 @@
 #include "gpu/traffic_model.hpp"
 
-#include <set>
+#include <array>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -12,8 +13,19 @@ TrafficBreakdown compute_traffic(const Program& program, const LaunchDescriptor&
   const double sites = static_cast<double>(program.grid().total_sites());
   const double pivot_halo = halo_area_factor(program.launch(), launch.halo_radius);
 
-  // Pivot arrays currently resident in SMEM (loaded or produced in-group).
-  std::set<ArrayId> resident;
+  // Pivot arrays currently resident in SMEM (loaded or produced in-group) —
+  // a flat bitmap indexed by ArrayId. This runs once per objective cache
+  // miss, so the common case stays on the stack (a std::set here cost one
+  // node allocation per newly-resident array); outsized programs fall back
+  // to one heap vector per call.
+  const std::size_t num_arrays = program.arrays().size();
+  std::array<char, 256> resident_stack{};
+  std::vector<char> resident_heap;
+  char* resident = resident_stack.data();
+  if (num_arrays > resident_stack.size()) {
+    resident_heap.assign(num_arrays, 0);
+    resident = resident_heap.data();
+  }
 
   for (KernelId k : launch.members) {
     const KernelInfo& kernel = program.kernel(k);
@@ -22,17 +34,18 @@ TrafficBreakdown compute_traffic(const Program& program, const LaunchDescriptor&
       if (acc.is_read()) {
         const double use_bytes = sites * elem * acc.pattern.thread_load();
         if (launch.is_staged(acc.array)) {
-          if (resident.contains(acc.array) || acc.reads_own_product) {
+          if (resident[static_cast<std::size_t>(acc.array)] != 0 ||
+              acc.reads_own_product) {
             // Reuse across segments, or the kernel's own freshly-produced
             // values (born in SMEM) — either way, no GMEM read.
             t.smem_bytes += use_bytes;
-            resident.insert(acc.array);
+            resident[static_cast<std::size_t>(acc.array)] = 1;
           } else {
             const double tile_bytes = sites * elem * pivot_halo;
             t.load_bytes += tile_bytes;
             t.halo_bytes += tile_bytes - sites * elem;
             t.smem_bytes += use_bytes;
-            resident.insert(acc.array);
+            resident[static_cast<std::size_t>(acc.array)] = 1;
           }
         } else if (acc.pattern.thread_load() > 1 && kernel.smem_in_original) {
           // Privately staged, original-kernel style: tile + own halo.
@@ -52,7 +65,7 @@ TrafficBreakdown compute_traffic(const Program& program, const LaunchDescriptor&
         if (launch.is_staged(acc.array)) {
           // Produced into SMEM: later members of this group read it there.
           t.smem_bytes += sites * elem;
-          resident.insert(acc.array);
+          resident[static_cast<std::size_t>(acc.array)] = 1;
         }
       }
     }

@@ -22,11 +22,11 @@ namespace kf {
 
 namespace {
 
-/// The per-Individual incremental-costing memo: a flat (fingerprint ->
-/// cost_s) map sorted by fingerprint. Flat + sorted because it is tiny
-/// (one entry per group), rebuilt once per evaluation and probed with a
-/// binary search — no allocation churn, cache-friendly.
-using GroupCostMap = std::vector<std::pair<std::uint64_t, double>>;
+/// The per-Individual incremental-costing memo (one entry per group),
+/// promoted to Objective::GroupCostMemo so every search method shares the
+/// delta-costing state type. Flat + sorted: rebuilt once per evaluation
+/// and probed with a binary search — no allocation churn, cache-friendly.
+using GroupCostMap = Objective::GroupCostMemo;
 
 bool lookup_group_cost(const GroupCostMap& map, std::uint64_t fp, double* out) {
   const auto it = std::lower_bound(
@@ -39,17 +39,18 @@ bool lookup_group_cost(const GroupCostMap& map, std::uint64_t fp, double* out) {
   return true;
 }
 
-/// Union of two sorted memos (crossover children inherit both parents').
-/// Equal fingerprints carry equal costs, so either side may win.
-GroupCostMap merge_group_costs(const GroupCostMap& a, const GroupCostMap& b) {
-  GroupCostMap out;
+/// Union of two sorted memos (crossover children inherit both parents'),
+/// written into `out` so a recycled child's buffer is reused. Equal
+/// fingerprints carry equal costs, so either side may win.
+void merge_group_costs(const GroupCostMap& a, const GroupCostMap& b,
+                       GroupCostMap& out) {
+  out.clear();
   out.reserve(a.size() + b.size());
   std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out),
              [](const auto& x, const auto& y) { return x.first < y.first; });
   out.erase(std::unique(out.begin(), out.end(),
                         [](const auto& x, const auto& y) { return x.first == y.first; }),
             out.end());
-  return out;
 }
 
 /// Per-generation telemetry fan-out: metrics series, one "generation" trace
@@ -80,6 +81,11 @@ void note_generation(const Telemetry& t, int gen, const GenerationStats& s,
                      static_cast<double>(cache.duplicate_misses));
     t.metrics->gauge("objective.cache.shard_contention",
                      static_cast<double>(cache.shard_contention));
+    t.metrics->gauge("objective.delta.hits", static_cast<double>(cache.delta_hits));
+    t.metrics->gauge("objective.delta.full_recosts",
+                     static_cast<double>(cache.delta_full_recosts));
+    t.metrics->gauge("objective.delta.mismatches",
+                     static_cast<double>(cache.delta_mismatches));
   }
   if (t.wants_trace()) {
     t.trace->emit("generation", [&](TraceEvent& e) {
@@ -130,8 +136,18 @@ int local_polish(const Objective& objective, FusionPlan& plan, double* cost_out,
   const LegalityChecker& checker = objective.checker();
   SpanTracer::Scope polish_span = scoped_span(telemetry, "local_polish");
   const bool provenance = telemetry != nullptr && telemetry->wants_decisions();
+  // Delta costing: every candidate differs from `plan` in at most two
+  // groups, so it resolves against the current plan's memo and pays only
+  // for the groups its edit created. Candidate costs stay bit-identical to
+  // a full recost — plan_cost_with_memo sums the candidate's groups in its
+  // own group order (see DESIGN.md item 18).
+  const bool delta_costing = objective.delta_costing();
+  Objective::GroupCostMemo memo;
+  Objective::GroupCostMemo candidate_memo;
+  Objective::GroupCostMemo best_memo;
   int edits = 0;
-  double cost = objective.plan_cost(plan);
+  double cost = delta_costing ? objective.plan_cost_with_memo(plan, {}, &memo)
+                              : objective.plan_cost(plan);
 
   bool improved = true;
   while (improved) {
@@ -147,12 +163,16 @@ int local_polish(const Objective& objective, FusionPlan& plan, double* cost_out,
     // byte-for-byte the pre-provenance steepest descent.
     auto consider = [&](FusionPlan&& candidate, DecisionLog::Site site,
                         std::vector<KernelId>&& members) {
-      const double c = objective.plan_cost(candidate);
+      const double c =
+          delta_costing
+              ? objective.plan_cost_with_memo(candidate, memo, &candidate_memo)
+              : objective.plan_cost(candidate);
       if (c < best_cost - 1e-18) {
         best_cost = c;
         best_plan = std::move(candidate);
         best_site = site;
         best_members = std::move(members);
+        if (delta_costing) std::swap(best_memo, candidate_memo);
       }
     };
 
@@ -209,6 +229,7 @@ int local_polish(const Objective& objective, FusionPlan& plan, double* cost_out,
       }
       plan = std::move(best_plan);
       cost = best_cost;
+      if (delta_costing) std::swap(memo, best_memo);
       ++edits;
       improved = true;
     }
@@ -225,17 +246,16 @@ Hgga::Hgga(const Objective& objective, HggaConfig config)
   KF_REQUIRE(config_.tournament_size >= 1, "tournament size must be >= 1");
 }
 
-Hgga::Individual Hgga::make_random(Rng& rng) const {
-  Individual ind;
-  ind.plan = random_legal_plan(objective_.checker(), rng,
+void Hgga::make_random(Rng& rng, Individual& out) const {
+  out.plan = random_legal_plan(objective_.checker(), rng,
                                rng.next_double(0.3, config_.init_aggressiveness));
-  evaluate_individual(ind);
-  return ind;
+  evaluate_individual(out);
 }
 
 void Hgga::evaluate_individual(Individual& individual) const {
   const FusionPlan& plan = individual.plan;
-  GroupCostMap own;
+  GroupCostMap& own = individual.group_costs;  // rebuilt in place (recycled)
+  own.clear();
   own.reserve(static_cast<std::size_t>(plan.num_groups()));
   double total = 0.0;
   for (int g = 0; g < plan.num_groups(); ++g) {
@@ -249,7 +269,6 @@ void Hgga::evaluate_individual(Individual& individual) const {
   }
   std::sort(own.begin(), own.end());
   individual.cost = total;
-  individual.group_costs = std::move(own);
 }
 
 void Hgga::evaluate_offspring(std::vector<Individual>& offspring,
@@ -258,49 +277,50 @@ void Hgga::evaluate_offspring(std::vector<Individual>& offspring,
   // Pass 1 (serial, cheap — fingerprints and map probes only): resolve
   // every dirty group against the individual's inherited memo first (no
   // lock at all), then the shared cache; what remains is the distinct set
-  // of groups this generation actually created.
-  struct Pending {
-    std::uint64_t fp;
-    std::size_t individual;
-    int group;
-  };
-  std::vector<std::vector<std::uint64_t>> fps(offspring.size());
-  std::vector<std::vector<double>> resolved(offspring.size());
-  std::vector<Pending> unseen;
-  std::unordered_set<std::uint64_t> scheduled;
+  // of groups this generation actually created. Per-group state lives in
+  // flat scratch arrays (slot range per individual via ind_begin) so a
+  // steady-state generation allocates no per-individual vectors here.
+  Scratch& s = scratch_;
+  s.fps.clear();
+  s.resolved.clear();
+  s.unseen.clear();
+  s.scheduled.clear();
+  s.ind_begin.assign(offspring.size() + 1, 0);
   long memo_hits = 0;
   for (std::size_t i = 0; i < offspring.size(); ++i) {
     Individual& ind = offspring[i];
-    if (ind.cost >= 0.0) continue;  // elite, carried unchanged
+    s.ind_begin[i] = static_cast<std::int32_t>(s.fps.size());
+    if (ind.cost >= 0.0) continue;  // elite, carried unchanged (empty range)
     const int n = ind.plan.num_groups();
-    fps[i].resize(static_cast<std::size_t>(n));
-    resolved[i].assign(static_cast<std::size_t>(n), -1.0);
     for (int g = 0; g < n; ++g) {
       const std::uint64_t fp = Objective::group_fingerprint(ind.plan.group(g));
-      fps[i][static_cast<std::size_t>(g)] = fp;
+      s.fps.push_back(fp);
       double known;
       if (lookup_group_cost(ind.group_costs, fp, &known)) {
-        resolved[i][static_cast<std::size_t>(g)] = known;
+        s.resolved.push_back(known);
         ++memo_hits;
         continue;
       }
-      if (scheduled.count(fp) != 0) {
+      if (s.scheduled.count(fp) != 0) {
         // Another offspring already scheduled this fingerprint: it resolves
         // from the batch in pass 3 without touching the shared cache — a
         // caller-side hit, like the memo ones, so counters stay balanced
         // (evaluations == hits + misses) in every mode.
         ++memo_hits;
+        s.resolved.push_back(-1.0);
         continue;
       }
       Objective::GroupCost cached;
       if (objective_.peek_group_cost(fp, &cached)) {
-        resolved[i][static_cast<std::size_t>(g)] = cached.cost_s;
+        s.resolved.push_back(cached.cost_s);
         continue;
       }
-      scheduled.insert(fp);
-      unseen.push_back(Pending{fp, i, g});
+      s.scheduled.insert(fp);
+      s.resolved.push_back(-1.0);
+      s.unseen.push_back(Scratch::PendingEval{fp, i, g});
     }
   }
+  s.ind_begin[offspring.size()] = static_cast<std::int32_t>(s.fps.size());
   objective_.note_incremental_hits(memo_hits);
   resolve_span.end();
 
@@ -310,42 +330,48 @@ void Hgga::evaluate_offspring(std::vector<Individual>& offspring,
   {
     SpanTracer::Scope eval_span = scoped_span(telemetry, "hgga.eval_misses");
 #pragma omp parallel for schedule(dynamic)
-    for (std::size_t m = 0; m < unseen.size(); ++m) {
-      const Pending& p = unseen[m];
+    for (std::size_t m = 0; m < s.unseen.size(); ++m) {
+      const Scratch::PendingEval& p = s.unseen[m];
       const Objective::GroupCost cost = objective_.force_group_cost(
           p.fp, offspring[p.individual].plan.group(p.group));
-      resolved[p.individual][static_cast<std::size_t>(p.group)] = cost.cost_s;
+      s.resolved[static_cast<std::size_t>(s.ind_begin[p.individual]) +
+                 static_cast<std::size_t>(p.group)] = cost.cost_s;
     }
   }
   SpanTracer::Scope score_span = scoped_span(telemetry, "hgga.score");
-  std::unordered_map<std::uint64_t, double> computed;
-  computed.reserve(unseen.size());
-  for (const Pending& p : unseen) {
-    computed.emplace(p.fp, resolved[p.individual][static_cast<std::size_t>(p.group)]);
+  s.computed.clear();
+  s.computed.reserve(s.unseen.size());
+  for (const Scratch::PendingEval& p : s.unseen) {
+    s.computed.emplace(p.fp,
+                       s.resolved[static_cast<std::size_t>(s.ind_begin[p.individual]) +
+                                  static_cast<std::size_t>(p.group)]);
   }
 
   // Pass 3 (serial): score every plan with pure reads — summed in group
-  // order, exactly as plan_cost does — and rebuild its memo.
+  // order, exactly as plan_cost does — and rebuild its memo in place
+  // (the inherited entries were consumed in pass 1).
   for (std::size_t i = 0; i < offspring.size(); ++i) {
     Individual& ind = offspring[i];
     if (ind.cost >= 0.0) continue;
-    GroupCostMap own;
-    own.reserve(fps[i].size());
+    const auto begin = static_cast<std::size_t>(s.ind_begin[i]);
+    const auto end = static_cast<std::size_t>(s.ind_begin[i + 1]);
+    GroupCostMap& own = ind.group_costs;
+    own.clear();
+    own.reserve(end - begin);
     double total = 0.0;
-    for (std::size_t g = 0; g < fps[i].size(); ++g) {
-      double c = resolved[i][g];
-      if (c < 0.0) c = computed.at(fps[i][g]);
+    for (std::size_t g = begin; g < end; ++g) {
+      double c = s.resolved[g];
+      if (c < 0.0) c = s.computed.at(s.fps[g]);
       total += c;
-      own.emplace_back(fps[i][g], c);
+      own.emplace_back(s.fps[g], c);
     }
     std::sort(own.begin(), own.end());
     ind.cost = total;
-    ind.group_costs = std::move(own);
   }
 }
 
-const Hgga::Individual& Hgga::tournament(const std::vector<Individual>& pop,
-                                         Rng& rng) const {
+const Individual& Hgga::tournament(const std::vector<Individual>& pop,
+                                   Rng& rng) const {
   const Individual* best = &pop[rng.next_below(pop.size())];
   for (int t = 1; t < config_.tournament_size; ++t) {
     const Individual& challenger = pop[rng.next_below(pop.size())];
@@ -357,24 +383,25 @@ const Hgga::Individual& Hgga::tournament(const std::vector<Individual>& pop,
 void Hgga::crossover(const Individual& a, const Individual& b, Individual& child,
                      Rng& rng, const Telemetry* telemetry) const {
   const LegalityChecker& checker = objective_.checker();
-  child.plan = a.plan;
+  Scratch& s = scratch_;
 
   // Select the crossing section: each fused group of b is injected with
-  // probability 1/2 (at least one when any exist).
-  std::vector<std::vector<KernelId>> injected;
-  std::vector<int> fused_groups;
+  // probability 1/2 (at least one when any exist). Both the injected set and
+  // the child's group set under assembly live in flat scratch lists, so a
+  // warm crossover allocates no per-group vectors.
+  FlatGroupList& injected = s.injected;
+  injected.clear();
+  s.fused_groups.clear();
   for (int g = 0; g < b.plan.num_groups(); ++g) {
-    if (b.plan.group(g).size() >= 2) fused_groups.push_back(g);
+    if (b.plan.group(g).size() >= 2) s.fused_groups.push_back(g);
   }
-  if (!fused_groups.empty()) {
-    for (int g : fused_groups) {
-      if (rng.next_bool(0.5)) {
-        injected.emplace_back(b.plan.group(g).begin(), b.plan.group(g).end());
-      }
+  if (!s.fused_groups.empty()) {
+    for (int g : s.fused_groups) {
+      if (rng.next_bool(0.5)) injected.append(b.plan.group(g));
     }
-    if (injected.empty()) {
-      const int g = fused_groups[rng.next_below(fused_groups.size())];
-      injected.emplace_back(b.plan.group(g).begin(), b.plan.group(g).end());
+    if (injected.size() == 0) {
+      const int g = s.fused_groups[rng.next_below(s.fused_groups.size())];
+      injected.append(b.plan.group(g));
     }
   }
 
@@ -383,7 +410,8 @@ void Hgga::crossover(const Individual& a, const Individual& b, Individual& child
   // both lookups are cache hits (the group was costed in parent b), so the
   // recording never perturbs the search — it only advances counters.
   if (telemetry != nullptr && telemetry->wants_decisions()) {
-    for (const auto& g : injected) {
+    for (int i = 0; i < injected.size(); ++i) {
+      const auto g = injected.group(i);
       double original_sum = 0.0;
       for (KernelId k : g) original_sum += objective_.original_time(k);
       const double delta = objective_.group_cost(g).cost_s - original_sum;
@@ -392,58 +420,55 @@ void Hgga::crossover(const Individual& a, const Individual& b, Individual& child
     }
   }
 
-  // Dissolve child groups that collide with the injected members, then
+  // Dissolve parent-a groups that collide with the injected members, then
   // rebuild: injected groups stay whole (group legality is group-local, so
   // they remain legal); orphans re-insert best-fit-first.
-  std::vector<char> taken(static_cast<std::size_t>(child.plan.num_kernels()), 0);
-  for (const auto& g : injected) {
-    for (KernelId k : g) taken[static_cast<std::size_t>(k)] = 1;
-  }
-  std::vector<std::vector<KernelId>> groups;
-  std::vector<KernelId> orphans;
-  for (int g = 0; g < child.plan.num_groups(); ++g) {
-    const auto group = child.plan.group(g);
+  s.taken.assign(static_cast<std::size_t>(a.plan.num_kernels()), 0);
+  for (KernelId k : injected.members()) s.taken[static_cast<std::size_t>(k)] = 1;
+  FlatGroupList& groups = s.groups;
+  groups.clear();
+  s.orphans.clear();
+  for (int g = 0; g < a.plan.num_groups(); ++g) {
+    const auto group = a.plan.group(g);
     const bool collides = std::any_of(group.begin(), group.end(), [&](KernelId k) {
-      return taken[static_cast<std::size_t>(k)];
+      return s.taken[static_cast<std::size_t>(k)];
     });
     if (!collides) {
-      groups.emplace_back(group.begin(), group.end());
+      groups.append(group);
     } else {
       for (KernelId k : group) {
-        if (!taken[static_cast<std::size_t>(k)]) orphans.push_back(k);
+        if (!s.taken[static_cast<std::size_t>(k)]) s.orphans.push_back(k);
       }
     }
   }
-  for (const auto& g : injected) groups.push_back(g);
+  for (int i = 0; i < injected.size(); ++i) groups.append(injected.group(i));
 
   // Re-insert orphans: best legal host group by marginal cost, else singleton.
-  rng.shuffle(orphans);
-  for (KernelId k : orphans) {
+  rng.shuffle(s.orphans);
+  for (KernelId k : s.orphans) {
     int best_group = -1;
     double best_delta = std::numeric_limits<double>::infinity();
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      std::vector<KernelId> candidate = groups[g];
-      candidate.push_back(k);
-      std::sort(candidate.begin(), candidate.end());
-      if (!checker.group_is_legal(candidate)) continue;
-      const double delta = objective_.group_cost(candidate).cost_s -
-                           objective_.group_cost(groups[g]).cost_s;
+    for (int g = 0; g < groups.size(); ++g) {
+      const auto host = groups.group(g);
+      s.candidate.assign(host.begin(), host.end());
+      s.candidate.insert(std::lower_bound(s.candidate.begin(), s.candidate.end(), k), k);
+      if (!checker.group_is_legal(s.candidate)) continue;
+      const double delta = objective_.group_cost(s.candidate).cost_s -
+                           objective_.group_cost(host).cost_s;
       if (delta < best_delta) {
         best_delta = delta;
-        best_group = static_cast<int>(g);
+        best_group = g;
       }
     }
     const double solo = objective_.original_time(k);
     if (best_group >= 0 && best_delta < solo) {
-      groups[static_cast<std::size_t>(best_group)].push_back(k);
-      std::sort(groups[static_cast<std::size_t>(best_group)].begin(),
-                groups[static_cast<std::size_t>(best_group)].end());
+      groups.insert_member(best_group, k);
     } else {
-      groups.push_back({k});
+      groups.append_singleton(k);
     }
   }
 
-  child.plan = FusionPlan::from_groups(child.plan.num_kernels(), std::move(groups));
+  child.plan.assign_flat(a.plan.num_kernels(), groups.members(), groups.offsets());
   // Injected groups are individually legal, but their combination with the
   // kept groups may be unschedulable; repair restores full legality.
   repair_plan(checker, child.plan);
@@ -468,19 +493,20 @@ int Hgga::mutate(Individual& individual, Rng& rng,
       const int ga = plan.group_of(k);
       const int gb = plan.group_of(other);
       if (ga != gb) {
-        std::vector<KernelId> merged(plan.group(ga).begin(), plan.group(ga).end());
+        std::vector<KernelId>& merged = scratch_.members;
+        merged.assign(plan.group(ga).begin(), plan.group(ga).end());
         merged.insert(merged.end(), plan.group(gb).begin(), plan.group(gb).end());
         if (checker.group_is_legal(merged)) {
           FusionPlan trial = plan;
           trial.merge_groups(ga, gb);
           if (checker.plan_is_schedulable(trial)) {
             if (provenance) {
-              // Sort first: the evaluation this seeds into the cache must be
-              // for the canonical member order the plan will later query.
+              // Sort first: the evaluation merge_delta seeds into the cache
+              // is for the canonical member order the plan will later query,
+              // and delta_s carries the exact (union - a) - b associativity
+              // the expanded three-lookup form used.
               std::sort(merged.begin(), merged.end());
-              const double delta = objective_.group_cost(merged).cost_s -
-                                   objective_.group_cost(plan.group(ga)).cost_s -
-                                   objective_.group_cost(plan.group(gb)).cost_s;
+              const double delta = objective_.merge_delta(plan, ga, gb).delta_s;
               telemetry->decisions->record(DecisionLog::Site::MutationMerge,
                                            true, merged, delta,
                                            objective_.dominant_component(merged));
@@ -495,7 +521,8 @@ int Hgga::mutate(Individual& individual, Rng& rng,
 
   // split a fused group into singletons
   if (rng.next_bool(config_.mutation_split_rate)) {
-    std::vector<int> fused;
+    std::vector<int>& fused = scratch_.fused_groups;
+    fused.clear();
     for (int g = 0; g < plan.num_groups(); ++g) {
       if (plan.group(g).size() >= 2) fused.push_back(g);
     }
@@ -525,7 +552,8 @@ int Hgga::mutate(Individual& individual, Rng& rng,
       const int from = plan.group_of(k);
       const int to = plan.group_of(other);
       if (from != to) {
-        std::vector<KernelId> target(plan.group(to).begin(), plan.group(to).end());
+        std::vector<KernelId>& target = scratch_.members;
+        target.assign(plan.group(to).begin(), plan.group(to).end());
         target.push_back(k);
         std::sort(target.begin(), target.end());
         if (checker.group_is_legal(target)) {
@@ -567,7 +595,12 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
                             [](const auto& a, const auto& b) { return a.cost < b.cost; });
   };
 
-  std::vector<Individual> population;
+  // The population lives in a double-buffered arena: each generation's
+  // offspring are bred into recycled slots of the spare pool, then promoted
+  // wholesale. `population` aliases the current pool — the reference stays
+  // valid across promotions (the pools swap buffers, not identities).
+  Population arena;
+  std::vector<Individual>& population = arena.individuals();
   Individual best;
   int start_gen = 0;
   int stall = 0;
@@ -583,10 +616,13 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
              "checkpoint seed " << ckpt.seed << " differs from configured seed "
                                 << config_.seed);
     master.set_state(ckpt.rng_state);
-    population.reserve(ckpt.population.size());
     for (std::size_t i = 0; i < ckpt.population.size(); ++i) {
-      population.push_back(Individual{ckpt.population[i], ckpt.costs[i]});
+      Individual& slot = arena.next_offspring();
+      slot.plan = ckpt.population[i];
+      slot.cost = ckpt.costs[i];
+      slot.group_costs.clear();  // memos are not checkpointed; rebuilt lazily
     }
+    arena.promote_offspring();
     best.plan = ckpt.best;
     best.cost = ckpt.best_cost;
     start_gen = ckpt.generation;
@@ -602,20 +638,19 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
       });
     }
   } else {
-    population.reserve(static_cast<std::size_t>(config_.population));
     for (int i = 0; i < config_.population; ++i) {
       if (control != nullptr && control->should_stop()) break;
       Rng rng = master.split();
-      population.push_back(make_random(rng));
+      make_random(rng, arena.next_offspring());
     }
-    if (population.empty()) {
+    if (arena.offspring_count() == 0) {
       // Budget exhausted before any individual: the identity plan is the
       // legal best-so-far.
-      Individual identity;
+      Individual& identity = arena.next_offspring();
       identity.plan = FusionPlan(program.num_kernels());
       evaluate_individual(identity);
-      population.push_back(std::move(identity));
     }
+    arena.promote_offspring();
     best = *best_of(population);
   }
   result.time_to_best_s = watch.elapsed_s();
@@ -657,22 +692,22 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
   // that resuming from a checkpoint taken at a stalled boundary exits exactly
   // where the uninterrupted run did.
   Stopwatch gen_watch;  // lap per generation, for telemetry throughput only
+  std::vector<int> elite_order;              // per-generation scratch, hoisted
+  std::vector<double> crossover_parent_cost;
   for (int gen = start_gen;
        gen < config_.max_generations && stall < config_.stall_generations; ++gen) {
     if (control != nullptr && control->should_stop()) break;
     SpanTracer::Scope gen_span = scoped_span(telemetry, "hgga.generation");
     SpanTracer::Scope breed_span = scoped_span(telemetry, "hgga.breed");
     const long evals_at_gen_start = objective_.evaluations();
-    // --- produce offspring ---
-    std::vector<Individual> offspring;
-    offspring.reserve(static_cast<std::size_t>(config_.population));
+    // --- produce offspring (into recycled arena slots) ---
 
     // Elites survive unchanged: partial-select indices instead of copying
     // and fully sorting the population just to pick the top few. Ties break
     // on index so the selection is deterministic across library
     // implementations (std::partial_sort is unstable).
     const int elites = std::min(config_.elites, static_cast<int>(population.size()));
-    std::vector<int> elite_order(population.size());
+    elite_order.resize(population.size());
     std::iota(elite_order.begin(), elite_order.end(), 0);
     std::partial_sort(elite_order.begin(), elite_order.begin() + elites,
                       elite_order.end(), [&](int x, int y) {
@@ -682,18 +717,20 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
                         return x < y;
                       });
     for (int e = 0; e < elites; ++e) {
-      offspring.push_back(population[static_cast<std::size_t>(elite_order[e])]);
+      arena.next_offspring() = population[static_cast<std::size_t>(elite_order[e])];
     }
 
     // Operator activity for this generation's stats: crossover children
     // remember their better parent's cost so improvement is measurable
     // after the (parallel) evaluation pass.
     GenerationStats stats;
-    std::vector<double> crossover_parent_cost(offspring.size(),
-                                              std::numeric_limits<double>::quiet_NaN());
-    while (static_cast<int>(offspring.size()) < config_.population) {
+    crossover_parent_cost.assign(arena.offspring_count(),
+                                 std::numeric_limits<double>::quiet_NaN());
+    while (static_cast<int>(arena.offspring_count()) < config_.population) {
       Rng rng = master.split();
-      Individual child;
+      // The child slot is recycled from the previous generation: every field
+      // is (re)assigned below, reusing the old plan/memo heap buffers.
+      Individual& child = arena.next_offspring();
       double parent_cost = std::numeric_limits<double>::quiet_NaN();
       if (rng.next_bool(config_.crossover_rate)) {
         const Individual& a = tournament(population, rng);
@@ -704,45 +741,53 @@ SearchResult Hgga::run(SearchControl* control, const HggaCheckpointing* checkpoi
         // cache lookup. Inherited entries can never go stale (a
         // fingerprint's cost is a pure function of the member set).
         if (config_.batched_evaluation) {
-          child.group_costs = merge_group_costs(a.group_costs, b.group_costs);
+          merge_group_costs(a.group_costs, b.group_costs, child.group_costs);
+        } else {
+          child.group_costs.clear();
         }
         parent_cost = std::min(a.cost, b.cost);
         ++stats.crossovers;
       } else {
         const Individual& parent = tournament(population, rng);
         child.plan = parent.plan;
-        if (config_.batched_evaluation) child.group_costs = parent.group_costs;
+        if (config_.batched_evaluation) {
+          child.group_costs = parent.group_costs;
+        } else {
+          child.group_costs.clear();
+        }
       }
       stats.mutations += mutate(child, rng, telemetry);
       child.cost = -1.0;  // mark for evaluation
-      offspring.push_back(std::move(child));
       crossover_parent_cost.push_back(parent_cost);
     }
     breed_span.end();
+
+    // Generational replacement first (pure buffer swap), evaluation after:
+    // the new generation is scored in place.
+    arena.promote_offspring();
 
     // --- evaluate (batched + deduplicated by default; the per-plan path is
     //     kept for the A/B equivalence test and the throughput bench) ---
     {
       SpanTracer::Scope eval_span = scoped_span(telemetry, "hgga.evaluate");
       if (config_.batched_evaluation) {
-        evaluate_offspring(offspring, telemetry);
+        evaluate_offspring(population, telemetry);
       } else {
 #pragma omp parallel for schedule(dynamic)
-        for (std::size_t i = 0; i < offspring.size(); ++i) {
-          if (offspring[i].cost < 0.0) {
-            offspring[i].cost = objective_.plan_cost(offspring[i].plan);
+        for (std::size_t i = 0; i < population.size(); ++i) {
+          if (population[i].cost < 0.0) {
+            population[i].cost = objective_.plan_cost(population[i].plan);
           }
         }
       }
     }
-    for (std::size_t i = 0; i < offspring.size(); ++i) {
+    for (std::size_t i = 0; i < population.size(); ++i) {
       if (!std::isnan(crossover_parent_cost[i]) &&
-          offspring[i].cost < crossover_parent_cost[i] - 1e-15) {
+          population[i].cost < crossover_parent_cost[i] - 1e-15) {
         ++stats.crossover_improved;
       }
     }
 
-    population = std::move(offspring);
     const auto it = best_of(population);
     if (it->cost < best.cost - 1e-15) {
       best = *it;

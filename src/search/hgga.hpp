@@ -17,15 +17,20 @@
 //    criterion), or the generation cap.
 //
 // Fitness evaluation is OpenMP-parallel across the population (the paper
-// ran the solver with OpenMP on a Xeon X5670).
+// ran the solver with OpenMP on a Xeon X5670). The population itself lives
+// in the double-buffered arena of search/population.hpp, so generational
+// replacement recycles every individual's storage instead of reallocating.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "fusion/fusion_plan.hpp"
 #include "search/objective.hpp"
+#include "search/population.hpp"
 #include "util/rng.hpp"
 
 namespace kf {
@@ -145,22 +150,39 @@ class Hgga {
                    const Telemetry* telemetry = nullptr);
 
  private:
-  struct Individual {
-    FusionPlan plan;
-    double cost = 0.0;
-    /// Incremental-costing memo: (group fingerprint -> cost_s), sorted by
-    /// fingerprint. Before evaluation it holds the union inherited from the
-    /// parents, so groups that crossover/mutation left untouched resolve
-    /// without even a shared-cache lookup; after evaluation it is exactly
-    /// this plan's groups. Entries can never go stale — a fingerprint's
-    /// cost is a pure function of the member set.
-    std::vector<std::pair<std::uint64_t, double>> group_costs;
-  };
-
   const Objective& objective_;
   HggaConfig config_;
 
-  Individual make_random(Rng& rng) const;
+  /// Reused crossover/mutation workspace (breeding is serial, so one set is
+  /// enough): group scratch lists and small id buffers that keep their
+  /// capacity across generations — after warm-up, breeding a child performs
+  /// no heap allocation beyond what the objective's miss path needs.
+  struct Scratch {
+    FlatGroupList injected;         ///< groups injected from parent b
+    FlatGroupList groups;           ///< the child's group set under assembly
+    std::vector<int> fused_groups;  ///< parent-b fused group indices
+    std::vector<char> taken;        ///< kernels claimed by injected groups
+    std::vector<KernelId> orphans;  ///< members of dissolved groups
+    std::vector<KernelId> candidate;  ///< host-group trial for one orphan
+    std::vector<KernelId> members;  ///< merge/move member scratch (mutate)
+
+    // evaluate_offspring workspace: per-group data laid out flat across the
+    // whole offspring batch (ind_begin[i] is individual i's first slot).
+    struct PendingEval {
+      std::uint64_t fp;
+      std::size_t individual;
+      int group;
+    };
+    std::vector<std::uint64_t> fps;        ///< fingerprint per (ind, group)
+    std::vector<double> resolved;          ///< resolved cost or -1 per slot
+    std::vector<std::int32_t> ind_begin;   ///< slot range per individual
+    std::vector<PendingEval> unseen;       ///< distinct groups to evaluate
+    std::unordered_set<std::uint64_t> scheduled;
+    std::unordered_map<std::uint64_t, double> computed;
+  };
+  mutable Scratch scratch_;
+
+  void make_random(Rng& rng, Individual& out) const;
   /// Scores one individual through the shared cache and (re)builds its
   /// group_costs memo. Identical sum order to Objective::plan_cost.
   void evaluate_individual(Individual& individual) const;

@@ -60,6 +60,20 @@ class Objective {
     bool quarantine_faults = true;
     /// Lock stripes of the group-cost cache (rounded up to a power of two).
     int cache_shards = GroupCostCache::kDefaultShards;
+    /// Master switch for the delta-costing engine: searches cost single-merge
+    /// moves through merge_delta / plan_cost_with_memo instead of full-plan
+    /// recosting. Results are bit-identical either way (see DESIGN.md item
+    /// 18); the switch exists for the equivalence tests and the bench.
+    bool delta_costing = true;
+    /// Debug cross-check: every merge_delta / plan_cost_with_memo re-resolves
+    /// its cached components from the shared cache and asserts bitwise (0
+    /// ULP) agreement, counting failures in CacheStats::delta_mismatches.
+    /// Defaults on in debug builds; only effective while the cache is on.
+#ifndef NDEBUG
+    bool cross_check_deltas = true;
+#else
+    bool cross_check_deltas = false;
+#endif
   };
 
   /// All referees must outlive the objective.
@@ -69,6 +83,20 @@ class Objective {
             const TimingSimulator& simulator, Options options);
 
   using GroupCost = kf::GroupCost;
+
+  /// Caller-side (fingerprint -> cost_s) memo, sorted by fingerprint: one
+  /// entry per group of the plan it annotates. Flat + sorted because it is
+  /// tiny, rebuilt in one pass and probed with a binary search — this is the
+  /// per-Individual memo type the HGGA introduced, promoted here so every
+  /// search method can ride the same delta-costing state.
+  using GroupCostMemo = std::vector<std::pair<std::uint64_t, double>>;
+
+  /// Result of costing a single-merge move incrementally.
+  struct MergeDelta {
+    GroupCost merged;      ///< cost of the union group
+    double delta_s = 0.0;  ///< plan-cost change: (merged - cost(gi)) - cost(gj)
+    bool cache_hit = false;  ///< merged group resolved without a model run
+  };
 
   /// Order-insensitive member-set fingerprint: per-member avalanche mix
   /// combined commutatively, no allocation, no sort. Exposed so callers
@@ -86,6 +114,51 @@ class Objective {
   /// scores every plan with pure reads. Returns one cost per plan,
   /// bit-identical to calling plan_cost on each.
   std::vector<double> plan_costs(std::span<const FusionPlan> plans) const;
+
+  // ---- delta costing (see DESIGN.md item 18) ----
+  //
+  // Plan cost is a sum of group-local terms, so a single merge move only
+  // changes two of them: cost(plan') = cost(plan) - cost(gi) - cost(gj)
+  // + cost(gi ∪ gj). merge_delta prices exactly that union; full candidate
+  // costs stay bit-identical because callers re-sum the per-group values in
+  // the candidate's group order (plan_cost_with_memo) instead of folding the
+  // delta into a running total, which float non-associativity would skew.
+
+  /// Incrementally costs the merge of groups gi and gj of `plan`: the union
+  /// group's fingerprint is mixed commutatively from the two member spans
+  /// (no allocation), answered from the shared cache when seen before. The
+  /// component costs cost(gi)/cost(gj) are resolved through the cache.
+  /// Counts one logical evaluation per resolved group.
+  MergeDelta merge_delta(const FusionPlan& plan, int gi, int gj) const;
+
+  /// Same, with the two component costs already known to the caller (e.g.
+  /// greedy's maintained per-row costs): only the union group is resolved —
+  /// one logical evaluation — and `group_costs[gi]/[gj]` enter delta_s
+  /// verbatim. With cross-checking on, the supplied values are verified
+  /// bitwise against the cache, which catches stale-row bugs.
+  MergeDelta merge_delta(const FusionPlan& plan, int gi, int gj,
+                         std::span<const double> group_costs) const;
+
+  /// Full-plan cost through a caller-side memo: each group resolves from
+  /// `memo` first (no shared-cache touch — counted as an incremental hit),
+  /// then the cache, then a model evaluation. The groups are summed in group
+  /// order, exactly as plan_cost does, so the result is bit-identical to a
+  /// full recost. When `memo_out` is non-null it is rebuilt to exactly this
+  /// plan's groups (sorted by fingerprint) so the caller can carry the state
+  /// to the next move; `memo_out` must not alias `memo` (keep a scratch and
+  /// swap). An empty `memo` counts one CacheStats::delta_full_recosts (the
+  /// delta engine fell back to a cold full recost).
+  double plan_cost_with_memo(const FusionPlan& plan, const GroupCostMemo& memo,
+                             GroupCostMemo* memo_out = nullptr) const;
+
+  /// True when searches should take the incremental-move path.
+  bool delta_costing() const noexcept { return options_.delta_costing; }
+
+  /// Audits one cold full recost performed by a delta-enabled search outside
+  /// plan_cost_with_memo (e.g. greedy initializing its per-row costs).
+  void note_delta_full_recost() const noexcept {
+    delta_full_recosts_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // ---- evaluation-engine primitives (plan_costs is built from these; the
   //      HGGA batched pre-pass uses them directly) ----
@@ -134,6 +207,10 @@ class Objective {
     long duplicate_misses = 0;  ///< concurrent double-computes (insert lost)
     long shard_contention = 0;  ///< cache lock acquisitions that had to wait
     long quarantined = 0;       ///< distinct quarantined member sets
+    long delta_hits = 0;  ///< queries the delta engine answered incrementally
+                          ///< (memo resolutions + merge_delta union peeks)
+    long delta_full_recosts = 0;  ///< delta-engine falls back to a cold full recost
+    long delta_mismatches = 0;  ///< cross-check disagreements (always 0)
     std::size_t entries = 0;    ///< distinct cached member sets
     int shards = 0;
 
@@ -174,12 +251,20 @@ class Objective {
   mutable std::atomic<long> misses_{0};
   mutable std::atomic<long> incremental_hits_{0};
   mutable std::atomic<long> duplicate_misses_{0};
+  mutable std::atomic<long> delta_hits_{0};
+  mutable std::atomic<long> delta_full_recosts_{0};
+  mutable std::atomic<long> delta_mismatches_{0};
   mutable std::atomic<long> faults_{0};
   mutable std::atomic<long> fused_misses_{0};  ///< disagreement-sample stride counter
   mutable GroupCostCache cache_;
 
   GroupCost compute_group_cost(std::span<const KernelId> group) const;
   GroupCost quarantine_cost(std::span<const KernelId> group) const;
+  MergeDelta merge_delta_impl(const FusionPlan& plan, int gi, int gj,
+                              double cost_i, double cost_j,
+                              bool cross_check_components) const;
+  void cross_check(std::uint64_t fingerprint, double used_cost_s,
+                   const char* site) const;
   void note_fault(std::span<const KernelId> group, std::uint64_t fingerprint,
                   const char* what) const;
   void maybe_sample_projection(std::span<const KernelId> group,

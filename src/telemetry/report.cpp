@@ -298,6 +298,11 @@ void RunReport::ingest_metrics(const JsonValue& metrics) {
       run->number_or("cache_duplicate_misses", cache_duplicate_misses));
   cache_shard_contention = static_cast<long>(
       run->number_or("cache_shard_contention", cache_shard_contention));
+  delta_hits = static_cast<long>(run->number_or("delta_hits", delta_hits));
+  delta_full_recosts =
+      static_cast<long>(run->number_or("delta_full_recosts", delta_full_recosts));
+  delta_mismatches =
+      static_cast<long>(run->number_or("delta_mismatches", delta_mismatches));
 }
 
 std::string RunReport::render(int top_k) const {
@@ -329,6 +334,14 @@ std::string RunReport::render(int top_k) const {
         os << ", " << cache_duplicate_misses << " duplicate computes";
       }
       os << ")\n";
+    }
+    if (delta_hits > 0 || delta_full_recosts > 0) {
+      os << "delta costing: " << delta_hits << " merge moves resolved incrementally, "
+         << delta_full_recosts << " cold recosts";
+      if (delta_mismatches > 0) {
+        os << ", " << delta_mismatches << " CROSS-CHECK MISMATCHES";
+      }
+      os << "\n";
     }
     if (resumed) os << "resumed from checkpoint\n";
     if (checkpoint_saves > 0) os << "checkpoints written: " << checkpoint_saves << "\n";
@@ -544,6 +557,11 @@ JsonValue RunReport::to_json() const {
     run.set("cache_incremental_hits", cache_incremental_hits);
     run.set("cache_duplicate_misses", cache_duplicate_misses);
     run.set("cache_shard_contention", cache_shard_contention);
+  }
+  if (delta_hits > 0 || delta_full_recosts > 0 || delta_mismatches > 0) {
+    run.set("delta_hits", delta_hits);
+    run.set("delta_full_recosts", delta_full_recosts);
+    run.set("delta_mismatches", delta_mismatches);
   }
   root.set("run", std::move(run));
 

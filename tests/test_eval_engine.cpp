@@ -7,6 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <new>
 #include <thread>
 #include <vector>
 
@@ -17,10 +21,30 @@
 #include "apps/motivating_example.hpp"
 #include "apps/testsuite.hpp"
 #include "model/proposed_model.hpp"
+#include "search/annealing.hpp"
+#include "search/exhaustive.hpp"
+#include "search/greedy.hpp"
 #include "search/group_cache.hpp"
 #include "search/hgga.hpp"
 #include "search/population.hpp"
+#include "search/random_search.hpp"
 #include "util/fault_injection.hpp"
+
+// ---- global allocation counter (for the arena zero-alloc test) ----
+namespace {
+std::atomic<long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace kf {
 namespace {
@@ -320,9 +344,17 @@ TEST(EvalEngine, HggaDeterministicAcrossThreadCounts) {
 
 TEST(EvalEngine, HggaCountersBalanceAcrossModes) {
   // evaluations == hits + misses in both modes, and the incremental memo
-  // never answers more queries than there were hits.
+  // never answers more queries than there were hits. With delta costing
+  // off as well, nothing produces caller-side hits in unbatched mode.
   for (const bool batched : {true, false}) {
-    EngineRig rig = suite_rig(16, 5);
+    TestSuiteConfig cfg;
+    cfg.kernels = 16;
+    cfg.arrays = 32;
+    cfg.seed = 5;
+    cfg.grid = GridDims{256, 128, 16};
+    Objective::Options options;
+    options.delta_costing = batched;
+    EngineRig rig(make_testsuite_program(cfg), options);
     HggaConfig config = small_hgga();
     config.batched_evaluation = batched;
     (void)Hgga(rig.objective, config).run();
@@ -330,8 +362,226 @@ TEST(EvalEngine, HggaCountersBalanceAcrossModes) {
     EXPECT_EQ(stats.evaluations, stats.hits + stats.misses) << batched;
     EXPECT_LE(stats.incremental_hits, stats.hits) << batched;
     EXPECT_GT(stats.hit_rate(), 0.5) << batched;
-    if (!batched) EXPECT_EQ(stats.incremental_hits, 0);
+    if (!batched) {
+      EXPECT_EQ(stats.incremental_hits, 0);
+      EXPECT_EQ(stats.delta_hits, 0);
+    }
+    EXPECT_EQ(stats.delta_mismatches, 0) << batched;
   }
+}
+
+// ---------- delta costing (DESIGN.md item 18) ----------
+
+EngineRig suite_rig_with(int kernels, std::uint64_t seed, Objective::Options options) {
+  TestSuiteConfig cfg;
+  cfg.kernels = kernels;
+  cfg.arrays = kernels * 2;
+  cfg.seed = seed;
+  cfg.grid = GridDims{256, 128, 16};
+  return EngineRig(make_testsuite_program(cfg), options);
+}
+
+Objective::Options delta_on_options() {
+  Objective::Options options;
+  options.delta_costing = true;
+  options.cross_check_deltas = true;  // explicit: Release defaults it off
+  return options;
+}
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+TEST(DeltaCosting, MergeDeltaMatchesFullRecostBitForBit) {
+  // For random plans and every merge pair (gi, gj): re-summing the plan's
+  // per-group costs with the union cost substituted at gi and gj's row
+  // skipped must equal plan_cost of the actually-merged plan bit for bit,
+  // and delta_s must be exactly (merged - rows[gi]) - rows[gj].
+  EngineRig rig = suite_rig_with(14, 11, delta_on_options());
+  Rng rng(0x77);
+  for (int trial = 0; trial < 6; ++trial) {
+    const FusionPlan plan = random_legal_plan(rig.checker, rng, 0.15 + 0.1 * trial);
+    const int n = plan.num_groups();
+    if (n < 2) continue;
+    std::vector<double> rows(static_cast<std::size_t>(n));
+    for (int g = 0; g < n; ++g) rows[g] = rig.objective.group_cost(plan.group(g)).cost_s;
+    for (int gi = 0; gi < n; ++gi) {
+      for (int gj = gi + 1; gj < n; ++gj) {
+        const Objective::MergeDelta d = rig.objective.merge_delta(plan, gi, gj);
+        EXPECT_EQ(bits(d.delta_s), bits((d.merged.cost_s - rows[gi]) - rows[gj]));
+        // Supplying the rows must not change the priced union.
+        const Objective::MergeDelta d2 = rig.objective.merge_delta(plan, gi, gj, rows);
+        EXPECT_EQ(bits(d2.merged.cost_s), bits(d.merged.cost_s));
+        FusionPlan merged = plan;
+        merged.merge_groups(gi, gj);
+        double replay = 0.0;
+        for (int g = 0; g < n; ++g) {
+          if (g == gj) continue;
+          replay += g == gi ? d.merged.cost_s : rows[g];
+        }
+        EXPECT_EQ(bits(replay), bits(rig.objective.plan_cost(merged)))
+            << "trial " << trial << " merge (" << gi << "," << gj << ")";
+      }
+    }
+  }
+  EXPECT_EQ(rig.objective.cache_stats().delta_mismatches, 0);
+}
+
+TEST(DeltaCosting, PlanCostWithMemoMatchesPlanCost) {
+  EngineRig rig = suite_rig_with(16, 13, delta_on_options());
+  Rng rng(0x99);
+  Objective::GroupCostMemo memo, scratch;
+  FusionPlan plan = random_legal_plan(rig.checker, rng, 0.5);
+  // Cold start (empty memo) is a counted full recost, still bit-identical.
+  const double cold = rig.objective.plan_cost_with_memo(plan, {}, &memo);
+  EXPECT_EQ(bits(cold), bits(rig.objective.plan_cost(plan)));
+  EXPECT_GE(rig.objective.cache_stats().delta_full_recosts, 1);
+  // A chain of merge moves, each scored through the carried memo.
+  for (int step = 0; step < 8 && plan.num_groups() >= 2; ++step) {
+    const int gi = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+        plan.num_groups() - 1)));
+    plan.merge_groups(gi, gi + 1);
+    const double warm = rig.objective.plan_cost_with_memo(plan, memo, &scratch);
+    EXPECT_EQ(bits(warm), bits(rig.objective.plan_cost(plan))) << step;
+    std::swap(memo, scratch);
+  }
+  const Objective::CacheStats stats = rig.objective.cache_stats();
+  EXPECT_GT(stats.delta_hits, 0);  // the memo actually answered queries
+  EXPECT_EQ(stats.delta_mismatches, 0);
+}
+
+enum class Method { Greedy, Hgga, Annealing, Exhaustive, Random };
+
+SearchResult run_method(Method method, EngineRig& rig) {
+  switch (method) {
+    case Method::Greedy:
+      return greedy_search(rig.objective);
+    case Method::Hgga: {
+      HggaConfig config = small_hgga();
+      config.max_generations = 12;
+      config.stall_generations = 12;
+      return Hgga(rig.objective, config).run();
+    }
+    case Method::Annealing: {
+      AnnealingConfig config;
+      config.iterations = 3000;
+      return annealing_search(rig.objective, config);
+    }
+    case Method::Exhaustive:
+      return exhaustive_search(rig.objective);
+    case Method::Random: {
+      RandomSearchConfig config;
+      config.samples = 400;
+      return random_search(rig.objective, config);
+    }
+  }
+  std::abort();
+}
+
+TEST(DeltaCosting, AllMethodsBitIdenticalDeltaOnVsOffAcrossThreadCounts) {
+  // The acceptance contract: every search method returns the same plan and
+  // the same (bitwise) cost with delta costing on or off, at any thread
+  // count, with the debug cross-check armed the whole time.
+  for (const Method method : {Method::Greedy, Method::Hgga, Method::Annealing,
+                              Method::Exhaustive, Method::Random}) {
+    const int kernels = method == Method::Exhaustive ? 8 : 16;
+    Objective::Options off;
+    off.delta_costing = false;
+    EngineRig rig_off = suite_rig_with(kernels, 7, off);
+    const SearchResult reference = run_method(method, rig_off);
+
+#ifdef _OPENMP
+    const int saved = omp_get_max_threads();
+    const int thread_counts[] = {1, 4, 8};
+#else
+    const int thread_counts[] = {1};
+#endif
+    for (const int threads : thread_counts) {
+#ifdef _OPENMP
+      omp_set_num_threads(threads);
+#endif
+      EngineRig rig_on = suite_rig_with(kernels, 7, delta_on_options());
+      const SearchResult got = run_method(method, rig_on);
+      const int label = static_cast<int>(method) * 100 + threads;
+      EXPECT_EQ(got.best.groups(), reference.best.groups()) << label;
+      EXPECT_EQ(bits(got.best_cost_s), bits(reference.best_cost_s)) << label;
+      EXPECT_EQ(got.generations, reference.generations) << label;
+      const Objective::CacheStats stats = rig_on.objective.cache_stats();
+      EXPECT_EQ(stats.delta_mismatches, 0) << label;
+      if (method == Method::Greedy || method == Method::Hgga ||
+          method == Method::Annealing) {
+        EXPECT_GT(stats.delta_hits, 0) << label;  // the delta engine engaged
+      }
+    }
+#ifdef _OPENMP
+    omp_set_num_threads(saved);
+#endif
+  }
+}
+
+TEST(DeltaCosting, BitIdenticalUnderFaultQuarantine) {
+  // Injected evaluation faults quarantine groups at a penalty cost; the
+  // delta path must resolve quarantined entries from the cache exactly like
+  // the full-recost path, so searches stay bit-identical and fault counts
+  // match. FaultInjector decisions are pure in (seed, site, key), so both
+  // modes see the same groups fault.
+  for (const Method method : {Method::Greedy, Method::Annealing}) {
+    SearchResult results[2];
+    long faults[2] = {0, 0};
+    for (const bool delta : {false, true}) {
+      ScopedFaultInjection arm(FaultPlan{FaultSite::Objective, 0.3, 21});
+      Objective::Options options = delta_on_options();
+      options.delta_costing = delta;
+      EngineRig rig = suite_rig_with(16, 7, options);
+      results[delta] = run_method(method, rig);
+      faults[delta] = rig.objective.faults();
+      EXPECT_EQ(rig.objective.cache_stats().delta_mismatches, 0);
+    }
+    EXPECT_GT(faults[0], 0);  // the injection actually fired
+    EXPECT_EQ(faults[0], faults[1]);
+    EXPECT_EQ(results[0].best.groups(), results[1].best.groups());
+    EXPECT_EQ(bits(results[0].best_cost_s), bits(results[1].best_cost_s));
+    EXPECT_EQ(results[0].fault_report.faults, results[1].fault_report.faults);
+  }
+}
+
+// ---------- population arena ----------
+
+TEST(PopulationArena, SteadyStateGenerationsAllocateNothing) {
+  // After warm-up, a generation of elite-style copies into recycled
+  // offspring slots plus a promote must perform zero heap allocations:
+  // FusionPlan's SoA vectors and the per-Individual memos copy-assign into
+  // retained capacity, and promote_offspring only swaps the pools.
+  EngineRig rig = suite_rig_with(16, 13, delta_on_options());
+  Rng rng(0x51);
+  constexpr int kPop = 12;
+  Population arena;
+  std::vector<Individual>& population = arena.individuals();
+  for (int i = 0; i < kPop; ++i) {
+    Individual& slot = arena.next_offspring();
+    slot.plan = random_legal_plan(rig.checker, rng, 0.5);
+    slot.cost = rig.objective.plan_cost(slot.plan);
+    slot.group_costs.clear();
+    for (int g = 0; g < slot.plan.num_groups(); ++g) {
+      const std::span<const KernelId> group = slot.plan.group(g);
+      slot.group_costs.emplace_back(Objective::group_fingerprint(group),
+                                    rig.objective.group_cost(group).cost_s);
+    }
+    std::sort(slot.group_costs.begin(), slot.group_costs.end());
+  }
+  arena.promote_offspring();
+  ASSERT_EQ(population.size(), static_cast<std::size_t>(kPop));
+  // Two warm-up generations grow both pool buffers to capacity.
+  for (int gen = 0; gen < 2; ++gen) {
+    for (int i = 0; i < kPop; ++i) arena.next_offspring() = population[i];
+    arena.promote_offspring();
+  }
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  for (int gen = 0; gen < 4; ++gen) {
+    for (int i = 0; i < kPop; ++i) arena.next_offspring() = population[i];
+    arena.promote_offspring();
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), before);
+  // The population reference stayed valid and intact across all promotes.
+  EXPECT_EQ(population.size(), static_cast<std::size_t>(kPop));
 }
 
 }  // namespace
