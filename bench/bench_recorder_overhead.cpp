@@ -1,0 +1,161 @@
+// Flight-recorder overhead smoke: serving throughput with the always-on
+// black box attached vs. a bare PlanServer.
+//
+// The flight recorder's contract is "always-on": it records every request
+// (one lock-free ring claim + a ~184-byte in-place fill), publishes the
+// in-flight table at stage boundaries (a handful of relaxed stores) and
+// bumps the state page — all on the serving hot path. The incident-capture
+// PR budgets <2% for that on the warmed store-hit path. This bench warms a
+// shared store, replays a request stream through a bare server and a
+// recorder-attached one interleaved, and fails when the overhead exceeds
+// the budget (--max-overhead PCT, default 2%). Both streams must serve
+// bit-identical plans — a recorder that changed a response would be a far
+// worse bug than a slow one.
+//
+// The JSON mirror (BENCH_recorder_overhead.json) feeds the CI incident job.
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/plan_server.hpp"
+#include "store/plan_store.hpp"
+#include "telemetry/flight_recorder.hpp"
+
+namespace kf::bench {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = std::filesystem::temp_directory_path().string() +
+                          "/kf_bench_recorder_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+struct Stream {
+  double best_s = 1e300;  ///< best-of-N wall time for the request loop
+  std::vector<std::string> plans;
+};
+
+int run(int argc, char** argv) {
+  double max_overhead_pct = 2.0;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--max-overhead") == 0)
+      max_overhead_pct = std::atof(argv[i + 1]);
+  }
+
+  print_header("Flight-recorder overhead on the serving path",
+               "the incident-capture PR's <2% always-on recording budget");
+
+  // Same workload shape as bench_trace_overhead: a 256-kernel test-suite
+  // program on two devices, so the floor is the steady-state store-hit
+  // path on an application-scale program.
+  TestSuiteConfig suite;
+  suite.kernels = 256;
+  suite.arrays = 512;
+  suite.seed = 7;
+  const Program program = make_testsuite_program(suite);
+  const std::vector<DeviceSpec> devices = {DeviceSpec::k20x(),
+                                           DeviceSpec::k40()};
+  const long requests = small_scale() ? 200 : 1000;
+  const int reps = small_scale() ? 3 : 5;
+
+  // One SHARED store, warmed once, so both timed loops replay hits on the
+  // exact same stored plans (see bench_trace_overhead for why).
+  PlanStore store({.dir = fresh_dir("shared"), .durable = false});
+  PlanServer bare(store, PlanServerConfig{});
+
+  FlightRecorder recorder;
+  Telemetry telemetry;
+  telemetry.recorder = &recorder;
+  PlanServerConfig recorded_cfg;
+  recorded_cfg.telemetry = &telemetry;
+  PlanServer recorded(store, recorded_cfg);
+
+  for (const DeviceSpec& d : devices) {
+    bare.serve(program, d);
+    recorded.serve(program, d);
+  }
+
+  Stream off;
+  Stream on;
+  for (int rep = 0; rep < reps; ++rep) {
+    // Interleave the configurations so drift hits both evenly.
+    {
+      off.plans.clear();
+      Stopwatch watch;
+      for (long i = 0; i < requests; ++i) {
+        const ServeResult r =
+            bare.serve(program, devices[static_cast<std::size_t>(i) %
+                                        devices.size()]);
+        off.plans.push_back(r.plan.to_string());
+      }
+      const double secs = watch.elapsed_s();
+      if (secs < off.best_s) off.best_s = secs;
+    }
+    {
+      on.plans.clear();
+      Stopwatch watch;
+      for (long i = 0; i < requests; ++i) {
+        const ServeResult r =
+            recorded.serve(program, devices[static_cast<std::size_t>(i) %
+                                            devices.size()]);
+        on.plans.push_back(r.plan.to_string());
+      }
+      const double secs = watch.elapsed_s();
+      if (secs < on.best_s) on.best_s = secs;
+    }
+  }
+
+  const double overhead_pct = 100.0 * (on.best_s / off.best_s - 1.0);
+  const bool identical = off.plans == on.plans;
+  const double per_request_us =
+      1e6 * (on.best_s - off.best_s) / static_cast<double>(requests);
+
+  TextTable table({"recorder", "best-of-" + std::to_string(reps),
+                   "req/s", "overhead"});
+  table.add("detached", human_time(off.best_s),
+            fixed(static_cast<double>(requests) / off.best_s, 0), "--");
+  table.add("attached", human_time(on.best_s),
+            fixed(static_cast<double>(requests) / on.best_s, 0),
+            fixed(overhead_pct, 2) + "%");
+  std::cout << table;
+  std::cout << "\nserved plans bit-identical with recorder attached: "
+            << (identical ? "yes" : "NO — BUG") << "\n"
+            << "records: " << recorder.recorded() << " recorded, "
+            << recorder.dropped() << " dropped, recording cost "
+            << fixed(per_request_us, 2) << " us/request\noverhead budget: "
+            << fixed(max_overhead_pct, 1) << "%\n";
+
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "kf-bench-metrics/v1");
+  doc.set("bench", "recorder_overhead");
+  doc.set("program", testsuite_id(suite));
+  doc.set("requests", requests);
+  doc.set("reps", static_cast<long>(reps));
+  doc.set("bare_best_s", off.best_s);
+  doc.set("recorded_best_s", on.best_s);
+  doc.set("overhead_pct", overhead_pct);
+  doc.set("per_request_us", per_request_us);
+  doc.set("records_recorded", recorder.recorded());
+  doc.set("records_dropped", recorder.dropped());
+  doc.set("identical_outcome", identical);
+  write_bench_metrics("recorder_overhead", doc);
+
+  if (!identical) {
+    std::cerr << "FAIL: served plans changed with the recorder attached\n";
+    return 1;
+  }
+  if (max_overhead_pct > 0.0 && overhead_pct > max_overhead_pct) {
+    std::cerr << "FAIL: recorder overhead " << fixed(overhead_pct, 2)
+              << "% exceeds budget " << fixed(max_overhead_pct, 1) << "%\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kf::bench
+
+int main(int argc, char** argv) { return kf::bench::run(argc, argv); }

@@ -62,6 +62,13 @@ std::size_t ServeLog::size() const {
   return ring_.size();
 }
 
+long ServeLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ > static_cast<long>(capacity_)
+             ? recorded_ - static_cast<long>(capacity_)
+             : 0;
+}
+
 std::vector<ServeLog::Entry> ServeLog::entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Entry> out;
@@ -151,6 +158,31 @@ class InflightGauge {
   }
   std::atomic<int>& count_;
   const Telemetry* telemetry_;
+};
+
+/// RAII owner of a flight-recorder in-flight slot: marks the request busy
+/// for the watchdog / signal dump, clears on every exit path.
+class InflightMark {
+ public:
+  InflightMark(FlightRecorder* recorder, const ServeRequest& request,
+               const RequestContext& rc, double deadline_s, double start_s)
+      : recorder_(recorder) {
+    if (recorder_ != nullptr)
+      slot_ = recorder_->inflight_begin(request.worker_id, rc.trace_id,
+                                        rc.seq, deadline_s, start_s);
+  }
+  ~InflightMark() {
+    if (recorder_ != nullptr) recorder_->inflight_end(slot_);
+  }
+  /// Republishes the stage ledger; called at stage boundaries so a crash
+  /// mid-request dumps a current ledger, not the admission-time zeros.
+  void update(const RequestContext& rc) const noexcept {
+    if (recorder_ != nullptr) recorder_->inflight_update(slot_, rc);
+  }
+
+ private:
+  FlightRecorder* recorder_ = nullptr;
+  int slot_ = -1;
 };
 
 }  // namespace
@@ -347,6 +379,46 @@ void PlanServer::finish(ServeResult& result, const Context* ctx,
     // Observed while the request's TraceScope is active: the histogram
     // bucket this sample lands in captures the trace id as its exemplar.
     m->observe("serve.latency_seconds", result.latency_s);
+  }
+  if (t != nullptr && t->recorder != nullptr) {
+    // The black-box twin of the wide event below: a fixed-size binary
+    // record in the always-on ring, plus the state-page counters the
+    // signal path snapshots without locks.
+    FlightRecorder* rec = t->recorder;
+    FlightServePayload p;
+    p.program_fp = result.key.program_fp;
+    p.device_fp = result.key.device_fp;
+    p.latency_s = result.latency_s;
+    p.deadline_s = result.deadline_s;
+    p.queue_wait_s = result.queue_wait_s;
+    p.cost_s = result.cost_s;
+    p.baseline_cost_s = result.baseline_cost_s;
+    for (int s = 0; s < RequestContext::kNumStages; ++s)
+      p.stage_s[s] = rc.stage_s[s];
+    p.worker_id = static_cast<std::int16_t>(
+        std::clamp(result.worker_id, -1, int(INT16_MAX)));
+    p.retries = static_cast<std::int16_t>(
+        std::clamp(result.retries, 0, int(INT16_MAX)));
+    p.rung = static_cast<std::uint8_t>(result.rung);
+    p.admission = static_cast<std::uint8_t>(result.admission);
+    if (result.degraded) p.flags |= FlightServePayload::kFlagDegraded;
+    if (result.coalesced) p.flags |= FlightServePayload::kFlagCoalesced;
+    if (result.deadline_met) p.flags |= FlightServePayload::kFlagDeadlineMet;
+    rec->record_serve(p, rc.trace_id);
+    StatePage& sp = rec->state();
+    sp.requests_total.fetch_add(1, std::memory_order_relaxed);
+    if (!result.deadline_met)
+      sp.deadline_missed_total.fetch_add(1, std::memory_order_relaxed);
+    if (result.degraded)
+      sp.degraded_total.fetch_add(1, std::memory_order_relaxed);
+    if (result.admission == AdmissionOutcome::RejectedOverload)
+      sp.rejected_overload_total.fetch_add(1, std::memory_order_relaxed);
+    if (result.retries > 0)
+      sp.retries_total.fetch_add(result.retries, std::memory_order_relaxed);
+    if (result.rung == ServeRung::TrivialFloor)
+      sp.trivial_floor_total.fetch_add(1, std::memory_order_relaxed);
+    sp.inflight.store(inflight_requests_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
   }
   if (t != nullptr && t->wants_trace()) {
     // The request's single canonical wide event: identity, rung, hit
@@ -574,6 +646,11 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
   SpanTracer::Scope request_span =
       scoped_span(config_.telemetry, "serve.request", "serve");
   InflightGauge gauge(inflight_requests_, config_.telemetry);
+  // Publishes this request into the flight recorder's in-flight table so a
+  // fatal signal or a watchdog stall scan can name it while it runs.
+  InflightMark inflight_mark(
+      config_.telemetry != nullptr ? config_.telemetry->recorder : nullptr,
+      request, rc, result.deadline_s, start);
   if (const Telemetry* t = config_.telemetry; t != nullptr && t->wants_trace()) {
     // Admission-side marker: `kfc top` pairs these with "serve_request"
     // completions (same trace id) to count in-flight requests.
@@ -610,6 +687,7 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
       decision.admitted = false;
   }
   rc.charge(RequestContext::kAdmission, config_.clock() - mark);
+  inflight_mark.update(rc);
   if (!decision.admitted) {
     result.admission = AdmissionOutcome::Rejected;
     result.rung = ServeRung::TrivialFloor;
@@ -663,6 +741,7 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
     }
     span.end();
     rc.charge(RequestContext::kStoreGet, config_.clock() - mark);
+    inflight_mark.update(rc);
   }
 
   // ---- coalescing: concurrent misses on one key collapse to one search ----
@@ -706,12 +785,17 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
     }
     span.end();
     rc.charge(RequestContext::kCoalesceWait, config_.clock() - mark);
+    inflight_mark.update(rc);
     if (!published) {
       // The leader could not publish inside OUR deadline: honest floor.
       {
         std::lock_guard<std::mutex> slock(stats_mu_);
         ++stats_.coalesce_timeouts;
       }
+      if (const Telemetry* t = config_.telemetry;
+          t != nullptr && t->recorder != nullptr)
+        t->recorder->state().coalesce_timeout_total.fetch_add(
+            1, std::memory_order_relaxed);
       result.rung = ServeRung::TrivialFloor;
       result.plan = FusionPlan(n);
       result.cost_s = result.baseline_cost_s;
@@ -738,6 +822,7 @@ ServeResult PlanServer::serve(const Program& program, const DeviceSpec& device,
 
   try {
     miss_ladder(ctx, request, start, result, rc);
+    inflight_mark.update(rc);
     if (result.rung == ServeRung::PolishedStored ||
         result.rung == ServeRung::FullSearch)
       write_back(ctx, result, rc);

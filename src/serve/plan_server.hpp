@@ -157,6 +157,7 @@ class ServeLog {
   void record(Entry entry);
   long recorded() const;             ///< total ever recorded (>= size())
   std::size_t size() const;          ///< entries currently held
+  long dropped() const;              ///< entries evicted by ring wrap (exact)
   std::vector<Entry> entries() const;  ///< oldest-first snapshot
 
  private:

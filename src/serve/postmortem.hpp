@@ -1,0 +1,98 @@
+// Postmortem — automated diagnosis over a flight-recorder bundle.
+//
+// `kfc postmortem <bundle>` replays a parsed FlightBundle and answers the
+// three questions an operator asks first:
+//
+//   1. what went wrong?     ranked causes, scored deterministically from
+//                           the bundle alone (header reason, trigger
+//                           records, state-page anomalies) — same bundle,
+//                           same ranking, no wall clock involved;
+//   2. which request?       the request on-CPU when the bundle was cut
+//                           (oldest busy in-flight entry), or failing that
+//                           the worst finished request in the ring, with
+//                           its trace id and full stage ledger;
+//   3. what led up to it?   the last <= 16 fusion decisions, scoped to the
+//                           failing request's trace id when any match, the
+//                           global tail otherwise.
+//
+// The analyzer never throws on weird-but-parsed bundles: a truncated or
+// partly quarantined file still yields a report (the salvage posture the
+// parser already takes); the report just says so and exit_code() maps it
+// to the store-salvage exit code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/json.hpp"
+
+namespace kf {
+
+/// One ranked hypothesis. Scores are deterministic functions of the bundle
+/// so CI can assert on the top cause by name.
+struct PostmortemCause {
+  std::string cause;     ///< stable identifier, e.g. "stalled_worker"
+  double score = 0.0;    ///< higher = more likely; ranked descending
+  std::string evidence;  ///< one human-readable sentence
+};
+
+/// The reconstructed failing request.
+struct PostmortemRequest {
+  bool found = false;
+  bool in_flight = false;  ///< true: on-CPU at capture; false: worst finished
+  TraceId trace;
+  long seq = 0;
+  int worker_id = -1;
+  double age_s = 0.0;       ///< in-flight age at capture, or final latency
+  double deadline_s = 0.0;
+  double stage_s[RequestContext::kNumStages] = {};
+};
+
+/// One decision-log entry from the ring, in claim order.
+struct PostmortemDecision {
+  std::uint64_t ring_seq = 0;
+  double t_s = 0.0;
+  TraceId trace;
+  int site = 0;
+  bool accepted = false;
+  int member_count = 0;
+  double cost_delta_s = 0.0;
+  std::string dominant;
+};
+
+struct PostmortemReport {
+  bool header_ok = false;
+  bool truncated = false;
+  long quarantined = 0;
+  long inflight_quarantined = 0;
+  long valid_records = 0;
+  long empty_slots = 0;
+
+  IncidentReason reason = IncidentReason::kNone;
+  int signal = 0;
+  double captured_s = 0.0;
+  StateSnapshot state;
+
+  std::vector<PostmortemCause> causes;  ///< ranked, never empty when header_ok
+  PostmortemRequest failing;
+  std::vector<PostmortemDecision> decisions;  ///< last <= 16, oldest first
+  bool decisions_trace_scoped = false;  ///< decisions filtered to failing trace
+
+  const PostmortemCause* top_cause() const noexcept {
+    return causes.empty() ? nullptr : &causes.front();
+  }
+
+  /// kfc exit-code mapping: 0 = clean bundle, 4 = salvaged (truncated or
+  /// quarantined entries — diagnosis still produced), 3 = not a bundle.
+  int exit_code() const noexcept;
+
+  JsonValue to_json() const;
+  std::string render() const;  ///< human-readable multi-line report
+};
+
+/// Diagnoses a parsed bundle. Total: every bundle, however damaged, yields
+/// a report (header_ok=false when the file was not a bundle at all).
+PostmortemReport analyze_bundle(const FlightBundle& bundle);
+
+}  // namespace kf

@@ -1,5 +1,6 @@
 #include "serve/serve_engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "telemetry/telemetry.hpp"
@@ -9,9 +10,18 @@ namespace kf {
 
 ServeEngine::ServeEngine(PlanServer& server, ServeEngineConfig config)
     : server_(server),
-      config_(config),
-      queue_(config.queue_capacity) {
+      config_(std::move(config)),
+      queue_(config_.queue_capacity),
+      heartbeats_(new HeartbeatSlot[static_cast<std::size_t>(
+          std::max(1, config_.workers))]) {
   KF_REQUIRE(config_.workers >= 1, "ServeEngine: workers must be >= 1");
+  if (const Telemetry* t = server_.telemetry();
+      t != nullptr && t->recorder != nullptr) {
+    StatePage& sp = t->recorder->state();
+    sp.workers.store(config_.workers, std::memory_order_relaxed);
+    sp.queue_capacity.store(static_cast<long>(config_.queue_capacity),
+                            std::memory_order_relaxed);
+  }
   threads_.reserve(static_cast<std::size_t>(config_.workers));
   for (int w = 0; w < config_.workers; ++w)
     threads_.emplace_back([this, w] { worker_loop(w); });
@@ -21,9 +31,13 @@ ServeEngine::~ServeEngine() { drain(); }
 
 void ServeEngine::gauge_queue_depth() const {
   const Telemetry* t = server_.telemetry();
-  if (t != nullptr && t->metrics != nullptr)
-    t->metrics->gauge("serve.queue_depth",
-                      static_cast<double>(queue_.size()));
+  if (t == nullptr) return;
+  const std::size_t depth = queue_.size();
+  if (t->metrics != nullptr)
+    t->metrics->gauge("serve.queue_depth", static_cast<double>(depth));
+  if (t->recorder != nullptr)
+    t->recorder->state().queue_depth.store(static_cast<long>(depth),
+                                           std::memory_order_relaxed);
 }
 
 std::future<ServeResult> ServeEngine::submit(const Program& program,
@@ -57,15 +71,24 @@ std::future<ServeResult> ServeEngine::submit(const Program& program,
 }
 
 void ServeEngine::worker_loop(int worker_id) {
+  HeartbeatSlot& hb = heartbeats_[static_cast<std::size_t>(worker_id)];
   while (std::optional<Job> job = queue_.pop()) {
     gauge_queue_depth();
     job->request.worker_id = worker_id;
+    const long ordinal = job_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+    hb.job_seq.store(ordinal, std::memory_order_relaxed);
+    // Busy is stamped before the test hook so an injected stall/crash is
+    // visible to the watchdog exactly like a real stuck request.
+    hb.busy_since.store(server_.now(), std::memory_order_release);
+    if (config_.test_job_hook) config_.test_job_hook(ordinal, worker_id);
     try {
       job->promise.set_value(
           server_.serve(*job->program, *job->device, job->request));
     } catch (...) {
       job->promise.set_exception(std::current_exception());
     }
+    hb.busy_since.store(-1.0, std::memory_order_release);
+    hb.jobs_done.fetch_add(1, std::memory_order_relaxed);
     completed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -81,6 +104,22 @@ void ServeEngine::drain() {
   for (std::thread& t : threads_)
     if (t.joinable()) t.join();
   gauge_queue_depth();
+}
+
+std::vector<ServeEngine::WorkerHeartbeat> ServeEngine::heartbeats() const {
+  std::vector<WorkerHeartbeat> out;
+  out.reserve(threads_.size());
+  for (std::size_t w = 0; w < threads_.size(); ++w) {
+    const HeartbeatSlot& hb = heartbeats_[w];
+    WorkerHeartbeat view;
+    view.worker_id = static_cast<int>(w);
+    view.busy_since_s = hb.busy_since.load(std::memory_order_acquire);
+    view.busy = view.busy_since_s >= 0.0;
+    view.job_seq = hb.job_seq.load(std::memory_order_relaxed);
+    view.jobs_done = hb.jobs_done.load(std::memory_order_relaxed);
+    out.push_back(view);
+  }
+  return out;
 }
 
 ServeEngine::Stats ServeEngine::stats() const {

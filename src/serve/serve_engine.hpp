@@ -31,7 +31,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -47,6 +49,13 @@ struct ServeEngineConfig {
   /// rejected_overload floor. false (batch-replay posture): submit()
   /// blocks for queue space instead.
   bool shed_on_full = true;
+
+  /// TEST ONLY (the test_coalesce_hold idiom): called by a worker after it
+  /// stamps its heartbeat busy and before it runs serve(), with the job's
+  /// global ordinal (1-based pop order) and the worker id. Fault-injection
+  /// hook for the watchdog's stalled-worker scan (sleep) and for the
+  /// flight recorder's signal path (raise).
+  std::function<void(long job_ordinal, int worker_id)> test_job_hook;
 };
 
 class ServeEngine {
@@ -82,12 +91,32 @@ class ServeEngine {
   int workers() const noexcept { return static_cast<int>(threads_.size()); }
   std::size_t queue_depth() const { return queue_.size(); }
 
+  /// Point-in-time view of one worker's liveness, in the server's clock
+  /// domain. The watchdog's stall scan reads these: a worker whose
+  /// busy_since_s is old while busy is set has been stuck on one request.
+  struct WorkerHeartbeat {
+    int worker_id = -1;
+    bool busy = false;
+    double busy_since_s = -1.0;  ///< server clock when the job was popped
+    long job_seq = 0;            ///< global pop ordinal of the current/last job
+    long jobs_done = 0;          ///< jobs completed by this worker
+  };
+  std::vector<WorkerHeartbeat> heartbeats() const;
+
  private:
   struct Job {
     const Program* program = nullptr;
     const DeviceSpec* device = nullptr;
     ServeRequest request;
     std::promise<ServeResult> promise;
+  };
+
+  /// Per-worker liveness slot, written by its owning worker with relaxed
+  /// stores and read by the watchdog scan — no locks on either side.
+  struct alignas(64) HeartbeatSlot {
+    std::atomic<double> busy_since{-1.0};  ///< < 0: idle
+    std::atomic<long> job_seq{0};
+    std::atomic<long> jobs_done{0};
   };
 
   void worker_loop(int worker_id);
@@ -97,6 +126,8 @@ class ServeEngine {
   ServeEngineConfig config_;
   BoundedQueue<Job> queue_;
   std::vector<std::thread> threads_;
+  std::unique_ptr<HeartbeatSlot[]> heartbeats_;
+  std::atomic<long> job_ordinal_{0};
   std::atomic<long> submitted_{0};
   std::atomic<long> completed_{0};
   std::atomic<long> rejected_{0};

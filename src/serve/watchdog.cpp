@@ -1,0 +1,166 @@
+#include "serve/watchdog.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "serve/serve_engine.hpp"
+#include "telemetry/calibration.hpp"
+#include "telemetry/slo.hpp"
+#include "util/error.hpp"
+
+namespace kf {
+
+namespace {
+
+void copy_detail(FlightTriggerPayload& p, const char* text) {
+  std::snprintf(p.detail, sizeof(p.detail), "%s", text);
+}
+
+}  // namespace
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(std::move(config)) {
+  KF_REQUIRE(config_.recorder != nullptr, "Watchdog: recorder is required");
+  KF_REQUIRE(!config_.dir.empty(), "Watchdog: incident dir is required");
+  KF_REQUIRE(config_.scan_interval_s > 0.0,
+             "Watchdog: scan_interval_s must be > 0");
+  if (!config_.clock) {
+    FlightRecorder* rec = config_.recorder;
+    config_.clock = [rec] { return rec->now_s(); };
+  }
+  if (config_.engine != nullptr)
+    stall_fired_seq_.assign(
+        static_cast<std::size_t>(config_.engine->workers()), 0);
+  thread_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    if (stopping_ && !thread_.joinable()) return;
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool Watchdog::scan_now() { return scan(); }
+
+void Watchdog::loop() {
+  std::unique_lock<std::mutex> lk(wake_mu_);
+  const auto interval = std::chrono::duration<double>(config_.scan_interval_s);
+  while (!stopping_) {
+    wake_cv_.wait_for(lk, interval, [this] { return stopping_; });
+    if (stopping_) break;
+    lk.unlock();
+    scan();
+    lk.lock();
+  }
+}
+
+bool Watchdog::scan() {
+  std::lock_guard<std::mutex> scan_lock(scan_mu_);
+  FlightRecorder& rec = *config_.recorder;
+  StatePage& state = rec.state();
+  const double now = config_.clock();
+  bool fired = false;
+
+  // Refresh the state page first so any bundle this scan produces snapshots
+  // current burn/drift, not last scan's.
+  double worst_burn = 0.0;
+  if (config_.slo != nullptr) {
+    worst_burn = config_.slo->report(now).worst_burn;
+    state.worst_burn.store(worst_burn, std::memory_order_relaxed);
+  }
+  if (config_.calibration != nullptr && config_.calibration->any_drift())
+    state.calibration_drift.store(1, std::memory_order_relaxed);
+
+  // Stalled workers: one trigger per (worker, job ordinal).
+  if (config_.engine != nullptr && config_.stall_threshold_s > 0.0) {
+    for (const ServeEngine::WorkerHeartbeat& hb : config_.engine->heartbeats()) {
+      if (!hb.busy) continue;
+      const double age = now - hb.busy_since_s;
+      if (age < config_.stall_threshold_s) continue;
+      const std::size_t w = static_cast<std::size_t>(hb.worker_id);
+      if (w >= stall_fired_seq_.size() || stall_fired_seq_[w] == hb.job_seq)
+        continue;
+      stall_fired_seq_[w] = hb.job_seq;
+      stall_trips_.fetch_add(1, std::memory_order_relaxed);
+      FlightTriggerPayload p;
+      p.worker_id = hb.worker_id;
+      p.stalled_seq = hb.job_seq;
+      p.age_s = age;
+      p.burn = worst_burn;
+      copy_detail(p, "worker heartbeat exceeded stall threshold");
+      trigger(IncidentReason::kStalledWorker, p);
+      fired = true;
+    }
+  }
+
+  // SLO burn: latched while above the ceiling so a sustained burn produces
+  // one bundle, not one per scan.
+  if (config_.slo != nullptr && config_.max_burn > 0.0) {
+    if (worst_burn > config_.max_burn) {
+      if (!burn_latched_) {
+        burn_latched_ = true;
+        burn_trips_.fetch_add(1, std::memory_order_relaxed);
+        FlightTriggerPayload p;
+        p.burn = worst_burn;
+        copy_detail(p, "SLO burn rate exceeded watchdog ceiling");
+        trigger(IncidentReason::kSloBurn, p);
+        fired = true;
+      }
+    } else {
+      burn_latched_ = false;
+    }
+  }
+
+  // Deadline-miss spike: delta of the state-page counter between scans. The
+  // first scan only primes the baseline — a watchdog attached mid-run must
+  // not bill pre-existing misses to its first interval.
+  const std::int64_t missed =
+      state.deadline_missed_total.load(std::memory_order_relaxed);
+  if (config_.miss_spike > 0 && miss_primed_ &&
+      missed - last_missed_ >= config_.miss_spike) {
+    spike_trips_.fetch_add(1, std::memory_order_relaxed);
+    FlightTriggerPayload p;
+    p.stalled_seq = missed - last_missed_;
+    p.burn = worst_burn;
+    copy_detail(p, "deadline misses spiked within one scan interval");
+    trigger(IncidentReason::kDeadlineSpike, p);
+    fired = true;
+  }
+  miss_primed_ = true;
+  last_missed_ = missed;
+
+  rec.record_counters();
+  scans_.fetch_add(1, std::memory_order_relaxed);
+  return fired;
+}
+
+void Watchdog::trigger(IncidentReason reason, FlightTriggerPayload payload) {
+  payload.reason = static_cast<std::uint16_t>(reason);
+  config_.recorder->record_trigger(payload, TraceId());
+  try {
+    config_.recorder->dump_incident(config_.dir, reason);
+    incidents_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const StoreError&) {
+    // Dump failure (disk full, directory removed) must not take down the
+    // serving path; the trigger record stays in the ring for the next dump.
+  }
+}
+
+Watchdog::Stats Watchdog::stats() const {
+  Stats s;
+  s.scans = scans_.load(std::memory_order_relaxed);
+  s.incidents = incidents_.load(std::memory_order_relaxed);
+  s.stall_trips = stall_trips_.load(std::memory_order_relaxed);
+  s.burn_trips = burn_trips_.load(std::memory_order_relaxed);
+  s.spike_trips = spike_trips_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace kf

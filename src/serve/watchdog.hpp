@@ -1,0 +1,121 @@
+// Watchdog — the serving path's periodic anomaly scanner.
+//
+// A single background thread wakes every scan_interval_s and checks the
+// live serving state for conditions that warrant freezing the flight
+// recorder into an incident bundle:
+//
+//   * stalled worker   a ServeEngine heartbeat that has been busy on one
+//                      job longer than stall_threshold_s. Latched per
+//                      (worker, job ordinal) so one stuck request produces
+//                      exactly one bundle, not one per scan.
+//   * SLO burn         SloTracker::report worst_burn above max_burn.
+//                      Latched until the burn drops back under the ceiling.
+//   * deadline spike   more than miss_spike new deadline misses since the
+//                      previous scan (a sudden regression the slow SLO
+//                      windows would smear out).
+//
+// Every scan also refreshes the flight recorder's state page (worst burn,
+// calibration drift) and appends a counters snapshot to the ring, so a
+// later bundle — watchdog-triggered or not — carries a recent state
+// timeline. Triggers record a FlightTriggerPayload into the ring first,
+// so the resulting bundle names its own cause, then dump via the normal
+// write-fsync-rename path.
+//
+// Clock discipline: stall ages compare the injected clock against
+// ServeEngine heartbeats, which are stamped with PlanServer::now() — the
+// watchdog's clock must run in that same domain (serve-batch passes the
+// batch clock). The scan *cadence* is real time (condition-variable wait),
+// independent of the injected clock, so fake-clock tests call scan_now()
+// instead of sleeping.
+//
+// A dump failure (full disk, unlinked directory) is swallowed: the
+// watchdog observes the serving path and must never take it down.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/flight_recorder.hpp"
+
+namespace kf {
+
+class ServeEngine;
+class SloTracker;
+class CalibrationTracker;
+
+struct WatchdogConfig {
+  double scan_interval_s = 0.25;   ///< real-time cadence of the scan thread
+  double stall_threshold_s = 2.0;  ///< <= 0: stalled-worker scan off
+  double max_burn = 0.0;           ///< > 0: SLO burn trigger armed
+  long miss_spike = 0;  ///< > 0: new deadline misses per scan that trigger
+  std::string dir;      ///< incident bundle directory (must exist)
+
+  FlightRecorder* recorder = nullptr;         ///< required
+  ServeEngine* engine = nullptr;              ///< null: no stall scan
+  SloTracker* slo = nullptr;                  ///< null: no burn trigger
+  CalibrationTracker* calibration = nullptr;  ///< null: no drift flag
+
+  /// Serving clock (PlanServer's domain, the one heartbeats are stamped
+  /// in). Default: the recorder's clock.
+  std::function<double()> clock;
+};
+
+class Watchdog {
+ public:
+  /// Starts the scan thread. `config.recorder` must be non-null and every
+  /// attached object must outlive the watchdog.
+  explicit Watchdog(WatchdogConfig config);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Stops and joins the scan thread. Idempotent; prompt (the thread waits
+  /// on a condition variable, not a plain sleep).
+  void stop();
+
+  /// Runs one scan synchronously on the caller's thread (fake-clock tests
+  /// and the final pre-exit scan). Returns true when a trigger fired.
+  bool scan_now();
+
+  struct Stats {
+    long scans = 0;
+    long incidents = 0;     ///< bundles successfully written
+    long stall_trips = 0;
+    long burn_trips = 0;
+    long spike_trips = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void loop();
+  bool scan();
+  void trigger(IncidentReason reason, FlightTriggerPayload payload);
+
+  WatchdogConfig config_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stopping_ = false;
+  std::mutex scan_mu_;  ///< serializes scan_now() against the thread's scans
+
+  // trigger latches (under scan_mu_)
+  std::vector<long> stall_fired_seq_;  ///< per worker: last job already reported
+  bool burn_latched_ = false;
+  bool miss_primed_ = false;
+  std::int64_t last_missed_ = 0;
+
+  std::atomic<long> scans_{0};
+  std::atomic<long> incidents_{0};
+  std::atomic<long> stall_trips_{0};
+  std::atomic<long> burn_trips_{0};
+  std::atomic<long> spike_trips_{0};
+
+  std::thread thread_;  ///< last member: starts after everything is ready
+};
+
+}  // namespace kf

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/flight_recorder.hpp"
 #include "util/error.hpp"
 
 namespace kf {
@@ -49,6 +50,10 @@ void DecisionLog::record(Site site, bool accepted,
   d.cost_delta_s = cost_delta_s;
   d.dominant = dominant == nullptr ? "" : dominant;
   d.trace = current_trace();  // 16-byte POD copy; still allocation-free
+  if (recorder_ != nullptr)
+    recorder_->record_decision(static_cast<int>(site), accepted, d.members,
+                               d.member_count, cost_delta_s, d.dominant,
+                               d.trace);
 }
 
 long DecisionLog::recorded() const {
@@ -59,6 +64,11 @@ long DecisionLog::recorded() const {
 std::size_t DecisionLog::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<std::size_t>(std::min<std::uint64_t>(next_seq_, capacity_));
+}
+
+long DecisionLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ > capacity_ ? static_cast<long>(next_seq_ - capacity_) : 0;
 }
 
 std::vector<DecisionLog::Decision> DecisionLog::snapshot() const {

@@ -35,6 +35,8 @@
 
 namespace kf {
 
+class FlightRecorder;
+
 class DecisionLog {
  public:
   static constexpr std::size_t kDefaultCapacity = 4096;
@@ -75,7 +77,13 @@ class DecisionLog {
 
   long recorded() const;     ///< decisions ever recorded
   std::size_t size() const;  ///< decisions currently held (<= capacity)
+  long dropped() const;      ///< decisions evicted by ring wrap (exact)
   std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Tees every future decision into the flight recorder's ring (the
+  /// black box keeps its own bounded copy that survives as an incident
+  /// bundle). The recorder must outlive this log.
+  void set_recorder(FlightRecorder* recorder) noexcept { recorder_ = recorder; }
 
   /// Held decisions in seq order (oldest surviving first).
   std::vector<Decision> snapshot() const;
@@ -88,6 +96,7 @@ class DecisionLog {
   mutable std::mutex mu_;
   std::vector<Decision> ring_;
   std::uint64_t next_seq_ = 0;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace kf

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <utility>
 
+#include "telemetry/flight_recorder.hpp"
 #include "util/chrome_trace.hpp"
 #include "util/error.hpp"
 
@@ -55,6 +56,8 @@ void SpanTracer::close(std::uint32_t index) {
   // Scopes destruct in LIFO order per thread, so the closing span is the
   // top of its thread's open stack.
   if (!ts.open.empty() && ts.open.back() == index) ts.open.pop_back();
+  if (recorder_ != nullptr && std::string_view(r.cat) == "serve")
+    recorder_->record_span(r.name, r.start_s, r.dur_s, r.tid, r.trace);
 }
 
 long SpanTracer::virtual_span(std::string_view name, const char* cat, int tid,

@@ -52,6 +52,7 @@
 namespace kf {
 
 class ChromeTraceWriter;
+class FlightRecorder;
 
 class SpanTracer {
  public:
@@ -115,6 +116,11 @@ class SpanTracer {
   std::size_t capacity() const noexcept { return capacity_; }
   int threads_seen() const;  ///< distinct threads that opened wall spans
 
+  /// Tees every future cat "serve" span close into the flight recorder's
+  /// ring (search-category spans are too chatty for the black box). The
+  /// recorder must outlive this tracer.
+  void set_recorder(FlightRecorder* recorder) noexcept { recorder_ = recorder; }
+
   /// Appends this tracer's spans to `w`: wall spans under pid 2 "search
   /// (host)" (cat "serve" spans under pid 4 "serve (requests)"), virtual
   /// spans under pid 3 "model (simulated)". Emits the process/thread
@@ -155,6 +161,7 @@ class SpanTracer {
   std::deque<std::string> owned_names_;  ///< stable storage for virtual-span names
   std::unordered_map<std::thread::id, ThreadState> threads_;
   long dropped_ = 0;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace kf

@@ -10,6 +10,7 @@
 //   * decisions:   fusion decision provenance ring             -> kfc explain
 //   * calibration: projection-vs-simulator error tracker       -> metrics v2
 //   * slo:         rolling-window SLO / burn-rate tracker      -> kfc slo / metrics v3
+//   * recorder:    always-on black-box flight recorder ring    -> incident bundles / kfc postmortem
 //
 // The contract for instrumented code is "check, then record":
 //
@@ -26,6 +27,7 @@
 #include <iosfwd>
 
 #include "telemetry/calibration.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/provenance.hpp"
 #include "telemetry/request_context.hpp"
@@ -44,6 +46,7 @@ struct Telemetry {
   DecisionLog* decisions = nullptr;    ///< null: no decision provenance
   CalibrationTracker* calibration = nullptr;  ///< null: no error tracking
   SloTracker* slo = nullptr;  ///< null: no SLO accounting (serving path)
+  FlightRecorder* recorder = nullptr;  ///< null: no black-box ring (serving)
 
   bool wants_trace() const noexcept { return trace != nullptr && trace->enabled(); }
   bool wants_progress() const noexcept { return progress_every > 0; }
@@ -51,7 +54,7 @@ struct Telemetry {
   bool active() const noexcept {
     return metrics != nullptr || wants_trace() || wants_progress() ||
            spans != nullptr || decisions != nullptr || calibration != nullptr ||
-           slo != nullptr;
+           slo != nullptr || recorder != nullptr;
   }
 };
 

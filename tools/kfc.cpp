@@ -14,6 +14,7 @@
 //   kfc store (stats|verify|compact) --store DIR   plan-store maintenance
 //   kfc slo (--metrics FILE | --events FILE)   SLO burn-rate report
 //   kfc top --events FILE               terminal view of a serve event log
+//   kfc postmortem BUNDLE.kfr [--json]  diagnose a flight-recorder bundle
 //   kfc help                            print the full option list
 //
 // The option list lives in ONE place — the kFlags table below. The parser
@@ -43,6 +44,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -106,6 +108,18 @@ struct Options {
   double min_search_budget = 0.010;
   int workers = 1;       ///< serve-batch worker pool size; 1 = serial replay
   int queue_cap = 256;   ///< serve-batch engine queue capacity
+
+  // incident capture (serve-batch) / postmortem
+  std::string recorder_dir;      ///< empty = flight recorder off
+  long recorder_cap = 4096;      ///< flight-recorder ring slots
+  bool dump_on_exit = false;     ///< write an exit-dump bundle at batch end
+  double watchdog_stall = 0.0;   ///< 0 = stalled-worker scan off
+  double watchdog_interval = 0.25;
+  long watchdog_spike = 0;       ///< 0 = deadline-miss spike trigger off
+  long stall_request = 0;        ///< TEST: stall the Nth popped job
+  double stall_s = 2.0;          ///< TEST: how long the injected stall lasts
+  long crash_request = 0;        ///< TEST: SIGSEGV before the Nth popped job
+  bool json_output = false;      ///< postmortem: machine-readable report
 };
 
 void print_usage(std::ostream& os);
@@ -264,6 +278,49 @@ const FlagSpec kFlags[] = {
     {"--queue-cap", "N",
      "serve-batch: engine request-queue capacity (default 256)",
      [](Options& o, const std::string& v) { o.queue_cap = flag_int("--queue-cap", v); }},
+    {"--recorder-dir", "DIR",
+     "serve-batch: arm the flight recorder; incident bundles land in DIR",
+     [](Options& o, const std::string& v) { o.recorder_dir = v; }},
+    {"--recorder-cap", "N", "flight-recorder ring capacity (default 4096)",
+     [](Options& o, const std::string& v) {
+       o.recorder_cap = flag_long("--recorder-cap", v);
+       KF_REQUIRE(o.recorder_cap > 0,
+                  "--recorder-cap must be positive, got '" << v << "'");
+     }},
+    {"--dump-on-exit", nullptr,
+     "serve-batch: write an exit-dump incident bundle when the batch ends",
+     [](Options& o, const std::string&) { o.dump_on_exit = true; }},
+    {"--watchdog-stall", "S",
+     "serve-batch: dump when a worker is stuck on one job longer than S",
+     [](Options& o, const std::string& v) {
+       o.watchdog_stall = flag_double("--watchdog-stall", v);
+     }},
+    {"--watchdog-interval", "S",
+     "watchdog scan cadence in seconds (default 0.25)",
+     [](Options& o, const std::string& v) {
+       o.watchdog_interval = flag_double("--watchdog-interval", v);
+       KF_REQUIRE(o.watchdog_interval > 0.0,
+                  "--watchdog-interval must be positive, got '" << v << "'");
+     }},
+    {"--watchdog-spike", "N",
+     "serve-batch: dump on N+ new deadline misses within one scan",
+     [](Options& o, const std::string& v) {
+       o.watchdog_spike = flag_long("--watchdog-spike", v);
+     }},
+    {"--stall-request", "N",
+     "TEST: worker sleeps --stall-s before serving the Nth popped job",
+     [](Options& o, const std::string& v) {
+       o.stall_request = flag_long("--stall-request", v);
+     }},
+    {"--stall-s", "S", "TEST: injected stall duration (default 2)",
+     [](Options& o, const std::string& v) { o.stall_s = flag_double("--stall-s", v); }},
+    {"--crash-request", "N",
+     "TEST: raise SIGSEGV before serving the Nth popped job",
+     [](Options& o, const std::string& v) {
+       o.crash_request = flag_long("--crash-request", v);
+     }},
+    {"--json", nullptr, "postmortem: emit the report as one JSON document",
+     [](Options& o, const std::string&) { o.json_output = true; }},
 };
 
 void print_usage(std::ostream& os) {
@@ -283,6 +340,7 @@ void print_usage(std::ostream& os) {
         "  store SUB     plan-store maintenance: stats | verify | compact\n"
         "  slo           SLO burn-rate report from --metrics and/or --events\n"
         "  top           terminal view of a serve event log (--events FILE)\n"
+        "  postmortem B  diagnose a flight-recorder incident bundle (.kfr)\n"
         "  help          print this message\n"
         "input: a .kf program file, or --builtin NAME\n"
         "options:\n";
@@ -301,7 +359,8 @@ void print_usage(std::ostream& os) {
       {1, "verification failure (illegal plan, equivalence/reconcile FAIL)"},
       {2, "usage or precondition error"},
       {3, "runtime error (bad input data, I/O, unrecovered fault)"},
-      {4, "store corruption detected and salvaged (recovery not clean)"},
+      {4, "store corruption detected and salvaged (recovery not clean; "
+          "postmortem: bundle truncated or partly quarantined)"},
       {5, "degraded serve (some request answered below its natural rung)"},
       {6, "admission rejected (some request shed by the token bucket)"},
       {7, "SLO burn rate above --slo-max-burn (slo, serve-batch)"},
@@ -980,13 +1039,51 @@ int cmd_serve_batch(const Options& opt) {
     telemetry.spans = spans.get();
   }
 
+  // One clock domain for the server, the SLO sample timestamps, the flight
+  // recorder and the report's "now", so rolling windows and in-flight ages
+  // line up with the batch.
+  Stopwatch batch_clock;
+
+  // Flight recorder (README "Observability v4"): an always-on black box.
+  // Armed here — before the store opens — so store-salvage incidents are
+  // capturable, and the fatal-signal handler covers the whole batch.
+  std::unique_ptr<FlightRecorder> recorder;
+  std::unique_ptr<DecisionLog> decisions;
+  if (!opt.recorder_dir.empty()) {
+    make_dir(opt.recorder_dir);
+    FlightRecorder::Config rcfg;
+    rcfg.capacity = static_cast<std::size_t>(opt.recorder_cap);
+    rcfg.clock = [&batch_clock] { return batch_clock.elapsed_s(); };
+    rcfg.metrics = &metrics;
+    recorder = std::make_unique<FlightRecorder>(rcfg);
+    telemetry.recorder = recorder.get();
+    recorder->arm_signal_dump(opt.recorder_dir);
+    // Decision and serve-span streams tee into the ring so a bundle can
+    // replay the last fusion decisions of the failing request's trace.
+    decisions = std::make_unique<DecisionLog>();
+    decisions->set_recorder(recorder.get());
+    telemetry.decisions = decisions.get();
+    if (spans != nullptr) spans->set_recorder(recorder.get());
+  }
+
   PlanStore store(PlanStore::Config{
       .dir = opt.store_dir,
       .telemetry = &telemetry});
 
-  // One clock domain for the server, the SLO sample timestamps and the
-  // report's "now", so rolling windows line up with the batch.
-  Stopwatch batch_clock;
+  if (recorder != nullptr) {
+    const StoreRecovery& rec = store.recovery();
+    StatePage& sp = recorder->state();
+    sp.store_salvaged.store(static_cast<std::int64_t>(rec.salvaged),
+                            std::memory_order_relaxed);
+    sp.store_quarantined.store(static_cast<std::int64_t>(rec.quarantined),
+                               std::memory_order_relaxed);
+    if (!rec.clean()) {
+      const std::string path = recorder->dump_incident(
+          opt.recorder_dir, IncidentReason::kStoreSalvage);
+      std::cerr << "flight recorder: store salvage incident -> " << path
+                << "\n";
+    }
+  }
 
   PlanServerConfig cfg;
   cfg.clock = [&batch_clock] { return batch_clock.elapsed_s(); };
@@ -1089,6 +1186,8 @@ int cmd_serve_batch(const Options& opt) {
   };
 
   ServeEngine::Stats engine_stats;
+  Watchdog::Stats wd_stats;
+  bool watchdog_ran = false;
   if (opt.workers <= 1) {
     // Serial replay: requests hit the server in file order, one at a time —
     // the deterministic reference the worker path is measured against.
@@ -1102,12 +1201,42 @@ int cmd_serve_batch(const Options& opt) {
     // exercise load shedding instead. Futures are collected in submission
     // order, so the report aggregates in file order no matter which worker
     // finished first.
-    ServeEngine engine(server,
-                       ServeEngineConfig{
-                           .workers = opt.workers,
-                           .queue_capacity =
-                               static_cast<std::size_t>(std::max(1, opt.queue_cap)),
-                           .shed_on_full = false});
+    ServeEngineConfig ecfg;
+    ecfg.workers = opt.workers;
+    ecfg.queue_capacity = static_cast<std::size_t>(std::max(1, opt.queue_cap));
+    ecfg.shed_on_full = false;
+    if (opt.stall_request > 0 || opt.crash_request > 0) {
+      // Fault injection for the incident-capture CI job: a sleeping worker
+      // looks to the watchdog exactly like a wedged one; a raise() exercises
+      // the fatal-signal dump path for real.
+      const long stall_at = opt.stall_request;
+      const long crash_at = opt.crash_request;
+      const double stall_for = opt.stall_s;
+      ecfg.test_job_hook = [stall_at, crash_at, stall_for](long ordinal, int) {
+        if (crash_at > 0 && ordinal == crash_at) std::raise(SIGSEGV);
+        if (stall_at > 0 && ordinal == stall_at)
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(stall_for));
+      };
+    }
+    ServeEngine engine(server, std::move(ecfg));
+    std::unique_ptr<Watchdog> watchdog;
+    if (recorder != nullptr &&
+        (opt.watchdog_stall > 0.0 || opt.slo_max_burn > 0.0 ||
+         opt.watchdog_spike > 0)) {
+      WatchdogConfig wcfg;
+      wcfg.scan_interval_s = opt.watchdog_interval;
+      wcfg.stall_threshold_s = opt.watchdog_stall;
+      wcfg.max_burn = opt.slo_max_burn;
+      wcfg.miss_spike = opt.watchdog_spike;
+      wcfg.dir = opt.recorder_dir;
+      wcfg.recorder = recorder.get();
+      wcfg.engine = &engine;
+      wcfg.slo = &slo;
+      wcfg.clock = [&batch_clock] { return batch_clock.elapsed_s(); };
+      watchdog = std::make_unique<Watchdog>(std::move(wcfg));
+      watchdog_ran = true;
+    }
     std::vector<std::future<ServeResult>> futures;
     futures.reserve(items.size());
     for (const Item& item : items)
@@ -1117,6 +1246,33 @@ int cmd_serve_batch(const Options& opt) {
       record(*items[i].stack, futures[i].get());
     engine.drain();
     engine_stats = engine.stats();
+    if (watchdog != nullptr) {
+      watchdog->stop();
+      wd_stats = watchdog->stats();
+    }
+  }
+
+  if (recorder != nullptr) {
+    recorder->record_counters();
+    if (opt.dump_on_exit) {
+      const std::string path = recorder->dump_incident(
+          opt.recorder_dir, IncidentReason::kExitDump);
+      std::cerr << "flight recorder: exit dump -> " << path << "\n";
+    }
+    recorder->disarm_signal_dump();
+    // Ring-eviction accounting for every bounded telemetry ring, exported
+    // with the metrics so "the ring wrapped" is visible in artifacts.
+    metrics.gauge("recorder.recorded",
+                  static_cast<double>(recorder->recorded()));
+    metrics.gauge("recorder.dropped",
+                  static_cast<double>(recorder->dropped()));
+    metrics.gauge("serve.log_dropped",
+                  static_cast<double>(server.log().dropped()));
+    if (decisions != nullptr)
+      metrics.gauge("decisions.dropped",
+                    static_cast<double>(decisions->dropped()));
+    if (spans != nullptr)
+      metrics.gauge("spans.dropped", static_cast<double>(spans->dropped()));
   }
 
   const PlanServer::Stats s = server.stats();
@@ -1171,6 +1327,19 @@ int cmd_serve_batch(const Options& opt) {
   }
   std::cout << "degraded " << s.degraded << ", retries " << s.retries
             << ", deadline_misses " << s.deadline_missed << "\n";
+  if (recorder != nullptr) {
+    std::cout << "incidents: "
+              << recorder->state().incidents_total.load(
+                     std::memory_order_relaxed)
+              << " bundles in " << opt.recorder_dir << " (recorder: "
+              << recorder->recorded() << " recorded, " << recorder->dropped()
+              << " dropped)\n";
+  }
+  if (watchdog_ran) {
+    std::cout << "watchdog: " << wd_stats.scans << " scans, "
+              << wd_stats.stall_trips << " stalls, " << wd_stats.burn_trips
+              << " burn trips, " << wd_stats.spike_trips << " miss spikes\n";
+  }
   std::cout << "latency: p50 " << human_time(lat.percentile(50)) << ", p95 "
             << human_time(lat.percentile(95)) << ", p99 "
             << human_time(lat.percentile(99)) << ", max " << human_time(lat.max)
@@ -1318,6 +1487,29 @@ int cmd_slo(const Options& opt) {
   return 0;
 }
 
+/// `kfc postmortem BUNDLE.kfr [--json]`: parse a flight-recorder incident
+/// bundle and print the automated diagnosis — ranked causes, the failing
+/// request's trace id + stage ledger, and the last fusion decisions. Exit
+/// 0 for a clean bundle, 4 when the bundle was truncated or had records
+/// quarantined (diagnosis still printed), 3 when the file is not a bundle.
+int cmd_postmortem(const Options& opt) {
+  if (opt.input_file.empty())
+    usage("postmortem needs a bundle file: kfc postmortem <bundle.kfr>");
+  FlightBundle bundle;
+  try {
+    bundle = FlightRecorder::read(opt.input_file);
+  } catch (const StoreError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 3;
+  }
+  const PostmortemReport report = analyze_bundle(bundle);
+  if (opt.json_output)
+    std::cout << report.to_json().to_string(2) << "\n";
+  else
+    std::cout << report.render();
+  return report.exit_code();
+}
+
 /// `kfc top --events FILE`: a terminal view of a serve event log —
 /// in-flight requests ("serve_start" markers minus "serve_request"
 /// completions), the rung distribution, SLO burn over the rolling windows
@@ -1441,6 +1633,7 @@ int main(int argc, char** argv) {
     if (opt.command == "store") return cmd_store(opt);
     if (opt.command == "slo") return cmd_slo(opt);
     if (opt.command == "top") return cmd_top(opt);
+    if (opt.command == "postmortem") return cmd_postmortem(opt);
     if (opt.command == "help" || opt.command == "--help" || opt.command == "-h") {
       print_usage(std::cout);
       return 0;
